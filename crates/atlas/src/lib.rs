@@ -1,0 +1,29 @@
+//! # pinpoint-atlas
+//!
+//! A RIPE Atlas measurement platform emulator over [`pinpoint_netsim`].
+//!
+//! The paper consumes two classes of repetitive Atlas measurements (§2):
+//!
+//! * **builtin** — every probe traceroutes each of the 13 DNS root services
+//!   every 30 minutes (r = 2/hour in Appendix B's notation);
+//! * **anchoring** — ~400 probes traceroute 189 anchor hosts every
+//!   15 minutes (r = 4/hour).
+//!
+//! This crate reproduces the *shape* of that data: probe deployment over
+//! the simulated stub ASes (uneven by design, so the §4.3 diversity filter
+//! has work to do), measurement scheduling with per-probe phase offsets,
+//! Paris traceroute execution (3 packets per hop, flow id constant within a
+//! traceroute, cycled across traceroutes), and conversion into the
+//! [`pinpoint_model::TracerouteRecord`] interchange format the detectors
+//! consume — the same records a user would build from real Atlas JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measurement;
+pub mod platform;
+pub mod probe;
+
+pub use measurement::{Measurement, MeasurementKind};
+pub use platform::Platform;
+pub use probe::{deploy_probes, Probe, ProbeDeployment};

@@ -1,0 +1,181 @@
+//! Measurement definitions and scheduling.
+//!
+//! A [`Measurement`] is a recurring traceroute task: a target address, an
+//! interval, and the probes participating. Scheduling uses per-(probe,
+//! measurement) phase offsets so traceroutes spread across each interval
+//! instead of arriving in synchronized bursts — like the real platform.
+
+use pinpoint_model::{MeasurementId, ProbeId, SimTime};
+use pinpoint_stats::rng::derive_seed;
+use std::net::Ipv4Addr;
+
+/// The two Atlas measurement classes used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementKind {
+    /// Probe → DNS root service, every 30 minutes.
+    Builtin,
+    /// Probe → anchor host, every 15 minutes.
+    Anchoring,
+}
+
+impl MeasurementKind {
+    /// Default interval for the class, in seconds.
+    pub fn default_interval(self) -> u64 {
+        match self {
+            MeasurementKind::Builtin => 1800,
+            MeasurementKind::Anchoring => 900,
+        }
+    }
+
+    /// Probing rate r in traceroutes per hour (Appendix B notation).
+    pub fn rate_per_hour(self) -> f64 {
+        3600.0 / self.default_interval() as f64
+    }
+}
+
+/// A recurring traceroute measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Identifier stamped on resulting records.
+    pub id: MeasurementId,
+    /// Class (controls the default interval).
+    pub kind: MeasurementKind,
+    /// Target address (anycast service or unicast host).
+    pub target: Ipv4Addr,
+    /// Interval between traceroutes from one probe, in seconds.
+    pub interval_secs: u64,
+    /// Participating probes.
+    pub probes: Vec<ProbeId>,
+}
+
+impl Measurement {
+    /// Create a measurement with the class's default interval.
+    pub fn new(
+        id: MeasurementId,
+        kind: MeasurementKind,
+        target: Ipv4Addr,
+        probes: Vec<ProbeId>,
+    ) -> Self {
+        Measurement {
+            id,
+            kind,
+            target,
+            interval_secs: kind.default_interval(),
+            probes,
+        }
+    }
+
+    /// Deterministic phase offset of a probe within the interval.
+    pub fn phase(&self, probe: ProbeId) -> u64 {
+        derive_seed(
+            (u64::from(self.id.0) << 32) | u64::from(probe.0),
+            "measurement-phase",
+        ) % self.interval_secs
+    }
+
+    /// Firing times of `probe` within `[from, to)`.
+    pub fn firings(&self, probe: ProbeId, from: SimTime, to: SimTime) -> Vec<SimTime> {
+        assert!(from <= to, "inverted window");
+        let phase = self.phase(probe);
+        let mut out = Vec::new();
+        // First firing at or after `from`.
+        let start = from.secs().saturating_sub(phase);
+        let mut k = start / self.interval_secs;
+        if k * self.interval_secs + phase < from.secs() {
+            k += 1;
+        }
+        loop {
+            let t = k * self.interval_secs + phase;
+            if t >= to.secs() {
+                break;
+            }
+            out.push(SimTime(t));
+            k += 1;
+        }
+        out
+    }
+
+    /// The Paris flow identifier used for the `n`-th traceroute of a probe.
+    ///
+    /// Atlas cycles paris ids over a small set (16); the flow stays constant
+    /// within one traceroute, giving load-balancer-stable paths, while
+    /// successive traceroutes explore sibling paths.
+    pub fn paris_id(&self, probe: ProbeId, n: u64) -> u16 {
+        ((u64::from(probe.0) ^ n.wrapping_mul(7)) % 16) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msm() -> Measurement {
+        Measurement::new(
+            MeasurementId(5001),
+            MeasurementKind::Builtin,
+            "198.51.100.1".parse().unwrap(),
+            vec![ProbeId(0), ProbeId(1)],
+        )
+    }
+
+    #[test]
+    fn kinds_have_paper_rates() {
+        assert_eq!(MeasurementKind::Builtin.default_interval(), 1800);
+        assert_eq!(MeasurementKind::Builtin.rate_per_hour(), 2.0);
+        assert_eq!(MeasurementKind::Anchoring.default_interval(), 900);
+        assert_eq!(MeasurementKind::Anchoring.rate_per_hour(), 4.0);
+    }
+
+    #[test]
+    fn firings_cover_interval_at_expected_rate() {
+        let m = msm();
+        let fires = m.firings(ProbeId(0), SimTime::ZERO, SimTime::from_hours(6));
+        // 2 per hour for 6 hours.
+        assert_eq!(fires.len(), 12);
+        for w in fires.windows(2) {
+            assert_eq!(w[1].secs() - w[0].secs(), 1800);
+        }
+        for t in &fires {
+            assert!(t.secs() < 6 * 3600);
+        }
+    }
+
+    #[test]
+    fn firings_respect_window_boundaries() {
+        let m = msm();
+        let all = m.firings(ProbeId(1), SimTime::ZERO, SimTime::from_hours(2));
+        let first_half = m.firings(ProbeId(1), SimTime::ZERO, SimTime::from_hours(1));
+        let second_half = m.firings(ProbeId(1), SimTime::from_hours(1), SimTime::from_hours(2));
+        let mut glued = first_half.clone();
+        glued.extend(second_half);
+        assert_eq!(all, glued, "window split changed the schedule");
+    }
+
+    #[test]
+    fn phases_differ_across_probes() {
+        let m = msm();
+        let phases: std::collections::HashSet<u64> =
+            (0..50).map(|i| m.phase(ProbeId(i))).collect();
+        assert!(phases.len() > 30, "phases heavily collide");
+        for p in phases {
+            assert!(p < m.interval_secs);
+        }
+    }
+
+    #[test]
+    fn paris_ids_cycle_within_range() {
+        let m = msm();
+        let ids: Vec<u16> = (0..32).map(|n| m.paris_id(ProbeId(7), n)).collect();
+        assert!(ids.iter().all(|&p| p < 16));
+        let distinct: std::collections::HashSet<u16> = ids.iter().copied().collect();
+        assert!(distinct.len() > 4, "paris ids barely vary: {distinct:?}");
+    }
+
+    #[test]
+    fn empty_window_no_firings() {
+        let m = msm();
+        assert!(m
+            .firings(ProbeId(0), SimTime::from_hours(3), SimTime::from_hours(3))
+            .is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Probe deployment over the simulated topology.
+//!
+//! Atlas probes are unevenly distributed — some ASes host hundreds, most
+//! host a handful. The deployment helper reproduces that skew with a
+//! Zipf-like allocation so the probe-diversity machinery of §4.3 (the ≥3-AS
+//! rule and the entropy rebalancing) actually gets exercised.
+
+use pinpoint_model::{Asn, ProbeId};
+use pinpoint_netsim::ids::{AsId, RouterId};
+use pinpoint_netsim::Topology;
+use pinpoint_stats::rng::{derive_seed, SplitMix64};
+
+/// A deployed measurement probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Identifier carried into measurement records.
+    pub id: ProbeId,
+    /// Gateway router the probe's traceroutes start from.
+    pub gateway: RouterId,
+    /// Hosting AS (dense id).
+    pub as_id: AsId,
+    /// Hosting AS number (recorded on every traceroute for the diversity
+    /// filter).
+    pub asn: Asn,
+}
+
+/// A set of probes with lookup helpers.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeDeployment {
+    /// All probes, indexed by position (== probe id).
+    pub probes: Vec<Probe>,
+}
+
+impl ProbeDeployment {
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether no probes are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Probe by id.
+    pub fn get(&self, id: ProbeId) -> Option<&Probe> {
+        self.probes.get(id.0 as usize)
+    }
+
+    /// Number of distinct hosting ASes.
+    pub fn distinct_ases(&self) -> usize {
+        let mut ases: Vec<AsId> = self.probes.iter().map(|p| p.as_id).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+}
+
+/// Deploy `count` probes across the topology's stub ASes.
+///
+/// The first `min(count, stubs)` probes cover every stub once (the real
+/// platform's long tail of single-probe ASes); the remainder follow a
+/// Zipf-like allocation over a shuffled stub order, so a few ASes host
+/// many probes — the skew the §4.3 entropy criterion exists for.
+/// Deterministic in `seed`.
+pub fn deploy_probes(topo: &Topology, count: usize, seed: u64) -> ProbeDeployment {
+    let mut rng = SplitMix64::new(derive_seed(seed, "probe-deployment"));
+    let mut stubs: Vec<&pinpoint_netsim::topology::AsNode> = topo.stub_ases().collect();
+    assert!(!stubs.is_empty(), "no stub ASes to host probes");
+    rng.shuffle(&mut stubs);
+
+    // Zipf weights over the shuffled order.
+    let weights: Vec<f64> = (0..stubs.len()).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut probes = Vec::with_capacity(count);
+    for i in 0..count {
+        let pick = if i < stubs.len() {
+            i // coverage pass: one probe per stub
+        } else {
+            // Weighted pick for the remainder.
+            let mut x = rng.next_f64() * total;
+            let mut pick = 0;
+            for (k, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = k;
+                    break;
+                }
+                x -= w;
+            }
+            pick
+        };
+        let stub = stubs[pick];
+        let gateway = *rng.choose(&stub.routers);
+        probes.push(Probe {
+            id: ProbeId(i as u32),
+            gateway,
+            as_id: stub.id,
+            asn: stub.asn,
+        });
+    }
+    ProbeDeployment { probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_netsim::TopologyConfig;
+
+    #[test]
+    fn deployment_covers_many_ases_with_skew() {
+        let topo = TopologyConfig::default().build();
+        let d = deploy_probes(&topo, 200, 5);
+        assert_eq!(d.len(), 200);
+        let ases = d.distinct_ases();
+        assert!(ases >= 10, "only {ases} ASes covered");
+        // Skew: the busiest AS hosts several times the median count.
+        let mut counts = std::collections::HashMap::new();
+        for p in &d.probes {
+            *counts.entry(p.as_id).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max >= 10, "no heavy AS (max {max})");
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let topo = TopologyConfig::default().build();
+        let a = deploy_probes(&topo, 50, 9);
+        let b = deploy_probes(&topo, 50, 9);
+        assert_eq!(a.probes, b.probes);
+        let c = deploy_probes(&topo, 50, 10);
+        assert_ne!(a.probes, c.probes);
+    }
+
+    #[test]
+    fn probes_live_on_their_as_routers() {
+        let topo = TopologyConfig::default().build();
+        let d = deploy_probes(&topo, 80, 1);
+        for p in &d.probes {
+            assert_eq!(topo.router(p.gateway).as_id, p.as_id);
+            assert_eq!(topo.asn(p.as_id).asn, p.asn);
+        }
+    }
+
+    #[test]
+    fn get_by_id() {
+        let topo = TopologyConfig::default().build();
+        let d = deploy_probes(&topo, 10, 1);
+        assert_eq!(d.get(ProbeId(3)).unwrap().id, ProbeId(3));
+        assert!(d.get(ProbeId(99)).is_none());
+    }
+}

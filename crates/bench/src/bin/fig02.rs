@@ -1,0 +1,77 @@
+//! Figure 2: median differential RTT stability on the Cogent ZRH→MUC link.
+//!
+//! The paper: raw differential RTTs fluctuate heavily (σ = 12.2 vs
+//! µ = 4.8), yet all hourly medians stay within a 0.2 ms band (5.2–5.4 ms)
+//! and the Wilson CIs intersect the normal reference throughout — zero
+//! alarms in two quiet weeks.
+
+use pinpoint_bench::{header, opts_from_args, print_series, verdict};
+use pinpoint_core::diffrtt::compute::collect_link_samples;
+use pinpoint_scenarios::runner::run;
+use pinpoint_scenarios::steady;
+use pinpoint_stats::descriptive::Summary;
+
+fn main() {
+    let opts = opts_from_args();
+    header(
+        "Figure 2 — median differential RTT, Cogent ZRH→MUC",
+        "raw Δ noisy (σ ≈ 2.5×µ); hourly medians within a sub-ms band; no alarms",
+        &opts,
+    );
+    let case = steady::case_study(opts.seed, opts.scale);
+    let link = case.landmarks.cogent_link;
+    println!("link under study: {link}\n");
+
+    let mut analyzer = case.analyzer();
+    let mut medians: Vec<(u64, f64)> = Vec::new();
+    let mut ci_widths: Vec<f64> = Vec::new();
+    let mut alarms_on_link = 0usize;
+    let mut raw = Summary::new();
+
+    // Raw sample statistics from one representative bin.
+    let raw_records = case.platform.collect_bin(case.start_bin);
+    if let Some(samples) = collect_link_samples(&raw_records).get(&link) {
+        for s in samples.all_samples() {
+            raw.push(s);
+        }
+    }
+
+    run(&case, &mut analyzer, |report| {
+        if let Some(stat) = report.link_stats.get(&link) {
+            medians.push((report.bin.0, stat.median()));
+            ci_widths.push(stat.ci.width());
+        }
+        alarms_on_link += report
+            .delay_alarms
+            .iter()
+            .filter(|a| a.link == link)
+            .count();
+    });
+
+    println!(
+        "raw differential RTTs (bin 0): n={}, mean={:.2} ms, σ={:.2} ms (σ/µ = {:.1})",
+        raw.count(),
+        raw.mean(),
+        raw.std_dev(),
+        raw.std_dev() / raw.mean().abs().max(1e-9)
+    );
+    print_series("hourly median Δ (ms)", &medians, 12);
+    let meds: Vec<f64> = medians.iter().map(|(_, m)| *m).collect();
+    let lo = meds.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = meds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean_width = ci_widths.iter().sum::<f64>() / ci_widths.len().max(1) as f64;
+    println!("\nmedian band: [{lo:.3}, {hi:.3}] ms (spread {:.3} ms)", hi - lo);
+    println!("mean Wilson CI width: {mean_width:.3} ms");
+    println!("alarms on the link: {alarms_on_link}");
+
+    let stable = (hi - lo) < 1.0 && alarms_on_link == 0 && raw.std_dev() > 2.0 * (hi - lo);
+    verdict(
+        stable,
+        &format!(
+            "median spread {:.3} ms vs raw σ {:.2} ms, {} alarms (paper: 0.2 ms band, σ 12.2, 0 alarms)",
+            hi - lo,
+            raw.std_dev(),
+            alarms_on_link
+        ),
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 6: delay-change magnitude of the K-root operator AS reveals the
+//! two DDoS attacks.
+//!
+//! The paper: two unmistakable positive peaks on Nov 30 07:00–09:00 and
+//! Dec 1 05:00–06:00, against a flat baseline over Nov 17 – Dec 15.
+
+use pinpoint_bench::{header, opts_from_args, print_series, verdict};
+use pinpoint_scenarios::ddos;
+use pinpoint_scenarios::runner::run;
+
+fn main() {
+    let opts = opts_from_args();
+    header(
+        "Figure 6 — K-root operator AS delay-change magnitude",
+        "two attack-window peaks of unprecedented level; flat otherwise",
+        &opts,
+    );
+    let case = ddos::case_study(opts.seed, opts.scale);
+    let kroot = case.landmarks.kroot_asn;
+    let (a1s, a1e) = ddos::attack1(opts.scale);
+    let (a2s, a2e) = ddos::attack2(opts.scale);
+    let attack_bins: Vec<u64> = (a1s.0 / 3600..=a1e.0 / 3600)
+        .chain(a2s.0 / 3600..=a2e.0 / 3600)
+        .collect();
+    println!("ground-truth attack bins: {attack_bins:?}\n");
+
+    let mut analyzer = case.analyzer();
+    let mut series: Vec<(u64, f64)> = Vec::new();
+    run(&case, &mut analyzer, |report| {
+        if let Some(m) = report.magnitude(kroot) {
+            series.push((report.bin.0, m.delay_magnitude));
+        }
+    });
+    print_series(&format!("{kroot} delay magnitude"), &series, 14);
+
+    // Rank the bins by magnitude: the attack bins must dominate.
+    let mut ranked: Vec<(u64, f64)> = series.clone();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop bins by magnitude:");
+    for (bin, mag) in ranked.iter().take(6) {
+        let marker = if attack_bins.contains(bin) { "← attack" } else { "" };
+        println!("    bin {bin:>5}: {mag:>10.1} {marker}");
+    }
+    let top2: Vec<u64> = ranked.iter().take(2).map(|(b, _)| *b).collect();
+    let both_peaks_are_attacks = top2.iter().all(|b| attack_bins.contains(b));
+    let peak = ranked[0].1;
+    let baseline_max = series
+        .iter()
+        .filter(|(b, _)| !attack_bins.contains(b) && !attack_bins.contains(&(b.saturating_sub(1))))
+        .map(|(_, m)| m.abs())
+        .fold(0.0f64, f64::max);
+
+    verdict(
+        both_peaks_are_attacks && peak > 5.0 * baseline_max.max(1.0),
+        &format!(
+            "top-2 magnitude bins {top2:?} inside attack windows; peak {peak:.0} vs baseline max {baseline_max:.1}"
+        ),
+    );
+}

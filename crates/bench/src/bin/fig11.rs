@@ -1,0 +1,100 @@
+//! Figure 11: two Level3 link views during the route leak.
+//!
+//! The paper: (a) a London–London link jumps +229 ms and is alarmed
+//! 09:00–11:00; (b) a New York–London link is alarmed at 10:00 but its
+//! 09:00 bin has *no RTT samples at all* — the IP was dropping probe
+//! packets (caught by the forwarding detector instead), showing the two
+//! methods' complementarity.
+
+use pinpoint_bench::{header, opts_from_args, sparkline, verdict};
+use pinpoint_model::IpLink;
+use pinpoint_scenarios::leak;
+use pinpoint_scenarios::runner::run;
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = opts_from_args();
+    header(
+        "Figure 11 — per-link views: alarms and sample gaps",
+        "links show +100–229 ms shifts; some bins lose all samples to packet loss",
+        &opts,
+    );
+    let case = leak::case_study(opts.seed, opts.scale);
+    let gc = case.landmarks.gc_asn;
+    let (ls, le) = leak::leak_window();
+    let leak_bins: Vec<u64> = (ls.0 / 3600..=le.0 / 3600).collect();
+    let mapper = case.mapper.clone();
+
+    let mut analyzer = case.analyzer();
+    // Track all links attributed to GC: medians per bin + alarm flags.
+    let mut series: BTreeMap<IpLink, BTreeMap<u64, (f64, bool)>> = BTreeMap::new();
+    let mut fwd_flagged: std::collections::BTreeSet<std::net::Ipv4Addr> = Default::default();
+    run(&case, &mut analyzer, |report| {
+        for (link, stat) in &report.link_stats {
+            if mapper.groups(&[link.near, link.far]).contains(&gc) {
+                let alarmed = report.delay_alarms.iter().any(|a| a.link == *link);
+                series
+                    .entry(*link)
+                    .or_default()
+                    .insert(report.bin.0, (stat.median(), alarmed));
+            }
+        }
+        if leak_bins.contains(&report.bin.0) {
+            for a in &report.forwarding_alarms {
+                fwd_flagged.insert(a.router);
+            }
+        }
+    });
+
+    // Rank links by their leak-window shift and show the two best panels.
+    let mut ranked: Vec<(IpLink, f64, Vec<u64>, Vec<u64>)> = Vec::new();
+    for (link, points) in &series {
+        let normal: Vec<f64> = points
+            .iter()
+            .filter(|(b, _)| !leak_bins.contains(b))
+            .map(|(_, (m, _))| *m)
+            .collect();
+        let base = pinpoint_stats::quantile::median(&normal).unwrap_or(0.0);
+        let shift = points
+            .iter()
+            .filter(|(b, _)| leak_bins.contains(b))
+            .map(|(_, (m, _))| (m - base).abs())
+            .fold(0.0f64, f64::max);
+        let alarmed: Vec<u64> = points
+            .iter()
+            .filter(|(_, (_, a))| *a)
+            .map(|(b, _)| *b)
+            .collect();
+        let missing: Vec<u64> = leak_bins
+            .iter()
+            .filter(|b| !points.contains_key(b))
+            .copied()
+            .collect();
+        ranked.push((*link, shift, alarmed, missing));
+    }
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let mut shown = 0;
+    let mut max_shift: f64 = 0.0;
+    let mut any_missing = false;
+    for (link, shift, alarmed, missing) in ranked.iter().take(4) {
+        let meds: Vec<f64> = series[link].values().map(|(m, _)| *m).collect();
+        println!("  {link}");
+        println!("      {}", sparkline(&meds));
+        println!("      leak-window shift: +{shift:.1} ms; alarmed bins {alarmed:?}; sample-less leak bins {missing:?}");
+        let near_flagged = fwd_flagged.contains(&link.near) || fwd_flagged.contains(&link.far);
+        if !missing.is_empty() {
+            any_missing = true;
+            println!("      ↳ missing bins coincide with forwarding flags on an endpoint: {near_flagged}");
+        }
+        max_shift = max_shift.max(*shift);
+        shown += 1;
+    }
+
+    verdict(
+        shown > 0 && max_shift > 10.0,
+        &format!(
+            "max leak-window median shift +{max_shift:.0} ms across {} GC links; sample-less leak bins observed: {any_missing} (paper: +229 ms / +108 ms, one sample-less bin)"
+        , series.len()),
+    );
+}

@@ -1,0 +1,92 @@
+//! Table A: the paper's in-text aggregate statistics (§7, "Results").
+//!
+//! The paper reports, over 8 months of IPv4 data: 262k monitored links,
+//! 147 probes per link on average, 33 % of links with at least one delay
+//! alarm, 170k router IPs with forwarding models averaging ~4 next hops,
+//! and delay magnitudes below 1 for 97 % of AS-hours. Our world is smaller
+//! by construction; the *ratios* are the reproduction target.
+
+use pinpoint_bench::{header, opts_from_args, verdict};
+use pinpoint_core::diffrtt::compute::collect_link_samples;
+use pinpoint_scenarios::full;
+use pinpoint_scenarios::runner::run;
+use pinpoint_stats::ecdf::Ecdf;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn main() {
+    let opts = opts_from_args();
+    header(
+        "Table A — aggregate monitoring statistics",
+        "links monitored / probes per link / % links alarmed / next hops per model / P(mag<1)",
+        &opts,
+    );
+    let case = full::case_study(opts.seed, opts.scale);
+    let mut analyzer = case.analyzer();
+    let mut alarmed_links: BTreeSet<pinpoint_model::IpLink> = BTreeSet::new();
+    let mut seen_links: BTreeSet<pinpoint_model::IpLink> = BTreeSet::new();
+    let mut probes_per_link: BTreeMap<pinpoint_model::IpLink, BTreeSet<u32>> = BTreeMap::new();
+    let mut delay_mags: Vec<f64> = Vec::new();
+
+    // Probe coverage from a representative bin (cheap; coverage is stable).
+    let coverage_records = case.platform.collect_bin(case.start_bin);
+    for (link, samples) in collect_link_samples(&coverage_records) {
+        for probe in samples.per_probe.keys() {
+            probes_per_link.entry(link).or_default().insert(probe.0);
+        }
+    }
+
+    let summary = run(&case, &mut analyzer, |report| {
+        for link in report.link_stats.keys() {
+            seen_links.insert(*link);
+        }
+        for alarm in &report.delay_alarms {
+            alarmed_links.insert(alarm.link);
+        }
+        for m in report.magnitudes.values() {
+            delay_mags.push(m.delay_magnitude);
+        }
+    });
+
+    let mean_probes = probes_per_link
+        .values()
+        .map(|s| s.len() as f64)
+        .sum::<f64>()
+        / probes_per_link.len().max(1) as f64;
+    let pct_alarmed = 100.0 * alarmed_links.len() as f64 / seen_links.len().max(1) as f64;
+    let p_below_1 = Ecdf::new(&delay_mags).cdf(1.0);
+
+    println!("{:<46} {:>12} {:>14}", "metric", "measured", "paper (8 mo)");
+    println!("{:-<74}", "");
+    let rows: Vec<(&str, String, &str)> = vec![
+        ("traceroutes consumed", summary.records.to_string(), "2.8 B"),
+        ("monitored links (≥3-AS diversity)", seen_links.len().to_string(), "262 k"),
+        ("mean probes observing a link", format!("{mean_probes:.0}"), "147"),
+        ("% links with ≥1 delay alarm", format!("{pct_alarmed:.0} %"), "33 %"),
+        ("router IPs with forwarding models", summary.tracked_patterns.to_string(), "170 k keys"),
+        ("mean next hops per model", format!("{:.1}", summary.mean_next_hops), "4"),
+        ("P(delay magnitude < 1)", format!("{p_below_1:.3}", ), "0.97"),
+        ("delay alarms", summary.delay_alarms.to_string(), "—"),
+        ("forwarding alarms", summary.forwarding_alarms.to_string(), "—"),
+    ];
+    for (name, measured, paper) in rows {
+        println!("{name:<46} {measured:>12} {paper:>14}");
+    }
+
+    println!(
+        "\nnote: mean next hops per model is structurally lower than the paper's 4 —\n\
+         the simulator's intra-AS forwarding is single-path, so only inter-AS ECMP\n\
+         and loss events diversify patterns (documented in EXPERIMENTS.md)."
+    );
+    let ok = mean_probes >= 3.0
+        && pct_alarmed > 1.0
+        && pct_alarmed < 80.0
+        && summary.mean_next_hops >= 1.05
+        && p_below_1 > 0.85;
+    verdict(
+        ok,
+        &format!(
+            "probes/link {mean_probes:.0}, alarmed {pct_alarmed:.0}%, next hops {:.1}, P(<1) {p_below_1:.3} — same orders as the paper's ratios",
+            summary.mean_next_hops
+        ),
+    );
+}

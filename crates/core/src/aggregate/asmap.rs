@@ -1,0 +1,105 @@
+//! IP-to-AS mapping by longest prefix match.
+//!
+//! "The IP to AS mapping is done using longest prefix match, and alarms
+//! with IP addresses from different ASs are assigned to multiple groups"
+//! (§6). The mapper is a thin facade over [`pinpoint_model::LpmTable`];
+//! in production it would be loaded from a RIB dump, here scenarios build
+//! it from the simulator's ground-truth prefix table.
+
+use pinpoint_model::{Asn, LpmTable, Prefix};
+use std::net::Ipv4Addr;
+
+/// Longest-prefix-match IP → AS mapper.
+#[derive(Debug, Clone, Default)]
+pub struct AsMapper {
+    table: LpmTable<Asn>,
+}
+
+impl AsMapper {
+    /// Empty mapper (addresses map to `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(prefix, ASN)` pairs.
+    pub fn from_prefixes<I: IntoIterator<Item = (Prefix, Asn)>>(prefixes: I) -> Self {
+        let mut table = LpmTable::new();
+        for (p, a) in prefixes {
+            table.insert(p, a);
+        }
+        AsMapper { table }
+    }
+
+    /// Register one prefix.
+    pub fn insert(&mut self, prefix: Prefix, asn: Asn) {
+        self.table.insert(prefix, asn);
+    }
+
+    /// Map an address to its AS.
+    pub fn asn_of(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.table.lookup_value(addr).copied()
+    }
+
+    /// The distinct ASes of a set of addresses (an alarm touching two ASes
+    /// belongs to both groups).
+    pub fn groups(&self, addrs: &[Ipv4Addr]) -> Vec<Asn> {
+        let mut out: Vec<Asn> = addrs.iter().filter_map(|a| self.asn_of(*a)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no prefixes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mapper() -> AsMapper {
+        AsMapper::from_prefixes([
+            ("16.0.0.0/16".parse().unwrap(), Asn(100)),
+            ("16.1.0.0/16".parse().unwrap(), Asn(200)),
+            ("16.1.128.0/17".parse().unwrap(), Asn(300)),
+        ])
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let m = mapper();
+        assert_eq!(m.asn_of(ip("16.0.3.4")), Some(Asn(100)));
+        assert_eq!(m.asn_of(ip("16.1.1.1")), Some(Asn(200)));
+        assert_eq!(m.asn_of(ip("16.1.200.1")), Some(Asn(300)));
+        assert_eq!(m.asn_of(ip("99.9.9.9")), None);
+    }
+
+    #[test]
+    fn cross_as_alarm_lands_in_both_groups() {
+        let m = mapper();
+        let groups = m.groups(&[ip("16.0.0.1"), ip("16.1.0.1")]);
+        assert_eq!(groups, vec![Asn(100), Asn(200)]);
+        // Same-AS pair collapses to one group.
+        let one = m.groups(&[ip("16.0.0.1"), ip("16.0.0.2")]);
+        assert_eq!(one, vec![Asn(100)]);
+    }
+
+    #[test]
+    fn unmapped_addresses_are_skipped() {
+        let m = mapper();
+        let groups = m.groups(&[ip("99.9.9.9"), ip("16.0.0.1")]);
+        assert_eq!(groups, vec![Asn(100)]);
+        assert!(m.groups(&[ip("99.9.9.9")]).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Event extraction: from magnitude time series to ranked incidents.
+//!
+//! §6 closes with "Finding major network disruptions in an AS is done by
+//! identifying peaks in either of the two time series". This module turns
+//! per-bin magnitudes into consolidated [`Event`]s: consecutive bins where
+//! an AS's |magnitude| exceeds a threshold merge into one incident,
+//! labelled with its kind (delay vs forwarding, by which series peaked
+//! harder) and ranked by peak magnitude — the triage list an operator
+//! reads (§8).
+
+use super::magnitude::AsMagnitude;
+use pinpoint_model::{Asn, BinId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which detector dominated an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Delay-change magnitude peaked (congestion-style incidents).
+    DelayChange,
+    /// Forwarding magnitude peaked negative (loss/reroute-style incidents).
+    ForwardingLoss,
+    /// Forwarding magnitude peaked positive (traffic attraction).
+    ForwardingGain,
+}
+
+/// A consolidated incident for one AS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The AS concerned.
+    pub asn: Asn,
+    /// First bin over threshold.
+    pub start: BinId,
+    /// Last bin over threshold (inclusive).
+    pub end: BinId,
+    /// Peak |delay magnitude| within the window (signed value kept).
+    pub peak_delay: f64,
+    /// Extreme forwarding magnitude within the window (signed).
+    pub peak_forwarding: f64,
+    /// Dominant signal.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Duration in bins.
+    pub fn duration(&self) -> u64 {
+        self.end.0 - self.start.0 + 1
+    }
+
+    /// Ranking score: the dominant peak's absolute magnitude.
+    pub fn score(&self) -> f64 {
+        self.peak_delay.abs().max(self.peak_forwarding.abs())
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            EventKind::DelayChange => "delay change",
+            EventKind::ForwardingLoss => "packet loss / vanished hops",
+            EventKind::ForwardingGain => "traffic attraction",
+        };
+        write!(
+            f,
+            "{} {}..{} ({} h): {kind}, delay mag {:+.1}, forwarding mag {:+.1}",
+            self.asn,
+            self.start,
+            self.end,
+            self.duration(),
+            self.peak_delay,
+            self.peak_forwarding
+        )
+    }
+}
+
+/// Accumulates magnitude series and extracts events.
+#[derive(Debug, Default)]
+pub struct EventExtractor {
+    history: BTreeMap<Asn, Vec<(BinId, AsMagnitude)>>,
+}
+
+impl EventExtractor {
+    /// Empty extractor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one bin's magnitudes (call once per processed bin).
+    pub fn push(&mut self, bin: BinId, magnitudes: &BTreeMap<Asn, AsMagnitude>) {
+        for (asn, m) in magnitudes {
+            self.history.entry(*asn).or_default().push((bin, *m));
+        }
+    }
+
+    /// Extract events: maximal runs of bins where |delay mag| or
+    /// |forwarding mag| exceeds `threshold`, ranked by peak score.
+    pub fn events(&self, threshold: f64) -> Vec<Event> {
+        let mut out = Vec::new();
+        for (asn, series) in &self.history {
+            let mut current: Option<Event> = None;
+            for (bin, m) in series {
+                let over = m.delay_magnitude.abs() > threshold
+                    || m.forwarding_magnitude.abs() > threshold;
+                // A gap of one bin is bridged (events often dip between
+                // attack hours, cf. Fig. 6's two-peak structure is two
+                // events because the gap is hours long).
+                let contiguous = current
+                    .as_ref()
+                    .map(|e| bin.0 <= e.end.0 + 2)
+                    .unwrap_or(false);
+                match (over, &mut current) {
+                    (true, Some(e)) if contiguous => {
+                        e.end = *bin;
+                        if m.delay_magnitude.abs() > e.peak_delay.abs() {
+                            e.peak_delay = m.delay_magnitude;
+                        }
+                        if m.forwarding_magnitude.abs() > e.peak_forwarding.abs() {
+                            e.peak_forwarding = m.forwarding_magnitude;
+                        }
+                    }
+                    (true, cur) => {
+                        if let Some(done) = cur.take() {
+                            out.push(done);
+                        }
+                        *cur = Some(Event {
+                            asn: *asn,
+                            start: *bin,
+                            end: *bin,
+                            peak_delay: m.delay_magnitude,
+                            peak_forwarding: m.forwarding_magnitude,
+                            kind: EventKind::DelayChange, // fixed up below
+                        });
+                    }
+                    (false, _) => {}
+                }
+            }
+            if let Some(e) = current {
+                out.push(e);
+            }
+        }
+        for e in &mut out {
+            e.kind = if e.peak_delay.abs() >= e.peak_forwarding.abs() {
+                EventKind::DelayChange
+            } else if e.peak_forwarding < 0.0 {
+                EventKind::ForwardingLoss
+            } else {
+                EventKind::ForwardingGain
+            };
+        }
+        out.sort_by(|a, b| {
+            b.score()
+                .partial_cmp(&a.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.asn, a.start).cmp(&(b.asn, b.start)))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mag(d: f64, f: f64) -> AsMagnitude {
+        AsMagnitude {
+            delay_severity: 0.0,
+            forwarding_severity: 0.0,
+            delay_magnitude: d,
+            forwarding_magnitude: f,
+        }
+    }
+
+    fn push_series(ex: &mut EventExtractor, asn: Asn, series: &[(u64, f64, f64)]) {
+        for &(bin, d, f) in series {
+            let mut m = BTreeMap::new();
+            m.insert(asn, mag(d, f));
+            ex.push(BinId(bin), &m);
+        }
+    }
+
+    #[test]
+    fn quiet_series_has_no_events() {
+        let mut ex = EventExtractor::new();
+        push_series(
+            &mut ex,
+            Asn(1),
+            &(0..48).map(|b| (b, 0.3, -0.2)).collect::<Vec<_>>(),
+        );
+        assert!(ex.events(3.0).is_empty());
+    }
+
+    #[test]
+    fn contiguous_peak_becomes_one_event() {
+        let mut ex = EventExtractor::new();
+        let mut series: Vec<(u64, f64, f64)> = (0..10).map(|b| (b, 0.0, 0.0)).collect();
+        series.extend([(10, 40.0, -0.5), (11, 90.0, -1.0), (12, 25.0, -0.2)]);
+        series.extend((13..20).map(|b| (b, 0.0, 0.0)));
+        push_series(&mut ex, Asn(25152), &series);
+        let events = ex.events(3.0);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!((e.start, e.end), (BinId(10), BinId(12)));
+        assert_eq!(e.duration(), 3);
+        assert_eq!(e.peak_delay, 90.0);
+        assert_eq!(e.kind, EventKind::DelayChange);
+    }
+
+    #[test]
+    fn separate_attacks_become_separate_events() {
+        // Fig. 6 structure: two peaks separated by ~20 quiet hours.
+        let mut ex = EventExtractor::new();
+        let mut series: Vec<(u64, f64, f64)> = Vec::new();
+        for b in 0..50 {
+            let d = if (10..=12).contains(&b) {
+                100.0
+            } else if b == 34 {
+                80.0
+            } else {
+                0.1
+            };
+            series.push((b, d, 0.0));
+        }
+        push_series(&mut ex, Asn(25152), &series);
+        let events = ex.events(5.0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].peak_delay, 100.0); // ranked by score
+        assert_eq!(events[1].peak_delay, 80.0);
+    }
+
+    #[test]
+    fn forwarding_loss_kind_detected() {
+        let mut ex = EventExtractor::new();
+        push_series(
+            &mut ex,
+            Asn(1200),
+            &[(0, 0.0, 0.0), (1, 0.2, -11.0), (2, 0.1, -0.4)],
+        );
+        let events = ex.events(3.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::ForwardingLoss);
+        assert!(events[0].to_string().contains("packet loss"));
+    }
+
+    #[test]
+    fn one_bin_gap_is_bridged() {
+        let mut ex = EventExtractor::new();
+        push_series(
+            &mut ex,
+            Asn(7),
+            &[(0, 10.0, 0.0), (1, 0.1, 0.0), (2, 12.0, 0.0)],
+        );
+        let events = ex.events(3.0);
+        assert_eq!(events.len(), 1, "gap not bridged: {events:?}");
+        assert_eq!(events[0].end, BinId(2));
+    }
+
+    #[test]
+    fn multiple_ases_ranked_together() {
+        let mut ex = EventExtractor::new();
+        push_series(&mut ex, Asn(1), &[(0, 5.0, 0.0)]);
+        push_series(&mut ex, Asn(2), &[(0, 0.0, -50.0)]);
+        let events = ex.events(3.0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].asn, Asn(2));
+        assert!(events[0].score() > events[1].score());
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-AS severity accumulation for one bin (§6).
+//!
+//! * Delay: every [`DelayAlarm`] contributes its deviation d(Δ) to the AS
+//!   of each endpoint IP of the link (both groups when they differ).
+//! * Forwarding: every reported next hop contributes its responsibility rᵢ
+//!   to the AS owning the hop's address. Negative rᵢ (devalued hop) drags
+//!   the AS down, positive (newly used hop) lifts it — so an in-AS reroute
+//!   cancels out while packet loss shows as a negative spike ("if traffic
+//!   usually goes through a router i but is suddenly rerouted to router j,
+//!   and both i and j are assigned to the same AS, then the negative ri and
+//!   positive rj values cancel out").
+
+use super::asmap::AsMapper;
+use crate::diffrtt::DelayAlarm;
+use crate::forwarding::{ForwardingAlarm, NextHop};
+use pinpoint_model::Asn;
+use std::collections::BTreeMap;
+
+/// Sum per AS of d(Δ) over delay alarms.
+pub fn delay_severity(alarms: &[DelayAlarm], mapper: &AsMapper) -> BTreeMap<Asn, f64> {
+    let mut out = BTreeMap::new();
+    for alarm in alarms {
+        for asn in mapper.groups(&[alarm.link.near, alarm.link.far]) {
+            *out.entry(asn).or_insert(0.0) += alarm.deviation;
+        }
+    }
+    out
+}
+
+/// Sum per AS of rᵢ over reported next hops of forwarding alarms.
+pub fn forwarding_severity(
+    alarms: &[ForwardingAlarm],
+    mapper: &AsMapper,
+) -> BTreeMap<Asn, f64> {
+    let mut out = BTreeMap::new();
+    for alarm in alarms {
+        for (hop, r) in &alarm.responsibilities {
+            let NextHop::Ip(addr) = hop else {
+                continue; // the unresponsive bucket has no AS
+            };
+            if let Some(asn) = mapper.asn_of(*addr) {
+                *out.entry(asn).or_insert(0.0) += r;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffrtt::detect::Direction;
+    use pinpoint_model::{BinId, IpLink};
+    use pinpoint_stats::wilson::ConfidenceInterval;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn mapper() -> AsMapper {
+        AsMapper::from_prefixes([
+            ("16.0.0.0/16".parse().unwrap(), Asn(100)),
+            ("16.1.0.0/16".parse().unwrap(), Asn(200)),
+        ])
+    }
+
+    fn delay_alarm(near: &str, far: &str, d: f64) -> DelayAlarm {
+        DelayAlarm {
+            link: IpLink::new(ip(near), ip(far)),
+            bin: BinId(1),
+            observed: ConfidenceInterval::new(9.0, 10.0, 11.0, 10),
+            reference: ConfidenceInterval::new(1.0, 2.0, 3.0, 0),
+            deviation: d,
+            direction: Direction::Increase,
+        }
+    }
+
+    fn fwd_alarm(resp: Vec<(NextHop, f64)>) -> ForwardingAlarm {
+        ForwardingAlarm {
+            router: ip("16.0.0.1"),
+            dst: ip("198.51.100.1"),
+            bin: BinId(1),
+            rho: -0.8,
+            responsibilities: resp,
+        }
+    }
+
+    #[test]
+    fn delay_severity_sums_and_splits_across_ases() {
+        let alarms = vec![
+            delay_alarm("16.0.0.1", "16.0.0.2", 5.0),  // both in AS100
+            delay_alarm("16.0.0.3", "16.1.0.1", 2.0),  // crosses 100↔200
+        ];
+        let sev = delay_severity(&alarms, &mapper());
+        assert_eq!(sev[&Asn(100)], 7.0);
+        assert_eq!(sev[&Asn(200)], 2.0);
+    }
+
+    #[test]
+    fn forwarding_severity_signed_by_responsibility() {
+        let alarms = vec![fwd_alarm(vec![
+            (NextHop::Ip(ip("16.0.0.9")), -0.5), // vanished hop in AS100
+            (NextHop::Ip(ip("16.1.0.9")), 0.3),  // new hop in AS200
+            (NextHop::Unresponsive, 0.2),        // no AS
+        ])];
+        let sev = forwarding_severity(&alarms, &mapper());
+        assert_eq!(sev[&Asn(100)], -0.5);
+        assert_eq!(sev[&Asn(200)], 0.3);
+        assert_eq!(sev.len(), 2);
+    }
+
+    #[test]
+    fn same_as_reroute_cancels() {
+        // The paper's cancellation property: i devalued, j promoted, both in
+        // AS100 → net ≈ 0.
+        let alarms = vec![fwd_alarm(vec![
+            (NextHop::Ip(ip("16.0.0.9")), -0.4),
+            (NextHop::Ip(ip("16.0.0.10")), 0.4),
+        ])];
+        let sev = forwarding_severity(&alarms, &mapper());
+        assert_eq!(sev[&Asn(100)], 0.0);
+    }
+
+    #[test]
+    fn empty_alarms_empty_severity() {
+        assert!(delay_severity(&[], &mapper()).is_empty());
+        assert!(forwarding_severity(&[], &mapper()).is_empty());
+    }
+}

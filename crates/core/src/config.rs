@@ -1,0 +1,86 @@
+//! Detector parameters, with the paper's defaults.
+
+/// All tunable parameters of the detection pipeline.
+///
+/// Defaults reproduce the paper's configuration (see DESIGN.md §6 for the
+/// sourcing table). Everything is plain data so experiments can sweep any
+/// knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Analysis bin length in seconds (paper: 1 hour).
+    pub bin_secs: u64,
+    /// Normal critical value for the Wilson score (paper: 1.96 → 95 %).
+    pub wilson_z: f64,
+    /// Minimum number of distinct probe ASes per link (paper: 3).
+    pub min_as_diversity: usize,
+    /// Normalized-entropy threshold for probe-per-AS balance (paper: 0.5).
+    pub entropy_threshold: f64,
+    /// Minimum gap between observed and reference median to report (paper:
+    /// 1 ms — "although statistically meaningful, these small anomalies are
+    /// less relevant").
+    pub min_median_gap_ms: f64,
+    /// Exponential smoothing factor for references (paper: "a small α";
+    /// 0.01 matches the published implementation's order of magnitude).
+    pub alpha: f64,
+    /// Number of warm-up bins before a link's reference is trusted
+    /// (paper: m̄₀ = median of the first three medians).
+    pub warmup_bins: usize,
+    /// Correlation threshold τ for forwarding anomalies (paper: −0.25).
+    pub forwarding_tau: f64,
+    /// Minimum packets per (router, destination) pattern before it is
+    /// compared (guards against correlating two packets).
+    pub min_pattern_packets: f64,
+    /// Sliding window length for the magnitude metric, in bins (paper: one
+    /// week of hourly bins).
+    pub magnitude_window_bins: usize,
+    /// Seed for the (rare) random choices, e.g. entropy rebalancing.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            bin_secs: 3600,
+            wilson_z: 1.96,
+            min_as_diversity: 3,
+            entropy_threshold: 0.5,
+            min_median_gap_ms: 1.0,
+            alpha: 0.01,
+            warmup_bins: 3,
+            forwarding_tau: -0.25,
+            min_pattern_packets: 9.0,
+            magnitude_window_bins: 7 * 24,
+            seed: 0xF0_07,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A configuration suited to short unit-test scenarios: faster-moving
+    /// references and a short magnitude window.
+    pub fn fast_test() -> Self {
+        DetectorConfig {
+            alpha: 0.1,
+            magnitude_window_bins: 24,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.bin_secs, 3600);
+        assert_eq!(c.wilson_z, 1.96);
+        assert_eq!(c.min_as_diversity, 3);
+        assert_eq!(c.entropy_threshold, 0.5);
+        assert_eq!(c.min_median_gap_ms, 1.0);
+        assert_eq!(c.forwarding_tau, -0.25);
+        assert_eq!(c.magnitude_window_bins, 168);
+        assert_eq!(c.warmup_bins, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Step 1: differential RTT computation (§4.2.1).
+//!
+//! For adjacent responsive routers X, Y in a traceroute from probe P, every
+//! combination `RTT(P,Y) − RTT(P,X)` is a differential RTT sample — one to
+//! nine samples per traceroute, keyed by the ordered IP pair (X, Y). Samples
+//! stay attributed to their probe (and the probe's AS) because the
+//! diversity filter of §4.3 operates on probes, not raw samples.
+
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::{Asn, IpLink, ProbeId};
+use std::collections::HashMap;
+
+/// All differential RTT samples for one link in one bin, per probe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkSamples {
+    /// probe → (probe AS, samples).
+    pub per_probe: HashMap<ProbeId, (Asn, Vec<f64>)>,
+}
+
+impl LinkSamples {
+    /// Total sample count across probes.
+    pub fn sample_count(&self) -> usize {
+        self.per_probe.values().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Number of contributing probes.
+    pub fn probe_count(&self) -> usize {
+        self.per_probe.len()
+    }
+
+    /// Number of distinct probe ASes.
+    pub fn as_count(&self) -> usize {
+        let mut ases: Vec<Asn> = self.per_probe.values().map(|(a, _)| *a).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+
+    /// Flatten all samples (order: unspecified).
+    pub fn all_samples(&self) -> Vec<f64> {
+        self.per_probe
+            .values()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+}
+
+/// Extract per-link differential RTT samples from a bin of traceroutes.
+pub fn collect_link_samples(
+    records: &[TracerouteRecord],
+) -> HashMap<IpLink, LinkSamples> {
+    let mut out: HashMap<IpLink, LinkSamples> = HashMap::new();
+    for rec in records {
+        for (link, near_idx, far_idx) in rec.links() {
+            let near_hop = &rec.hops[near_idx];
+            let far_hop = &rec.hops[far_idx];
+            let near_rtts: Vec<f64> = near_hop.rtts_from(link.near).collect();
+            let far_rtts: Vec<f64> = far_hop.rtts_from(link.far).collect();
+            if near_rtts.is_empty() || far_rtts.is_empty() {
+                continue;
+            }
+            let entry = out
+                .entry(link)
+                .or_default()
+                .per_probe
+                .entry(rec.probe_id)
+                .or_insert_with(|| (rec.probe_asn, Vec::new()));
+            for &fy in &far_rtts {
+                for &fx in &near_rtts {
+                    entry.1.push(fy - fx);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_model::records::{Hop, Reply};
+    use pinpoint_model::{MeasurementId, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn record(probe: u32, asn: u32, hops: Vec<Hop>) -> TracerouteRecord {
+        TracerouteRecord {
+            msm_id: MeasurementId(1),
+            probe_id: ProbeId(probe),
+            probe_asn: Asn(asn),
+            dst: ip("198.51.100.1"),
+            timestamp: SimTime(0),
+            paris_id: 0,
+            hops,
+            destination_reached: true,
+        }
+    }
+
+    fn hop(ttl: u8, addr: &str, rtts: &[f64]) -> Hop {
+        Hop::new(
+            ttl,
+            rtts.iter().map(|&r| Reply::new(ip(addr), r)).collect(),
+        )
+    }
+
+    #[test]
+    fn all_combinations_are_produced() {
+        // 3 RTTs at X and 2 at Y → 6 samples.
+        let rec = record(
+            1,
+            64500,
+            vec![
+                hop(1, "10.0.0.1", &[1.0, 1.1, 1.2]),
+                hop(2, "10.0.1.1", &[5.0, 5.5]),
+            ],
+        );
+        let out = collect_link_samples(&[rec]);
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
+        let samples = &out[&link];
+        assert_eq!(samples.sample_count(), 6);
+        let all = samples.all_samples();
+        assert!(all.iter().any(|&d| (d - (5.0 - 1.0)).abs() < 1e-9));
+        assert!(all.iter().any(|&d| (d - (5.5 - 1.2)).abs() < 1e-9));
+    }
+
+    #[test]
+    fn negative_differentials_are_kept() {
+        // Y answering faster than X (asymmetric return paths) is real data,
+        // not an error (§4.1: "we observe negative differential RTTs").
+        let rec = record(
+            1,
+            64500,
+            vec![hop(1, "10.0.0.1", &[9.0]), hop(2, "10.0.1.1", &[4.0])],
+        );
+        let out = collect_link_samples(&[rec]);
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
+        assert_eq!(out[&link].all_samples(), vec![-5.0]);
+    }
+
+    #[test]
+    fn samples_group_by_probe_and_as() {
+        let recs = vec![
+            record(1, 100, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[2.0])]),
+            record(2, 100, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[3.0])]),
+            record(3, 200, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[4.0])]),
+        ];
+        let out = collect_link_samples(&recs);
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
+        let s = &out[&link];
+        assert_eq!(s.probe_count(), 3);
+        assert_eq!(s.as_count(), 2);
+        assert_eq!(s.per_probe[&ProbeId(3)].0, Asn(200));
+    }
+
+    #[test]
+    fn unresponsive_hop_breaks_the_chain() {
+        let rec = record(
+            1,
+            64500,
+            vec![
+                hop(1, "10.0.0.1", &[1.0]),
+                Hop::new(2, vec![Reply::TIMEOUT; 3]),
+                hop(3, "10.0.2.1", &[9.0]),
+            ],
+        );
+        let out = collect_link_samples(&[rec]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_traceroutes_accumulate() {
+        let mk = |rtt: f64| {
+            record(
+                1,
+                64500,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[rtt])],
+            )
+        };
+        let out = collect_link_samples(&[mk(2.0), mk(3.0)]);
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
+        assert_eq!(out[&link].sample_count(), 2);
+        assert_eq!(out[&link].probe_count(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Step 4: anomalous delay detection (§4.2.3, Eq. 6).
+//!
+//! A bin is anomalous for a link when its Wilson CI does not overlap the
+//! reference CI (Schenker & Gentleman significance rule) *and* the medians
+//! differ by at least 1 ms. The deviation metric normalizes the CI gap by
+//! the reference's own uncertainty:
+//!
+//! ```text
+//!          ⎧ (Δ(l) − Δ̄(u)) / (Δ̄(u) − Δ̄(m))   if Δ̄(u) < Δ(l)
+//! d(Δ) =  ⎨ (Δ̄(l) − Δ(u)) / (Δ̄(m) − Δ̄(l))   if Δ̄(l) > Δ(u)
+//!          ⎩ 0                                  otherwise
+//! ```
+
+use super::characterize::LinkStat;
+use super::reference::LinkReference;
+use crate::config::DetectorConfig;
+use pinpoint_model::{BinId, IpLink};
+use pinpoint_stats::wilson::ConfidenceInterval;
+use std::fmt;
+
+/// Direction of a delay change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Differential RTT rose above the reference.
+    Increase,
+    /// Differential RTT fell below the reference.
+    Decrease,
+}
+
+/// A reported delay-change anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayAlarm {
+    /// The link (ordered IP pair).
+    pub link: IpLink,
+    /// The bin the anomaly was observed in.
+    pub bin: BinId,
+    /// Observed median + CI.
+    pub observed: ConfidenceInterval,
+    /// Reference median + CI at detection time.
+    pub reference: ConfidenceInterval,
+    /// Deviation d(Δ) ≥ 0 (Eq. 6).
+    pub deviation: f64,
+    /// Which side the change is on.
+    pub direction: Direction,
+}
+
+impl DelayAlarm {
+    /// Absolute gap between observed and reference medians (the edge labels
+    /// of Fig. 12).
+    pub fn median_shift_ms(&self) -> f64 {
+        (self.observed.median - self.reference.median).abs()
+    }
+}
+
+impl fmt::Display for DelayAlarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{}: median {:.2} ms (ref {:.2} ms), d(Δ)={:.1} {}",
+            self.link,
+            self.bin,
+            self.observed.median,
+            self.reference.median,
+            self.deviation,
+            match self.direction {
+                Direction::Increase => "↑",
+                Direction::Decrease => "↓",
+            }
+        )
+    }
+}
+
+/// Eq. 6, given observed and reference intervals.
+///
+/// Degenerate references (zero-width arms) fall back to a 0.1 ms scale so
+/// the deviation stays finite — narrower references mean *more* certainty,
+/// not less.
+pub fn deviation(observed: &ConfidenceInterval, reference: &ConfidenceInterval) -> f64 {
+    const MIN_ARM_MS: f64 = 0.1;
+    if reference.upper < observed.lower {
+        let arm = (reference.upper - reference.median).max(MIN_ARM_MS);
+        (observed.lower - reference.upper) / arm
+    } else if reference.lower > observed.upper {
+        let arm = (reference.median - reference.lower).max(MIN_ARM_MS);
+        (reference.lower - observed.upper) / arm
+    } else {
+        0.0
+    }
+}
+
+/// Check one link's bin statistics against its reference.
+pub fn check(
+    link: IpLink,
+    bin: BinId,
+    stat: &LinkStat,
+    reference: &LinkReference,
+    cfg: &DetectorConfig,
+) -> Option<DelayAlarm> {
+    let ref_ci = reference.interval()?;
+    if stat.ci.overlaps(&ref_ci) {
+        return None;
+    }
+    // Rule of thumb: gaps below 1 ms are statistically meaningful but not
+    // operationally relevant (3 % of reported links in the paper).
+    if (stat.ci.median - ref_ci.median).abs() < cfg.min_median_gap_ms {
+        return None;
+    }
+    let d = deviation(&stat.ci, &ref_ci);
+    debug_assert!(d > 0.0, "non-overlapping CIs must produce d > 0");
+    Some(DelayAlarm {
+        link,
+        bin,
+        observed: stat.ci,
+        reference: ref_ci,
+        deviation: d,
+        direction: if stat.ci.median > ref_ci.median {
+            Direction::Increase
+        } else {
+            Direction::Decrease
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn link() -> IpLink {
+        IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"))
+    }
+
+    fn ci(l: f64, m: f64, u: f64) -> ConfidenceInterval {
+        ConfidenceInterval::new(l, m, u, 50)
+    }
+
+    fn warmed_reference(l: f64, m: f64, u: f64) -> LinkReference {
+        let mut r = LinkReference::new(&DetectorConfig::default());
+        for _ in 0..3 {
+            r.update(&LinkStat { ci: ci(l, m, u) });
+        }
+        r
+    }
+
+    #[test]
+    fn overlap_means_no_alarm() {
+        let cfg = DetectorConfig::default();
+        let reference = warmed_reference(4.0, 5.0, 6.0);
+        let stat = LinkStat { ci: ci(5.5, 6.5, 7.5) };
+        assert!(check(link(), BinId(5), &stat, &reference, &cfg).is_none());
+    }
+
+    #[test]
+    fn disjoint_intervals_raise_alarm_with_positive_deviation() {
+        let cfg = DetectorConfig::default();
+        let reference = warmed_reference(4.0, 5.0, 6.0);
+        let stat = LinkStat {
+            ci: ci(20.0, 25.0, 30.0),
+        };
+        let alarm = check(link(), BinId(5), &stat, &reference, &cfg).unwrap();
+        assert!(alarm.deviation > 0.0);
+        assert_eq!(alarm.direction, Direction::Increase);
+        // d = (20 − 6) / (6 − 5) = 14.
+        assert!((alarm.deviation - 14.0).abs() < 1e-9);
+        assert!((alarm.median_shift_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decrease_detected_symmetrically() {
+        let cfg = DetectorConfig::default();
+        let reference = warmed_reference(10.0, 11.0, 12.0);
+        let stat = LinkStat { ci: ci(1.0, 2.0, 3.0) };
+        let alarm = check(link(), BinId(1), &stat, &reference, &cfg).unwrap();
+        assert_eq!(alarm.direction, Direction::Decrease);
+        // d = (10 − 3) / (11 − 10) = 7.
+        assert!((alarm.deviation - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_millisecond_shift_suppressed() {
+        let cfg = DetectorConfig::default();
+        let reference = warmed_reference(5.00, 5.01, 5.02);
+        // Disjoint but tiny: |5.8 − 5.01| < 1 ms.
+        let stat = LinkStat { ci: ci(5.75, 5.80, 5.85) };
+        assert!(check(link(), BinId(2), &stat, &reference, &cfg).is_none());
+    }
+
+    #[test]
+    fn unwarmed_reference_never_alarms() {
+        let cfg = DetectorConfig::default();
+        let mut reference = LinkReference::new(&cfg);
+        reference.update(&LinkStat { ci: ci(4.0, 5.0, 6.0) });
+        let stat = LinkStat {
+            ci: ci(100.0, 101.0, 102.0),
+        };
+        assert!(check(link(), BinId(0), &stat, &reference, &cfg).is_none());
+    }
+
+    #[test]
+    fn deviation_zero_on_touching_intervals() {
+        assert_eq!(deviation(&ci(6.0, 7.0, 8.0), &ci(4.0, 5.0, 6.0)), 0.0);
+        assert_eq!(deviation(&ci(2.0, 3.0, 4.0), &ci(4.0, 5.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_reference_arm_stays_finite() {
+        // Reference with zero-width CI (hyper-stable link).
+        let d = deviation(&ci(10.0, 11.0, 12.0), &ci(5.0, 5.0, 5.0));
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let alarm = DelayAlarm {
+            link: link(),
+            bin: BinId(3),
+            observed: ci(20.0, 25.0, 30.0),
+            reference: ci(4.0, 5.0, 6.0),
+            deviation: 14.0,
+            direction: Direction::Increase,
+        };
+        let s = alarm.to_string();
+        assert!(s.contains("25.00 ms"));
+        assert!(s.contains("d(Δ)=14.0"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Step 2: probe-diversity filtering (§4.3).
+//!
+//! Differential RTTs only isolate the monitored link's delay when the
+//! contributing probes have *diverse return paths*. Two criteria:
+//!
+//! 1. links monitored by probes from fewer than `min_as_diversity` (3)
+//!    distinct ASes are discarded outright;
+//! 2. if the probe-per-AS counts are unbalanced — normalized entropy
+//!    H(A) ≤ 0.5 — probes are randomly removed from the most-represented AS
+//!    until H(A) exceeds the threshold ("the link is not discarded.
+//!    Instead, a probe from the most represented AS is randomly selected
+//!    and discarded").
+
+use super::compute::LinkSamples;
+use crate::config::DetectorConfig;
+use pinpoint_model::{Asn, ProbeId};
+use pinpoint_stats::entropy::normalized_entropy;
+use pinpoint_stats::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Apply both criteria; returns the surviving flattened samples, or `None`
+/// if the link must be discarded.
+pub fn filter(
+    obs: &LinkSamples,
+    cfg: &DetectorConfig,
+    rng: &mut SplitMix64,
+) -> Option<Vec<f64>> {
+    if obs.as_count() < cfg.min_as_diversity {
+        return None;
+    }
+
+    // Probe lists per AS, deterministically ordered.
+    let mut by_as: HashMap<Asn, Vec<ProbeId>> = HashMap::new();
+    for (&probe, (asn, _)) in &obs.per_probe {
+        by_as.entry(*asn).or_default().push(probe);
+    }
+    for probes in by_as.values_mut() {
+        probes.sort_unstable();
+    }
+    let mut ases: Vec<Asn> = by_as.keys().copied().collect();
+    ases.sort_unstable();
+
+    let mut removed: Vec<ProbeId> = Vec::new();
+    loop {
+        let counts: Vec<u32> = ases
+            .iter()
+            .map(|a| by_as[a].len() as u32)
+            .collect();
+        let h = normalized_entropy(&counts)?;
+        if h > cfg.entropy_threshold {
+            break;
+        }
+        // Drop a random probe from the most-represented AS (deterministic
+        // tie-break on ASN order).
+        let (max_as, _) = ases
+            .iter()
+            .map(|a| (*a, by_as[a].len()))
+            .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))?;
+        let probes = by_as.get_mut(&max_as)?;
+        if probes.len() <= 1 {
+            // Cannot rebalance further; entropy can no longer change.
+            break;
+        }
+        let idx = rng.next_below(probes.len() as u64) as usize;
+        removed.push(probes.swap_remove(idx));
+    }
+
+    let surviving: Vec<f64> = obs
+        .per_probe
+        .iter()
+        .filter(|(probe, _)| !removed.contains(probe))
+        .flat_map(|(_, (_, samples))| samples.iter().copied())
+        .collect();
+    if surviving.is_empty() {
+        None
+    } else {
+        Some(surviving)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(spec: &[(u32, u32, usize)]) -> LinkSamples {
+        // (probe id, asn, n samples)
+        let mut per_probe = HashMap::new();
+        for &(p, a, n) in spec {
+            per_probe.insert(
+                ProbeId(p),
+                (Asn(a), (0..n).map(|i| i as f64).collect::<Vec<_>>()),
+            );
+        }
+        LinkSamples { per_probe }
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    #[test]
+    fn fewer_than_three_ases_discarded() {
+        let mut rng = SplitMix64::new(1);
+        let two = obs(&[(1, 100, 3), (2, 100, 3), (3, 200, 3)]);
+        assert!(filter(&two, &cfg(), &mut rng).is_none());
+        let three = obs(&[(1, 100, 3), (2, 200, 3), (3, 300, 3)]);
+        assert!(filter(&three, &cfg(), &mut rng).is_some());
+    }
+
+    #[test]
+    fn balanced_probes_keep_all_samples() {
+        let mut rng = SplitMix64::new(1);
+        let o = obs(&[(1, 100, 4), (2, 200, 4), (3, 300, 4)]);
+        let kept = filter(&o, &cfg(), &mut rng).unwrap();
+        assert_eq!(kept.len(), 12);
+    }
+
+    #[test]
+    fn paper_example_rebalances_dominant_as() {
+        // §4.3's example: 100 probes in 5 ASes, 90 in one AS. The dominant
+        // AS must lose probes until entropy exceeds 0.5.
+        let mut spec: Vec<(u32, u32, usize)> = Vec::new();
+        for p in 0..90 {
+            spec.push((p, 100, 1));
+        }
+        for (i, asn) in [200, 300, 400, 500].iter().enumerate() {
+            // A couple probes each in the other ASes.
+            spec.push((100 + 2 * i as u32, *asn, 1));
+            spec.push((101 + 2 * i as u32, *asn, 1));
+        }
+        let o = obs(&spec);
+        let mut rng = SplitMix64::new(5);
+        let kept = filter(&o, &cfg(), &mut rng).unwrap();
+        // The dominant AS had 90 of 98 probes; a balanced outcome keeps far
+        // fewer samples.
+        assert!(kept.len() < 50, "kept {}", kept.len());
+        assert!(kept.len() >= 8, "kept too few: {}", kept.len());
+    }
+
+    #[test]
+    fn rebalancing_is_deterministic_per_seed() {
+        let spec: Vec<(u32, u32, usize)> = (0..40)
+            .map(|p| (p, if p < 30 { 100 } else { 200 + p % 3 * 100 }, 2))
+            .collect();
+        let o = obs(&spec);
+        let a = filter(&o, &cfg(), &mut SplitMix64::new(9)).unwrap();
+        let b = filter(&o, &cfg(), &mut SplitMix64::new(9)).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn single_probe_per_as_cannot_rebalance_but_passes() {
+        // 3 ASes, one probe each: entropy is 1.0 > 0.5 → pass untouched.
+        let o = obs(&[(1, 100, 2), (2, 200, 2), (3, 300, 2)]);
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(filter(&o, &cfg(), &mut rng).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn stuck_rebalancing_terminates() {
+        // Pathological: every AS has exactly one probe except one with two;
+        // if entropy still can't clear the bar the loop must exit rather
+        // than spin.
+        let mut c = cfg();
+        c.entropy_threshold = 1.1; // unattainable
+        let o = obs(&[(1, 100, 2), (2, 200, 2), (3, 300, 2), (4, 300, 2)]);
+        let mut rng = SplitMix64::new(3);
+        // Must terminate (result content is secondary).
+        let _ = filter(&o, &c, &mut rng);
+    }
+}

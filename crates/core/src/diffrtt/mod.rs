@@ -1,0 +1,117 @@
+//! Delay-change detection via differential RTTs (§4).
+//!
+//! Per 1-hour bin, the detector runs the paper's five steps:
+//!
+//! 1. [`compute`] — differential RTT samples per IP link, all RTT
+//!    combinations per probe (1–9 per traceroute);
+//! 2. [`diversity`] — drop links seen from < 3 probe ASes; rebalance
+//!    over-represented ASes until the probe-count entropy exceeds 0.5;
+//! 3. [`characterize`] — median + Wilson-score 95 % CI of the surviving
+//!    samples;
+//! 4. [`detect`] — compare against the link's smoothed normal reference:
+//!    non-overlapping CIs and ≥ 1 ms median gap raise a [`DelayAlarm`] with
+//!    deviation d(Δ) (Eq. 6);
+//! 5. [`reference`] — fold the bin's median/CI into the reference
+//!    (exponential smoothing, Eq. 7; warm-up median of the first 3 bins).
+
+pub mod characterize;
+pub mod compute;
+pub mod detect;
+pub mod diversity;
+pub mod reference;
+
+pub use characterize::LinkStat;
+pub use compute::{collect_link_samples, LinkSamples};
+pub use detect::{DelayAlarm, Direction};
+pub use reference::LinkReference;
+
+use crate::config::DetectorConfig;
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::{BinId, IpLink};
+use pinpoint_stats::rng::{derive_seed, SplitMix64};
+use std::collections::HashMap;
+
+/// Stateful delay-change detector (one instance per analysis stream).
+#[derive(Debug)]
+pub struct DelayDetector {
+    cfg: DetectorConfig,
+    references: HashMap<IpLink, LinkReference>,
+    /// Total links characterized at least once (for Table A reporting).
+    pub links_seen: usize,
+}
+
+impl DelayDetector {
+    /// Create a detector with the given configuration.
+    pub fn new(cfg: &DetectorConfig) -> Self {
+        DelayDetector {
+            cfg: cfg.clone(),
+            references: HashMap::new(),
+            links_seen: 0,
+        }
+    }
+
+    /// Run the five steps over one bin of traceroutes.
+    ///
+    /// Also returns the per-link statistics (used by the figure harnesses
+    /// to plot median series even when no alarm fires).
+    pub fn process_bin(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+    ) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>) {
+        // Step 1: differential RTT samples per link.
+        let samples = collect_link_samples(records);
+        let mut alarms = Vec::new();
+        let mut stats = HashMap::new();
+
+        for (link, obs) in samples {
+            // Step 2: probe-diversity filter. The rebalancing RNG is
+            // derived per (seed, link, bin) — never shared across links —
+            // so results do not depend on map iteration order.
+            let mut link_rng = SplitMix64::new(derive_seed(
+                self.cfg.seed
+                    ^ (u64::from(u32::from(link.near)) << 17)
+                    ^ u64::from(u32::from(link.far))
+                    ^ (bin.0 << 40),
+                "diversity-rebalance",
+            ));
+            let Some(filtered) = diversity::filter(&obs, &self.cfg, &mut link_rng) else {
+                continue;
+            };
+            // Step 3: robust characterization.
+            let Some(stat) = characterize::characterize(&filtered, &self.cfg) else {
+                continue;
+            };
+            // Steps 4 + 5 against the running reference.
+            let reference = self.references.entry(link).or_insert_with(|| {
+                self.links_seen += 1;
+                LinkReference::new(&self.cfg)
+            });
+            if let Some(alarm) = detect::check(link, bin, &stat, reference, &self.cfg) {
+                alarms.push(alarm);
+            }
+            reference.update(&stat);
+            stats.insert(link, stat);
+        }
+        // Strongest first; ties broken totally so output order is
+        // deterministic regardless of hash-map iteration.
+        alarms.sort_by(|a, b| {
+            b.deviation
+                .abs()
+                .partial_cmp(&a.deviation.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.link.cmp(&b.link))
+        });
+        (alarms, stats)
+    }
+
+    /// Reference for a link, if it exists yet.
+    pub fn reference(&self, link: &IpLink) -> Option<&LinkReference> {
+        self.references.get(link)
+    }
+
+    /// Number of links currently tracked.
+    pub fn tracked_links(&self) -> usize {
+        self.references.len()
+    }
+}

@@ -1,0 +1,84 @@
+//! Forwarding-anomaly detection (§5).
+//!
+//! Delay analysis goes blind exactly when things are worst — rerouted or
+//! dropped packets leave no RTT samples. The forwarding detector fills that
+//! gap: it learns, per (router IP, traceroute destination), the usual
+//! distribution of packets over next hops ([`pattern`]), keeps an
+//! exponentially smoothed reference ([`reference`]), and reports patterns
+//! whose Pearson correlation with the reference falls below τ = −0.25,
+//! attributing the change to specific next hops via responsibility scores
+//! ([`detect`], Eq. 9).
+
+pub mod detect;
+pub mod pattern;
+pub mod reference;
+
+pub use detect::ForwardingAlarm;
+pub use pattern::{collect_patterns, NextHop, PatternKey};
+pub use reference::PatternReference;
+
+use crate::config::DetectorConfig;
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::BinId;
+use std::collections::HashMap;
+
+/// Stateful forwarding-anomaly detector.
+#[derive(Debug)]
+pub struct ForwardingDetector {
+    cfg: DetectorConfig,
+    references: HashMap<PatternKey, PatternReference>,
+}
+
+impl ForwardingDetector {
+    /// Create a detector with the given configuration.
+    pub fn new(cfg: &DetectorConfig) -> Self {
+        ForwardingDetector {
+            cfg: cfg.clone(),
+            references: HashMap::new(),
+        }
+    }
+
+    /// Process one bin of traceroutes; returns forwarding alarms.
+    pub fn process_bin(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+    ) -> Vec<ForwardingAlarm> {
+        let patterns = collect_patterns(records);
+        let mut alarms = Vec::new();
+        for (key, observed) in patterns {
+            let reference = self
+                .references
+                .entry(key)
+                .or_insert_with(|| PatternReference::new(&self.cfg));
+            if let Some(alarm) = detect::check(&key, bin, &observed, reference, &self.cfg) {
+                alarms.push(alarm);
+            }
+            reference.update(&observed);
+        }
+        // Most anti-correlated first; ties broken totally so output order
+        // is deterministic regardless of hash-map iteration.
+        alarms.sort_by(|a, b| {
+            a.rho
+                .partial_cmp(&b.rho)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.router, a.dst).cmp(&(b.router, b.dst)))
+        });
+        alarms
+    }
+
+    /// Number of (router, destination) patterns tracked.
+    pub fn tracked_patterns(&self) -> usize {
+        self.references.len()
+    }
+
+    /// Mean number of next hops per tracked pattern (Table A statistic:
+    /// "on average forwarding models contain four different next hops").
+    pub fn mean_next_hops(&self) -> f64 {
+        if self.references.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.references.values().map(|r| r.len()).sum();
+        total as f64 / self.references.len() as f64
+    }
+}

@@ -1,0 +1,225 @@
+//! Packet-forwarding patterns (§5.1).
+//!
+//! For every responsive hop in a traceroute, the packets probing the *next*
+//! TTL reveal where that router forwarded them: each reply from address B
+//! adds one packet to B's count; each timeout adds one packet to the
+//! aggregated unresponsive bucket Z ("next hops that do not send back ICMP
+//! packets to the probes or drop packets are said to be unresponsive and
+//! are indissociable in traceroutes"). Patterns are per (router IP,
+//! traceroute destination) because forwarding is destination-dependent.
+
+use pinpoint_model::records::TracerouteRecord;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A next-hop slot in a forwarding pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NextHop {
+    /// A responsive next hop.
+    Ip(Ipv4Addr),
+    /// The aggregated unresponsive bucket (the paper's Z).
+    Unresponsive,
+}
+
+impl std::fmt::Display for NextHop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NextHop::Ip(ip) => write!(f, "{ip}"),
+            NextHop::Unresponsive => write!(f, "*"),
+        }
+    }
+}
+
+/// Key of a forwarding pattern: the router and the traceroute target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternKey {
+    /// The router whose forwarding is modeled.
+    pub router: Ipv4Addr,
+    /// The traceroute destination the model is specific to.
+    pub dst: Ipv4Addr,
+}
+
+/// Observed packet counts per next hop in one bin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pattern {
+    counts: HashMap<NextHop, f64>,
+}
+
+impl Pattern {
+    /// Packet count for a hop (0 if absent).
+    pub fn get(&self, hop: &NextHop) -> f64 {
+        self.counts.get(hop).copied().unwrap_or(0.0)
+    }
+
+    /// Add packets to a hop's count.
+    pub fn add(&mut self, hop: NextHop, packets: f64) {
+        *self.counts.entry(hop).or_insert(0.0) += packets;
+    }
+
+    /// Iterate `(hop, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&NextHop, f64)> {
+        self.counts.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of distinct next hops (including Z if present).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no packets were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total packets.
+    pub fn total(&self) -> f64 {
+        self.counts.values().sum()
+    }
+}
+
+/// Build forwarding patterns from one bin of traceroutes.
+pub fn collect_patterns(records: &[TracerouteRecord]) -> HashMap<PatternKey, Pattern> {
+    let mut out: HashMap<PatternKey, Pattern> = HashMap::new();
+    for rec in records {
+        for i in 0..rec.hops.len().saturating_sub(1) {
+            let Some(router) = rec.hops[i].first_responder() else {
+                continue;
+            };
+            let key = PatternKey {
+                router,
+                dst: rec.dst,
+            };
+            let pattern = out.entry(key).or_default();
+            for reply in &rec.hops[i + 1].replies {
+                match reply.from {
+                    Some(ip) if ip != router => pattern.add(NextHop::Ip(ip), 1.0),
+                    // A repeated address (TTL quirk) is not a next hop.
+                    Some(_) => {}
+                    None => pattern.add(NextHop::Unresponsive, 1.0),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_model::records::{Hop, Reply};
+    use pinpoint_model::{Asn, MeasurementId, ProbeId, SimTime};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn rec(dst: &str, hops: Vec<Hop>) -> TracerouteRecord {
+        TracerouteRecord {
+            msm_id: MeasurementId(1),
+            probe_id: ProbeId(1),
+            probe_asn: Asn(64500),
+            dst: ip(dst),
+            timestamp: SimTime(0),
+            paris_id: 0,
+            hops,
+            destination_reached: true,
+        }
+    }
+
+    fn hop(ttl: u8, replies: &[Option<&str>]) -> Hop {
+        Hop::new(
+            ttl,
+            replies
+                .iter()
+                .map(|r| match r {
+                    Some(a) => Reply::new(ip(a), 1.0),
+                    None => Reply::TIMEOUT,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_responsive_and_unresponsive_packets() {
+        // Router R forwards 3 packets: two reach B, one is lost.
+        let r = rec(
+            "198.51.100.1",
+            vec![
+                hop(1, &[Some("10.0.0.1"); 3]),
+                hop(2, &[Some("10.0.1.1"), Some("10.0.1.1"), None]),
+            ],
+        );
+        let patterns = collect_patterns(&[r]);
+        let key = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        let p = &patterns[&key];
+        assert_eq!(p.get(&NextHop::Ip(ip("10.0.1.1"))), 2.0);
+        assert_eq!(p.get(&NextHop::Unresponsive), 1.0);
+        assert_eq!(p.total(), 3.0);
+    }
+
+    #[test]
+    fn patterns_are_destination_specific() {
+        let r1 = rec(
+            "198.51.100.1",
+            vec![hop(1, &[Some("10.0.0.1")]), hop(2, &[Some("10.0.1.1")])],
+        );
+        let r2 = rec(
+            "198.51.100.2",
+            vec![hop(1, &[Some("10.0.0.1")]), hop(2, &[Some("10.0.2.1")])],
+        );
+        let patterns = collect_patterns(&[r1, r2]);
+        assert_eq!(patterns.len(), 2);
+        let k1 = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        assert_eq!(patterns[&k1].get(&NextHop::Ip(ip("10.0.1.1"))), 1.0);
+        assert_eq!(patterns[&k1].get(&NextHop::Ip(ip("10.0.2.1"))), 0.0);
+    }
+
+    #[test]
+    fn silent_hop_contributes_counts_but_no_model() {
+        // Hop 2 is fully silent: hop 1's model counts 3 unresponsive
+        // packets; no model is created for the silent hop itself.
+        let r = rec(
+            "198.51.100.1",
+            vec![
+                hop(1, &[Some("10.0.0.1"); 3]),
+                hop(2, &[None, None, None]),
+                hop(3, &[Some("10.0.2.1"); 3]),
+            ],
+        );
+        let patterns = collect_patterns(&[r]);
+        assert_eq!(patterns.len(), 1);
+        let key = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        assert_eq!(patterns[&key].get(&NextHop::Unresponsive), 3.0);
+    }
+
+    #[test]
+    fn accumulates_over_traceroutes() {
+        let mk = || {
+            rec(
+                "198.51.100.1",
+                vec![hop(1, &[Some("10.0.0.1"); 3]), hop(2, &[Some("10.0.1.1"); 3])],
+            )
+        };
+        let patterns = collect_patterns(&[mk(), mk()]);
+        let key = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        assert_eq!(patterns[&key].get(&NextHop::Ip(ip("10.0.1.1"))), 6.0);
+    }
+
+    #[test]
+    fn last_hop_has_no_pattern() {
+        let r = rec("198.51.100.1", vec![hop(1, &[Some("10.0.0.1"); 3])]);
+        assert!(collect_patterns(&[r]).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # pinpoint-core
+//!
+//! The paper's contribution: detection of delay changes and forwarding
+//! anomalies from large-scale traceroute measurements, and AS-level
+//! aggregation into event magnitudes.
+//!
+//! *Fontugne, Aben, Pelsser, Bush — "Pinpointing Delay and Forwarding
+//! Anomalies Using Large-Scale Traceroute Measurements", IMC 2017.*
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   TracerouteRecord stream (pinpoint-atlas, or your own Atlas feed)
+//!        │ 1-hour bins
+//!        ▼
+//!   ┌──────────────────────────┐   ┌──────────────────────────────┐
+//!   │ diffrtt: differential    │   │ forwarding: per-(router,dst) │
+//!   │ RTT per IP link,         │   │ next-hop patterns, Pearson   │
+//!   │ ≥3-AS + entropy filter,  │   │ correlation vs smoothed      │
+//!   │ median + Wilson CI vs    │   │ reference, per-hop           │
+//!   │ smoothed reference (§4)  │   │ responsibility scores (§5)   │
+//!   └───────────┬──────────────┘   └───────────────┬──────────────┘
+//!               │ DelayAlarm(d(Δ))                 │ ForwardingAlarm(ρ, rᵢ)
+//!               ▼                                  ▼
+//!   ┌──────────────────────────────────────────────────────────────┐
+//!   │ aggregate: IP→AS longest-prefix match, per-AS severity time  │
+//!   │ series, magnitude = sliding median/MAD normalization (§6)    │
+//!   └──────────────────────────────────────────────────────────────┘
+//!               │                                  │
+//!               ▼                                  ▼
+//!        AS delay magnitude                AS forwarding magnitude
+//!               └────────────── graph: alarm connected components
+//!                               around an address (Fig. 8 / Fig. 12)
+//! ```
+//!
+//! [`pipeline::Analyzer`] wires the stages together for both offline batch
+//! runs and the §8 streaming ("Internet Health Report") mode. The
+//! [`baseline`] module carries the non-robust comparison detectors used by
+//! the ablation benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod baseline;
+pub mod config;
+pub mod diffrtt;
+pub mod forwarding;
+pub mod graph;
+pub mod pipeline;
+
+pub use config::DetectorConfig;
+pub use diffrtt::{DelayAlarm, DelayDetector};
+pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
+pub use pipeline::{Analyzer, BinReport};

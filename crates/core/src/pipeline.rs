@@ -1,0 +1,258 @@
+//! The end-to-end analysis pipeline.
+//!
+//! [`Analyzer`] owns both detectors, the IP→AS mapper, and the magnitude
+//! tracker; [`Analyzer::process_bin`] runs one analysis bin through all of
+//! §4–§6 and returns a [`BinReport`]. Feed it bins in order — the
+//! references and sliding windows are stateful, exactly like the online
+//! deployment of §8 consuming the Atlas stream.
+
+use crate::aggregate::{delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker};
+use crate::config::DetectorConfig;
+use crate::diffrtt::{DelayAlarm, DelayDetector, LinkStat};
+use crate::forwarding::{ForwardingAlarm, ForwardingDetector};
+use crate::graph::AlarmGraph;
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::{Asn, BinId, IpLink};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything the pipeline learned from one bin.
+#[derive(Debug)]
+pub struct BinReport {
+    /// The bin analyzed.
+    pub bin: BinId,
+    /// Delay-change alarms, strongest first.
+    pub delay_alarms: Vec<DelayAlarm>,
+    /// Forwarding anomalies, most anti-correlated first.
+    pub forwarding_alarms: Vec<ForwardingAlarm>,
+    /// Per-link robust statistics (all characterized links, alarmed or not).
+    pub link_stats: HashMap<IpLink, LinkStat>,
+    /// Per-AS severities and magnitudes.
+    pub magnitudes: BTreeMap<Asn, AsMagnitude>,
+    /// Number of traceroutes consumed.
+    pub records: usize,
+}
+
+impl BinReport {
+    /// The alarm graph of this bin (delay edges + forwarding flags).
+    pub fn alarm_graph(&self) -> AlarmGraph {
+        let mut g = AlarmGraph::new();
+        g.add_delay_alarms(&self.delay_alarms);
+        g.add_forwarding_alarms(&self.forwarding_alarms);
+        g
+    }
+
+    /// Magnitudes of one AS, if tracked.
+    pub fn magnitude(&self, asn: Asn) -> Option<&AsMagnitude> {
+        self.magnitudes.get(&asn)
+    }
+}
+
+/// The stateful §4–§6 pipeline.
+#[derive(Debug)]
+pub struct Analyzer {
+    cfg: DetectorConfig,
+    delay: DelayDetector,
+    forwarding: ForwardingDetector,
+    mapper: AsMapper,
+    magnitudes: MagnitudeTracker,
+}
+
+impl Analyzer {
+    /// Create an analyzer. The `mapper` provides the §6 IP→AS grouping
+    /// (from a RIB dump in production; from simulator ground truth here).
+    pub fn new(cfg: DetectorConfig, mapper: AsMapper) -> Self {
+        Analyzer {
+            delay: DelayDetector::new(&cfg),
+            forwarding: ForwardingDetector::new(&cfg),
+            magnitudes: MagnitudeTracker::new(cfg.magnitude_window_bins),
+            cfg,
+            mapper,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Pre-register ASes for magnitude tracking from bin zero.
+    pub fn register_ases<I: IntoIterator<Item = Asn>>(&mut self, ases: I) {
+        self.magnitudes.register(ases);
+    }
+
+    /// Run one bin through the full pipeline.
+    pub fn process_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> BinReport {
+        let (delay_alarms, link_stats) = self.delay.process_bin(bin, records);
+        let forwarding_alarms = self.forwarding.process_bin(bin, records);
+        let dsev = delay_severity(&delay_alarms, &self.mapper);
+        let fsev = forwarding_severity(&forwarding_alarms, &self.mapper);
+        let magnitudes = self.magnitudes.score_bin(&dsev, &fsev);
+        BinReport {
+            bin,
+            delay_alarms,
+            forwarding_alarms,
+            link_stats,
+            magnitudes,
+            records: records.len(),
+        }
+    }
+
+    /// Number of links with a learned delay reference.
+    pub fn tracked_links(&self) -> usize {
+        self.delay.tracked_links()
+    }
+
+    /// Number of (router, destination) forwarding models.
+    pub fn tracked_patterns(&self) -> usize {
+        self.forwarding.tracked_patterns()
+    }
+
+    /// Mean next hops per forwarding model (Table A).
+    pub fn mean_next_hops(&self) -> f64 {
+        self.forwarding.mean_next_hops()
+    }
+
+    /// The IP→AS mapper.
+    pub fn mapper(&self) -> &AsMapper {
+        &self.mapper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_model::records::{Hop, Reply};
+    use pinpoint_model::{MeasurementId, ProbeId, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Hand-built three-probe world: probes in AS 100/200/300 traverse the
+    /// same link (10.0.0.1 → 10.0.0.2) towards 198.51.100.1, with
+    /// per-probe return-path offsets and controllable link delay.
+    fn records(bin: u64, link_delay: f64, drop_far_hop: bool) -> Vec<TracerouteRecord> {
+        let mut out = Vec::new();
+        for (probe, asn, eps) in [(1u32, 100u32, 0.4), (2, 200, -0.8), (3, 300, 1.3)] {
+            for shot in 0..2 {
+                let base = 10.0 + eps;
+                let far_replies = if drop_far_hop {
+                    vec![Reply::TIMEOUT; 3]
+                } else {
+                    (0..3)
+                        .map(|k| {
+                            Reply::new(
+                                ip("10.0.0.2"),
+                                base + link_delay + 0.01 * f64::from(k),
+                            )
+                        })
+                        .collect()
+                };
+                out.push(TracerouteRecord {
+                    msm_id: MeasurementId(1),
+                    probe_id: ProbeId(probe),
+                    probe_asn: pinpoint_model::Asn(asn),
+                    dst: ip("198.51.100.1"),
+                    timestamp: SimTime(bin * 3600 + shot * 1800),
+                    paris_id: 0,
+                    hops: vec![
+                        Hop::new(
+                            1,
+                            (0..3).map(|k| Reply::new(ip("10.0.0.1"), base + 0.01 * f64::from(k))).collect(),
+                        ),
+                        Hop::new(2, far_replies),
+                        Hop::new(3, vec![Reply::new(ip("198.51.100.1"), base + link_delay + 2.0); 3]),
+                    ],
+                    destination_reached: true,
+                });
+            }
+        }
+        out
+    }
+
+    fn mapper() -> AsMapper {
+        AsMapper::from_prefixes([
+            ("10.0.0.0/16".parse().unwrap(), Asn(64500)),
+            ("198.51.100.0/24".parse().unwrap(), Asn(64501)),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_delay_event_detected_and_aggregated() {
+        let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        analyzer.register_ases([Asn(64500)]);
+        // Quiet warm-up.
+        for b in 0..24 {
+            let report = analyzer.process_bin(BinId(b), &records(b, 2.0, false));
+            assert!(
+                report.delay_alarms.is_empty(),
+                "false alarm at bin {b}: {:?}",
+                report.delay_alarms
+            );
+        }
+        // Delay surge: +30 ms on the link.
+        let report = analyzer.process_bin(BinId(24), &records(24, 32.0, false));
+        assert_eq!(report.delay_alarms.len(), 1, "surge not detected");
+        let alarm = &report.delay_alarms[0];
+        assert_eq!(alarm.link, IpLink::new(ip("10.0.0.1"), ip("10.0.0.2")));
+        assert!(alarm.median_shift_ms() > 25.0);
+        // Aggregation: AS 64500 has positive delay severity and magnitude.
+        let mag = report.magnitude(Asn(64500)).unwrap();
+        assert!(mag.delay_severity > 0.0);
+        assert!(mag.delay_magnitude > 1.0, "magnitude {}", mag.delay_magnitude);
+        // The alarm graph contains the link's component.
+        let g = report.alarm_graph();
+        assert!(g.component_of(ip("10.0.0.2")).is_some());
+    }
+
+    #[test]
+    fn end_to_end_forwarding_event_detected() {
+        let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        for b in 0..12 {
+            let report = analyzer.process_bin(BinId(b), &records(b, 2.0, false));
+            assert!(report.forwarding_alarms.is_empty(), "false alarm at {b}");
+        }
+        // The far hop goes dark (all packets lost there).
+        let report = analyzer.process_bin(BinId(12), &records(12, 2.0, true));
+        assert!(
+            !report.forwarding_alarms.is_empty(),
+            "loss event not detected"
+        );
+        let alarm = &report.forwarding_alarms[0];
+        assert_eq!(alarm.router, ip("10.0.0.1"));
+        // The vanished next hop is the most devalued.
+        let (hop, score) = alarm.most_devalued().unwrap();
+        assert_eq!(*hop, crate::forwarding::NextHop::Ip(ip("10.0.0.2")));
+        assert!(*score < 0.0);
+        // And the AS forwarding severity went negative.
+        let mag = report.magnitude(Asn(64500)).unwrap();
+        assert!(mag.forwarding_severity < 0.0);
+    }
+
+    #[test]
+    fn no_delay_alarm_without_rtt_samples() {
+        // When the far hop is dark the delay detector must stay silent for
+        // that link (no samples), demonstrating the complementarity the
+        // paper stresses in §7.3.
+        let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        for b in 0..12 {
+            analyzer.process_bin(BinId(b), &records(b, 2.0, false));
+        }
+        let report = analyzer.process_bin(BinId(12), &records(12, 2.0, true));
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.0.2"));
+        assert!(report.delay_alarms.iter().all(|a| a.link != link));
+        assert!(!report.link_stats.contains_key(&link));
+    }
+
+    #[test]
+    fn stats_present_even_without_alarms() {
+        let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        let report = analyzer.process_bin(BinId(0), &records(0, 2.0, false));
+        let link = IpLink::new(ip("10.0.0.1"), ip("10.0.0.2"));
+        assert!(report.link_stats.contains_key(&link));
+        assert_eq!(report.records, 6);
+        assert!(analyzer.tracked_links() >= 1);
+        assert!(analyzer.tracked_patterns() >= 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Network primitives: autonomous system numbers and IPv4 prefixes.
+//!
+//! IP addresses are plain [`std::net::Ipv4Addr`]; this module adds the
+//! pieces the standard library lacks: a typed ASN and a CIDR prefix with
+//! containment tests, used throughout for IP-to-AS mapping (§6 of the
+//! paper, "longest prefix match").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An Autonomous System Number.
+///
+/// Plain 32-bit ASN (RFC 6793). Displayed as `AS<number>` as in the paper
+/// ("AS25152, RIPE NCC K-Root Operations").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Reserved value used for unknown / unmapped addresses.
+    pub const UNKNOWN: Asn = Asn(0);
+
+    /// Whether this ASN is the reserved "unknown" value.
+    pub fn is_unknown(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// An IPv4 CIDR prefix (`address/len`).
+///
+/// The address is stored in canonical (masked) form: constructing
+/// `10.0.0.1/8` yields `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    network: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// Create a prefix, masking the host bits of `addr`.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let bits = u32::from(addr) & Self::mask(len);
+        Prefix {
+            network: Ipv4Addr::from(bits),
+            len,
+        }
+    }
+
+    /// The all-encompassing default route `0.0.0.0/0`.
+    pub fn default_route() -> Self {
+        Prefix::new(Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// Network address (host bits zeroed).
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Does the prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == u32::from(self.network)
+    }
+
+    /// Does `self` fully cover `other` (i.e. `other` is a sub-prefix)?
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network)
+    }
+
+    /// The `i`-th address inside the prefix (0 = network address).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.size()`.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "host index {i} out of prefix {self}");
+        Ipv4Addr::from(u32::from(self.network) + i as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+/// Error parsing a [`Prefix`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParsePrefixError(format!("missing '/' in {s:?}")))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|e| ParsePrefixError(format!("bad address in {s:?}: {e}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|e| ParsePrefixError(format!("bad length in {s:?}: {e}")))?;
+        if len > 32 {
+            return Err(ParsePrefixError(format!("length {len} > 32 in {s:?}")));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(25152).to_string(), "AS25152");
+        assert!(Asn::UNKNOWN.is_unknown());
+        assert!(!Asn(3356).is_unknown());
+    }
+
+    #[test]
+    fn prefix_canonicalizes_host_bits() {
+        let p = Prefix::new(ip("10.1.2.3"), 8);
+        assert_eq!(p.network(), ip("10.0.0.0"));
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::new(ip("192.168.0.0"), 16);
+        assert!(p.contains(ip("192.168.255.1")));
+        assert!(!p.contains(ip("192.169.0.1")));
+        assert!(Prefix::default_route().contains(ip("8.8.8.8")));
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let p8 = Prefix::new(ip("10.0.0.0"), 8);
+        let p16 = Prefix::new(ip("10.5.0.0"), 16);
+        assert!(p8.covers(&p16));
+        assert!(!p16.covers(&p8));
+        assert!(p8.covers(&p8));
+    }
+
+    #[test]
+    fn prefix_size_and_nth() {
+        let p = Prefix::new(ip("10.0.0.0"), 30);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.nth(0), ip("10.0.0.0"));
+        assert_eq!(p.nth(3), ip("10.0.0.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of prefix")]
+    fn prefix_nth_out_of_range_panics() {
+        Prefix::new(ip("10.0.0.0"), 30).nth(4);
+    }
+
+    #[test]
+    fn prefix_parse_round_trip() {
+        let p: Prefix = "130.117.0.0/16".parse().unwrap();
+        assert_eq!(p.to_string(), "130.117.0.0/16");
+        assert!("1.2.3.4".parse::<Prefix>().is_err());
+        assert!("1.2.3.4/33".parse::<Prefix>().is_err());
+        assert!("x/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn zero_length_prefix() {
+        let p = Prefix::default_route();
+        assert_eq!(p.size(), 1u64 << 32);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pinpoint-model
+//!
+//! Shared data model for the `pinpoint` workspace: network primitives
+//! (IPv4 addresses, ASNs, prefixes, IP-level links), simulation time and
+//! hourly bins, and the traceroute measurement record format produced by
+//! `pinpoint-atlas` and consumed by `pinpoint-core`.
+//!
+//! This crate is deliberately tiny and dependency-light so that the
+//! detection pipeline (`pinpoint-core`) does not transitively depend on the
+//! network simulator (`pinpoint-netsim`): a downstream user can feed real
+//! RIPE Atlas data into the detector by converting it into
+//! [`records::TracerouteRecord`] values.
+//!
+//! The scope mirrors the paper: everything is at the **IP layer**. A
+//! [`link::IpLink`] is a pair of IP addresses observed adjacently on a
+//! traceroute forward path, not a physical cable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod json;
+pub mod link;
+pub mod lpm;
+pub mod records;
+pub mod time;
+
+pub use addr::{Asn, Prefix};
+pub use lpm::LpmTable;
+pub use link::IpLink;
+pub use records::{Hop, MeasurementId, ProbeId, Reply, TracerouteRecord};
+pub use time::{BinId, SimTime};

@@ -1,0 +1,88 @@
+//! IP-level links: ordered pairs of adjacent addresses on a forward path.
+//!
+//! Following the paper's terminology (§2): "a link refers to a pair of IP
+//! addresses rather than a physical cable". The pair is **ordered** —
+//! `(near, far)` as seen from the probe — because the differential RTT
+//! Δ = RTT(far) − RTT(near) is directional.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An ordered pair of adjacent IP addresses observed in a traceroute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IpLink {
+    /// The hop closer to the probe (router `X` in the paper's Δ_XY).
+    pub near: Ipv4Addr,
+    /// The hop farther from the probe (router `Y`).
+    pub far: Ipv4Addr,
+}
+
+impl IpLink {
+    /// Create a link from `near` to `far`.
+    pub fn new(near: Ipv4Addr, far: Ipv4Addr) -> Self {
+        IpLink { near, far }
+    }
+
+    /// The same pair with direction flipped.
+    pub fn reversed(self) -> Self {
+        IpLink {
+            near: self.far,
+            far: self.near,
+        }
+    }
+
+    /// Canonical (direction-insensitive) form: smaller address first.
+    ///
+    /// Used when building the alarm graph (Fig. 8/12), where edges are
+    /// undirected.
+    pub fn canonical(self) -> Self {
+        if self.near <= self.far {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// Whether the link references `addr` on either end.
+    pub fn touches(&self, addr: Ipv4Addr) -> bool {
+        self.near == addr || self.far == addr
+    }
+}
+
+impl fmt::Display for IpLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.near, self.far)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn reversal_and_canonical() {
+        let l = IpLink::new(ip("2.2.2.2"), ip("1.1.1.1"));
+        assert_eq!(l.reversed().near, ip("1.1.1.1"));
+        assert_eq!(l.canonical().near, ip("1.1.1.1"));
+        assert_eq!(l.canonical(), l.reversed().canonical());
+    }
+
+    #[test]
+    fn touches() {
+        let l = IpLink::new(ip("1.1.1.1"), ip("2.2.2.2"));
+        assert!(l.touches(ip("1.1.1.1")));
+        assert!(l.touches(ip("2.2.2.2")));
+        assert!(!l.touches(ip("3.3.3.3")));
+    }
+
+    #[test]
+    fn display() {
+        let l = IpLink::new(ip("193.0.14.129"), ip("80.81.192.154"));
+        assert_eq!(l.to_string(), "193.0.14.129 -> 80.81.192.154");
+    }
+}

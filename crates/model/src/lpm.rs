@@ -1,0 +1,235 @@
+//! Longest-prefix-match table (binary trie).
+//!
+//! Used in two places: the simulator's FIB (destination IP → origin AS /
+//! destination router) and the alarm aggregation's IP-to-AS mapping ("The IP
+//! to AS mapping is done using longest prefix match", §6).
+//!
+//! The trie stores one value per prefix; lookups walk address bits from the
+//! most significant, remembering the deepest match. Inserting the same
+//! prefix twice replaces the value.
+
+use crate::addr::Prefix;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A longest-prefix-match table mapping [`Prefix`]es to values.
+#[derive(Debug, Clone)]
+pub struct LpmTable<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+// Manual impl: `derive(Default)` would needlessly require `V: Default`.
+impl<V> Default for LpmTable<V> {
+    fn default() -> Self {
+        LpmTable::new()
+    }
+}
+
+impl<V> LpmTable<V> {
+    /// Empty table.
+    pub fn new() -> Self {
+        LpmTable {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) a prefix. Returns the previous value, if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let bits = u32::from(prefix.network());
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the value of the most specific prefix covering
+    /// `addr`, together with that prefix.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32u8 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// The value of the most specific covering prefix, or `None`.
+    pub fn lookup_value(&self, addr: Ipv4Addr) -> Option<&V> {
+        self.lookup(addr).map(|(_, v)| v)
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let bits = u32::from(prefix.network());
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Iterate over all `(prefix, value)` pairs in trie order.
+    pub fn iter(&self) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<'a, V>(
+            node: &'a Node<V>,
+            bits: u32,
+            depth: u8,
+            out: &mut Vec<(Prefix, &'a V)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix::new(Ipv4Addr::from(bits), depth), v));
+            }
+            for (i, child) in node.children.iter().enumerate() {
+                if let Some(c) = child.as_deref() {
+                    let bit = (i as u32) << (31 - depth);
+                    walk(c, bits | bit, depth + 1, out);
+                }
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn basic_lpm() {
+        let mut t = LpmTable::new();
+        t.insert(pfx("10.0.0.0/8"), "eight");
+        t.insert(pfx("10.1.0.0/16"), "sixteen");
+        t.insert(pfx("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup_value(ip("10.9.9.9")), Some(&"eight"));
+        assert_eq!(t.lookup_value(ip("10.1.9.9")), Some(&"sixteen"));
+        assert_eq!(t.lookup_value(ip("10.1.2.3")), Some(&"twentyfour"));
+        assert_eq!(t.lookup_value(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lookup_reports_matching_prefix() {
+        let mut t = LpmTable::new();
+        t.insert(pfx("192.168.0.0/16"), 1);
+        let (p, v) = t.lookup(ip("192.168.4.5")).unwrap();
+        assert_eq!(p, pfx("192.168.0.0/16"));
+        assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn default_route_catches_everything() {
+        let mut t = LpmTable::new();
+        t.insert(Prefix::default_route(), 0u32);
+        t.insert(pfx("8.8.0.0/16"), 1);
+        assert_eq!(t.lookup_value(ip("1.2.3.4")), Some(&0));
+        assert_eq!(t.lookup_value(ip("8.8.8.8")), Some(&1));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&pfx("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn host_route_wins() {
+        let mut t = LpmTable::new();
+        t.insert(pfx("193.0.14.0/24"), "net");
+        t.insert(pfx("193.0.14.129/32"), "kroot");
+        assert_eq!(t.lookup_value(ip("193.0.14.129")), Some(&"kroot"));
+        assert_eq!(t.lookup_value(ip("193.0.14.128")), Some(&"net"));
+    }
+
+    #[test]
+    fn iter_lists_all() {
+        let mut t = LpmTable::new();
+        t.insert(pfx("10.0.0.0/8"), 1);
+        t.insert(pfx("10.1.0.0/16"), 2);
+        t.insert(pfx("172.16.0.0/12"), 3);
+        let items = t.iter();
+        assert_eq!(items.len(), 3);
+        assert!(items.iter().any(|(p, v)| *p == pfx("10.1.0.0/16") && **v == 2));
+    }
+
+    #[test]
+    fn matches_naive_linear_scan() {
+        // Cross-check trie vs brute force on a pseudo-random table.
+        let mut t = LpmTable::new();
+        let mut list: Vec<(Prefix, u32)> = Vec::new();
+        let mut x: u32 = 0x12345678;
+        for i in 0..200u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let len = 8 + (x % 17) as u8; // 8..24
+            let p = Prefix::new(Ipv4Addr::from(x), len);
+            t.insert(p, i);
+            list.retain(|(q, _)| *q != p);
+            list.push((p, i));
+        }
+        for j in 0..500u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let addr = Ipv4Addr::from(x ^ j);
+            let expect = list
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, v)| *v);
+            assert_eq!(t.lookup_value(addr).copied(), expect, "addr {addr}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Traceroute measurement records.
+//!
+//! The shape mirrors RIPE Atlas traceroute results: one record per
+//! (probe, destination, start time), with one [`Hop`] per TTL and up to
+//! three [`Reply`] values per hop (Atlas sends three packets per hop;
+//! Appendix B of the paper relies on this "3 packets per hop" constant).
+//!
+//! Unresponsive hops — packets lost or routers not sending ICMP TTL-expired
+//! — appear as replies with no source address and no RTT, rendered `*` by
+//! classic traceroute.
+
+use crate::addr::Asn;
+use crate::link::IpLink;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifier of an Atlas-style probe (vantage point).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProbeId(pub u32);
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prb{}", self.0)
+    }
+}
+
+/// Identifier of a measurement (a recurring probe→target schedule).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MeasurementId(pub u32);
+
+impl fmt::Display for MeasurementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msm{}", self.0)
+    }
+}
+
+/// One response (or timeout) to one traceroute packet at a given TTL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Reply {
+    /// Responding router address; `None` for a timeout (`*`).
+    pub from: Option<Ipv4Addr>,
+    /// Round-trip time in milliseconds; `None` for a timeout.
+    pub rtt_ms: Option<f64>,
+}
+
+impl Reply {
+    /// A timeout (`*`) reply.
+    pub const TIMEOUT: Reply = Reply {
+        from: None,
+        rtt_ms: None,
+    };
+
+    /// A normal reply.
+    pub fn new(from: Ipv4Addr, rtt_ms: f64) -> Self {
+        Reply {
+            from: Some(from),
+            rtt_ms: Some(rtt_ms),
+        }
+    }
+
+    /// Whether the packet got any answer.
+    pub fn is_responsive(&self) -> bool {
+        self.from.is_some()
+    }
+}
+
+/// All replies for one TTL value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Hop {
+    /// TTL / hop number, starting at 1.
+    pub ttl: u8,
+    /// One entry per probe packet (normally three).
+    pub replies: Vec<Reply>,
+}
+
+impl Hop {
+    /// Build a hop from its TTL and replies.
+    pub fn new(ttl: u8, replies: Vec<Reply>) -> Self {
+        Hop { ttl, replies }
+    }
+
+    /// The distinct responding addresses at this hop.
+    ///
+    /// With Paris traceroute and a stable network this is a single address;
+    /// multiple addresses indicate a routing change mid-measurement.
+    pub fn responders(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let mut seen = Vec::new();
+        self.replies.iter().filter_map(move |r| {
+            let a = r.from?;
+            if seen.contains(&a) {
+                None
+            } else {
+                seen.push(a);
+                Some(a)
+            }
+        })
+    }
+
+    /// First responding address, if any.
+    pub fn first_responder(&self) -> Option<Ipv4Addr> {
+        self.replies.iter().find_map(|r| r.from)
+    }
+
+    /// RTT samples from replies sent by `addr`.
+    pub fn rtts_from(&self, addr: Ipv4Addr) -> impl Iterator<Item = f64> + '_ {
+        self.replies
+            .iter()
+            .filter(move |r| r.from == Some(addr))
+            .filter_map(|r| r.rtt_ms)
+    }
+
+    /// Whether every packet at this hop timed out.
+    pub fn is_unresponsive(&self) -> bool {
+        self.replies.iter().all(|r| !r.is_responsive())
+    }
+}
+
+/// One complete traceroute from a probe to a destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteRecord {
+    /// Measurement this record belongs to.
+    pub msm_id: MeasurementId,
+    /// Originating probe.
+    pub probe_id: ProbeId,
+    /// AS hosting the probe (known for Atlas probes; used by the
+    /// probe-diversity filter, §4.3).
+    pub probe_asn: Asn,
+    /// Traceroute target address. For anycast targets this is the service
+    /// address, not the instance actually reached.
+    pub dst: Ipv4Addr,
+    /// When the traceroute was initiated.
+    pub timestamp: SimTime,
+    /// Paris traceroute flow identifier (kept constant within a record).
+    pub paris_id: u16,
+    /// Hops in TTL order.
+    pub hops: Vec<Hop>,
+    /// Whether the destination itself replied at the final hop.
+    pub destination_reached: bool,
+}
+
+impl TracerouteRecord {
+    /// Iterate over adjacent responsive IP pairs on the forward path,
+    /// skipping unresponsive hops (the paper pairs *adjacent IP addresses
+    /// observed in traceroutes*, §4.2 step 1 — a `*` hop breaks adjacency).
+    ///
+    /// Yields `(link, near_hop_index, far_hop_index)`.
+    pub fn links(&self) -> Vec<(IpLink, usize, usize)> {
+        let mut out = Vec::new();
+        let mut prev: Option<(Ipv4Addr, usize)> = None;
+        for (i, hop) in self.hops.iter().enumerate() {
+            match hop.first_responder() {
+                Some(addr) => {
+                    if let Some((paddr, pi)) = prev {
+                        // Adjacent TTLs only: a silent hop in between means
+                        // the two responders are not IP-adjacent.
+                        if pi + 1 == i && paddr != addr {
+                            out.push((IpLink::new(paddr, addr), pi, i));
+                        }
+                    }
+                    prev = Some((addr, i));
+                }
+                None => {
+                    prev = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// The last responsive hop index, if any.
+    pub fn last_responsive_hop(&self) -> Option<usize> {
+        self.hops.iter().rposition(|h| !h.is_unresponsive())
+    }
+
+    /// Total number of reply packets that timed out.
+    pub fn lost_packets(&self) -> usize {
+        self.hops
+            .iter()
+            .map(|h| h.replies.iter().filter(|r| !r.is_responsive()).count())
+            .sum()
+    }
+
+    /// Total number of reply packets sent.
+    pub fn total_packets(&self) -> usize {
+        self.hops.iter().map(|h| h.replies.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn resp_hop(ttl: u8, addr: &str, rtt: f64) -> Hop {
+        Hop::new(
+            ttl,
+            vec![
+                Reply::new(ip(addr), rtt),
+                Reply::new(ip(addr), rtt + 0.1),
+                Reply::new(ip(addr), rtt + 0.2),
+            ],
+        )
+    }
+
+    fn star_hop(ttl: u8) -> Hop {
+        Hop::new(ttl, vec![Reply::TIMEOUT; 3])
+    }
+
+    fn record(hops: Vec<Hop>) -> TracerouteRecord {
+        TracerouteRecord {
+            msm_id: MeasurementId(1),
+            probe_id: ProbeId(7),
+            probe_asn: Asn(64500),
+            dst: ip("193.0.14.129"),
+            timestamp: SimTime(42),
+            paris_id: 3,
+            hops,
+            destination_reached: true,
+        }
+    }
+
+    #[test]
+    fn links_from_clean_path() {
+        let r = record(vec![
+            resp_hop(1, "10.0.0.1", 1.0),
+            resp_hop(2, "10.0.1.1", 5.0),
+            resp_hop(3, "10.0.2.1", 9.0),
+        ]);
+        let links = r.links();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].0, IpLink::new(ip("10.0.0.1"), ip("10.0.1.1")));
+        assert_eq!(links[1].0, IpLink::new(ip("10.0.1.1"), ip("10.0.2.1")));
+        assert_eq!((links[0].1, links[0].2), (0, 1));
+    }
+
+    #[test]
+    fn star_hop_breaks_adjacency() {
+        let r = record(vec![
+            resp_hop(1, "10.0.0.1", 1.0),
+            star_hop(2),
+            resp_hop(3, "10.0.2.1", 9.0),
+        ]);
+        assert!(r.links().is_empty());
+        assert_eq!(r.lost_packets(), 3);
+        assert_eq!(r.total_packets(), 9);
+    }
+
+    #[test]
+    fn repeated_address_is_not_a_link() {
+        // TTL-expiring on the same router twice (e.g. routing loop) must not
+        // produce a self-link.
+        let r = record(vec![
+            resp_hop(1, "10.0.0.1", 1.0),
+            resp_hop(2, "10.0.0.1", 1.1),
+        ]);
+        assert!(r.links().is_empty());
+    }
+
+    #[test]
+    fn responders_dedup() {
+        let hop = Hop::new(
+            1,
+            vec![
+                Reply::new(ip("1.1.1.1"), 3.0),
+                Reply::new(ip("1.1.1.1"), 3.1),
+                Reply::new(ip("2.2.2.2"), 4.0),
+            ],
+        );
+        let rs: Vec<_> = hop.responders().collect();
+        assert_eq!(rs, vec![ip("1.1.1.1"), ip("2.2.2.2")]);
+        let rtts: Vec<_> = hop.rtts_from(ip("1.1.1.1")).collect();
+        assert_eq!(rtts, vec![3.0, 3.1]);
+    }
+
+    #[test]
+    fn last_responsive_hop() {
+        let r = record(vec![
+            resp_hop(1, "10.0.0.1", 1.0),
+            resp_hop(2, "10.0.1.1", 2.0),
+            star_hop(3),
+        ]);
+        assert_eq!(r.last_responsive_hop(), Some(1));
+        let all_star = record(vec![star_hop(1), star_hop(2)]);
+        assert_eq!(all_star.last_responsive_hop(), None);
+    }
+
+    #[test]
+    fn partial_hop_is_responsive() {
+        let hop = Hop::new(1, vec![Reply::new(ip("1.1.1.1"), 3.0), Reply::TIMEOUT]);
+        assert!(!hop.is_unresponsive());
+        assert_eq!(hop.first_responder(), Some(ip("1.1.1.1")));
+    }
+}

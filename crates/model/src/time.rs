@@ -1,0 +1,184 @@
+//! Simulation time and analysis bins.
+//!
+//! The paper bins traceroutes into fixed windows ("the system collects all
+//! traceroutes initiated in a 1-hour time bin", §4.2). [`SimTime`] is the
+//! scenario clock in seconds since an arbitrary epoch, and [`BinId`] is the
+//! index of the analysis window containing a given instant.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds since the scenario epoch.
+///
+/// Wall-clock simulation time. Scenarios typically set their epoch to the
+/// start of the studied period (e.g. 2015-11-26 00:00 UTC for the root
+/// server DDoS case study) and express event times as offsets.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The scenario epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole hours since the epoch.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * 3600)
+    }
+
+    /// Construct from whole minutes since the epoch.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * 60)
+    }
+
+    /// Construct from days since the epoch.
+    pub fn from_days(d: u64) -> Self {
+        SimTime(d * 86_400)
+    }
+
+    /// Seconds since epoch.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional hours since the epoch.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The analysis bin containing this instant for bin length `bin_secs`.
+    pub fn bin(self, bin_secs: u64) -> BinId {
+        assert!(bin_secs > 0, "bin length must be positive");
+        BinId(self.0 / bin_secs)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / 86_400;
+        let h = (self.0 % 86_400) / 3600;
+        let m = (self.0 % 3600) / 60;
+        let s = self.0 % 60;
+        write!(f, "d{d} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// Index of a fixed-length analysis window.
+///
+/// With the paper's default 1-hour bins, `BinId(n)` covers
+/// `[n*3600, (n+1)*3600)` seconds since the epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BinId(pub u64);
+
+impl BinId {
+    /// Start of the bin for bin length `bin_secs`.
+    pub fn start(self, bin_secs: u64) -> SimTime {
+        SimTime(self.0 * bin_secs)
+    }
+
+    /// Exclusive end of the bin for bin length `bin_secs`.
+    pub fn end(self, bin_secs: u64) -> SimTime {
+        SimTime((self.0 + 1) * bin_secs)
+    }
+
+    /// The next bin.
+    pub fn next(self) -> BinId {
+        BinId(self.0 + 1)
+    }
+
+    /// Index as `u64`.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bin#{}", self.0)
+    }
+}
+
+/// The paper's default analysis bin length (1 hour, §4.2).
+pub const DEFAULT_BIN_SECS: u64 = 3600;
+
+/// Length of the sliding window used for the magnitude metric (1 week, §6).
+pub const MAGNITUDE_WINDOW_BINS: usize = 7 * 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_hours(2), SimTime(7200));
+        assert_eq!(SimTime::from_mins(90), SimTime(5400));
+        assert_eq!(SimTime::from_days(1), SimTime(86_400));
+    }
+
+    #[test]
+    fn binning() {
+        assert_eq!(SimTime(0).bin(3600), BinId(0));
+        assert_eq!(SimTime(3599).bin(3600), BinId(0));
+        assert_eq!(SimTime(3600).bin(3600), BinId(1));
+        assert_eq!(BinId(2).start(3600), SimTime(7200));
+        assert_eq!(BinId(2).end(3600), SimTime(10_800));
+        assert_eq!(BinId(2).next(), BinId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_length_panics() {
+        SimTime(0).bin(0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_hours(1) + SimTime::from_mins(30);
+        assert_eq!(t, SimTime(5400));
+        assert_eq!(t - SimTime::from_mins(30), SimTime(3600));
+        assert_eq!(SimTime(5).saturating_sub(SimTime(10)), SimTime::ZERO);
+        let mut u = SimTime(1);
+        u += SimTime(2);
+        assert_eq!(u, SimTime(3));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime(90_061).to_string(), "d1 01:01:01");
+        assert_eq!(BinId(5).to_string(), "bin#5");
+    }
+
+    #[test]
+    fn hours_f64() {
+        assert!((SimTime(5400).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,526 @@
+//! Ground-truth event injection.
+//!
+//! Scenarios script network disruptions against the simulator; each maps to
+//! one of the paper's case studies:
+//!
+//! * [`NetworkEvent::Congestion`] — utilization surge on selected links
+//!   (§7.1, DDoS traffic hammering root-server instances and their IXP
+//!   uplinks);
+//! * [`NetworkEvent::RouteLeak`] — a customer re-exporting routes to a
+//!   provider that accepts them (§7.2, Telekom Malaysia → Level3 Global
+//!   Crossing);
+//! * [`NetworkEvent::IxpOutage`] — the peering fabric blackholes traffic
+//!   while routes stay up (§7.3, AMS-IX: "traffic was not rerouted but
+//!   dropped");
+//! * [`NetworkEvent::LinkFailure`] — a single link silently dropping
+//!   everything.
+//!
+//! Selectors are resolved against the topology once, at network
+//! construction, so the per-packet hot path only consults precomputed link
+//! sets.
+
+use crate::ids::LinkId;
+use crate::routing::policy::LeakSpec;
+use crate::topology::{LinkKind, Topology};
+use pinpoint_model::{Asn, SimTime};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Which links an event applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// One specific link.
+    Link(LinkId),
+    /// Every link incident to the router owning this IP address.
+    TouchingIp(Ipv4Addr),
+    /// Every link with at least one endpoint in the AS.
+    WithinAs(Asn),
+    /// Every inter-AS link between the two ASes.
+    Between(Asn, Asn),
+    /// Every peering-LAN link of the IXP.
+    IxpLanOf(Asn),
+    /// A deterministic pseudo-random sample of the AS's links: a link is
+    /// selected when `hash(link) mod 1000 < permille`. Lets scenarios model
+    /// *heterogeneous* impact (some routers saturated, others fine — the
+    /// §7.2 reality where delay and loss coexisted in one AS).
+    SampleWithinAs {
+        /// The AS whose links are sampled.
+        asn: Asn,
+        /// Selection rate in permille (0–1000).
+        permille: u16,
+        /// Salt so different events sample different subsets.
+        salt: u64,
+    },
+}
+
+impl LinkSelector {
+    /// Resolve to the concrete link set.
+    pub fn resolve(&self, topo: &Topology) -> HashSet<LinkId> {
+        let mut out = HashSet::new();
+        match self {
+            LinkSelector::Link(l) => {
+                out.insert(*l);
+            }
+            LinkSelector::TouchingIp(ip) => {
+                if let Some(&r) = topo.router_by_ip.get(ip) {
+                    out.extend(topo.router(r).links.iter().copied());
+                }
+                // Anycast service addresses shadow several servers.
+                if let Some(&svc) = topo.service_by_addr.get(ip) {
+                    for inst in &topo.services[svc].instances {
+                        out.extend(topo.router(inst.server).links.iter().copied());
+                    }
+                }
+            }
+            LinkSelector::WithinAs(asn) => {
+                if let Some(a) = topo.as_id(*asn) {
+                    for l in &topo.links {
+                        if topo.router(l.a).as_id == a || topo.router(l.b).as_id == a {
+                            out.insert(l.id);
+                        }
+                    }
+                }
+            }
+            LinkSelector::Between(x, y) => {
+                if let (Some(a), Some(b)) = (topo.as_id(*x), topo.as_id(*y)) {
+                    out.extend(topo.inter_as_links(a, b).iter().copied());
+                }
+            }
+            LinkSelector::IxpLanOf(asn) => {
+                if let Some(a) = topo.as_id(*asn) {
+                    for l in &topo.links {
+                        if l.kind == LinkKind::IxpLan(a) {
+                            out.insert(l.id);
+                        }
+                    }
+                }
+            }
+            LinkSelector::SampleWithinAs {
+                asn,
+                permille,
+                salt,
+            } => {
+                if let Some(a) = topo.as_id(*asn) {
+                    for l in &topo.links {
+                        if topo.router(l.a).as_id == a || topo.router(l.b).as_id == a {
+                            let h = pinpoint_stats::rng::derive_seed(
+                                salt ^ u64::from(l.id.0),
+                                "link-sample",
+                            );
+                            if (h % 1000) < u64::from(*permille) {
+                                out.insert(l.id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which destination ASes a route leak affects.
+///
+/// The Telekom Malaysia incident leaked a large *subset* of the routing
+/// table; leaking everything would warp global routing far beyond the
+/// documented event (and make previously-learned links vanish from
+/// observation entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakScope {
+    /// Every destination leaks.
+    All,
+    /// A deterministic pseudo-random sample of destination ASes:
+    /// a destination is affected when `hash(salt, asn) mod 1000 < permille`.
+    SampleDests {
+        /// Selection rate in permille (0–1000).
+        permille: u16,
+        /// Salt for the sample.
+        salt: u64,
+    },
+}
+
+impl LeakScope {
+    /// Whether a destination AS is inside the scope.
+    pub fn covers(&self, dest: Asn) -> bool {
+        match self {
+            LeakScope::All => true,
+            LeakScope::SampleDests { permille, salt } => {
+                let h = pinpoint_stats::rng::derive_seed(
+                    salt ^ u64::from(dest.0),
+                    "leak-scope",
+                );
+                (h % 1000) < u64::from(*permille)
+            }
+        }
+    }
+}
+
+/// A scripted disruption.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkEvent {
+    /// Utilization surge on selected links during a window.
+    Congestion {
+        /// Affected links.
+        selector: LinkSelector,
+        /// Start (inclusive).
+        start: SimTime,
+        /// End (exclusive).
+        end: SimTime,
+        /// Additional utilization (pushes links toward saturation).
+        extra_util: f64,
+    },
+    /// A route leak active during a window.
+    RouteLeak {
+        /// The leaking AS.
+        leaker: Asn,
+        /// The provider accepting and propagating the leak.
+        upstream: Asn,
+        /// Which destinations' routes leak.
+        scope: LeakScope,
+        /// Start (inclusive).
+        start: SimTime,
+        /// End (exclusive).
+        end: SimTime,
+    },
+    /// IXP fabric outage: all LAN links drop everything; routing unchanged.
+    IxpOutage {
+        /// The IXP's LAN ASN.
+        ixp: Asn,
+        /// Start (inclusive).
+        start: SimTime,
+        /// End (exclusive).
+        end: SimTime,
+    },
+    /// Selected links silently drop all packets; routing unchanged.
+    LinkFailure {
+        /// Affected links.
+        selector: LinkSelector,
+        /// Start (inclusive).
+        start: SimTime,
+        /// End (exclusive).
+        end: SimTime,
+    },
+    /// Selected links drop a fraction of packets (scripted saturation-level
+    /// loss; the route-leak case study uses this for the "routers … dropped
+    /// a lot of packets" ground truth).
+    PacketLoss {
+        /// Affected links.
+        selector: LinkSelector,
+        /// Start (inclusive).
+        start: SimTime,
+        /// End (exclusive).
+        end: SimTime,
+        /// Drop probability in `[0, 1]`.
+        loss: f64,
+    },
+}
+
+impl NetworkEvent {
+    /// Event window `(start, end)`.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        match self {
+            NetworkEvent::Congestion { start, end, .. }
+            | NetworkEvent::RouteLeak { start, end, .. }
+            | NetworkEvent::IxpOutage { start, end, .. }
+            | NetworkEvent::LinkFailure { start, end, .. }
+            | NetworkEvent::PacketLoss { start, end, .. } => (*start, *end),
+        }
+    }
+
+    /// Whether the event is active at `t` (start inclusive, end exclusive).
+    pub fn active_at(&self, t: SimTime) -> bool {
+        let (s, e) = self.window();
+        s <= t && t < e
+    }
+}
+
+/// An ordered list of scripted events.
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    /// The events, in no particular order.
+    pub events: Vec<NetworkEvent>,
+}
+
+impl EventSchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an event (builder style).
+    pub fn with(mut self, ev: NetworkEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Resolve selectors against a topology for fast per-packet queries.
+    pub fn resolve(&self, topo: &Topology) -> ResolvedSchedule {
+        let mut congestion = Vec::new();
+        let mut blackholes = Vec::new();
+        let mut leaks = Vec::new();
+        for ev in &self.events {
+            match ev {
+                NetworkEvent::Congestion {
+                    selector,
+                    start,
+                    end,
+                    extra_util,
+                } => congestion.push(ResolvedWindowed {
+                    links: selector.resolve(topo),
+                    start: *start,
+                    end: *end,
+                    value: *extra_util,
+                }),
+                NetworkEvent::LinkFailure {
+                    selector,
+                    start,
+                    end,
+                } => blackholes.push(ResolvedWindowed {
+                    links: selector.resolve(topo),
+                    start: *start,
+                    end: *end,
+                    value: 1.0,
+                }),
+                NetworkEvent::IxpOutage { ixp, start, end } => blackholes.push(ResolvedWindowed {
+                    links: LinkSelector::IxpLanOf(*ixp).resolve(topo),
+                    start: *start,
+                    end: *end,
+                    value: 1.0,
+                }),
+                NetworkEvent::PacketLoss {
+                    selector,
+                    start,
+                    end,
+                    loss,
+                } => blackholes.push(ResolvedWindowed {
+                    links: selector.resolve(topo),
+                    start: *start,
+                    end: *end,
+                    value: loss.clamp(0.0, 1.0),
+                }),
+                NetworkEvent::RouteLeak {
+                    leaker,
+                    upstream,
+                    scope,
+                    start,
+                    end,
+                } => {
+                    if let (Some(l), Some(u)) = (topo.as_id(*leaker), topo.as_id(*upstream)) {
+                        leaks.push((
+                            LeakSpec {
+                                leaker: l,
+                                upstream: u,
+                            },
+                            *scope,
+                            *start,
+                            *end,
+                        ));
+                    }
+                }
+            }
+        }
+        // Routing epochs change exactly at leak boundaries.
+        let mut boundaries: Vec<SimTime> = leaks
+            .iter()
+            .flat_map(|(_, _, s, e)| [*s, *e])
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        ResolvedSchedule {
+            congestion,
+            blackholes,
+            leaks,
+            boundaries,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ResolvedWindowed {
+    links: HashSet<LinkId>,
+    start: SimTime,
+    end: SimTime,
+    value: f64,
+}
+
+impl ResolvedWindowed {
+    fn applies(&self, link: LinkId, t: SimTime) -> bool {
+        self.start <= t && t < self.end && self.links.contains(&link)
+    }
+}
+
+/// Event schedule with selectors resolved to concrete link sets.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedSchedule {
+    congestion: Vec<ResolvedWindowed>,
+    blackholes: Vec<ResolvedWindowed>,
+    leaks: Vec<(LeakSpec, LeakScope, SimTime, SimTime)>,
+    boundaries: Vec<SimTime>,
+}
+
+impl ResolvedSchedule {
+    /// Total extra utilization on a link at `t` from active congestion.
+    pub fn extra_util(&self, link: LinkId, t: SimTime) -> f64 {
+        self.congestion
+            .iter()
+            .filter(|c| c.applies(link, t))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Forced loss probability on a link at `t` (1.0 inside a blackhole).
+    pub fn forced_loss(&self, link: LinkId, t: SimTime) -> f64 {
+        self.blackholes
+            .iter()
+            .filter(|b| b.applies(link, t))
+            .map(|b| b.value)
+            .fold(0.0, f64::max)
+    }
+
+    /// Route leaks active at `t` affecting routes towards `dest`.
+    pub fn active_leaks(&self, t: SimTime, dest: Asn) -> Vec<LeakSpec> {
+        self.leaks
+            .iter()
+            .filter(|(_, scope, s, e)| *s <= t && t < *e && scope.covers(dest))
+            .map(|(l, _, _, _)| *l)
+            .collect()
+    }
+
+    /// Routing epoch at `t`: increments at every leak boundary, so route
+    /// tables can be cached per `(destination, epoch)`.
+    pub fn routing_epoch(&self, t: SimTime) -> u64 {
+        self.boundaries.partition_point(|&b| b <= t) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::builder::TopologyConfig;
+    use crate::topology::AsTier;
+
+    #[test]
+    fn selector_within_as_resolves() {
+        let topo = TopologyConfig::default().build();
+        let stub = topo.stub_ases().next().unwrap();
+        let links = LinkSelector::WithinAs(stub.asn).resolve(&topo);
+        assert!(!links.is_empty());
+        for l in &links {
+            let link = topo.link(*l);
+            assert!(
+                topo.router(link.a).as_id == stub.id || topo.router(link.b).as_id == stub.id
+            );
+        }
+    }
+
+    #[test]
+    fn selector_between_matches_interconnects() {
+        let topo = TopologyConfig::default().build();
+        let stub = topo.stub_ases().next().unwrap();
+        let provider = topo.asn(stub.providers[0]);
+        let links = LinkSelector::Between(stub.asn, provider.asn).resolve(&topo);
+        assert!(!links.is_empty());
+        assert_eq!(
+            links,
+            topo.inter_as_links(stub.id, provider.id)
+                .iter()
+                .copied()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn selector_ixp_lan_resolves_fabric_links() {
+        let topo = TopologyConfig::default().build();
+        let ixp = topo
+            .ases
+            .iter()
+            .find(|a| a.tier == AsTier::IxpLan)
+            .unwrap();
+        let links = LinkSelector::IxpLanOf(ixp.asn).resolve(&topo);
+        for l in &links {
+            assert_eq!(topo.link(*l).kind, LinkKind::IxpLan(ixp.id));
+        }
+    }
+
+    #[test]
+    fn selector_touching_ip() {
+        let topo = TopologyConfig::default().build();
+        let r = &topo.routers[0];
+        let links = LinkSelector::TouchingIp(r.ip).resolve(&topo);
+        assert_eq!(links, r.links.iter().copied().collect());
+        assert!(LinkSelector::TouchingIp("203.0.113.9".parse().unwrap())
+            .resolve(&topo)
+            .is_empty());
+    }
+
+    #[test]
+    fn windows_and_epochs() {
+        let topo = TopologyConfig::default().build();
+        let schedule = EventSchedule::new()
+            .with(NetworkEvent::Congestion {
+                selector: LinkSelector::Link(LinkId(0)),
+                start: SimTime::from_hours(10),
+                end: SimTime::from_hours(12),
+                extra_util: 0.5,
+            })
+            .with(NetworkEvent::RouteLeak {
+                leaker: topo.ases[5].asn,
+                upstream: topo.ases[1].asn,
+                scope: LeakScope::All,
+                start: SimTime::from_hours(20),
+                end: SimTime::from_hours(22),
+            });
+        let resolved = schedule.resolve(&topo);
+        assert_eq!(resolved.extra_util(LinkId(0), SimTime::from_hours(9)), 0.0);
+        assert_eq!(resolved.extra_util(LinkId(0), SimTime::from_hours(10)), 0.5);
+        assert_eq!(resolved.extra_util(LinkId(0), SimTime::from_hours(11)), 0.5);
+        assert_eq!(resolved.extra_util(LinkId(0), SimTime::from_hours(12)), 0.0);
+        assert_eq!(resolved.extra_util(LinkId(1), SimTime::from_hours(11)), 0.0);
+
+        let any_dest = Asn(64999);
+        assert!(resolved.active_leaks(SimTime::from_hours(19), any_dest).is_empty());
+        assert_eq!(resolved.active_leaks(SimTime::from_hours(21), any_dest).len(), 1);
+        assert_eq!(resolved.routing_epoch(SimTime::from_hours(19)), 0);
+        assert_eq!(resolved.routing_epoch(SimTime::from_hours(20)), 1);
+        assert_eq!(resolved.routing_epoch(SimTime::from_hours(22)), 2);
+    }
+
+    #[test]
+    fn overlapping_congestion_sums() {
+        let topo = TopologyConfig::default().build();
+        let mk = |s: u64, e: u64, v: f64| NetworkEvent::Congestion {
+            selector: LinkSelector::Link(LinkId(3)),
+            start: SimTime::from_hours(s),
+            end: SimTime::from_hours(e),
+            extra_util: v,
+        };
+        let resolved = EventSchedule::new()
+            .with(mk(0, 10, 0.2))
+            .with(mk(5, 15, 0.3))
+            .resolve(&topo);
+        assert_eq!(resolved.extra_util(LinkId(3), SimTime::from_hours(7)), 0.5);
+    }
+
+    #[test]
+    fn ixp_outage_forces_loss() {
+        let topo = TopologyConfig::default().build();
+        let ixp = topo
+            .ases
+            .iter()
+            .find(|a| a.tier == AsTier::IxpLan)
+            .unwrap();
+        let lan_links = LinkSelector::IxpLanOf(ixp.asn).resolve(&topo);
+        let resolved = EventSchedule::new()
+            .with(NetworkEvent::IxpOutage {
+                ixp: ixp.asn,
+                start: SimTime::from_hours(1),
+                end: SimTime::from_hours(2),
+            })
+            .resolve(&topo);
+        if let Some(&l) = lan_links.iter().next() {
+            assert_eq!(resolved.forced_loss(l, SimTime::from_hours(1)), 1.0);
+            assert_eq!(resolved.forced_loss(l, SimTime::from_hours(3)), 0.0);
+        }
+    }
+}

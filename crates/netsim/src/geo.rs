@@ -1,0 +1,189 @@
+//! Synthetic geography: cities, great-circle distances, propagation delay.
+//!
+//! Router-to-router propagation delay is derived from the great-circle
+//! distance between the cities hosting the routers, at the speed of light in
+//! fiber (~200 km/ms) with a path-stretch factor for non-ideal cable runs.
+//! This replaces the paper's implicit reliance on real geography (reverse
+//! DNS placed the Level(3) congestion in "Amsterdam, Berlin, Dublin,
+//! Frankfurt, London, Los Angeles, Miami, New York, Paris, Vienna, and
+//! Washington", §7.2).
+
+/// Index of a city in [`CITIES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CityId(pub u16);
+
+impl CityId {
+    /// As a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The city record.
+    pub fn info(self) -> &'static City {
+        &CITIES[self.idx()]
+    }
+}
+
+/// A city that can host routers, probes, and IXPs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// Short name (also used in reverse-DNS-style router labels).
+    pub name: &'static str,
+    /// Three-letter code used in labels (`"AMS"`, `"LHR"`, ...).
+    pub code: &'static str,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Region tag used by the topology builder to cluster connectivity.
+    pub region: Region,
+}
+
+/// Coarse world region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Europe.
+    Europe,
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Asia-Pacific.
+    AsiaPacific,
+    /// Middle East / Africa.
+    MiddleEastAfrica,
+}
+
+/// The world cities available to the topology builder.
+///
+/// The list intentionally includes every location named in the paper's case
+/// studies (Kansas City, St. Petersburg, Poznan, Frankfurt, Amsterdam,
+/// London, New York, Kuala Lumpur, ...).
+pub const CITIES: &[City] = &[
+    City { name: "Amsterdam", code: "AMS", lat: 52.37, lon: 4.90, region: Region::Europe },
+    City { name: "London", code: "LON", lat: 51.51, lon: -0.13, region: Region::Europe },
+    City { name: "Frankfurt", code: "FRA", lat: 50.11, lon: 8.68, region: Region::Europe },
+    City { name: "Paris", code: "PAR", lat: 48.86, lon: 2.35, region: Region::Europe },
+    City { name: "Zurich", code: "ZRH", lat: 47.38, lon: 8.54, region: Region::Europe },
+    City { name: "Munich", code: "MUC", lat: 48.14, lon: 11.58, region: Region::Europe },
+    City { name: "Vienna", code: "VIE", lat: 48.21, lon: 16.37, region: Region::Europe },
+    City { name: "Stockholm", code: "STO", lat: 59.33, lon: 18.07, region: Region::Europe },
+    City { name: "Poznan", code: "POZ", lat: 52.41, lon: 16.93, region: Region::Europe },
+    City { name: "Warsaw", code: "WAW", lat: 52.23, lon: 21.01, region: Region::Europe },
+    City { name: "Moscow", code: "MOW", lat: 55.76, lon: 37.62, region: Region::Europe },
+    City { name: "St. Petersburg", code: "LED", lat: 59.94, lon: 30.31, region: Region::Europe },
+    City { name: "Madrid", code: "MAD", lat: 40.42, lon: -3.70, region: Region::Europe },
+    City { name: "Milan", code: "MIL", lat: 45.46, lon: 9.19, region: Region::Europe },
+    City { name: "Dublin", code: "DUB", lat: 53.35, lon: -6.26, region: Region::Europe },
+    City { name: "Berlin", code: "BER", lat: 52.52, lon: 13.40, region: Region::Europe },
+    City { name: "New York", code: "NYC", lat: 40.71, lon: -74.01, region: Region::NorthAmerica },
+    City { name: "Washington", code: "WDC", lat: 38.91, lon: -77.04, region: Region::NorthAmerica },
+    City { name: "Miami", code: "MIA", lat: 25.76, lon: -80.19, region: Region::NorthAmerica },
+    City { name: "Chicago", code: "CHI", lat: 41.88, lon: -87.63, region: Region::NorthAmerica },
+    City { name: "Dallas", code: "DAL", lat: 32.78, lon: -96.80, region: Region::NorthAmerica },
+    City { name: "Kansas City", code: "MKC", lat: 39.10, lon: -94.58, region: Region::NorthAmerica },
+    City { name: "Los Angeles", code: "LAX", lat: 34.05, lon: -118.24, region: Region::NorthAmerica },
+    City { name: "San Jose", code: "SJC", lat: 37.34, lon: -121.89, region: Region::NorthAmerica },
+    City { name: "Seattle", code: "SEA", lat: 47.61, lon: -122.33, region: Region::NorthAmerica },
+    City { name: "Toronto", code: "YYZ", lat: 43.65, lon: -79.38, region: Region::NorthAmerica },
+    City { name: "Sao Paulo", code: "GRU", lat: -23.55, lon: -46.63, region: Region::SouthAmerica },
+    City { name: "Buenos Aires", code: "EZE", lat: -34.60, lon: -58.38, region: Region::SouthAmerica },
+    City { name: "Tokyo", code: "TYO", lat: 35.68, lon: 139.69, region: Region::AsiaPacific },
+    City { name: "Osaka", code: "OSA", lat: 34.69, lon: 135.50, region: Region::AsiaPacific },
+    City { name: "Seoul", code: "SEL", lat: 37.57, lon: 126.98, region: Region::AsiaPacific },
+    City { name: "Hong Kong", code: "HKG", lat: 22.32, lon: 114.17, region: Region::AsiaPacific },
+    City { name: "Singapore", code: "SIN", lat: 1.35, lon: 103.82, region: Region::AsiaPacific },
+    City { name: "Kuala Lumpur", code: "KUL", lat: 3.14, lon: 101.69, region: Region::AsiaPacific },
+    City { name: "Sydney", code: "SYD", lat: -33.87, lon: 151.21, region: Region::AsiaPacific },
+    City { name: "Mumbai", code: "BOM", lat: 19.08, lon: 72.88, region: Region::AsiaPacific },
+    City { name: "Dubai", code: "DXB", lat: 25.20, lon: 55.27, region: Region::MiddleEastAfrica },
+    City { name: "Johannesburg", code: "JNB", lat: -26.20, lon: 28.05, region: Region::MiddleEastAfrica },
+    City { name: "Nairobi", code: "NBO", lat: -1.29, lon: 36.82, region: Region::MiddleEastAfrica },
+    City { name: "Cairo", code: "CAI", lat: 30.04, lon: 31.24, region: Region::MiddleEastAfrica },
+];
+
+/// Mean Earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Signal speed in optical fiber, km per millisecond (~2/3 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Multiplier accounting for cable paths not following great circles.
+pub const PATH_STRETCH: f64 = 1.3;
+
+/// Great-circle distance between two cities (haversine), in km.
+pub fn distance_km(a: CityId, b: CityId) -> f64 {
+    let (ca, cb) = (a.info(), b.info());
+    let (lat1, lon1) = (ca.lat.to_radians(), ca.lon.to_radians());
+    let (lat2, lon2) = (cb.lat.to_radians(), cb.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// One-way propagation delay between two cities in milliseconds.
+///
+/// Same-city links get a small metro-fiber floor rather than zero.
+pub fn propagation_delay_ms(a: CityId, b: CityId) -> f64 {
+    let d = distance_km(a, b);
+    (d * PATH_STRETCH / FIBER_KM_PER_MS).max(0.05)
+}
+
+/// Find a city by its three-letter code.
+pub fn city_by_code(code: &str) -> Option<CityId> {
+    CITIES
+        .iter()
+        .position(|c| c.code == code)
+        .map(|i| CityId(i as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_lookup() {
+        let ams = city_by_code("AMS").unwrap();
+        assert_eq!(ams.info().name, "Amsterdam");
+        assert!(city_by_code("XXX").is_none());
+    }
+
+    #[test]
+    fn known_distances_are_plausible() {
+        // London–New York is ~5570 km.
+        let d = distance_km(city_by_code("LON").unwrap(), city_by_code("NYC").unwrap());
+        assert!((5400.0..5800.0).contains(&d), "LON-NYC {d} km");
+        // Amsterdam–Frankfurt is ~365 km.
+        let d2 = distance_km(city_by_code("AMS").unwrap(), city_by_code("FRA").unwrap());
+        assert!((300.0..450.0).contains(&d2), "AMS-FRA {d2} km");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = city_by_code("TYO").unwrap();
+        let b = city_by_code("SIN").unwrap();
+        assert!((distance_km(a, b) - distance_km(b, a)).abs() < 1e-9);
+        assert!(distance_km(a, a) < 1e-9);
+    }
+
+    #[test]
+    fn propagation_delay_scales() {
+        let lon = city_by_code("LON").unwrap();
+        let nyc = city_by_code("NYC").unwrap();
+        let syd = city_by_code("SYD").unwrap();
+        let transatlantic = propagation_delay_ms(lon, nyc);
+        // ~5570 km * 1.3 / 200 ≈ 36 ms one-way.
+        assert!((30.0..45.0).contains(&transatlantic), "{transatlantic} ms");
+        assert!(propagation_delay_ms(lon, syd) > transatlantic);
+        // Metro floor.
+        assert!(propagation_delay_ms(lon, lon) >= 0.05);
+    }
+
+    #[test]
+    fn all_paper_case_study_cities_present() {
+        for code in ["MKC", "LED", "POZ", "FRA", "AMS", "LON", "NYC", "KUL", "ZRH", "MUC"] {
+            assert!(city_by_code(code).is_some(), "missing {code}");
+        }
+    }
+}

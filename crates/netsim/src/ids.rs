@@ -1,0 +1,76 @@
+//! Dense index types for topology entities.
+//!
+//! ASes, routers, and links live in flat `Vec`s inside [`crate::Topology`];
+//! these newtypes keep the indices from being mixed up.
+
+use std::fmt;
+
+/// Index of an AS in the topology's AS table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsId(pub u32);
+
+/// Index of a router in the topology's router table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub u32);
+
+/// Index of a link in the topology's link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl AsId {
+    /// As a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RouterId {
+    /// As a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// As a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as#{}", self.0)
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r#{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_round_trip() {
+        assert_eq!(AsId(3).idx(), 3);
+        assert_eq!(RouterId(9).idx(), 9);
+        assert_eq!(LinkId(0).idx(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AsId(1).to_string(), "as#1");
+        assert_eq!(RouterId(2).to_string(), "r#2");
+        assert_eq!(LinkId(3).to_string(), "l#3");
+    }
+}

@@ -1,0 +1,47 @@
+//! # pinpoint-netsim
+//!
+//! A deterministic Internet simulator: the substrate the paper's methods are
+//! evaluated on. The real paper consumes eight months of RIPE Atlas
+//! traceroutes over the live Internet; neither is available offline, so this
+//! crate provides a synthetic Internet with *controlled ground truth* that
+//! produces the same traceroute-visible artifacts the detectors consume:
+//!
+//! * **Topology** ([`topology`]) — a seeded AS-level graph (tier-1 clique,
+//!   transit hierarchy, stub edge, IXP peering LANs) with one router per
+//!   (AS, city) and geographic propagation delays; IPv4 prefixes allocated
+//!   per AS and anycast services announced from multiple instances.
+//! * **Routing** ([`routing`]) — Gao–Rexford valley-free policy routing with
+//!   deterministic tie-breaks, hot-potato intra-AS forwarding over per-AS
+//!   Dijkstra, per-flow ECMP, and — crucially for the paper's Challenge 1 —
+//!   **independently computed return paths**, so round-trip times genuinely
+//!   mix forward and reverse path delays.
+//! * **Dynamics** ([`dynamics`]) — per-link utilization with diurnal
+//!   variation feeding an M/M/1-shaped queueing delay, RED-like loss, and a
+//!   per-packet noise model (log-normal body, Pareto slow-path spikes, rare
+//!   gross outliers) reproducing the statistical texture of real RTTs.
+//! * **Events** ([`events`]) — injectable ground-truth disruptions:
+//!   targeted congestion (the DDoS case study), BGP route leaks (the
+//!   Telekom Malaysia case study), IXP fabric outages (the AMS-IX case
+//!   study), and link failures.
+//! * **Engine** ([`network`]) — `Network::traceroute` answers Paris
+//!   traceroute queries at a given time as a *pure function* of the
+//!   scenario seed, so every experiment is exactly reproducible.
+//!
+//! Everything is synchronous and CPU-bound by design; queries are cheap and
+//! the engine is `Sync`, so harnesses can sweep scenarios across threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod events;
+pub mod geo;
+pub mod ids;
+pub mod network;
+pub mod routing;
+pub mod topology;
+
+pub use events::{EventSchedule, NetworkEvent};
+pub use ids::{AsId, LinkId, RouterId};
+pub use network::{Network, TraceHop, TraceOutcome};
+pub use topology::{builder::TopologyBuilder, builder::TopologyConfig, Topology};

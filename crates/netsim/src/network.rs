@@ -1,0 +1,555 @@
+//! The simulation engine: Paris traceroute queries against the topology.
+//!
+//! [`Network`] combines topology, routing, dynamics, and events; its
+//! [`Network::traceroute`] method answers measurement queries exactly the
+//! way the RIPE Atlas data behaves from the detector's point of view:
+//!
+//! * the **forward path** is the policy-routed, hot-potato-stitched router
+//!   sequence from the probe's gateway to the destination (anycast resolves
+//!   to the nearest instance);
+//! * every hop's **RTT** is forward one-way delay + ICMP generation +
+//!   **independently routed return-path** delay + per-packet noise — so
+//!   differential RTTs contain exactly the ε return-path term of Eq. 2/3;
+//! * **loss** applies per packet per link crossing (forward and return),
+//!   plus blackhole events; all-lost hops appear as `*`;
+//! * replies arriving over IXP LAN links carry the responder's LAN
+//!   interface address, mapping the hop to the IXP's ASN as in §7.3.
+//!
+//! All randomness is derived from `(seed, packet identity)`; queries are
+//! pure and the engine is `Sync`, so callers may parallelize sweeps.
+
+use crate::dynamics::{DelayModel, LossModel, NoiseModel};
+use crate::events::{EventSchedule, ResolvedSchedule};
+use crate::ids::{AsId, RouterId};
+use crate::routing::forwarding::{Forwarding, PathStitcher};
+use crate::routing::policy::{compute_routes, RouteTable};
+use crate::topology::{RouterKind, Topology};
+use parking_lot::RwLock;
+use pinpoint_model::SimTime;
+use pinpoint_stats::rng::derive_seed;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// One hop of a traceroute result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHop {
+    /// The router at this hop (ground truth — not visible to detectors).
+    pub router: RouterId,
+    /// Address the router answers with (`None` if it never responds).
+    pub ip: Option<Ipv4Addr>,
+    /// Per-packet RTT in ms; `None` = packet or reply lost.
+    pub rtts: Vec<Option<f64>>,
+}
+
+/// A complete traceroute answer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceOutcome {
+    /// Hops in TTL order, starting at the probe's gateway router.
+    pub hops: Vec<TraceHop>,
+    /// Whether the destination answered at the final hop.
+    pub reached: bool,
+}
+
+/// A traceroute request.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceQuery {
+    /// The probe's gateway router.
+    pub src: RouterId,
+    /// Destination address (unicast router/host or anycast service).
+    pub dst: Ipv4Addr,
+    /// Initiation time.
+    pub t: SimTime,
+    /// Paris flow identifier: constant per traceroute, varied across
+    /// traceroutes; drives ECMP choices deterministically.
+    pub flow: u64,
+    /// Packets per hop (Atlas sends 3).
+    pub packets_per_hop: usize,
+}
+
+/// The simulation engine.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    fwd: Forwarding,
+    delay: DelayModel,
+    loss: LossModel,
+    noise: NoiseModel,
+    schedule: ResolvedSchedule,
+    route_cache: RwLock<HashMap<(AsId, u64), Arc<RouteTable>>>,
+    seed: u64,
+    /// Probability that a router never answers traceroute (stable property).
+    pub silent_router_prob: f64,
+    /// Fixed probe access-network RTT contribution (ms).
+    pub access_rtt_ms: f64,
+}
+
+impl Network {
+    /// Build an engine with default dynamics models.
+    pub fn new(topo: Topology, seed: u64, schedule: &EventSchedule) -> Self {
+        let fwd = Forwarding::new(&topo);
+        let resolved = schedule.resolve(&topo);
+        Network {
+            fwd,
+            delay: DelayModel::new(derive_seed(seed, "delay")),
+            loss: LossModel::new(derive_seed(seed, "loss")),
+            noise: NoiseModel::new(derive_seed(seed, "noise")),
+            schedule: resolved,
+            route_cache: RwLock::new(HashMap::new()),
+            seed,
+            silent_router_prob: 0.02,
+            access_rtt_ms: 0.6,
+            topo,
+        }
+    }
+
+    /// Replace the delay model (scenario tuning).
+    pub fn set_delay_model(&mut self, m: DelayModel) {
+        self.delay = m;
+    }
+
+    /// Replace the loss model (scenario tuning).
+    pub fn set_loss_model(&mut self, m: LossModel) {
+        self.loss = m;
+    }
+
+    /// Replace the noise model (scenario tuning).
+    pub fn set_noise_model(&mut self, m: NoiseModel) {
+        self.noise = m;
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The resolved event schedule.
+    pub fn schedule(&self) -> &ResolvedSchedule {
+        &self.schedule
+    }
+
+    /// Whether a router is permanently traceroute-silent.
+    pub fn is_silent(&self, r: RouterId) -> bool {
+        if self.topo.router(r).kind == RouterKind::Server {
+            return false; // servers always answer
+        }
+        let h = derive_seed(self.seed ^ (r.0 as u64) << 20, "silent");
+        (h as f64 / u64::MAX as f64) < self.silent_router_prob
+    }
+
+    /// Route table towards `dest_as` at time `t` (cached per epoch).
+    pub fn routes_to(&self, dest_as: AsId, t: SimTime) -> Arc<RouteTable> {
+        let epoch = self.schedule.routing_epoch(t);
+        if let Some(table) = self.route_cache.read().get(&(dest_as, epoch)) {
+            return table.clone();
+        }
+        let dest_asn = self.topo.asn(dest_as).asn;
+        let leaks = self.schedule.active_leaks(t, dest_asn);
+        let table = Arc::new(compute_routes(&self.topo, dest_as, &leaks, self.seed));
+        self.route_cache
+            .write()
+            .insert((dest_as, epoch), table.clone());
+        table
+    }
+
+    /// Resolve a destination address to `(dest AS, unicast target)`.
+    ///
+    /// Anycast services return `None` as target (the stitcher picks the
+    /// island server).
+    pub fn resolve_destination(&self, dst: Ipv4Addr) -> Option<(AsId, Option<RouterId>)> {
+        if let Some(&svc) = self.topo.service_by_addr.get(&dst) {
+            return Some((self.topo.services[svc].operator, None));
+        }
+        if let Some(&r) = self.topo.router_by_ip.get(&dst) {
+            return Some((self.topo.router(r).as_id, Some(r)));
+        }
+        None
+    }
+
+    /// The forward router path for a query, if one exists.
+    pub fn forward_path(&self, q: &TraceQuery) -> Option<Vec<RouterId>> {
+        let (dest_as, target) = self.resolve_destination(q.dst)?;
+        let table = self.routes_to(dest_as, q.t);
+        let stitcher = PathStitcher::new(&self.topo, &self.fwd);
+        stitcher.route(q.src, &table, target, q.flow)
+    }
+
+    /// One-way delay along a router path at `t` (ms), queueing included.
+    pub fn one_way_delay_ms(&self, path: &[RouterId], t: SimTime) -> f64 {
+        path.windows(2)
+            .map(|w| {
+                match self.topo.link_between_routers(w[0], w[1]) {
+                    Some(l) => {
+                        let extra = self.schedule.extra_util(l.id, t);
+                        self.delay.link_delay_ms(l, t, extra)
+                    }
+                    None => 0.0,
+                }
+            })
+            .sum()
+    }
+
+    /// Whether a packet survives all link crossings of `path` at `t`.
+    fn survives(&self, path: &[RouterId], t: SimTime, flow: u64, salt: u64) -> bool {
+        for (pos, w) in path.windows(2).enumerate() {
+            let Some(l) = self.topo.link_between_routers(w[0], w[1]) else {
+                continue;
+            };
+            let extra = self.schedule.extra_util(l.id, t);
+            let u = self.delay.utilization(l.id, t, extra);
+            let forced = self.schedule.forced_loss(l.id, t);
+            let p = self.loss.loss_probability(u, forced);
+            if self
+                .loss
+                .drops(l.id, t, flow, salt.wrapping_add(pos as u64) << 1, p)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The return router path from `responder` back to the probe gateway.
+    fn return_path(
+        &self,
+        responder: RouterId,
+        probe_gateway: RouterId,
+        t: SimTime,
+        flow: u64,
+    ) -> Option<Vec<RouterId>> {
+        let probe_as = self.topo.router(probe_gateway).as_id;
+        let table = self.routes_to(probe_as, t);
+        let stitcher = PathStitcher::new(&self.topo, &self.fwd);
+        // Replies are a different 5-tuple: derive a per-responder flow so
+        // return ECMP is independent of the forward choice but stable.
+        let rflow = flow ^ (responder.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        stitcher.route(responder, &table, Some(probe_gateway), rflow)
+    }
+
+    /// Execute a Paris traceroute.
+    pub fn traceroute(&self, q: &TraceQuery) -> TraceOutcome {
+        let Some(fpath) = self.forward_path(q) else {
+            return TraceOutcome::default();
+        };
+        let mut hops = Vec::with_capacity(fpath.len());
+        let mut reached = false;
+
+        // Cumulative forward delay to each hop, evaluated once.
+        let mut cum_fwd = Vec::with_capacity(fpath.len());
+        let mut acc = 0.0;
+        cum_fwd.push(0.0);
+        for w in fpath.windows(2) {
+            if let Some(l) = self.topo.link_between_routers(w[0], w[1]) {
+                let extra = self.schedule.extra_util(l.id, q.t);
+                acc += self.delay.link_delay_ms(l, q.t, extra);
+            }
+            cum_fwd.push(acc);
+        }
+
+        for (h, &router) in fpath.iter().enumerate() {
+            let is_dest = h == fpath.len() - 1;
+            let silent = self.is_silent(router) && !is_dest;
+            let arrival = if h == 0 {
+                None
+            } else {
+                self.topo.link_between_routers(fpath[h - 1], router)
+            };
+            let response_ip = self.topo.router(router).response_ip(arrival);
+
+            // The return path is per-responder, shared by the hop's packets.
+            let rpath = if silent {
+                None
+            } else {
+                self.return_path(router, q.src, q.t, q.flow)
+            };
+            let ret_delay = rpath
+                .as_ref()
+                .map(|p| self.one_way_delay_ms(p, q.t));
+
+            let mut rtts = Vec::with_capacity(q.packets_per_hop);
+            for k in 0..q.packets_per_hop {
+                let salt = ((h as u64) << 24) ^ ((k as u64) << 8);
+                // Forward leg: the probe packet must reach hop h.
+                let fwd_ok = self.survives(&fpath[..=h], q.t, q.flow, salt);
+                // Reply leg: the ICMP must make it back.
+                let reply_ok = match (&rpath, fwd_ok, silent) {
+                    (_, false, _) | (_, _, true) | (None, _, _) => false,
+                    (Some(rp), true, false) => {
+                        self.survives(rp, q.t, q.flow, salt ^ 0x5A5A_5A5A)
+                    }
+                };
+                if reply_ok {
+                    let noise =
+                        self.noise
+                            .rtt_noise_ms(router, q.t, q.flow, (h * 8 + k) as u64);
+                    let rtt = cum_fwd[h]
+                        + ret_delay.unwrap_or(0.0)
+                        + self.access_rtt_ms
+                        + noise;
+                    rtts.push(Some(rtt));
+                    if is_dest {
+                        reached = true;
+                    }
+                } else {
+                    rtts.push(None);
+                }
+            }
+            let any_response = rtts.iter().any(Option::is_some);
+            hops.push(TraceHop {
+                router,
+                ip: if silent || !any_response {
+                    if silent {
+                        None
+                    } else {
+                        // Responsive router whose packets all got lost this
+                        // time still has a known address, but traceroute
+                        // cannot see it: report None.
+                        None
+                    }
+                } else {
+                    Some(response_ip)
+                },
+                rtts,
+            });
+        }
+        TraceOutcome { hops, reached }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{LinkSelector, NetworkEvent};
+    use crate::topology::builder::TopologyConfig;
+    use pinpoint_model::Asn;
+
+    fn quiet_network() -> Network {
+        let topo = TopologyConfig::default().build();
+        Network::new(topo, 11, &EventSchedule::new())
+    }
+
+    fn pick_src_dst(net: &Network) -> (RouterId, Ipv4Addr) {
+        let stubs: Vec<_> = net.topology().stub_ases().collect();
+        let src = stubs[0].routers[0];
+        let dst = net.topology().router(stubs[stubs.len() - 1].routers[0]).ip;
+        (src, dst)
+    }
+
+    #[test]
+    fn traceroute_reaches_unicast_destination() {
+        let net = quiet_network();
+        let (src, dst) = pick_src_dst(&net);
+        let out = net.traceroute(&TraceQuery {
+            src,
+            dst,
+            t: SimTime::from_hours(5),
+            flow: 77,
+            packets_per_hop: 3,
+        });
+        assert!(out.hops.len() >= 3, "path too short: {}", out.hops.len());
+        assert!(out.reached, "destination not reached");
+        let last = out.hops.last().unwrap();
+        assert_eq!(last.ip, Some(dst));
+        // Every hop carries exactly 3 reply slots.
+        assert!(out.hops.iter().all(|h| h.rtts.len() == 3));
+    }
+
+    #[test]
+    fn rtts_increase_with_distance_modulo_asymmetry() {
+        // RTTs are not strictly monotone (return paths differ per hop), but
+        // the destination RTT must exceed the first hop's.
+        let net = quiet_network();
+        let (src, dst) = pick_src_dst(&net);
+        let out = net.traceroute(&TraceQuery {
+            src,
+            dst,
+            t: SimTime::from_hours(3),
+            flow: 5,
+            packets_per_hop: 3,
+        });
+        let first = out.hops.first().unwrap().rtts[0];
+        let last = out.hops.last().unwrap().rtts.iter().flatten().next();
+        if let (Some(f), Some(&l)) = (first, last) {
+            assert!(l > f, "far RTT {l} <= near RTT {f}");
+        }
+    }
+
+    #[test]
+    fn traceroute_is_deterministic() {
+        let net = quiet_network();
+        let (src, dst) = pick_src_dst(&net);
+        let q = TraceQuery {
+            src,
+            dst,
+            t: SimTime::from_hours(9),
+            flow: 123,
+            packets_per_hop: 3,
+        };
+        assert_eq!(net.traceroute(&q), net.traceroute(&q));
+    }
+
+    #[test]
+    fn unknown_destination_yields_empty() {
+        let net = quiet_network();
+        let (src, _) = pick_src_dst(&net);
+        let out = net.traceroute(&TraceQuery {
+            src,
+            dst: "203.0.113.77".parse().unwrap(),
+            t: SimTime::ZERO,
+            flow: 1,
+            packets_per_hop: 3,
+        });
+        assert!(out.hops.is_empty());
+        assert!(!out.reached);
+    }
+
+    #[test]
+    fn congestion_event_raises_rtt_beyond_event_window() {
+        let net_topo = TopologyConfig::default().build();
+        let stubs: Vec<_> = net_topo.stub_ases().map(|a| (a.id, a.asn)).collect();
+        let (dst_as, dst_asn) = stubs[stubs.len() - 1];
+        let dst_router = net_topo.asn(dst_as).routers[0];
+        let dst_ip = net_topo.router(dst_router).ip;
+        let src = net_topo.asn(stubs[0].0).routers[0];
+        let schedule = EventSchedule::new().with(NetworkEvent::Congestion {
+            selector: LinkSelector::WithinAs(dst_asn),
+            start: SimTime::from_hours(10),
+            end: SimTime::from_hours(12),
+            extra_util: 0.58,
+        });
+        let net = Network::new(net_topo, 11, &schedule);
+        let rtt_at = |h: u64| {
+            let out = net.traceroute(&TraceQuery {
+                src,
+                dst: dst_ip,
+                t: SimTime::from_hours(h),
+                flow: 9,
+                packets_per_hop: 3,
+            });
+            out.hops
+                .last()
+                .and_then(|hop| hop.rtts.iter().flatten().next().copied())
+        };
+        // Compare medians of a few flows to smooth noise.
+        let quiet = rtt_at(8);
+        let busy = rtt_at(11);
+        if let (Some(q), Some(b)) = (quiet, busy) {
+            assert!(b > q + 3.0, "congestion invisible: {q} vs {b}");
+        } else {
+            panic!("missing rtts: {quiet:?} {busy:?}");
+        }
+    }
+
+    #[test]
+    fn link_failure_blackholes_downstream_hops() {
+        let topo = TopologyConfig::default().build();
+        let stubs: Vec<_> = topo.stub_ases().map(|a| a.id).collect();
+        let dst_as = stubs[stubs.len() - 1];
+        let dst_router = topo.asn(dst_as).routers[0];
+        let dst_ip = topo.router(dst_router).ip;
+        let src = topo.asn(stubs[0]).routers[0];
+        // Fail the destination stub's uplink(s).
+        let dst_asn = topo.asn(dst_as).asn;
+        let provider_asn = topo.asn(topo.asn(dst_as).providers[0]).asn;
+        let schedule = EventSchedule::new().with(NetworkEvent::LinkFailure {
+            selector: LinkSelector::Between(dst_asn, provider_asn),
+            start: SimTime::from_hours(1),
+            end: SimTime::from_hours(2),
+        });
+        let net = Network::new(topo, 13, &schedule);
+        let q = |h: u64| {
+            net.traceroute(&TraceQuery {
+                src,
+                dst: dst_ip,
+                t: SimTime::from_hours(h),
+                flow: 3,
+                packets_per_hop: 3,
+            })
+        };
+        let before = q(0);
+        let during = q(1);
+        // If the path crosses the failed link (single-homed stub), the
+        // destination becomes unreachable during the failure.
+        if before.reached && net.topology().asn(dst_as).providers.len() == 1 {
+            assert!(!during.reached, "blackhole had no effect");
+            // The last hops must be all-timeout.
+            let last = during.hops.last().unwrap();
+            assert!(last.rtts.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn anycast_goes_to_nearby_instance() {
+        use crate::geo::city_by_code;
+        use crate::topology::builder::TopologyBuilder;
+        use crate::topology::{AsTier, CapacityClass};
+        // Build a world with two anycast instances (AMS, TYO) and two
+        // stubs, one in Europe and one in Asia.
+        let mut b = TopologyBuilder::new(21);
+        let ams = city_by_code("AMS").unwrap();
+        let tyo = city_by_code("TYO").unwrap();
+        let t_eu = b.add_as(Asn(100), "transit-eu", AsTier::Transit);
+        b.add_router(t_eu, ams);
+        let t_ap = b.add_as(Asn(200), "transit-ap", AsTier::Transit);
+        b.add_router(t_ap, tyo);
+        b.peer_private(t_eu, t_ap, 1, CapacityClass::Backbone);
+        let op = b.add_as(Asn(25152), "root-ops", AsTier::AnycastOp);
+        let svc = b.add_anycast_service(op, "K-root");
+        let (e1, _s1) = b.add_anycast_instance(svc, ams);
+        let (e2, _s2) = b.add_anycast_instance(svc, tyo);
+        b.provider_customer(t_eu, op, 1);
+        b.provider_customer(t_ap, op, 1);
+        let s_eu = b.add_as(Asn(300), "edge-eu", AsTier::Stub);
+        b.add_router(s_eu, ams);
+        b.provider_customer(t_eu, s_eu, 1);
+        let s_ap = b.add_as(Asn(400), "edge-ap", AsTier::Stub);
+        b.add_router(s_ap, tyo);
+        b.provider_customer(t_ap, s_ap, 1);
+        let svc_addr = b.topology().services[svc].addr;
+        let eu_gw = b.topology().asn(s_eu).routers[0];
+        let ap_gw = b.topology().asn(s_ap).routers[0];
+        let topo = b.build();
+        let net = Network::new(topo, 17, &EventSchedule::new());
+
+        let trace = |src| {
+            net.traceroute(&TraceQuery {
+                src,
+                dst: svc_addr,
+                t: SimTime::from_hours(1),
+                flow: 2,
+                packets_per_hop: 3,
+            })
+        };
+        let eu = trace(eu_gw);
+        let ap = trace(ap_gw);
+        assert!(eu.reached && ap.reached);
+        // Both reach the same service address...
+        assert_eq!(eu.hops.last().unwrap().ip, Some(svc_addr));
+        assert_eq!(ap.hops.last().unwrap().ip, Some(svc_addr));
+        // ...but via different instances (different penultimate routers and
+        // very different RTTs).
+        let eu_pen = eu.hops[eu.hops.len() - 2].router;
+        let ap_pen = ap.hops[ap.hops.len() - 2].router;
+        assert_ne!(eu_pen, ap_pen, "both probes hit the same instance");
+        assert_eq!(net.topology().router(eu_pen).id, e1);
+        assert_eq!(net.topology().router(ap_pen).id, e2);
+        let eu_rtt = eu.hops.last().unwrap().rtts[0].unwrap();
+        let ap_rtt = ap.hops.last().unwrap().rtts[0].unwrap();
+        assert!(eu_rtt < 30.0, "EU probe took a detour: {eu_rtt} ms");
+        assert!(ap_rtt < 30.0, "AP probe took a detour: {ap_rtt} ms");
+    }
+
+    #[test]
+    fn silent_routers_exist_and_are_stable() {
+        let mut net = quiet_network();
+        net.silent_router_prob = 0.3;
+        let silent_count = (0..net.topology().routers.len())
+            .filter(|&i| net.is_silent(RouterId(i as u32)))
+            .count();
+        assert!(silent_count > 0, "no silent routers at 30%");
+        for i in 0..net.topology().routers.len() {
+            let r = RouterId(i as u32);
+            assert_eq!(net.is_silent(r), net.is_silent(r));
+        }
+    }
+}

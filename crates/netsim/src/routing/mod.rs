@@ -1,0 +1,25 @@
+//! Routing: AS-level policy routes and router-level forwarding.
+//!
+//! Two layers, mirroring reality:
+//!
+//! * [`policy`] computes **AS-level** best routes per destination AS under
+//!   Gao–Rexford export rules (customer > peer > provider, then shortest
+//!   path, then a deterministic per-destination tie-break). Route leaks are
+//!   first-class: a leaker AS re-exporting a provider/peer route to another
+//!   provider, which imports it as a (preferred) customer route — the
+//!   Telekom Malaysia incident of §7.2.
+//! * [`forwarding`] stitches **router-level** paths: hot-potato exit
+//!   selection with per-flow ECMP across near-equal interconnects, and
+//!   shortest-path (Dijkstra) forwarding inside each AS.
+//!
+//! Forward and return paths are computed independently — the probe's
+//! round-trip to hop X uses `route(probe_as → dest)` outbound and
+//! `route(X_as → probe_as)` for the reply, which is what makes differential
+//! RTTs contain the return-path error term ε the paper's method is designed
+//! to cancel (§4.1).
+
+pub mod forwarding;
+pub mod policy;
+
+pub use forwarding::{Forwarding, PathStitcher};
+pub use policy::{compute_routes, LeakSpec, RouteClass, RouteEntry, RouteTable};

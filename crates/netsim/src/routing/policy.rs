@@ -1,0 +1,417 @@
+//! Gao–Rexford valley-free route computation with route-leak support.
+//!
+//! For one destination AS, every other AS gets at most one best route,
+//! selected by: route class (customer > peer > provider), then AS-path
+//! length, then a deterministic per-(destination, chooser, neighbor) hash.
+//! The hash tie-break stands in for the myriad arbitrary tie-breaks of real
+//! BGP (router IDs, IGP distances) and gives the simulated Internet
+//! per-destination path diversity — important for return-path asymmetry.
+//!
+//! Export rules (Gao–Rexford):
+//! * routes are exported to **customers** unconditionally;
+//! * routes are exported to **peers and providers** only if learned from a
+//!   customer (or originated).
+//!
+//! A [`LeakSpec`] suspends the second rule for one (leaker, upstream) pair:
+//! the leaker re-exports *everything* to that upstream, which — believing
+//! the leaker is an ordinary customer — imports the routes at customer
+//! preference and propagates them widely. This reproduces the §7.2 incident
+//! mechanics.
+
+use crate::ids::AsId;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Preference class of a route, ordered from most to least preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// The destination itself.
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+/// A selected best route at one AS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteEntry {
+    /// Preference class.
+    pub class: RouteClass,
+    /// AS-path length to the destination (0 at the origin).
+    pub path_len: u32,
+    /// Next AS towards the destination (`None` at the origin).
+    pub next_hop: Option<AsId>,
+    /// Deterministic tie-break key (lower wins).
+    tie: u64,
+}
+
+impl RouteEntry {
+    fn rank(&self) -> (u8, u32, u64) {
+        let class = match self.class {
+            RouteClass::Origin => 0,
+            RouteClass::Customer => 1,
+            RouteClass::Peer => 2,
+            RouteClass::Provider => 3,
+        };
+        (class, self.path_len, self.tie)
+    }
+}
+
+/// A route leak: `leaker` re-exports all routes to `upstream`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakSpec {
+    /// The AS leaking routes (Telekom Malaysia in the paper's case study).
+    pub leaker: AsId,
+    /// The provider accepting them (Level3 Global Crossing).
+    pub upstream: AsId,
+}
+
+/// Best routes of every AS towards one destination AS.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// The destination.
+    pub dest: AsId,
+    entries: Vec<Option<RouteEntry>>,
+}
+
+impl RouteTable {
+    /// Best route at `from`, if the destination is reachable.
+    pub fn entry(&self, from: AsId) -> Option<&RouteEntry> {
+        self.entries[from.idx()].as_ref()
+    }
+
+    /// The AS-level path from `from` to the destination (inclusive of both
+    /// ends). `None` if unreachable.
+    pub fn as_path(&self, from: AsId) -> Option<Vec<AsId>> {
+        let mut path = vec![from];
+        let mut cur = from;
+        // Recorded path lengths strictly decrease along next-hop chains, so
+        // the walk terminates; the bound is a belt-and-braces guard.
+        for _ in 0..=self.entries.len() {
+            let e = self.entries[cur.idx()].as_ref()?;
+            match e.next_hop {
+                None => return Some(path),
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of ASes with a route.
+    pub fn reachable_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+fn mix(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .rotate_left(23)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(c)
+        .rotate_left(31)
+        .wrapping_add(d);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 32)
+}
+
+/// Compute the route table for `dest` under optional leaks.
+///
+/// `salt` perturbs tie-breaks only; scenarios use the topology seed so that
+/// routing is stable across runs.
+pub fn compute_routes(
+    topo: &Topology,
+    dest: AsId,
+    leaks: &[LeakSpec],
+    salt: u64,
+) -> RouteTable {
+    let n = topo.ases.len();
+    let mut entries: Vec<Option<RouteEntry>> = vec![None; n];
+    entries[dest.idx()] = Some(RouteEntry {
+        class: RouteClass::Origin,
+        path_len: 0,
+        next_hop: None,
+        tie: 0,
+    });
+
+    let mut queue: VecDeque<AsId> = VecDeque::new();
+    let mut queued = vec![false; n];
+    queue.push_back(dest);
+    queued[dest.idx()] = true;
+
+    while let Some(a) = queue.pop_front() {
+        queued[a.idx()] = false;
+        let route_a = match entries[a.idx()] {
+            Some(r) => r,
+            None => continue,
+        };
+        let from_customer_or_origin =
+            matches!(route_a.class, RouteClass::Origin | RouteClass::Customer);
+        let node = topo.asn(a);
+
+        // Collect (neighbor, class-at-neighbor) export targets.
+        let mut targets: Vec<(AsId, RouteClass)> = Vec::new();
+        // To customers: always. The customer imports it as a provider route.
+        for &c in &node.customers {
+            targets.push((c, RouteClass::Provider));
+        }
+        if from_customer_or_origin {
+            for &p in &node.peers {
+                targets.push((p, RouteClass::Peer));
+            }
+            for &p in &node.providers {
+                targets.push((p, RouteClass::Customer));
+            }
+        }
+        // Leaks: `a` exports everything to the designated upstream, which
+        // imports at customer preference.
+        for leak in leaks {
+            if leak.leaker == a && !from_customer_or_origin {
+                targets.push((leak.upstream, RouteClass::Customer));
+            }
+        }
+
+        for (nbr, class) in targets {
+            // An AS never imports a route whose path already contains it —
+            // here that can only be the immediate re-import, since recorded
+            // lengths strictly decrease along next-hop chains.
+            if route_a.next_hop == Some(nbr) {
+                continue;
+            }
+            let candidate = RouteEntry {
+                class,
+                path_len: route_a.path_len + 1,
+                next_hop: Some(a),
+                tie: mix(salt, dest.0 as u64, nbr.0 as u64, a.0 as u64) >> 16,
+            };
+            let better = match &entries[nbr.idx()] {
+                None => true,
+                Some(cur) => candidate.rank() < cur.rank(),
+            };
+            if better {
+                entries[nbr.idx()] = Some(candidate);
+                if !queued[nbr.idx()] {
+                    queue.push_back(nbr);
+                    queued[nbr.idx()] = true;
+                }
+            }
+        }
+    }
+
+    RouteTable { dest, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::builder::{TopologyBuilder, TopologyConfig};
+    use crate::topology::{AsTier, CapacityClass};
+    use crate::geo::city_by_code;
+    use pinpoint_model::Asn;
+
+    /// A hand-built diamond: two tier-1 peers on top, a transit under each,
+    /// stubs at the bottom.
+    fn diamond() -> (Topology, Vec<AsId>) {
+        let mut b = TopologyBuilder::new(42);
+        let lon = city_by_code("LON").unwrap();
+        let nyc = city_by_code("NYC").unwrap();
+        let fra = city_by_code("FRA").unwrap();
+        let t1a = b.add_as(Asn(100), "t1a", AsTier::Tier1);
+        let t1b = b.add_as(Asn(200), "t1b", AsTier::Tier1);
+        b.add_router(t1a, lon);
+        b.add_router(t1a, nyc);
+        b.mesh_intra_as(t1a, 0.0);
+        b.add_router(t1b, lon);
+        b.add_router(t1b, nyc);
+        b.mesh_intra_as(t1b, 0.0);
+        b.peer_private(t1a, t1b, 1, CapacityClass::Backbone);
+        let ta = b.add_as(Asn(300), "ta", AsTier::Transit);
+        b.add_router(ta, lon);
+        b.add_router(ta, fra);
+        b.mesh_intra_as(ta, 0.0);
+        let tb = b.add_as(Asn(400), "tb", AsTier::Transit);
+        b.add_router(tb, nyc);
+        b.provider_customer(t1a, ta, 1);
+        b.provider_customer(t1b, tb, 1);
+        let sa = b.add_as(Asn(500), "sa", AsTier::Stub);
+        b.add_router(sa, fra);
+        b.provider_customer(ta, sa, 1);
+        let sb = b.add_as(Asn(600), "sb", AsTier::Stub);
+        b.add_router(sb, nyc);
+        b.provider_customer(tb, sb, 1);
+        let ids = vec![t1a, t1b, ta, tb, sa, sb];
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn stub_to_stub_goes_over_the_top() {
+        let (topo, ids) = diamond();
+        let (sa, sb) = (ids[4], ids[5]);
+        let table = compute_routes(&topo, sb, &[], 7);
+        let path = table.as_path(sa).unwrap();
+        // sa → ta → t1a → t1b → tb → sb (up, across the peer edge, down).
+        assert_eq!(path.len(), 6);
+        assert_eq!(path[0], sa);
+        assert_eq!(*path.last().unwrap(), sb);
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer() {
+        let (topo, ids) = diamond();
+        let (t1a, ta) = (ids[0], ids[2]);
+        // From t1a's perspective, ta (its customer subtree) must be reached
+        // via the customer edge, not any peer detour.
+        let table = compute_routes(&topo, ta, &[], 7);
+        let e = table.entry(t1a).unwrap();
+        assert_eq!(e.class, RouteClass::Customer);
+        assert_eq!(e.path_len, 1);
+    }
+
+    #[test]
+    fn origin_entry_is_origin() {
+        let (topo, ids) = diamond();
+        let table = compute_routes(&topo, ids[5], &[], 7);
+        let e = table.entry(ids[5]).unwrap();
+        assert_eq!(e.class, RouteClass::Origin);
+        assert_eq!(e.path_len, 0);
+        assert_eq!(e.next_hop, None);
+    }
+
+    #[test]
+    fn all_reachable_in_connected_hierarchy() {
+        let (topo, ids) = diamond();
+        for &dest in &ids {
+            let table = compute_routes(&topo, dest, &[], 7);
+            assert_eq!(table.reachable_count(), topo.ases.len(), "dest {dest}");
+        }
+    }
+
+    fn is_valley_free(topo: &Topology, path: &[AsId]) -> bool {
+        // Classify each edge walked from source towards destination:
+        // up (towards provider), across (peer), down (towards customer).
+        // Valid: up* across? down*.
+        #[derive(PartialEq, PartialOrd)]
+        enum Phase {
+            Up,
+            Across,
+            Down,
+        }
+        let mut phase = Phase::Up;
+        for w in path.windows(2) {
+            let (x, y) = (topo.asn(w[0]), w[1]);
+            let step = if x.providers.contains(&y) {
+                Phase::Up
+            } else if x.peers.contains(&y) {
+                Phase::Across
+            } else if x.customers.contains(&y) {
+                Phase::Down
+            } else {
+                return false; // no relationship at all
+            };
+            if step < phase {
+                return false;
+            }
+            // `Across` may appear at most once.
+            phase = if step == Phase::Across { Phase::Down } else { step };
+        }
+        true
+    }
+
+    #[test]
+    fn generated_topology_paths_are_valley_free_and_loop_free() {
+        let topo = TopologyConfig::default().build();
+        let stubs: Vec<AsId> = topo.stub_ases().map(|a| a.id).collect();
+        let mut checked = 0;
+        for &dest in stubs.iter().take(6) {
+            let table = compute_routes(&topo, dest, &[], 99);
+            for src in topo.ases.iter().map(|a| a.id) {
+                if let Some(path) = table.as_path(src) {
+                    let mut seen = std::collections::HashSet::new();
+                    assert!(path.iter().all(|a| seen.insert(*a)), "loop in {path:?}");
+                    assert!(is_valley_free(&topo, &path), "valley in {path:?}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "only {checked} paths checked");
+    }
+
+    #[test]
+    fn route_leak_attracts_traffic() {
+        // t1a ── t1b        leak: `leaker` (customer of ta and tb)
+        //  |       |          re-exports everything to tb.
+        //  ta      tb
+        //   \     /
+        //   leaker
+        // Destination: sa (customer of ta). Without the leak, tb reaches sa
+        // via its provider t1b (provider route). With the leak, tb hears sa
+        // from its customer `leaker` and prefers that customer route.
+        let mut b = TopologyBuilder::new(5);
+        let lon = city_by_code("LON").unwrap();
+        let kul = city_by_code("KUL").unwrap();
+        let fra = city_by_code("FRA").unwrap();
+        let t1a = b.add_as(Asn(100), "t1a", AsTier::Tier1);
+        b.add_router(t1a, lon);
+        let t1b = b.add_as(Asn(200), "t1b", AsTier::Tier1);
+        b.add_router(t1b, lon);
+        b.peer_private(t1a, t1b, 1, CapacityClass::Backbone);
+        let ta = b.add_as(Asn(300), "ta", AsTier::Transit);
+        b.add_router(ta, lon);
+        b.provider_customer(t1a, ta, 1);
+        let tb = b.add_as(Asn(3549), "tb", AsTier::Transit);
+        b.add_router(tb, lon);
+        b.provider_customer(t1b, tb, 1);
+        let leaker = b.add_as(Asn(4788), "leaker", AsTier::Transit);
+        b.add_router(leaker, kul);
+        b.provider_customer(ta, leaker, 1);
+        b.provider_customer(tb, leaker, 1);
+        let sa = b.add_as(Asn(500), "sa", AsTier::Stub);
+        b.add_router(sa, fra);
+        b.provider_customer(ta, sa, 1);
+        let topo = b.build();
+
+        let clean = compute_routes(&topo, sa, &[], 1);
+        let e = clean.entry(tb).unwrap();
+        assert_eq!(e.class, RouteClass::Provider);
+        assert_eq!(clean.as_path(tb).unwrap(), vec![tb, t1b, t1a, ta, sa]);
+
+        let leaked = compute_routes(
+            &topo,
+            sa,
+            &[LeakSpec {
+                leaker,
+                upstream: tb,
+            }],
+            1,
+        );
+        let e = leaked.entry(tb).unwrap();
+        assert_eq!(e.class, RouteClass::Customer, "leak not preferred");
+        assert_eq!(leaked.as_path(tb).unwrap(), vec![tb, leaker, ta, sa]);
+        // And the leak propagates: t1b now also hears the customer route
+        // from tb and sends traffic down through the leaker.
+        assert_eq!(
+            leaked.as_path(t1b).unwrap(),
+            vec![t1b, tb, leaker, ta, sa],
+            "upstream did not re-export the leak"
+        );
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let topo = TopologyConfig::default().build();
+        let dest = topo.stub_ases().next().unwrap().id;
+        let t1 = compute_routes(&topo, dest, &[], 42);
+        let t2 = compute_routes(&topo, dest, &[], 42);
+        for a in topo.ases.iter().map(|a| a.id) {
+            assert_eq!(t1.as_path(a), t2.as_path(a));
+        }
+    }
+}

@@ -1,0 +1,740 @@
+//! Topology construction: low-level primitives plus a seeded generator.
+//!
+//! Scenarios combine both: the case-study ASes (Level3, the K-root
+//! operator, an AMS-IX-like fabric, a leaking regional ISP) are laid out
+//! explicitly with the primitives, then [`TopologyConfig::build`]-style
+//! background ASes fill in the Internet around them.
+
+use super::{
+    AnycastInstance, AnycastService, AsNode, AsTier, CapacityClass, Link, LinkKind, Relationship,
+    Router, RouterKind, Topology,
+};
+use crate::geo::{self, CityId, Region, CITIES};
+use crate::ids::{AsId, LinkId, RouterId};
+use pinpoint_model::{Asn, Prefix};
+use pinpoint_stats::rng::{derive_seed, SplitMix64};
+use std::net::Ipv4Addr;
+
+/// Incremental topology builder.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    rng: SplitMix64,
+    next_block: u32,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology; `seed` drives every random choice.
+    pub fn new(seed: u64) -> Self {
+        TopologyBuilder {
+            topo: Topology::default(),
+            rng: SplitMix64::new(derive_seed(seed, "topology-builder")),
+            next_block: 0,
+        }
+    }
+
+    /// Allocate the next /16 from the private build space (16.0.0.0 up).
+    fn alloc_prefix(&mut self, len: u8) -> Prefix {
+        let base = 16u32 << 24;
+        let net = base + (self.next_block << 16);
+        self.next_block += 1;
+        Prefix::new(Ipv4Addr::from(net), len)
+    }
+
+    /// Add an AS. IXP-LAN ASes receive a /21; everyone else a /16.
+    pub fn add_as(&mut self, asn: Asn, name: &str, tier: AsTier) -> AsId {
+        assert!(
+            !self.topo.as_by_asn.contains_key(&asn),
+            "duplicate ASN {asn}"
+        );
+        let id = AsId(self.topo.ases.len() as u32);
+        let len = if tier == AsTier::IxpLan { 21 } else { 16 };
+        let prefix = self.alloc_prefix(len);
+        self.topo.prefixes.insert(prefix, id);
+        self.topo.as_by_asn.insert(asn, id);
+        self.topo.ases.push(AsNode {
+            id,
+            asn,
+            name: name.to_string(),
+            tier,
+            prefix,
+            routers: Vec::new(),
+            providers: Vec::new(),
+            customers: Vec::new(),
+            peers: Vec::new(),
+            multi_island: tier == AsTier::AnycastOp,
+        });
+        id
+    }
+
+    /// Add a router for `as_id` in `city`. The primary IP is the next host
+    /// address in the AS prefix.
+    pub fn add_router(&mut self, as_id: AsId, city: CityId) -> RouterId {
+        self.add_router_kind(as_id, city, RouterKind::Core)
+    }
+
+    fn add_router_kind(&mut self, as_id: AsId, city: CityId, kind: RouterKind) -> RouterId {
+        let id = RouterId(self.topo.routers.len() as u32);
+        let asn = &self.topo.ases[as_id.idx()];
+        let host_idx = asn.routers.len() as u64 + 1;
+        let ip = asn.prefix.nth(host_idx * 7 % asn.prefix.size().max(2)); // spread, deterministic
+        let label = format!(
+            "{}.{}",
+            asn.name.to_lowercase().replace(' ', "-"),
+            CITIES[city.idx()].code.to_lowercase()
+        );
+        let router = Router {
+            id,
+            as_id,
+            city,
+            ip,
+            lan_ips: Default::default(),
+            kind,
+            links: Vec::new(),
+            label,
+        };
+        // A hash-spread collision would silently shadow a router; regenerate
+        // sequentially in that (rare) case.
+        let ip = if self.topo.router_by_ip.contains_key(&ip) {
+            let mut k = host_idx;
+            loop {
+                k += 1;
+                let cand = asn.prefix.nth(k % asn.prefix.size());
+                if !self.topo.router_by_ip.contains_key(&cand) {
+                    break cand;
+                }
+            }
+        } else {
+            ip
+        };
+        let mut router = router;
+        router.ip = ip;
+        self.topo.router_by_ip.insert(ip, id);
+        self.topo.ases[as_id.idx()].routers.push(id);
+        self.topo.routers.push(router);
+        id
+    }
+
+    /// Connect two routers. Propagation delay comes from their cities.
+    pub fn link_routers(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        kind: LinkKind,
+        capacity: CapacityClass,
+    ) -> LinkId {
+        assert_ne!(a, b, "self-link");
+        if let Some(l) = self.topo.link_between_routers(a, b) {
+            return l.id;
+        }
+        let id = LinkId(self.topo.links.len() as u32);
+        let delay =
+            geo::propagation_delay_ms(self.topo.router(a).city, self.topo.router(b).city);
+        self.topo.links.push(Link {
+            id,
+            a,
+            b,
+            kind,
+            capacity,
+            base_delay_ms: delay,
+        });
+        self.topo.routers[a.idx()].links.push(id);
+        self.topo.routers[b.idx()].links.push(id);
+        let (as_a, as_b) = (self.topo.router(a).as_id, self.topo.router(b).as_id);
+        if as_a != as_b {
+            let key = if as_a <= as_b { (as_a, as_b) } else { (as_b, as_a) };
+            self.topo.links_between.entry(key).or_default().push(id);
+        }
+        id
+    }
+
+    /// Declare a provider-customer relationship and create `n_links`
+    /// physical interconnects at the closest city pairs.
+    pub fn provider_customer(&mut self, provider: AsId, customer: AsId, n_links: usize) {
+        assert_ne!(provider, customer);
+        if !self.topo.ases[customer.idx()].providers.contains(&provider) {
+            self.topo.ases[customer.idx()].providers.push(provider);
+            self.topo.ases[provider.idx()].customers.push(customer);
+        }
+        let cap = match self.topo.ases[customer.idx()].tier {
+            AsTier::Stub | AsTier::AnycastOp => CapacityClass::Edge,
+            _ => CapacityClass::Standard,
+        };
+        self.wire_closest(
+            provider,
+            customer,
+            LinkKind::InterAs(Relationship::ProviderCustomer),
+            cap,
+            n_links,
+        );
+    }
+
+    /// Declare settlement-free peering over a private interconnect.
+    pub fn peer_private(&mut self, a: AsId, b: AsId, n_links: usize, cap: CapacityClass) {
+        assert_ne!(a, b);
+        if !self.topo.ases[a.idx()].peers.contains(&b) {
+            self.topo.ases[a.idx()].peers.push(b);
+            self.topo.ases[b.idx()].peers.push(a);
+        }
+        self.wire_closest(a, b, LinkKind::InterAs(Relationship::PeerPeer), cap, n_links);
+    }
+
+    fn wire_closest(
+        &mut self,
+        a: AsId,
+        b: AsId,
+        kind: LinkKind,
+        cap: CapacityClass,
+        n_links: usize,
+    ) {
+        let mut pairs: Vec<(f64, RouterId, RouterId)> = Vec::new();
+        for &ra in &self.topo.ases[a.idx()].routers {
+            for &rb in &self.topo.ases[b.idx()].routers {
+                if self.topo.router(ra).kind != RouterKind::Core
+                    || self.topo.router(rb).kind != RouterKind::Core
+                {
+                    continue;
+                }
+                let d =
+                    geo::distance_km(self.topo.router(ra).city, self.topo.router(rb).city);
+                pairs.push((d, ra, rb));
+            }
+        }
+        assert!(
+            !pairs.is_empty(),
+            "no linkable routers between {} and {}",
+            self.topo.ases[a.idx()].name,
+            self.topo.ases[b.idx()].name
+        );
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        for &(_, ra, rb) in pairs.iter().take(n_links.max(1)) {
+            self.link_routers(ra, rb, kind, cap);
+        }
+    }
+
+    /// Create an IXP: a peering-LAN AS with a fabric in `city`.
+    pub fn add_ixp(&mut self, asn: Asn, name: &str, city: CityId) -> AsId {
+        let id = self.add_as(asn, name, AsTier::IxpLan);
+        // Remember the fabric city through a zero-router convention: the
+        // city is stored on demand by members; we keep it in the AS name
+        // domain via a marker router-less AS. The city is carried by the
+        // membership calls below.
+        let _ = city;
+        id
+    }
+
+    /// Ensure `member` has a router at `city` (the IXP's city), assign it a
+    /// LAN interface address from the IXP prefix, and return the router.
+    pub fn join_ixp(&mut self, member: AsId, ixp: AsId, city: CityId) -> RouterId {
+        assert_eq!(
+            self.topo.ases[ixp.idx()].tier,
+            AsTier::IxpLan,
+            "{} is not an IXP",
+            self.topo.ases[ixp.idx()].name
+        );
+        let existing = self.topo.ases[member.idx()]
+            .routers
+            .iter()
+            .copied()
+            .find(|&r| {
+                self.topo.router(r).city == city && self.topo.router(r).kind == RouterKind::Core
+            });
+        let router = match existing {
+            Some(r) => r,
+            None => {
+                let r = self.add_router(member, city);
+                self.attach_to_nearest_sibling(r);
+                r
+            }
+        };
+        if !self.topo.routers[router.idx()].lan_ips.contains_key(&ixp) {
+            let ixp_prefix = self.topo.ases[ixp.idx()].prefix;
+            let used = self
+                .topo
+                .routers
+                .iter()
+                .filter(|r| r.lan_ips.contains_key(&ixp))
+                .count() as u64;
+            let lan_ip = ixp_prefix.nth(used + 2);
+            self.topo.routers[router.idx()].lan_ips.insert(ixp, lan_ip);
+            self.topo.router_by_ip.insert(lan_ip, router);
+        }
+        router
+    }
+
+    /// Peer two IXP members bilaterally across the fabric.
+    ///
+    /// Both must have joined (`join_ixp`) first. Creates the `IxpLan` link
+    /// and the AS-level peer relationship.
+    pub fn peer_via_ixp(&mut self, a: AsId, b: AsId, ixp: AsId, city: CityId) {
+        let ra = self.join_ixp(a, ixp, city);
+        let rb = self.join_ixp(b, ixp, city);
+        if !self.topo.ases[a.idx()].peers.contains(&b) {
+            self.topo.ases[a.idx()].peers.push(b);
+            self.topo.ases[b.idx()].peers.push(a);
+        }
+        self.link_routers(ra, rb, LinkKind::IxpLan(ixp), CapacityClass::Standard);
+    }
+
+    /// Connect a newly created router into its AS's existing mesh via the
+    /// nearest sibling (keeps the intra-AS graph connected).
+    fn attach_to_nearest_sibling(&mut self, r: RouterId) {
+        let as_id = self.topo.router(r).as_id;
+        if self.topo.ases[as_id.idx()].multi_island {
+            return; // islands stay disconnected by design
+        }
+        let city = self.topo.router(r).city;
+        let nearest = self.topo.ases[as_id.idx()]
+            .routers
+            .iter()
+            .copied()
+            .filter(|&s| s != r && self.topo.router(s).kind == RouterKind::Core)
+            .min_by(|&x, &y| {
+                let dx = geo::distance_km(city, self.topo.router(x).city);
+                let dy = geo::distance_km(city, self.topo.router(y).city);
+                dx.partial_cmp(&dy).unwrap().then(x.cmp(&y))
+            });
+        if let Some(s) = nearest {
+            self.link_routers(r, s, LinkKind::IntraAs, CapacityClass::Standard);
+        }
+    }
+
+    /// Create an anycast service operated by `operator` (tier
+    /// [`AsTier::AnycastOp`]). The service address is host `.129` of the
+    /// operator's prefix, echoing K-root's 193.0.14.129.
+    pub fn add_anycast_service(&mut self, operator: AsId, name: &str) -> usize {
+        assert!(
+            self.topo.ases[operator.idx()].multi_island,
+            "anycast operator must be multi-island"
+        );
+        let addr = self.topo.ases[operator.idx()].prefix.nth(129);
+        let idx = self.topo.services.len();
+        self.topo.services.push(AnycastService {
+            name: name.to_string(),
+            addr,
+            operator,
+            instances: Vec::new(),
+        });
+        self.topo.service_by_addr.insert(addr, idx);
+        idx
+    }
+
+    /// Add an instance (entry router + server) of a service in `city`.
+    ///
+    /// The caller is responsible for connecting the entry router to the
+    /// local IXP or a transit provider.
+    pub fn add_anycast_instance(&mut self, service: usize, city: CityId) -> (RouterId, RouterId) {
+        let operator = self.topo.services[service].operator;
+        let entry = self.add_router(operator, city);
+        let server = self.add_router_kind(operator, city, RouterKind::Server);
+        // The server answers with the anycast address, shared across
+        // instances; remove its unique IP from the reverse index and alias
+        // it to the service address.
+        let unique_ip = self.topo.router(server).ip;
+        self.topo.router_by_ip.remove(&unique_ip);
+        let addr = self.topo.services[service].addr;
+        self.topo.routers[server.idx()].ip = addr;
+        self.link_routers(entry, server, LinkKind::IntraAs, CapacityClass::Edge);
+        self.topo.services[service].instances.push(AnycastInstance {
+            city,
+            entry,
+            server,
+        });
+        (entry, server)
+    }
+
+    /// Add a unicast end host (e.g. a measurement anchor) attached to an
+    /// existing router of the same AS.
+    pub fn add_host(&mut self, attach_to: RouterId, name: &str) -> RouterId {
+        let as_id = self.topo.router(attach_to).as_id;
+        let city = self.topo.router(attach_to).city;
+        let host = self.add_router_kind(as_id, city, RouterKind::Server);
+        self.topo.routers[host.idx()].label = name.to_string();
+        self.link_routers(attach_to, host, LinkKind::IntraAs, CapacityClass::Edge);
+        host
+    }
+
+    /// Build a connected intra-AS backbone over the AS's core routers:
+    /// a longitude-ordered chain plus a closing ring and random chords.
+    pub fn mesh_intra_as(&mut self, as_id: AsId, chord_prob: f64) {
+        let mut routers: Vec<RouterId> = self.topo.ases[as_id.idx()]
+            .routers
+            .iter()
+            .copied()
+            .filter(|&r| self.topo.router(r).kind == RouterKind::Core)
+            .collect();
+        if routers.len() < 2 {
+            return;
+        }
+        routers.sort_by(|&a, &b| {
+            let la = CITIES[self.topo.router(a).city.idx()].lon;
+            let lb = CITIES[self.topo.router(b).city.idx()].lon;
+            la.partial_cmp(&lb).unwrap().then(a.cmp(&b))
+        });
+        let cap = if self.topo.ases[as_id.idx()].tier == AsTier::Tier1 {
+            CapacityClass::Backbone
+        } else {
+            CapacityClass::Standard
+        };
+        for w in routers.windows(2) {
+            self.link_routers(w[0], w[1], LinkKind::IntraAs, cap);
+        }
+        if routers.len() > 2 {
+            self.link_routers(routers[0], *routers.last().unwrap(), LinkKind::IntraAs, cap);
+        }
+        for i in 0..routers.len() {
+            for j in (i + 2)..routers.len() {
+                if self.rng.next_bool(chord_prob) {
+                    self.link_routers(routers[i], routers[j], LinkKind::IntraAs, cap);
+                }
+            }
+        }
+    }
+
+    /// Access to the builder's RNG for callers making seeded choices.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Peek at the topology under construction.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Finish; panics if validation fails (a builder bug, not user error).
+    pub fn build(self) -> Topology {
+        let problems = self.topo.validate();
+        assert!(
+            problems.is_empty(),
+            "inconsistent topology: {}",
+            problems.join("; ")
+        );
+        self.topo
+    }
+}
+
+/// Parameters for the background-Internet generator.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of tier-1 (transit-free) ASes.
+    pub tier1s: usize,
+    /// Number of transit ASes.
+    pub transits: usize,
+    /// Number of stub (edge) ASes.
+    pub stubs: usize,
+    /// Number of IXPs (placed in the busiest cities).
+    pub ixps: usize,
+    /// Probability two transits co-located at an IXP peer there.
+    pub peering_prob: f64,
+    /// Probability a stub is multihomed to a second transit.
+    pub multihome_prob: f64,
+    /// Cities per tier-1 AS.
+    pub tier1_cities: usize,
+    /// Cities per transit AS.
+    pub transit_cities: usize,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 1,
+            tier1s: 4,
+            transits: 12,
+            stubs: 48,
+            ixps: 3,
+            peering_prob: 0.5,
+            multihome_prob: 0.35,
+            tier1_cities: 10,
+            transit_cities: 4,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// First generated ASN (kept clear of the case studies' well-known
+    /// numbers).
+    pub const BASE_ASN: u32 = 64_500;
+
+    /// Generate a background Internet into a fresh builder and return it so
+    /// scenarios can add their named ASes before calling
+    /// [`TopologyBuilder::build`].
+    pub fn builder(&self) -> TopologyBuilder {
+        let mut b = TopologyBuilder::new(self.seed);
+        self.populate(&mut b);
+        b
+    }
+
+    /// Generate and finish a standalone topology.
+    pub fn build(&self) -> Topology {
+        self.builder().build()
+    }
+
+    /// Add the generated background Internet into an existing builder.
+    pub fn populate(&self, b: &mut TopologyBuilder) {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, "topology-config"));
+        let mut next_asn = Self::BASE_ASN;
+        let mut asn = |rng: &mut SplitMix64| {
+            next_asn += 1 + rng.next_below(3) as u32;
+            Asn(next_asn)
+        };
+
+        // --- IXPs in the busiest (European + US) cities -------------------
+        let ixp_cities = ["AMS", "LON", "FRA", "NYC", "SIN", "LAX"];
+        let mut ixps: Vec<(AsId, CityId)> = Vec::new();
+        for code in ixp_cities.iter().take(self.ixps) {
+            let city = geo::city_by_code(code).expect("ixp city");
+            let a = asn(&mut rng);
+            let id = b.add_ixp(a, &format!("ix-{}", code.to_lowercase()), city);
+            ixps.push((id, city));
+        }
+
+        // --- Tier-1 clique -------------------------------------------------
+        let mut tier1s = Vec::new();
+        for i in 0..self.tier1s {
+            let a = asn(&mut rng);
+            let id = b.add_as(a, &format!("backbone-{i}"), AsTier::Tier1);
+            // Global footprint: spread across all regions.
+            let mut cities: Vec<CityId> = (0..CITIES.len() as u16).map(CityId).collect();
+            rng.shuffle(&mut cities);
+            for c in cities.into_iter().take(self.tier1_cities) {
+                b.add_router(id, c);
+            }
+            b.mesh_intra_as(id, 0.15);
+            tier1s.push(id);
+        }
+        for i in 0..tier1s.len() {
+            for j in (i + 1)..tier1s.len() {
+                b.peer_private(tier1s[i], tier1s[j], 2, CapacityClass::Backbone);
+            }
+        }
+
+        // --- Transit ASes ---------------------------------------------------
+        let regions = [
+            Region::Europe,
+            Region::NorthAmerica,
+            Region::AsiaPacific,
+            Region::SouthAmerica,
+            Region::MiddleEastAfrica,
+        ];
+        let mut transits: Vec<(AsId, Region)> = Vec::new();
+        for i in 0..self.transits {
+            let a = asn(&mut rng);
+            let region = regions[i % 3]; // weight towards EU/NA/APAC
+            let id = b.add_as(a, &format!("transit-{i}"), AsTier::Transit);
+            let mut cities: Vec<CityId> = (0..CITIES.len() as u16)
+                .map(CityId)
+                .filter(|c| CITIES[c.idx()].region == region)
+                .collect();
+            rng.shuffle(&mut cities);
+            for c in cities.iter().take(self.transit_cities) {
+                b.add_router(id, *c);
+            }
+            b.mesh_intra_as(id, 0.25);
+            // One or two tier-1 providers.
+            let p1 = *rng.choose(&tier1s);
+            b.provider_customer(p1, id, 1);
+            if rng.next_bool(0.6) {
+                let p2 = *rng.choose(&tier1s);
+                if p2 != p1 {
+                    b.provider_customer(p2, id, 1);
+                }
+            }
+            transits.push((id, region));
+        }
+
+        // Transit presence + peering at IXPs.
+        for &(ixp, city) in &ixps {
+            let local: Vec<AsId> = transits
+                .iter()
+                .filter(|(_, r)| *r == CITIES[city.idx()].region)
+                .map(|(id, _)| *id)
+                .collect();
+            for (i, &a) in local.iter().enumerate() {
+                b.join_ixp(a, ixp, city);
+                for &c in local.iter().skip(i + 1) {
+                    if rng.next_bool(self.peering_prob) {
+                        b.peer_via_ixp(a, c, ixp, city);
+                    }
+                }
+            }
+        }
+
+        // --- Stubs -----------------------------------------------------------
+        for i in 0..self.stubs {
+            let a = asn(&mut rng);
+            let id = b.add_as(a, &format!("edge-{i}"), AsTier::Stub);
+            let region = regions[rng.next_below(3) as usize];
+            let cities: Vec<CityId> = (0..CITIES.len() as u16)
+                .map(CityId)
+                .filter(|c| CITIES[c.idx()].region == region)
+                .collect();
+            let city = *rng.choose(&cities);
+            b.add_router(id, city);
+            // Prefer a same-region transit.
+            let candidates: Vec<AsId> = transits
+                .iter()
+                .filter(|(_, r)| *r == region)
+                .map(|(t, _)| *t)
+                .collect();
+            let provider = if candidates.is_empty() {
+                transits[rng.next_below(transits.len() as u64) as usize].0
+            } else {
+                *rng.choose(&candidates)
+            };
+            b.provider_customer(provider, id, 1);
+            if rng.next_bool(self.multihome_prob) {
+                let other = transits[rng.next_below(transits.len() as u64) as usize].0;
+                if other != provider {
+                    b.provider_customer(other, id, 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::AsTier;
+
+    #[test]
+    fn generated_topology_is_consistent() {
+        let topo = TopologyConfig::default().build();
+        assert!(topo.validate().is_empty());
+        assert!(topo.ases.len() >= 4 + 12 + 48);
+        assert!(topo.routers.len() > 60);
+        assert!(!topo.links.is_empty());
+        assert_eq!(topo.stub_ases().count(), 48);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t1 = TopologyConfig::default().build();
+        let t2 = TopologyConfig::default().build();
+        assert_eq!(t1.ases.len(), t2.ases.len());
+        assert_eq!(t1.routers.len(), t2.routers.len());
+        assert_eq!(t1.links.len(), t2.links.len());
+        for (a, b) in t1.routers.iter().zip(&t2.routers) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.city, b.city);
+        }
+        let mut cfg = TopologyConfig::default();
+        cfg.seed = 99;
+        let t3 = cfg.build();
+        // Different seed, different wiring (link count differs in general).
+        assert!(
+            t3.links.len() != t1.links.len() || {
+                t3.routers
+                    .iter()
+                    .zip(&t1.routers)
+                    .any(|(x, y)| x.city != y.city)
+            }
+        );
+    }
+
+    #[test]
+    fn stubs_have_providers_and_no_customers() {
+        let topo = TopologyConfig::default().build();
+        for stub in topo.stub_ases() {
+            assert!(!stub.providers.is_empty(), "{} has no provider", stub.name);
+            assert!(stub.customers.is_empty());
+        }
+    }
+
+    #[test]
+    fn tier1s_form_a_peer_clique() {
+        let topo = TopologyConfig::default().build();
+        let t1s: Vec<_> = topo
+            .ases
+            .iter()
+            .filter(|a| a.tier == AsTier::Tier1)
+            .collect();
+        for a in &t1s {
+            for b in &t1s {
+                if a.id != b.id {
+                    assert!(a.peers.contains(&b.id), "{} !~ {}", a.name, b.name);
+                }
+            }
+            assert!(a.providers.is_empty(), "tier-1 with a provider");
+        }
+    }
+
+    #[test]
+    fn ixp_membership_assigns_lan_addresses() {
+        let topo = TopologyConfig::default().build();
+        let ixp = topo
+            .ases
+            .iter()
+            .find(|a| a.tier == AsTier::IxpLan)
+            .expect("an ixp");
+        let members: Vec<_> = topo
+            .routers
+            .iter()
+            .filter(|r| r.lan_ips.contains_key(&ixp.id))
+            .collect();
+        assert!(members.len() >= 2, "IXP with {} members", members.len());
+        for m in &members {
+            let lan_ip = m.lan_ips[&ixp.id];
+            assert!(ixp.prefix.contains(lan_ip), "LAN IP outside IXP prefix");
+            assert_eq!(topo.owner_of(lan_ip), Some(ixp.id));
+            // The member's primary address maps to its own AS.
+            assert_eq!(topo.owner_of(m.ip), Some(m.as_id));
+        }
+    }
+
+    #[test]
+    fn anycast_service_shares_address_across_instances() {
+        let mut b = TopologyBuilder::new(7);
+        let op = b.add_as(Asn(25152), "k-root-ops", AsTier::AnycastOp);
+        let svc = b.add_anycast_service(op, "K-root");
+        let ams = geo::city_by_code("AMS").unwrap();
+        let tyo = geo::city_by_code("TYO").unwrap();
+        let (e1, s1) = b.add_anycast_instance(svc, ams);
+        let (e2, s2) = b.add_anycast_instance(svc, tyo);
+        // Give entries upstream connectivity so validate passes cleanly.
+        let transit = b.add_as(Asn(64900), "t", AsTier::Transit);
+        b.add_router(transit, ams);
+        b.add_router(transit, tyo);
+        b.provider_customer(transit, op, 2);
+        let topo = b.build();
+        assert_eq!(topo.router(s1).ip, topo.router(s2).ip);
+        assert_ne!(topo.router(e1).ip, topo.router(e2).ip);
+        let svc = &topo.services[0];
+        assert_eq!(svc.instances.len(), 2);
+        assert_eq!(topo.service_by_addr.get(&svc.addr), Some(&0));
+        // Anycast islands are not internally connected.
+        assert!(topo.link_between_routers(e1, e2).is_none());
+    }
+
+    #[test]
+    fn add_host_attaches_server() {
+        let mut b = TopologyBuilder::new(3);
+        let stub = b.add_as(Asn(65001), "edge", AsTier::Stub);
+        let city = geo::city_by_code("PAR").unwrap();
+        let r = b.add_router(stub, city);
+        let h = b.add_host(r, "anchor-par");
+        let topo_ref = b.topology();
+        assert_eq!(topo_ref.router(h).kind, RouterKind::Server);
+        assert!(topo_ref.link_between_routers(r, h).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_asn_panics() {
+        let mut b = TopologyBuilder::new(1);
+        b.add_as(Asn(1), "a", AsTier::Stub);
+        b.add_as(Asn(1), "b", AsTier::Stub);
+    }
+
+    #[test]
+    fn router_ips_unique_and_owned() {
+        let topo = TopologyConfig::default().build();
+        let mut seen = std::collections::HashSet::new();
+        for r in &topo.routers {
+            assert!(seen.insert(r.ip), "duplicate ip {}", r.ip);
+            assert_eq!(topo.owner_of(r.ip), Some(r.as_id));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Topology data model: ASes, routers, links, prefixes, anycast services.
+//!
+//! The simulated Internet follows the structures the paper's case studies
+//! exercise:
+//!
+//! * a **tier hierarchy** (tier-1 clique / transit / stub) with Gao–Rexford
+//!   customer-provider and peer relationships;
+//! * **IXPs** modeled as peering LANs: members connect over `IxpLan` links
+//!   and respond to traceroute with an interface address from the IXP's
+//!   prefix — which is how the AMS-IX outage (§7.3) becomes visible as
+//!   forwarding anomalies attributed to the IXP's ASN;
+//! * **anycast services** (the DNS root servers of §7.1) as multi-island
+//!   ASes: per-city (entry, server) router pairs with no inter-site links,
+//!   so hot-potato routing naturally delivers each probe to its nearest
+//!   instance.
+
+pub mod builder;
+
+use crate::geo::CityId;
+use crate::ids::{AsId, LinkId, RouterId};
+use pinpoint_model::{Asn, LpmTable, Prefix};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsTier {
+    /// Global transit-free backbone; peers with all other tier-1s.
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Edge network hosting probes and anchors; never transits.
+    Stub,
+    /// An IXP's peering-LAN ASN (owns the LAN prefix, carries no routes).
+    IxpLan,
+    /// Operator of an anycast service (multi-island, origin-only).
+    AnycastOp,
+}
+
+/// Inter-AS business relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// First AS is provider of the second.
+    ProviderCustomer,
+    /// Settlement-free peering (possibly via an IXP).
+    PeerPeer,
+}
+
+/// What a router is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterKind {
+    /// Ordinary in-network router.
+    Core,
+    /// End host: anycast server instance or measurement anchor target.
+    Server,
+}
+
+/// An autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsNode {
+    /// Dense index.
+    pub id: AsId,
+    /// Public AS number.
+    pub asn: Asn,
+    /// Human-readable name (e.g. `"Level3"`, `"AMS-IX"`).
+    pub name: String,
+    /// Hierarchy role.
+    pub tier: AsTier,
+    /// Primary address allocation.
+    pub prefix: Prefix,
+    /// Routers belonging to this AS.
+    pub routers: Vec<RouterId>,
+    /// Provider ASes (we are their customer).
+    pub providers: Vec<AsId>,
+    /// Customer ASes.
+    pub customers: Vec<AsId>,
+    /// Settlement-free peers.
+    pub peers: Vec<AsId>,
+    /// Multi-island AS: sites are not internally connected (anycast ops).
+    pub multi_island: bool,
+}
+
+/// A router (one per AS per city in generated topologies).
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Dense index.
+    pub id: RouterId,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// Location.
+    pub city: CityId,
+    /// Primary interface address (from the owning AS's prefix).
+    pub ip: Ipv4Addr,
+    /// Additional interface addresses on IXP peering LANs, keyed by the
+    /// IXP's AS. Traceroute replies arriving via that LAN use this address.
+    pub lan_ips: HashMap<AsId, Ipv4Addr>,
+    /// Role.
+    pub kind: RouterKind,
+    /// Incident links.
+    pub links: Vec<LinkId>,
+    /// Reverse-DNS-style label (`"cogent.zrh"`), for reports.
+    pub label: String,
+}
+
+impl Router {
+    /// The address this router answers traceroute with, given the link the
+    /// probe packet arrived on. Arrivals over an IXP LAN use the LAN
+    /// interface address; everything else uses the primary address.
+    pub fn response_ip(&self, arrival: Option<&Link>) -> Ipv4Addr {
+        if let Some(link) = arrival {
+            if let LinkKind::IxpLan(ixp) = link.kind {
+                if let Some(ip) = self.lan_ips.get(&ixp) {
+                    return *ip;
+                }
+            }
+        }
+        self.ip
+    }
+}
+
+/// Link category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Internal backbone link within one AS.
+    IntraAs,
+    /// Private interconnect between two ASes.
+    InterAs(Relationship),
+    /// Connection across an IXP's peering fabric (the `AsId` is the IXP).
+    IxpLan(AsId),
+}
+
+/// Relative capacity of a link; scales queueing and loss sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CapacityClass {
+    /// Backbone trunk (tier-1 internals, tier1-tier1 interconnects).
+    Backbone,
+    /// Ordinary transit/peering capacity.
+    Standard,
+    /// Thin edge link (stub uplinks, anycast instance last hops).
+    Edge,
+}
+
+/// An undirected router-to-router adjacency.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Dense index.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: RouterId,
+    /// Other endpoint.
+    pub b: RouterId,
+    /// Category.
+    pub kind: LinkKind,
+    /// Capacity class.
+    pub capacity: CapacityClass,
+    /// One-way propagation delay in milliseconds.
+    pub base_delay_ms: f64,
+}
+
+impl Link {
+    /// The endpoint that is not `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is not an endpoint.
+    pub fn other(&self, r: RouterId) -> RouterId {
+        if self.a == r {
+            self.b
+        } else {
+            assert!(self.b == r, "router {r} not on link {}", self.id);
+            self.a
+        }
+    }
+
+    /// Whether `r` is an endpoint.
+    pub fn touches(&self, r: RouterId) -> bool {
+        self.a == r || self.b == r
+    }
+}
+
+/// One site of an anycast service.
+#[derive(Debug, Clone)]
+pub struct AnycastInstance {
+    /// City hosting the instance.
+    pub city: CityId,
+    /// Border router of the instance island (peers at the local IXP /
+    /// connects to local transit).
+    pub entry: RouterId,
+    /// The server itself (answers with the service address).
+    pub server: RouterId,
+}
+
+/// An anycast service (e.g. a DNS root server).
+#[derive(Debug, Clone)]
+pub struct AnycastService {
+    /// Name (`"K-root"`).
+    pub name: String,
+    /// The anycast service address probes target.
+    pub addr: Ipv4Addr,
+    /// Operating AS (multi-island).
+    pub operator: AsId,
+    /// Instance sites.
+    pub instances: Vec<AnycastInstance>,
+}
+
+/// The complete static topology.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// All ASes, indexed by [`AsId`].
+    pub ases: Vec<AsNode>,
+    /// All routers, indexed by [`RouterId`].
+    pub routers: Vec<Router>,
+    /// All links, indexed by [`LinkId`].
+    pub links: Vec<Link>,
+    /// Anycast services.
+    pub services: Vec<AnycastService>,
+    /// Prefix → owning AS (longest-prefix match), including IXP LAN and
+    /// service prefixes.
+    pub prefixes: LpmTable<AsId>,
+    /// Primary + LAN interface address → router.
+    pub router_by_ip: HashMap<Ipv4Addr, RouterId>,
+    /// Service address → index into [`Self::services`].
+    pub service_by_addr: HashMap<Ipv4Addr, usize>,
+    /// ASN → dense id.
+    pub as_by_asn: HashMap<Asn, AsId>,
+    /// Inter-AS links grouped by unordered AS pair.
+    pub links_between: HashMap<(AsId, AsId), Vec<LinkId>>,
+}
+
+impl Topology {
+    /// AS record by dense id.
+    pub fn asn(&self, id: AsId) -> &AsNode {
+        &self.ases[id.idx()]
+    }
+
+    /// Router record by dense id.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.idx()]
+    }
+
+    /// Link record by dense id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// Resolve an ASN to its dense id.
+    pub fn as_id(&self, asn: Asn) -> Option<AsId> {
+        self.as_by_asn.get(&asn).copied()
+    }
+
+    /// The AS owning an address per longest-prefix match.
+    pub fn owner_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.prefixes.lookup_value(addr).copied()
+    }
+
+    /// Inter-AS links between two ASes (order-insensitive).
+    pub fn inter_as_links(&self, a: AsId, b: AsId) -> &[LinkId] {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links_between.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All stub ASes (candidate probe hosts).
+    pub fn stub_ases(&self) -> impl Iterator<Item = &AsNode> {
+        self.ases.iter().filter(|a| a.tier == AsTier::Stub)
+    }
+
+    /// The link joining two adjacent routers, if any.
+    pub fn link_between_routers(&self, a: RouterId, b: RouterId) -> Option<&Link> {
+        self.router(a)
+            .links
+            .iter()
+            .map(|&l| self.link(l))
+            .find(|l| l.touches(b))
+    }
+
+    /// Sanity-check internal consistency; returns human-readable problems.
+    ///
+    /// Run by the builder after construction and by tests.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, a) in self.ases.iter().enumerate() {
+            if a.id.idx() != i {
+                problems.push(format!("AS {} stored at index {i}", a.id));
+            }
+            for &p in &a.providers {
+                if !self.ases[p.idx()].customers.contains(&a.id) {
+                    problems.push(format!("{}: provider {} lacks back-edge", a.name, p));
+                }
+            }
+            for &p in &a.peers {
+                if !self.ases[p.idx()].peers.contains(&a.id) {
+                    problems.push(format!("{}: peer {} lacks back-edge", a.name, p));
+                }
+            }
+        }
+        for (i, r) in self.routers.iter().enumerate() {
+            if r.id.idx() != i {
+                problems.push(format!("router {} stored at index {i}", r.id));
+            }
+            for &l in &r.links {
+                if !self.links[l.idx()].touches(r.id) {
+                    problems.push(format!("router {} lists non-incident link {l}", r.id));
+                }
+            }
+            // Anycast servers share the service address and are resolved
+            // through `service_by_addr`, not `router_by_ip`.
+            let is_anycast_server = self.service_by_addr.contains_key(&r.ip);
+            if !is_anycast_server && self.router_by_ip.get(&r.ip) != Some(&r.id) {
+                problems.push(format!("router {} ip {} not indexed", r.id, r.ip));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if l.id.idx() != i {
+                problems.push(format!("link {} stored at index {i}", l.id));
+            }
+            if l.base_delay_ms < 0.0 || !l.base_delay_ms.is_finite() {
+                problems.push(format!("link {} has bad delay {}", l.id, l.base_delay_ms));
+            }
+            for r in [l.a, l.b] {
+                if !self.routers[r.idx()].links.contains(&l.id) {
+                    problems.push(format!("link {} missing from router {r} adjacency", l.id));
+                }
+            }
+        }
+        for svc in &self.services {
+            for inst in &svc.instances {
+                let entry = self.router(inst.entry);
+                let server = self.router(inst.server);
+                if entry.as_id != svc.operator || server.as_id != svc.operator {
+                    problems.push(format!("{}: instance routers outside operator AS", svc.name));
+                }
+                if self.link_between_routers(inst.entry, inst.server).is_none() {
+                    problems.push(format!("{}: entry/server not adjacent", svc.name));
+                }
+            }
+        }
+        problems
+    }
+}

@@ -1,0 +1,211 @@
+//! DDoS on the DNS root infrastructure (§7.1, Fig. 5–8).
+//!
+//! Two documented attack windows against the anycast root services:
+//! November 30th 2015 06:50–09:30 UTC and December 1st 05:10–06:10 UTC.
+//! Impact differs per instance, as the paper observed:
+//!
+//! * Kansas City, Amsterdam, Frankfurt, London: both attacks (Fig. 7a);
+//! * Tokyo: second attack only (Fig. 7c's single-attack analogue);
+//! * St. Petersburg: 14 consecutive anomalous hours (Fig. 7d/7f);
+//! * Poznan: unaffected — narrow, constant reference (Fig. 7b);
+//! * F-root and I-root share IXPs with K-root, so their alarms join the
+//!   same connected component (Fig. 8); L-root stays clean (the paper's
+//!   A/D/G/L/M control group).
+
+use crate::runner::CaseStudy;
+use crate::world::{Landmarks, Scale};
+use pinpoint_core::DetectorConfig;
+use pinpoint_model::SimTime;
+use pinpoint_netsim::events::{EventSchedule, LinkSelector, NetworkEvent};
+
+/// Congestion severity applied to attacked instance uplinks: pushes
+/// utilization into the high-delay / low-loss regime (anycast absorbed the
+/// attack; "packet loss at root servers has been negligible").
+pub const ATTACK_EXTRA_UTIL: f64 = 0.52;
+
+/// Day offset of November 30th from the scenario epoch.
+fn attack_day(scale: Scale) -> u64 {
+    match scale {
+        Scale::Small => 4,   // epoch = Nov 26 (Fig. 7 window)
+        Scale::Paper => 13,  // epoch = Nov 17 (Fig. 6 window)
+    }
+}
+
+/// The epoch label per scale.
+pub fn epoch_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "2015-11-26T00:00Z",
+        Scale::Paper => "2015-11-17T00:00Z",
+    }
+}
+
+/// First attack window (Nov 30 06:50–09:30 UTC).
+pub fn attack1(scale: Scale) -> (SimTime, SimTime) {
+    let d = attack_day(scale);
+    (
+        SimTime(d * 86_400 + 6 * 3600 + 50 * 60),
+        SimTime(d * 86_400 + 9 * 3600 + 30 * 60),
+    )
+}
+
+/// Second attack window (Dec 1 05:10–06:10 UTC).
+pub fn attack2(scale: Scale) -> (SimTime, SimTime) {
+    let d = attack_day(scale) + 1;
+    (
+        SimTime(d * 86_400 + 5 * 3600 + 10 * 60),
+        SimTime(d * 86_400 + 6 * 3600 + 10 * 60),
+    )
+}
+
+/// Extended anomaly window of the St. Petersburg instance (14 h).
+pub fn led_window(scale: Scale) -> (SimTime, SimTime) {
+    let (start, _) = attack1(scale);
+    (start, SimTime(start.0 + 14 * 3600))
+}
+
+/// Analysis window in bins.
+pub fn window(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Small => (0, 7 * 24),
+        // Fig. 6: Nov 17 – Dec 15.
+        Scale::Paper => (0, 28 * 24),
+    }
+}
+
+/// Build the attack schedule against the world's landmarks.
+pub fn schedule(landmarks: &Landmarks, scale: Scale) -> EventSchedule {
+    let mut s = EventSchedule::new();
+    let (a1s, a1e) = attack1(scale);
+    let (a2s, a2e) = attack2(scale);
+    let (ls, le) = led_window(scale);
+
+    let both_attacks = ["AMS", "FRA", "LON", "MKC"];
+    let second_only = ["TYO"];
+    for (code, entry_ip) in &landmarks.kroot_entries {
+        let sel = LinkSelector::TouchingIp(*entry_ip);
+        if both_attacks.contains(code) {
+            s = s
+                .with(NetworkEvent::Congestion {
+                    selector: sel.clone(),
+                    start: a1s,
+                    end: a1e,
+                    extra_util: ATTACK_EXTRA_UTIL,
+                })
+                .with(NetworkEvent::Congestion {
+                    selector: sel,
+                    start: a2s,
+                    end: a2e,
+                    extra_util: ATTACK_EXTRA_UTIL,
+                });
+        } else if second_only.contains(code) {
+            s = s.with(NetworkEvent::Congestion {
+                selector: sel,
+                start: a2s,
+                end: a2e,
+                extra_util: ATTACK_EXTRA_UTIL,
+            });
+        } else if *code == "LED" {
+            // Hosts close to this instance kept causing anomalous
+            // conditions long after the attack window (paper's reading).
+            s = s.with(NetworkEvent::Congestion {
+                selector: sel,
+                start: ls,
+                end: le,
+                extra_util: 0.38,
+            });
+        }
+        // POZ: untouched (Fig. 7b).
+    }
+    // F-root and I-root share the attacked IXP fabric: their service links
+    // congest in the first window.
+    for addr in [landmarks.froot_addr, landmarks.iroot_addr] {
+        s = s.with(NetworkEvent::Congestion {
+            selector: LinkSelector::TouchingIp(addr),
+            start: a1s,
+            end: a1e,
+            extra_util: 0.45,
+        });
+    }
+    s
+}
+
+/// Build the DDoS case study.
+pub fn case_study(seed: u64, scale: Scale) -> CaseStudy {
+    // Landmarks are deterministic per (seed, scale): build the world once
+    // for the schedule, then assemble for real.
+    let world = crate::world::World::build(seed, scale);
+    let schedule = schedule(&world.landmarks, scale);
+    CaseStudy::assemble(
+        seed,
+        scale,
+        schedule,
+        DetectorConfig::default(),
+        window(scale),
+        epoch_label(scale),
+        2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+    use pinpoint_model::BinId;
+
+    /// One compact end-to-end check: the K-root AS's delay magnitude peaks
+    /// inside the attack window and stays calm before it.
+    #[test]
+    fn kroot_magnitude_peaks_during_attack() {
+        let scale = Scale::Small;
+        let case = case_study(2015, scale);
+        let kroot = case.landmarks.kroot_asn;
+        let (a1s, a1e) = attack1(scale);
+        let attack_bins: Vec<u64> = (a1s.0 / 3600..=a1e.0 / 3600).collect();
+        let mut analyzer = case.analyzer();
+        // Run through the first attack only (cheaper).
+        let short = CaseStudy {
+            end_bin: BinId(attack_bins[attack_bins.len() - 1] + 2),
+            ..case
+        };
+        let mut series: Vec<(u64, f64)> = Vec::new();
+        run(&short, &mut analyzer, |report| {
+            if let Some(m) = report.magnitude(kroot) {
+                series.push((report.bin.0, m.delay_magnitude));
+            }
+        });
+        let peak_during = series
+            .iter()
+            .filter(|(b, _)| attack_bins.contains(b))
+            .map(|(_, m)| *m)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let calm_before = series
+            .iter()
+            .filter(|(b, _)| *b + 24 < attack_bins[0]) // skip warm-up edge
+            .map(|(_, m)| m.abs())
+            .fold(0.0, f64::max);
+        assert!(
+            peak_during > 5.0,
+            "attack invisible: peak {peak_during}, series tail {:?}",
+            &series[series.len().saturating_sub(8)..]
+        );
+        assert!(
+            peak_during > 3.0 * calm_before.max(1.0),
+            "attack peak {peak_during} not prominent over calm {calm_before}"
+        );
+    }
+
+    #[test]
+    fn attack_windows_are_ordered() {
+        for scale in [Scale::Small, Scale::Paper] {
+            let (s1, e1) = attack1(scale);
+            let (s2, e2) = attack2(scale);
+            assert!(s1 < e1 && e1 < s2 && s2 < e2);
+            let (ls, le) = led_window(scale);
+            assert_eq!(ls, s1);
+            assert_eq!(le.0 - ls.0, 14 * 3600);
+            let (b0, b1) = window(scale);
+            assert!(b1 * 3600 > e2.0, "window ends before attack 2");
+            assert_eq!(b0, 0);
+        }
+    }
+}

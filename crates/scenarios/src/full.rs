@@ -1,0 +1,174 @@
+//! The combined multi-event scenario (Fig. 5 distributions, Table A).
+//!
+//! All three case-study events over one long window, so the distribution
+//! of hourly magnitudes across every AS (Fig. 5a CCDF / Fig. 5b CDF)
+//! contains both the quiet mass near zero and the heavy tails the events
+//! produce. Event offsets are compressed relative to the calendar (the
+//! paper spans May–December 2015); relative spacing is preserved.
+
+use crate::runner::CaseStudy;
+use crate::world::{Landmarks, Scale};
+use pinpoint_core::DetectorConfig;
+use pinpoint_model::SimTime;
+use pinpoint_netsim::events::{EventSchedule, LeakScope, LinkSelector, NetworkEvent};
+
+/// Event days (from the scenario epoch) per scale.
+fn days(scale: Scale) -> (u64, u64, u64) {
+    match scale {
+        // (ixp outage, route leak, ddos attack 1; attack 2 is +1 day)
+        Scale::Small => (5, 10, 15),
+        Scale::Paper => (12, 25, 45),
+    }
+}
+
+/// Analysis window in bins.
+pub fn window(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Small => (0, 20 * 24),
+        Scale::Paper => (0, 60 * 24),
+    }
+}
+
+/// Build the combined schedule.
+pub fn schedule(landmarks: &Landmarks, scale: Scale) -> EventSchedule {
+    let (ixp_day, leak_day, ddos_day) = days(scale);
+    let mut s = EventSchedule::new();
+
+    // --- IXP outage --------------------------------------------------
+    s = s.with(NetworkEvent::IxpOutage {
+        ixp: landmarks.amsix_asn,
+        start: SimTime(ixp_day * 86_400 + 10 * 3600 + 20 * 60),
+        end: SimTime(ixp_day * 86_400 + 12 * 3600),
+    });
+
+    // --- Route leak ----------------------------------------------------
+    let (ls, le) = (
+        SimTime(leak_day * 86_400 + 8 * 3600 + 43 * 60),
+        SimTime(leak_day * 86_400 + 11 * 3600),
+    );
+    s = s
+        .with(NetworkEvent::RouteLeak {
+            leaker: landmarks.tm_asn,
+            upstream: landmarks.gc_asn,
+            // The incident leaked a large subset of the table, not all of
+            // it — scope to ~35% of destinations.
+            scope: LeakScope::SampleDests {
+                permille: 350,
+                salt: 0x4788,
+            },
+            start: ls,
+            end: le,
+        })
+        .with(NetworkEvent::Congestion {
+            selector: LinkSelector::Between(landmarks.tm_asn, landmarks.gc_asn),
+            start: ls,
+            end: le,
+            extra_util: 0.8,
+        })
+        .with(NetworkEvent::Congestion {
+            selector: LinkSelector::WithinAs(landmarks.gc_asn),
+            start: ls,
+            end: le,
+            extra_util: 0.62,
+        })
+        .with(NetworkEvent::Congestion {
+            selector: LinkSelector::WithinAs(landmarks.level3_asn),
+            start: ls,
+            end: le,
+            extra_util: 0.5,
+        })
+        .with(NetworkEvent::PacketLoss {
+            selector: LinkSelector::SampleWithinAs {
+                asn: landmarks.gc_asn,
+                permille: 250,
+                salt: 0x6C3A,
+            },
+            start: ls,
+            end: le,
+            loss: 0.55,
+        });
+
+    // --- DDoS ----------------------------------------------------------
+    let a1 = (
+        SimTime(ddos_day * 86_400 + 6 * 3600 + 50 * 60),
+        SimTime(ddos_day * 86_400 + 9 * 3600 + 30 * 60),
+    );
+    let a2 = (
+        SimTime((ddos_day + 1) * 86_400 + 5 * 3600 + 10 * 60),
+        SimTime((ddos_day + 1) * 86_400 + 6 * 3600 + 10 * 60),
+    );
+    let both = ["AMS", "FRA", "LON", "MKC"];
+    for (code, entry_ip) in &landmarks.kroot_entries {
+        if both.contains(code) {
+            for (start, end) in [a1, a2] {
+                s = s.with(NetworkEvent::Congestion {
+                    selector: LinkSelector::TouchingIp(*entry_ip),
+                    start,
+                    end,
+                    extra_util: crate::ddos::ATTACK_EXTRA_UTIL,
+                });
+            }
+        }
+    }
+    s
+}
+
+/// Build the combined case study.
+pub fn case_study(seed: u64, scale: Scale) -> CaseStudy {
+    let world = crate::world::World::build(seed, scale);
+    let schedule = schedule(&world.landmarks, scale);
+    CaseStudy::assemble(
+        seed,
+        scale,
+        schedule,
+        DetectorConfig::default(),
+        window(scale),
+        "2015-05-01T00:00Z (compressed calendar)",
+        2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_contains_all_three_events() {
+        let world = crate::world::World::build(1, Scale::Small);
+        let s = schedule(&world.landmarks, Scale::Small);
+        let kinds: Vec<&'static str> = s
+            .events
+            .iter()
+            .map(|e| match e {
+                NetworkEvent::IxpOutage { .. } => "ixp",
+                NetworkEvent::RouteLeak { .. } => "leak",
+                NetworkEvent::Congestion { .. } => "congestion",
+                NetworkEvent::LinkFailure { .. } => "failure",
+                NetworkEvent::PacketLoss { .. } => "loss",
+            })
+            .collect();
+        assert!(kinds.contains(&"ixp"));
+        assert!(kinds.contains(&"leak"));
+        assert!(kinds.iter().filter(|k| **k == "congestion").count() >= 8);
+    }
+
+    #[test]
+    fn events_are_disjoint_in_time() {
+        let world = crate::world::World::build(1, Scale::Small);
+        let s = schedule(&world.landmarks, Scale::Small);
+        let mut windows: Vec<(u64, u64)> = s
+            .events
+            .iter()
+            .map(|e| {
+                let (a, b) = e.window();
+                (a.0, b.0)
+            })
+            .collect();
+        windows.sort_unstable();
+        // The three event *days* must not overlap (congestion riders share
+        // windows with their parent event, which is fine).
+        let (d_ixp, d_leak, d_ddos) = days(Scale::Small);
+        assert!(d_ixp < d_leak && d_leak < d_ddos);
+        assert!(windows.last().unwrap().1 <= window(Scale::Small).1 * 3600);
+    }
+}

@@ -1,0 +1,131 @@
+//! AMS-IX outage (§7.3, Fig. 13).
+//!
+//! On 2015-05-13 ~10:20 UTC a technical fault during maintenance partially
+//! broke the Amsterdam Internet Exchange: member networks could not
+//! exchange traffic over the peering LAN until ~12:00. Crucially, *routes
+//! stayed up while packets died* — so the delay method is silent (no RTT
+//! samples), and the event is visible only through forwarding anomalies:
+//! peering-LAN addresses (mapped to AS1200 by longest-prefix match) vanish
+//! from next-hop patterns, driving the AS1200 forwarding magnitude deeply
+//! negative.
+
+use crate::runner::CaseStudy;
+use crate::world::Scale;
+use pinpoint_core::DetectorConfig;
+use pinpoint_model::SimTime;
+use pinpoint_netsim::events::{EventSchedule, NetworkEvent};
+
+/// Day of May 13th relative to the epoch (2015-05-08).
+const OUTAGE_DAY: u64 = 5;
+
+/// Outage window: May 13th 10:20–12:00 UTC (traffic levels did not recover
+/// until noon despite the 10:30 all-clear).
+pub fn outage_window() -> (SimTime, SimTime) {
+    (
+        SimTime(OUTAGE_DAY * 86_400 + 10 * 3600 + 20 * 60),
+        SimTime(OUTAGE_DAY * 86_400 + 12 * 3600),
+    )
+}
+
+/// Analysis window in bins. Bin 0 = 2015-05-08 00:00 UTC.
+pub fn window(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Small => (0, 8 * 24),
+        // Fig. 13: May 8th – June 1st.
+        Scale::Paper => (0, 24 * 24),
+    }
+}
+
+/// Build the outage schedule.
+pub fn schedule(amsix_asn: pinpoint_model::Asn) -> EventSchedule {
+    let (start, end) = outage_window();
+    EventSchedule::new().with(NetworkEvent::IxpOutage {
+        ixp: amsix_asn,
+        start,
+        end,
+    })
+}
+
+/// Build the IXP-outage case study.
+pub fn case_study(seed: u64, scale: Scale) -> CaseStudy {
+    let world = crate::world::World::build(seed, scale);
+    let schedule = schedule(world.landmarks.amsix_asn);
+    CaseStudy::assemble(
+        seed,
+        scale,
+        schedule,
+        DetectorConfig::default(),
+        window(scale),
+        "2015-05-08T00:00Z",
+        2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+    use pinpoint_model::BinId;
+
+    #[test]
+    fn outage_is_a_forwarding_event_not_a_delay_event() {
+        let case = case_study(2015, Scale::Small);
+        let amsix = case.landmarks.amsix_asn;
+        let (os, oe) = outage_window();
+        let outage_bins: Vec<u64> = (os.0 / 3600..oe.0 / 3600 + 1).collect();
+        let mut analyzer = case.analyzer();
+        let mapper = case.mapper.clone();
+        let short = CaseStudy {
+            end_bin: BinId(outage_bins[outage_bins.len() - 1] + 2),
+            ..case
+        };
+        let mut fwd_min = f64::INFINITY;
+        let mut delay_peak: f64 = 0.0;
+        let mut unresponsive_pairs = std::collections::BTreeSet::new();
+        run(&short, &mut analyzer, |report| {
+            if outage_bins.contains(&report.bin.0) {
+                if let Some(m) = report.magnitude(amsix) {
+                    fwd_min = fwd_min.min(m.forwarding_magnitude);
+                    delay_peak = delay_peak.max(m.delay_magnitude.abs());
+                }
+                // Count (router, vanished LAN next-hop) pairs — the paper's
+                // "770 IP pairs related to the AMS-IX peering LAN became
+                // unresponsive".
+                for alarm in &report.forwarding_alarms {
+                    for (hop, r) in &alarm.responsibilities {
+                        if let pinpoint_core::forwarding::NextHop::Ip(ip) = hop {
+                            if *r < -0.05 && mapper.asn_of(*ip) == Some(amsix) {
+                                unresponsive_pairs.insert((alarm.router, *ip));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        assert!(
+            fwd_min < -2.0,
+            "AMS-IX forwarding magnitude never dipped: {fwd_min}"
+        );
+        assert!(
+            !unresponsive_pairs.is_empty(),
+            "no LAN next-hop pairs reported unresponsive"
+        );
+        // Delay magnitude stays comparatively small — the event is
+        // forwarding-only (§7.3: "The delay change method did not
+        // conclusively detect this outage").
+        assert!(
+            fwd_min.abs() > delay_peak,
+            "delay ({delay_peak}) outweighed forwarding ({fwd_min})"
+        );
+    }
+
+    #[test]
+    fn window_covers_outage() {
+        let (s, e) = outage_window();
+        assert!(s < e);
+        for scale in [Scale::Small, Scale::Paper] {
+            let (_, b1) = window(scale);
+            assert!(b1 * 3600 > e.0);
+        }
+    }
+}

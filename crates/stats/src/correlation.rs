@@ -1,0 +1,124 @@
+//! Pearson product-moment correlation.
+//!
+//! The forwarding-anomaly detector measures the linear dependence between a
+//! router's current forwarding pattern `F` and its learned reference `F̄`
+//! (§5.2.1). "Positive values mean that the forwarding patterns expressed by
+//! F and F̄ are compatible, while negative values indicate opposite patterns
+//! hence forwarding anomalies."
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns `None` when:
+/// * the slices differ in length or have fewer than 2 elements;
+/// * either series has zero variance (correlation undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    // Clamp to counter floating-point drift just outside [-1, 1].
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -0.5 * v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure4_style_anomaly_is_anticorrelated() {
+        // Fig. 4 scenario: reference F̄R = [10, 100, 5] over hops (A, B, Z);
+        // in the anomalous bin traffic that usually went to B shifts to a
+        // new hop C. Aligned over the union (A, B, C, Z) the patterns are
+        // opposite where it matters, so ρ falls below the paper's τ = −0.25
+        // (the paper's own figure yields ρ = −0.6).
+        let reference = [10.0, 100.0, 0.0, 5.0];
+        let pattern = [10.0, 0.0, 50.0, 15.0];
+        let rho = pearson(&pattern, &reference).unwrap();
+        assert!(rho < -0.25, "rho = {rho} not below τ");
+        assert!(rho > -1.0);
+    }
+
+    #[test]
+    fn zero_variance_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), None);
+    }
+
+    #[test]
+    fn length_mismatch_is_none() {
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Alternating pattern orthogonal to a linear ramp.
+        let x: Vec<f64> = (0..100).map(f64::from).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rho = pearson(&x, &y).unwrap();
+        assert!(rho.abs() < 0.1, "rho = {rho}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_in_range(x in prop::collection::vec(-1e4f64..1e4, 2..100), y in prop::collection::vec(-1e4f64..1e4, 2..100)) {
+            let n = x.len().min(y.len());
+            if let Some(r) = pearson(&x[..n], &y[..n]) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn prop_symmetric(x in prop::collection::vec(-1e3f64..1e3, 2..50), y in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+            let n = x.len().min(y.len());
+            let a = pearson(&x[..n], &y[..n]);
+            let b = pearson(&y[..n], &x[..n]);
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (None, None) => {},
+                _ => prop_assert!(false, "asymmetric None"),
+            }
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one(x in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+            if let Some(r) = pearson(&x, &x) {
+                prop_assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_affine_invariant(x in prop::collection::vec(-1e2f64..1e2, 3..40), a in 0.1f64..10.0, b in -5.0f64..5.0) {
+            let y: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((r - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Non-robust descriptive statistics (mean, variance, skewness).
+//!
+//! These exist mainly as the *comparison point* for the paper's robust
+//! estimators: Fig. 2 contrasts the raw differential-RTT standard deviation
+//! (σ = 12.2) with its mean (µ = 4.8); Fig. 3b shows the mean is not
+//! normally distributed in the presence of outliers. [`Summary`] uses
+//! Welford's online algorithm, so it doubles as the accumulator for
+//! streaming use.
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulate over a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in data {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * (n - 1.0);
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Skewness (0 when undefined).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Minimum (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.variance(), 0.0);
+        let mut s = Summary::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed sample.
+        let right = Summary::from_slice(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(right.skewness() > 0.0);
+        let left = Summary::from_slice(&[10.0, 10.0, 10.0, 10.0, 1.0]);
+        assert!(left.skewness() < 0.0);
+        let sym = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(sym.skewness().abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.7 - 20.0).collect();
+        let full = Summary::from_slice(&data);
+        let mut a = Summary::from_slice(&data[..37]);
+        let b = Summary::from_slice(&data[37..]);
+        a.merge(&b);
+        assert!((a.mean() - full.mean()).abs() < 1e-9);
+        assert!((a.variance() - full.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), full.count());
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_in_range(data in prop::collection::vec(-1e5f64..1e5, 1..200)) {
+            let s = Summary::from_slice(&data);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(data in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+            prop_assert!(Summary::from_slice(&data).variance() >= -1e-9);
+        }
+
+        #[test]
+        fn prop_merge_matches_sequential(a in prop::collection::vec(-1e3f64..1e3, 0..60), b in prop::collection::vec(-1e3f64..1e3, 0..60)) {
+            let mut merged = Summary::from_slice(&a);
+            merged.merge(&Summary::from_slice(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let seq = Summary::from_slice(&all);
+            prop_assert_eq!(merged.count(), seq.count());
+            if seq.count() > 0 {
+                prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+                prop_assert!((merged.variance() - seq.variance()).abs() < 1e-4);
+            }
+        }
+    }
+}

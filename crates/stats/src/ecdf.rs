@@ -1,0 +1,242 @@
+//! Empirical distribution functions and histograms.
+//!
+//! Figure 5 of the paper plots the distribution of hourly magnitudes across
+//! all ASes: a CCDF for delay changes (5a, heavy right tail) and a CDF for
+//! forwarding anomalies (5b, heavy left tail). [`Ecdf`] provides both views
+//! plus tail-probability queries like "97 % of the time the magnitude is
+//! below 1".
+
+/// Empirical cumulative distribution of a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (copies and sorts; non-finite values dropped).
+    pub fn new(data: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// P(X > x) — the complementary CDF of Fig. 5a.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Empirical quantile (inverse CDF), `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::quantile::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Evaluate the CDF at evenly spaced points across the sample range.
+    ///
+    /// Returns `(x, cdf(x))` pairs — the series behind Fig. 5b.
+    pub fn cdf_series(&self, points: usize) -> Vec<(f64, f64)> {
+        self.series(points, |s, x| s.cdf(x))
+    }
+
+    /// Evaluate the CCDF across the sample range (Fig. 5a series).
+    pub fn ccdf_series(&self, points: usize) -> Vec<(f64, f64)> {
+        self.series(points, |s, x| s.ccdf(x))
+    }
+
+    fn series(&self, points: usize, f: impl Fn(&Self, f64) -> f64) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points < 2 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, f(self, x))
+            })
+            .collect()
+    }
+}
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record a value.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// `(bin center, count)` pairs.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Total recorded values, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_step_behaviour() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.ccdf(2.5), 0.5);
+        assert_eq!(e.ccdf(100.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_dropped() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_cdf_is_nan() {
+        let e = Ecdf::new(&[]);
+        assert!(e.cdf(1.0).is_nan());
+        assert!(e.is_empty());
+        assert!(e.cdf_series(10).is_empty());
+    }
+
+    #[test]
+    fn series_covers_range_monotonically() {
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let e = Ecdf::new(&data);
+        let series = e.cdf_series(20);
+        assert_eq!(series.len(), 20);
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[19].0, 99.0);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let cc = e.ccdf_series(20);
+        for w in cc.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn quantile_matches_cdf() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let e = Ecdf::new(&data);
+        let q90 = e.quantile(0.9).unwrap();
+        assert!((89.0..=92.0).contains(&q90), "q90 = {q90}");
+    }
+
+    #[test]
+    fn histogram_basic() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.9, 9.9, -1.0, 10.0, f64::NAN] {
+            h.push(x);
+        }
+        assert_eq!(h.count(0), 2); // 0.5, 1.5
+        assert_eq!(h.count(1), 2); // 2.5, 2.9
+        assert_eq!(h.count(4), 1); // 9.9
+        assert_eq!(h.underflow, 2); // -1.0, NaN
+        assert_eq!(h.overflow, 1); // 10.0
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bins()[0].0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone(data in prop::collection::vec(-1e4f64..1e4, 1..200), a in -1e4f64..1e4, b in -1e4f64..1e4) {
+            let e = Ecdf::new(&data);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.cdf(lo) <= e.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_cdf_plus_ccdf_is_one(data in prop::collection::vec(-1e4f64..1e4, 1..100), x in -1e4f64..1e4) {
+            let e = Ecdf::new(&data);
+            prop_assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_histogram_conserves_count(data in prop::collection::vec(-100.0f64..100.0, 0..200)) {
+            let mut h = Histogram::new(-50.0, 50.0, 10);
+            for &x in &data {
+                h.push(x);
+            }
+            prop_assert_eq!(h.total(), data.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Normalized Shannon entropy of count vectors.
+//!
+//! Used by the probe-diversity criterion (§4.3): with `A = {a_i}` the number
+//! of probes per AS monitoring a link,
+//!
+//! ```text
+//! H(A) = −(1/ln n) Σ P(a_i) ln P(a_i)
+//! ```
+//!
+//! `H ≈ 0` means probes concentrate in one AS (differential RTTs dominated
+//! by a shared return path); `H ≈ 1` means even dispersion. Links require
+//! `H(A) > 0.5` after rebalancing.
+
+/// Normalized Shannon entropy of non-negative counts.
+///
+/// Zero counts are ignored. Returns:
+/// * `None` if the vector has no positive counts;
+/// * `Some(1.0)` for a single positive count (`n = 1`): by convention a
+///   single category is "maximally concentrated", but the normalization
+///   `1/ln 1` is undefined — the paper's criterion pairs entropy with the
+///   ≥3-AS rule, so n = 1 never reaches it. We return 0.0 to mark total
+///   concentration.
+pub fn normalized_entropy(counts: &[u32]) -> Option<f64> {
+    let positive: Vec<f64> = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| f64::from(c))
+        .collect();
+    if positive.is_empty() {
+        return None;
+    }
+    if positive.len() == 1 {
+        return Some(0.0);
+    }
+    let total: f64 = positive.iter().sum();
+    let n = positive.len() as f64;
+    let h: f64 = positive
+        .iter()
+        .map(|&c| {
+            let p = c / total;
+            -p * p.ln()
+        })
+        .sum();
+    Some(h / n.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_counts_have_unit_entropy() {
+        assert!((normalized_entropy(&[5, 5, 5, 5]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_entropy(&[1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_drives_entropy_down() {
+        let balanced = normalized_entropy(&[10, 10, 10]).unwrap();
+        let skewed = normalized_entropy(&[90, 5, 5]).unwrap();
+        let extreme = normalized_entropy(&[998, 1, 1]).unwrap();
+        assert!(balanced > skewed && skewed > extreme);
+    }
+
+    #[test]
+    fn paper_example_unbalanced_probes() {
+        // §4.3: 100 probes in 5 ASes, 90 of them in one AS → low entropy,
+        // fails the H > 0.5 criterion.
+        let h = normalized_entropy(&[90, 4, 3, 2, 1]).unwrap();
+        assert!(h < 0.5, "H = {h}");
+        // Evenly spread across 5 ASes → passes.
+        let h2 = normalized_entropy(&[20, 20, 20, 20, 20]).unwrap();
+        assert!(h2 > 0.5);
+    }
+
+    #[test]
+    fn zero_counts_are_ignored() {
+        assert_eq!(
+            normalized_entropy(&[5, 0, 5, 0]),
+            normalized_entropy(&[5, 5])
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(normalized_entropy(&[]), None);
+        assert_eq!(normalized_entropy(&[0, 0]), None);
+        assert_eq!(normalized_entropy(&[7]), Some(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_in_unit_interval(counts in prop::collection::vec(0u32..1000, 1..50)) {
+            if let Some(h) = normalized_entropy(&counts) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&h), "H = {h}");
+            }
+        }
+
+        #[test]
+        fn prop_entropy_permutation_invariant(mut counts in prop::collection::vec(1u32..100, 2..20)) {
+            let h1 = normalized_entropy(&counts).unwrap();
+            counts.reverse();
+            let h2 = normalized_entropy(&counts).unwrap();
+            // Tolerance: float summation order differs after permutation.
+            prop_assert!((h1 - h2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_entropy_scale_invariant(counts in prop::collection::vec(1u32..50, 2..20), k in 1u32..10) {
+            let h1 = normalized_entropy(&counts).unwrap();
+            let scaled: Vec<u32> = counts.iter().map(|c| c * k).collect();
+            let h2 = normalized_entropy(&scaled).unwrap();
+            prop_assert!((h1 - h2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Standard normal distribution functions and Q-Q utilities.
+//!
+//! Figure 3 of the paper validates the median-CLT variant with a Q-Q plot:
+//! hourly median differential RTTs against theoretical normal quantiles.
+//! This module supplies:
+//!
+//! * [`phi`]/[`norm_cdf`] — standard normal PDF/CDF (via an Abramowitz &
+//!   Stegun `erf` approximation, |error| < 1.5e-7);
+//! * [`norm_ppf`] — inverse CDF (Acklam's rational approximation refined by
+//!   one Halley step, |relative error| < 1e-9);
+//! * [`qq_points`] — sample-vs-theoretical quantile pairs in standardized
+//!   units, exactly the data behind a Q-Q plot;
+//! * [`qq_correlation`] — the correlation of those pairs, a Shapiro–Francia
+//!   style normality score (≈ 1 for normal samples).
+
+use crate::descriptive::Summary;
+
+/// Standard normal probability density.
+pub fn phi(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse standard normal CDF (percent-point function).
+///
+/// Acklam's rational approximation with one Halley refinement step.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn norm_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "norm_ppf requires p in (0,1), got {p}");
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step sharpens the approximation to ~1e-9.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Q-Q plot data: `(theoretical quantile, standardized sample quantile)`.
+///
+/// Samples are standardized by their own mean/σ (as in the paper's figure,
+/// where both axes are in standard units). Theoretical quantiles use the
+/// Blom plotting positions `(i − 3/8) / (n + 1/4)`.
+///
+/// Returns an empty vector for fewer than 3 samples or zero variance.
+pub fn qq_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    let n = samples.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let summary = Summary::from_slice(samples);
+    let sd = summary.std_dev();
+    if sd <= 0.0 {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let p = (i as f64 + 1.0 - 0.375) / (n as f64 + 0.25);
+            (norm_ppf(p), (x - summary.mean()) / sd)
+        })
+        .collect()
+}
+
+/// Correlation between theoretical and sample quantiles (normality score).
+///
+/// A value near 1 indicates the sample is consistent with a normal
+/// distribution — the paper's Fig. 3a case. Heavy-tailed/outlier-ridden
+/// samples (Fig. 3b, the mean-based estimator) score visibly lower.
+pub fn qq_correlation(samples: &[f64]) -> Option<f64> {
+    let pts = qq_points(samples);
+    if pts.is_empty() {
+        return None;
+    }
+    let (theo, samp): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
+    crate::correlation::pearson(&theo, &samp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Normal;
+    use crate::rng::SplitMix64;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!(norm_cdf(6.0) > 0.999999);
+        assert!(norm_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn ppf_known_values() {
+        // erf's polynomial approximation leaves ~1e-9 residual at 0.
+        assert!(norm_ppf(0.5).abs() < 1e-7);
+        assert!((norm_ppf(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((norm_ppf(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((norm_ppf(0.841_344_746) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn ppf_rejects_boundaries() {
+        norm_ppf(0.0);
+    }
+
+    #[test]
+    fn cdf_ppf_round_trip() {
+        for i in 1..100 {
+            let p = f64::from(i) / 100.0;
+            let x = norm_ppf(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn phi_integrates_to_one() {
+        // Trapezoidal integration over [-8, 8].
+        let n = 16_000;
+        let h = 16.0 / n as f64;
+        let total: f64 = (0..=n)
+            .map(|i| {
+                let x = -8.0 + h * i as f64;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * phi(x)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qq_normal_sample_scores_high() {
+        let mut rng = SplitMix64::new(42);
+        let normal = Normal::new(5.0, 2.0);
+        let data: Vec<f64> = (0..500).map(|_| normal.sample(&mut rng)).collect();
+        let r = qq_correlation(&data).unwrap();
+        assert!(r > 0.995, "normal sample scored {r}");
+    }
+
+    #[test]
+    fn qq_outlier_sample_scores_lower() {
+        // Mimics Fig. 3b: mostly normal with gross outliers.
+        let mut rng = SplitMix64::new(43);
+        let normal = Normal::new(5.0, 1.0);
+        let mut data: Vec<f64> = (0..500).map(|_| normal.sample(&mut rng)).collect();
+        for i in 0..25 {
+            data[i * 20] = 500.0 + i as f64;
+        }
+        let clean = qq_correlation(&data[1..40].to_vec()).unwrap_or(1.0);
+        let dirty = qq_correlation(&data).unwrap();
+        assert!(dirty < 0.8, "outlier sample scored {dirty} (clean {clean})");
+    }
+
+    #[test]
+    fn qq_points_are_monotone() {
+        let data = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3];
+        let pts = qq_points(&data);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn qq_degenerate_inputs() {
+        assert!(qq_points(&[1.0, 2.0]).is_empty());
+        assert!(qq_points(&[5.0; 10]).is_empty());
+        assert_eq!(qq_correlation(&[5.0; 10]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_ppf_cdf_inverse(p in 0.001f64..0.999) {
+            prop_assert!((norm_cdf(norm_ppf(p)) - p).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_erf_odd(x in 0.0f64..5.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+}

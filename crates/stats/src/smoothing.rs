@@ -1,0 +1,262 @@
+//! Exponential smoothing for scalar and vector references.
+//!
+//! Both detectors maintain their "normal reference" with exponential
+//! smoothing: the delay detector smooths the median and the CI bounds
+//! (Eq. 7, §4.2.4); the forwarding detector smooths the per-hop packet-count
+//! vector (Eq. 8, §5.1):
+//!
+//! ```text
+//! m̄_t = α m_t + (1 − α) m̄_{t−1}
+//! ```
+//!
+//! A small α "mitigates the impact of anomalous values"; the initial value
+//! m̄₀ matters when α is small, so the delay detector warms up with
+//! `m̄₀ = median(m₁, m₂, m₃)` (handled by the caller; see
+//! `pinpoint-core::diffrtt::reference`).
+
+/// Scalar exponential smoother (Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an empty smoother with the given α ∈ (0, 1].
+    ///
+    /// # Panics
+    /// Panics if α is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha {alpha} outside (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Create a smoother pre-seeded with an initial value.
+    pub fn with_initial(alpha: f64, initial: f64) -> Self {
+        let mut e = Ewma::new(alpha);
+        e.value = Some(initial);
+        e
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current smoothed value, if any observation has been folded in.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Fold in an observation and return the updated smoothed value.
+    ///
+    /// The first observation initializes the state (m̄₀ = m₁) unless the
+    /// smoother was created via [`Ewma::with_initial`].
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Replace the current state (used by warm-up logic).
+    pub fn reset_to(&mut self, x: f64) {
+        self.value = Some(x);
+    }
+}
+
+/// Vector exponential smoother over a sparse key space (Eq. 8).
+///
+/// Keys are next-hop identifiers; values are packet counts. Alignment
+/// follows the paper: "If the hop i is unseen at time t then p_i = 0,
+/// similarly, if the hop i is observed for the first time at time t then
+/// p̄_i = 0."
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorEwma<K: Ord + Clone> {
+    alpha: f64,
+    values: std::collections::BTreeMap<K, f64>,
+}
+
+impl<K: Ord + Clone> VectorEwma<K> {
+    /// Create an empty vector smoother with the given α ∈ (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha {alpha} outside (0, 1]"
+        );
+        VectorEwma {
+            alpha,
+            values: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Whether no observation has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Smoothed value for a key (0 when never observed).
+    pub fn get(&self, key: &K) -> f64 {
+        self.values.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over `(key, smoothed value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, f64)> {
+        self.values.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fold in an observed count vector.
+    ///
+    /// The first observation initializes the reference to the observation
+    /// itself (F̄₀ = F₁). Subsequent updates apply Eq. 8 across the union of
+    /// tracked and observed keys. Keys whose smoothed value decays below
+    /// `prune_below` are dropped to bound memory.
+    pub fn update<I>(&mut self, observed: I, prune_below: f64)
+    where
+        I: IntoIterator<Item = (K, f64)>,
+    {
+        let observed: std::collections::BTreeMap<K, f64> = observed.into_iter().collect();
+        if self.values.is_empty() {
+            self.values = observed;
+            return;
+        }
+        let keys: Vec<K> = self
+            .values
+            .keys()
+            .chain(observed.keys())
+            .cloned()
+            .collect::<std::collections::BTreeSet<K>>()
+            .into_iter()
+            .collect();
+        for k in keys {
+            let old = self.values.get(&k).copied().unwrap_or(0.0);
+            let new = observed.get(&k).copied().unwrap_or(0.0);
+            let smoothed = self.alpha * new + (1.0 - self.alpha) * old;
+            if smoothed < prune_below {
+                self.values.remove(&k);
+            } else {
+                self.values.insert(k, smoothed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_update_initializes() {
+        let mut e = Ewma::new(0.01);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(5.0), 5.0);
+        assert_eq!(e.value(), Some(5.0));
+    }
+
+    #[test]
+    fn smoothing_formula() {
+        let mut e = Ewma::with_initial(0.1, 10.0);
+        let v = e.update(20.0);
+        assert!((v - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_alpha_resists_outliers() {
+        // The paper's rationale for small α: one outlier barely moves the
+        // reference.
+        let mut e = Ewma::with_initial(0.01, 5.0);
+        e.update(500.0);
+        assert!((e.value().unwrap() - 9.95).abs() < 1e-9);
+        // ... but persistent shifts eventually win.
+        let mut e2 = Ewma::with_initial(0.01, 5.0);
+        for _ in 0..1000 {
+            e2.update(500.0);
+        }
+        assert!(e2.value().unwrap() > 490.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn alpha_zero_panics() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn alpha_above_one_panics() {
+        Ewma::new(1.5);
+    }
+
+    #[test]
+    fn alpha_one_tracks_input() {
+        let mut e = Ewma::new(1.0);
+        e.update(3.0);
+        e.update(7.0);
+        assert_eq!(e.value(), Some(7.0));
+    }
+
+    #[test]
+    fn vector_first_update_initializes() {
+        let mut v: VectorEwma<&str> = VectorEwma::new(0.1);
+        v.update(vec![("a", 10.0), ("b", 100.0)], 0.0);
+        assert_eq!(v.get(&"a"), 10.0);
+        assert_eq!(v.get(&"b"), 100.0);
+        assert_eq!(v.get(&"zzz"), 0.0);
+    }
+
+    #[test]
+    fn vector_aligns_missing_keys_to_zero() {
+        let mut v: VectorEwma<&str> = VectorEwma::new(0.5);
+        v.update(vec![("a", 10.0), ("b", 100.0)], 0.0);
+        // "a" disappears, "c" appears.
+        v.update(vec![("b", 100.0), ("c", 20.0)], 0.0);
+        assert!((v.get(&"a") - 5.0).abs() < 1e-12); // 0.5*0 + 0.5*10
+        assert!((v.get(&"b") - 100.0).abs() < 1e-12);
+        assert!((v.get(&"c") - 10.0).abs() < 1e-12); // 0.5*20 + 0.5*0
+    }
+
+    #[test]
+    fn vector_prunes_decayed_keys() {
+        let mut v: VectorEwma<&str> = VectorEwma::new(0.5);
+        v.update(vec![("a", 1.0)], 0.0);
+        for _ in 0..20 {
+            v.update(vec![("b", 1.0)], 1e-3);
+        }
+        assert_eq!(v.get(&"a"), 0.0);
+        assert_eq!(v.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ewma_stays_within_observed_range(alpha in 0.001f64..1.0, xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+            let mut e = Ewma::new(alpha);
+            for &x in &xs {
+                e.update(x);
+            }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let v = e.value().unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_ewma_converges_to_constant(alpha in 0.01f64..1.0, target in -100.0f64..100.0) {
+            let mut e = Ewma::with_initial(alpha, 0.0);
+            for _ in 0..5000 {
+                e.update(target);
+            }
+            prop_assert!((e.value().unwrap() - target).abs() < 1.0 + target.abs() * 0.05);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Failure-injection and adversarial-input integration tests: the detector
+//! must never panic on malformed, hostile, or degenerate measurement data —
+//! real Atlas feeds contain all of it.
+
+use pinpoint::core::aggregate::AsMapper;
+use pinpoint::core::{Analyzer, DetectorConfig};
+use pinpoint::model::records::{Hop, Reply, TracerouteRecord};
+use pinpoint::model::{Asn, BinId, MeasurementId, ProbeId, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn analyzer() -> Analyzer {
+    Analyzer::new(
+        DetectorConfig::fast_test(),
+        AsMapper::from_prefixes([("10.0.0.0/8".parse().unwrap(), Asn(64500))]),
+    )
+}
+
+fn base_record() -> TracerouteRecord {
+    TracerouteRecord {
+        msm_id: MeasurementId(1),
+        probe_id: ProbeId(1),
+        probe_asn: Asn(64500),
+        dst: "10.9.9.9".parse().unwrap(),
+        timestamp: SimTime(0),
+        paris_id: 0,
+        hops: vec![],
+        destination_reached: false,
+    }
+}
+
+#[test]
+fn empty_bin_and_empty_records() {
+    let mut a = analyzer();
+    let report = a.process_bin(BinId(0), &[]);
+    assert!(report.delay_alarms.is_empty());
+    assert!(report.forwarding_alarms.is_empty());
+
+    let report = a.process_bin(BinId(1), &[base_record()]);
+    assert_eq!(report.records, 1);
+    assert!(report.link_stats.is_empty());
+}
+
+#[test]
+fn all_timeout_traceroutes() {
+    let mut rec = base_record();
+    rec.hops = (1..=10)
+        .map(|ttl| Hop::new(ttl, vec![Reply::TIMEOUT; 3]))
+        .collect();
+    let mut a = analyzer();
+    let report = a.process_bin(BinId(0), &[rec]);
+    assert!(report.link_stats.is_empty());
+}
+
+#[test]
+fn hostile_rtt_values() {
+    // NaN / infinite / negative / enormous RTTs must not poison medians or
+    // panic sorting.
+    let ip = |s: &str| -> Ipv4Addr { s.parse().unwrap() };
+    let mut records = Vec::new();
+    for (probe, asn) in [(1u32, 100u32), (2, 200), (3, 300)] {
+        let mut rec = base_record();
+        rec.probe_id = ProbeId(probe);
+        rec.probe_asn = Asn(asn);
+        rec.hops = vec![
+            Hop::new(
+                1,
+                vec![
+                    Reply::new(ip("10.0.0.1"), f64::NAN),
+                    Reply::new(ip("10.0.0.1"), -5.0),
+                    Reply::new(ip("10.0.0.1"), 1.0),
+                ],
+            ),
+            Hop::new(
+                2,
+                vec![
+                    Reply::new(ip("10.0.0.2"), f64::INFINITY),
+                    Reply::new(ip("10.0.0.2"), 1e300),
+                    Reply::new(ip("10.0.0.2"), 2.0),
+                ],
+            ),
+        ];
+        records.push(rec);
+    }
+    let mut a = analyzer();
+    for bin in 0..8 {
+        let report = a.process_bin(BinId(bin), &records);
+        for alarm in &report.delay_alarms {
+            assert!(alarm.deviation.is_finite());
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_contradictory_hops() {
+    let ip = |s: &str| -> Ipv4Addr { s.parse().unwrap() };
+    let mut rec = base_record();
+    // The same address at several TTLs plus two different responders within
+    // one hop (mid-measurement path change).
+    rec.hops = vec![
+        Hop::new(1, vec![Reply::new(ip("10.0.0.1"), 1.0); 3]),
+        Hop::new(
+            2,
+            vec![
+                Reply::new(ip("10.0.0.2"), 2.0),
+                Reply::new(ip("10.0.0.3"), 2.5),
+                Reply::TIMEOUT,
+            ],
+        ),
+        Hop::new(3, vec![Reply::new(ip("10.0.0.1"), 3.0); 3]),
+    ];
+    let mut a = analyzer();
+    let report = a.process_bin(BinId(0), &[rec]);
+    // No self-links.
+    for link in report.link_stats.keys() {
+        assert_ne!(link.near, link.far);
+    }
+}
+
+#[test]
+fn enormous_single_bin_is_handled() {
+    // 20k identical traceroutes in one bin: just slow, never wrong.
+    let ip = |s: &str| -> Ipv4Addr { s.parse().unwrap() };
+    let mut records = Vec::with_capacity(20_000);
+    for i in 0..20_000u32 {
+        let mut rec = base_record();
+        rec.probe_id = ProbeId(i % 50);
+        rec.probe_asn = Asn(100 + (i % 7));
+        rec.hops = vec![
+            Hop::new(1, vec![Reply::new(ip("10.0.0.1"), 1.0 + f64::from(i % 10) * 0.01); 3]),
+            Hop::new(2, vec![Reply::new(ip("10.0.0.2"), 3.0 + f64::from(i % 10) * 0.01); 3]),
+        ];
+        records.push(rec);
+    }
+    let mut a = analyzer();
+    let report = a.process_bin(BinId(0), &records);
+    assert_eq!(report.records, 20_000);
+    assert_eq!(report.link_stats.len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary well-formed record structure never panics the pipeline.
+    #[test]
+    fn prop_arbitrary_records_never_panic(
+        seed in 0u64..1000,
+        n_hops in 0usize..12,
+        n_records in 0usize..20,
+    ) {
+        let mut rng = pinpoint::stats::SplitMix64::new(seed);
+        let mut records = Vec::new();
+        for r in 0..n_records {
+            let mut rec = base_record();
+            rec.probe_id = ProbeId(r as u32 % 5);
+            rec.probe_asn = Asn(100 + (r as u32 % 4) * 100);
+            rec.hops = (0..n_hops)
+                .map(|ttl| {
+                    let replies = (0..3)
+                        .map(|_| {
+                            if rng.next_bool(0.25) {
+                                Reply::TIMEOUT
+                            } else {
+                                let octet = (rng.next_below(5) + 1) as u8;
+                                Reply::new(
+                                    Ipv4Addr::new(10, 0, 0, octet),
+                                    rng.next_f64() * 100.0,
+                                )
+                            }
+                        })
+                        .collect();
+                    Hop::new(ttl as u8 + 1, replies)
+                })
+                .collect();
+            records.push(rec);
+        }
+        let mut a = analyzer();
+        for bin in 0..3 {
+            let report = a.process_bin(BinId(bin), &records);
+            prop_assert!(report.delay_alarms.iter().all(|al| al.deviation.is_finite()));
+            prop_assert!(report
+                .forwarding_alarms
+                .iter()
+                .all(|al| al.rho.is_finite() && (-1.0..=1.0).contains(&al.rho)));
+        }
+    }
+}
