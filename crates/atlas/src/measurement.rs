@@ -154,8 +154,7 @@ mod tests {
     #[test]
     fn phases_differ_across_probes() {
         let m = msm();
-        let phases: std::collections::HashSet<u64> =
-            (0..50).map(|i| m.phase(ProbeId(i))).collect();
+        let phases: std::collections::HashSet<u64> = (0..50).map(|i| m.phase(ProbeId(i))).collect();
         assert!(phases.len() > 30, "phases heavily collide");
         for p in phases {
             assert!(p < m.interval_secs);

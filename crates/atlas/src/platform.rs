@@ -114,9 +114,8 @@ impl Platform {
                 for t in m.firings(probe_id, from, to) {
                     let n = t.secs() / m.interval_secs;
                     let paris = m.paris_id(probe_id, n);
-                    let flow = (u64::from(probe_id.0) << 20)
-                        ^ (u64::from(paris) << 4)
-                        ^ u64::from(m.id.0);
+                    let flow =
+                        (u64::from(probe_id.0) << 20) ^ (u64::from(paris) << 4) ^ u64::from(m.id.0);
                     let outcome = self.net.traceroute(&TraceQuery {
                         src: probe.gateway,
                         dst: m.target,
@@ -124,9 +123,7 @@ impl Platform {
                         flow,
                         packets_per_hop: 3,
                     });
-                    records.push(outcome_to_record(
-                        m.id, probe, m.target, t, paris, outcome,
-                    ));
+                    records.push(outcome_to_record(m.id, probe, m.target, t, paris, outcome));
                 }
             }
         }
@@ -135,7 +132,11 @@ impl Platform {
     }
 
     /// Iterate bins `[first, last)` lazily — the streaming interface.
-    pub fn stream(&self, first: BinId, last: BinId) -> impl Iterator<Item = (BinId, Vec<TracerouteRecord>)> + '_ {
+    pub fn stream(
+        &self,
+        first: BinId,
+        last: BinId,
+    ) -> impl Iterator<Item = (BinId, Vec<TracerouteRecord>)> + '_ {
         (first.0..last.0).map(move |b| {
             let bin = BinId(b);
             (bin, self.collect_bin(bin))

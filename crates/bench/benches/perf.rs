@@ -5,7 +5,9 @@
 //! one-hour bin cadence it must sustain.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pinpoint_bench::workload::{synthetic_bin, synthetic_mapper, WorkloadSpec};
 use pinpoint_core::diffrtt::compute::collect_link_samples;
+use pinpoint_core::diffrtt::SampleArena;
 use pinpoint_core::forwarding::collect_patterns;
 use pinpoint_core::pipeline::Analyzer;
 use pinpoint_core::DetectorConfig;
@@ -95,14 +97,20 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("collect_link_samples_per_bin", |b| {
         b.iter(|| collect_link_samples(std::hint::black_box(&records)))
     });
+    c.bench_function("sample_arena_build_per_bin", |b| {
+        let mut arena = SampleArena::new();
+        b.iter(|| {
+            arena.build(std::hint::black_box(&records));
+            arena.total_samples()
+        })
+    });
     c.bench_function("collect_patterns_per_bin", |b| {
         b.iter(|| collect_patterns(std::hint::black_box(&records)))
     });
     c.bench_function("analyzer_process_bin", |b| {
         b.iter_batched(
             || {
-                let mut analyzer =
-                    Analyzer::new(DetectorConfig::default(), case.mapper.clone());
+                let mut analyzer = Analyzer::new(DetectorConfig::default(), case.mapper.clone());
                 // Warm the references so the bench covers the steady state.
                 analyzer.process_bin(BinId(0), &records);
                 analyzer
@@ -111,11 +119,62 @@ fn bench_pipeline(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    c.bench_function("analyzer_process_bin_sequential", |b| {
+        b.iter_batched(
+            || {
+                let mut analyzer = Analyzer::new(DetectorConfig::default(), case.mapper.clone());
+                analyzer.process_bin_sequential(BinId(0), &records);
+                analyzer
+            },
+            |mut analyzer| {
+                analyzer.process_bin_sequential(BinId(1), std::hint::black_box(&records))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Engine-level throughput on a synthetic Atlas-scale bin (hundreds of
+/// links, every one passing the diversity filter). The parallel/sequential
+/// pair here is the headline number `pipeline_bench` records in
+/// `BENCH_pipeline.json`.
+fn bench_engine(c: &mut Criterion) {
+    let spec = WorkloadSpec::large();
+    let records = synthetic_bin(&spec, 2015, 0);
+    let next = synthetic_bin(&spec, 2015, 1);
+    println!(
+        "synthetic bin volume: {} traceroutes, {} links",
+        records.len(),
+        spec.links * 2
+    );
+
+    c.bench_function("engine_bin_large_parallel", |b| {
+        b.iter_batched(
+            || {
+                let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+                analyzer.process_bin(BinId(0), &records);
+                analyzer
+            },
+            |mut analyzer| analyzer.process_bin(BinId(1), std::hint::black_box(&next)),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("engine_bin_large_sequential", |b| {
+        b.iter_batched(
+            || {
+                let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+                analyzer.process_bin_sequential(BinId(0), &records);
+                analyzer
+            },
+            |mut analyzer| analyzer.process_bin_sequential(BinId(1), std::hint::black_box(&next)),
+            BatchSize::LargeInput,
+        )
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_stats, bench_lpm, bench_netsim, bench_pipeline
+    targets = bench_stats, bench_lpm, bench_netsim, bench_pipeline, bench_engine
 }
 criterion_main!(benches);

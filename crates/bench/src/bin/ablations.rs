@@ -51,11 +51,12 @@ fn ablation_diversity(seed: u64) -> (usize, usize) {
     // Count monitored links with and without the diversity filter.
     let count_links = |min_div: usize, entropy: f64| -> usize {
         let case = steady::case_study(seed, Scale::Small);
-        let mut cfg = DetectorConfig::default();
-        cfg.min_as_diversity = min_div;
-        cfg.entropy_threshold = entropy;
-        let mut analyzer =
-            pinpoint_core::pipeline::Analyzer::new(cfg, case.mapper.clone());
+        let cfg = DetectorConfig {
+            min_as_diversity: min_div,
+            entropy_threshold: entropy,
+            ..DetectorConfig::default()
+        };
+        let mut analyzer = pinpoint_core::pipeline::Analyzer::new(cfg, case.mapper.clone());
         let mut links = std::collections::BTreeSet::new();
         for (bin, records) in case.platform.stream(BinId(0), BinId(3)) {
             let report = analyzer.process_bin(bin, &records);
@@ -73,8 +74,10 @@ fn ablation_alpha(seed: u64) -> Vec<(f64, usize, usize)> {
     let mut out = Vec::new();
     for alpha in [0.01, 0.1, 0.5] {
         let case = leak::case_study(seed, Scale::Small);
-        let mut cfg = DetectorConfig::default();
-        cfg.alpha = alpha;
+        let cfg = DetectorConfig {
+            alpha,
+            ..DetectorConfig::default()
+        };
         let mut analyzer = pinpoint_core::pipeline::Analyzer::new(cfg, case.mapper.clone());
         let mut inside = 0usize;
         let mut after = 0usize;
@@ -99,8 +102,10 @@ fn ablation_tau(seed: u64) -> Vec<(f64, usize, usize)> {
     let mut out = Vec::new();
     for tau in [-0.05, -0.25, -0.6] {
         let case = ixp::case_study(seed, Scale::Small);
-        let mut cfg = DetectorConfig::default();
-        cfg.forwarding_tau = tau;
+        let cfg = DetectorConfig {
+            forwarding_tau: tau,
+            ..DetectorConfig::default()
+        };
         let mut analyzer = pinpoint_core::pipeline::Analyzer::new(cfg, case.mapper.clone());
         let mut inside = 0usize;
         let mut outside = 0usize;
@@ -127,11 +132,11 @@ fn main() {
 
     // Run the four studies in parallel; each builds its own scenario.
     let seed = opts.seed;
-    let (tx, rx) = crossbeam::channel::unbounded::<String>();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
     let mut ok = true;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let tx1 = tx.clone();
-        s.spawn(move |_| {
+        s.spawn(move || {
             let (median, mean) = ablation_mean_vs_median(seed);
             tx1.send(format!(
                 "1. quiet-fortnight alarms on the Fig. 2 link: median+Wilson {median}, mean±σ {mean}{}",
@@ -140,7 +145,7 @@ fn main() {
             .unwrap();
         });
         let tx2 = tx.clone();
-        s.spawn(move |_| {
+        s.spawn(move || {
             let (with, without) = ablation_diversity(seed);
             tx2.send(format!(
                 "2. monitored links: {with} with the ≥3-AS+entropy filter, {without} without (+{} ambiguous single-view links admitted)",
@@ -149,7 +154,7 @@ fn main() {
             .unwrap();
         });
         let tx3 = tx.clone();
-        s.spawn(move |_| {
+        s.spawn(move || {
             let rows = ablation_alpha(seed);
             let mut msg = String::from("3. α sweep on the leak (alarms in-window / echo after):");
             for (a, inside, after) in rows {
@@ -158,7 +163,7 @@ fn main() {
             tx3.send(msg).unwrap();
         });
         let tx4 = tx.clone();
-        s.spawn(move |_| {
+        s.spawn(move || {
             let rows = ablation_tau(seed);
             let mut msg =
                 String::from("4. τ sweep on the IXP week (alarms in-outage / false alarms):");
@@ -167,8 +172,7 @@ fn main() {
             }
             tx4.send(msg).unwrap();
         });
-    })
-    .unwrap();
+    });
     drop(tx);
     let mut results: Vec<String> = rx.iter().collect();
     results.sort();

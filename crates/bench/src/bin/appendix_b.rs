@@ -96,15 +96,12 @@ fn sweep(
     assert_eq!(chosen.len(), 3, "not enough probes crossing the link");
     let mut platform = Platform::new(net, probes);
     platform.bin_secs = bin_secs;
-    platform.add_measurement(Measurement::new(
-        MeasurementId(9000),
-        kind,
-        anchor,
-        chosen,
-    ));
+    platform.add_measurement(Measurement::new(MeasurementId(9000), kind, anchor, chosen));
 
-    let mut cfg = DetectorConfig::default();
-    cfg.bin_secs = bin_secs;
+    let cfg = DetectorConfig {
+        bin_secs,
+        ..DetectorConfig::default()
+    };
     let mut analyzer = Analyzer::new(cfg, mapper);
     let total_bins = (warmup_days + durations_min.len() as u64 + 1) * 86_400 / bin_secs;
     let mut detected_bins: Vec<u64> = Vec::new();

@@ -60,7 +60,10 @@ fn main() {
     let lo = meds.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = meds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mean_width = ci_widths.iter().sum::<f64>() / ci_widths.len().max(1) as f64;
-    println!("\nmedian band: [{lo:.3}, {hi:.3}] ms (spread {:.3} ms)", hi - lo);
+    println!(
+        "\nmedian band: [{lo:.3}, {hi:.3}] ms (spread {:.3} ms)",
+        hi - lo
+    );
     println!("mean Wilson CI width: {mean_width:.3} ms");
     println!("alarms on the link: {alarms_on_link}");
 

@@ -38,7 +38,11 @@ fn main() {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop bins by magnitude:");
     for (bin, mag) in ranked.iter().take(6) {
-        let marker = if attack_bins.contains(bin) { "← attack" } else { "" };
+        let marker = if attack_bins.contains(bin) {
+            "← attack"
+        } else {
+            ""
+        };
         println!("    bin {bin:>5}: {mag:>10.1} {marker}");
     }
     let top2: Vec<u64> = ranked.iter().take(2).map(|(b, _)| *b).collect();

@@ -48,11 +48,10 @@ fn main() {
         for (link, stat) in &report.link_stats {
             if link.far == kroot_addr || link.near == kroot_addr {
                 let alarmed = report.delay_alarms.iter().any(|a| a.link == *link);
-                series.entry(*link).or_default().push((
-                    report.bin.0,
-                    stat.median(),
-                    alarmed,
-                ));
+                series
+                    .entry(*link)
+                    .or_default()
+                    .push((report.bin.0, stat.median(), alarmed));
             }
         }
     });

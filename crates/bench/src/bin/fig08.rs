@@ -57,7 +57,10 @@ fn main() {
                 c.degree(kroot)
             );
             for e in &c.edges {
-                println!("    {} — {}  (+{:.1} ms, d={:.1})", e.a, e.b, e.median_shift_ms, e.deviation);
+                println!(
+                    "    {} — {}  (+{:.1} ms, d={:.1})",
+                    e.a, e.b, e.median_shift_ms, e.deviation
+                );
             }
         }
         None => println!("K-root component: none"),
@@ -65,7 +68,9 @@ fn main() {
     let f_in_graph = graph.component_of(froot).is_some();
     let i_in_graph = graph.component_of(iroot).is_some();
     let l_clean = graph.component_of(lroot).is_none();
-    println!("\nF-root alarmed: {f_in_graph} | I-root alarmed: {i_in_graph} | L-root clean: {l_clean}");
+    println!(
+        "\nF-root alarmed: {f_in_graph} | I-root alarmed: {i_in_graph} | L-root clean: {l_clean}"
+    );
 
     let kdeg = comp.as_ref().map(|c| c.degree(kroot)).unwrap_or(0);
     verdict(

@@ -46,10 +46,20 @@ fn main() {
     let mut max_label: f64 = 0.0;
     let mut red_nodes = 0usize;
     for (i, c) in comps.iter().enumerate() {
-        println!("component #{i}: {} nodes, {} edges", c.nodes.len(), c.edges.len());
+        println!(
+            "component #{i}: {} nodes, {} edges",
+            c.nodes.len(),
+            c.edges.len()
+        );
         for e in &c.edges {
-            let a_as = mapper.asn_of(e.a).map(|a| a.to_string()).unwrap_or_default();
-            let b_as = mapper.asn_of(e.b).map(|a| a.to_string()).unwrap_or_default();
+            let a_as = mapper
+                .asn_of(e.a)
+                .map(|a| a.to_string())
+                .unwrap_or_default();
+            let b_as = mapper
+                .asn_of(e.b)
+                .map(|a| a.to_string())
+                .unwrap_or_default();
             println!(
                 "    {} ({a_as}) — {} ({b_as})  +{:.0} ms",
                 e.a, e.b, e.median_shift_ms
@@ -64,7 +74,10 @@ fn main() {
         }
         red_nodes += c.forwarding_flagged.len();
         if !c.forwarding_flagged.is_empty() {
-            println!("    forwarding-flagged (red) nodes: {:?}", c.forwarding_flagged);
+            println!(
+                "    forwarding-flagged (red) nodes: {:?}",
+                c.forwarding_flagged
+            );
         }
     }
 

@@ -58,7 +58,10 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\ndeepest magnitude: {min_mag:.1} at bin {min_bin}");
     println!("delay magnitude during the outage: {delay_at_outage:.2} (should stay small)");
-    println!("unresponsive LAN (router, next-hop) pairs: {}", lan_pairs.len());
+    println!(
+        "unresponsive LAN (router, next-hop) pairs: {}",
+        lan_pairs.len()
+    );
 
     verdict(
         outage_bins.contains(&min_bin) && min_mag < -2.0 && min_mag.abs() > delay_at_outage,

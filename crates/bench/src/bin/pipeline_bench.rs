@@ -1,0 +1,182 @@
+//! Engine throughput tracker: times `Analyzer::process_bin` (the sharded
+//! parallel engine) against `Analyzer::process_bin_sequential` (the
+//! nested-map, full-sort reference path) and writes `BENCH_pipeline.json`
+//! so the perf trajectory is recorded from PR to PR.
+//!
+//! ```text
+//! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH]
+//! ```
+//!
+//! Two workloads run: the steady scenario's Small bin (faithful simulator
+//! output) and a synthetic Atlas-scale bin (hundreds of diversity-passing
+//! links). Each is timed over `reps` repetitions on warmed analyzers and
+//! summarized by the median wall time; alarm/stat outputs of both paths
+//! are cross-checked for equality before any number is reported.
+
+use pinpoint_bench::workload::{synthetic_bin, synthetic_mapper, WorkloadSpec};
+use pinpoint_core::aggregate::AsMapper;
+use pinpoint_core::{Analyzer, DetectorConfig};
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::BinId;
+use pinpoint_scenarios::{steady, Scale};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct WorkloadResult {
+    name: String,
+    records: usize,
+    links: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.sequential_ms / self.parallel_ms
+    }
+
+    fn records_per_sec_parallel(&self) -> f64 {
+        self.records as f64 / (self.parallel_ms / 1e3)
+    }
+}
+
+/// Time `reps` runs of one engine path on a warmed analyzer; returns the
+/// median wall milliseconds per bin.
+fn time_path(
+    mapper: &AsMapper,
+    warm: &[TracerouteRecord],
+    work: &[TracerouteRecord],
+    reps: usize,
+    sequential: bool,
+) -> f64 {
+    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    if sequential {
+        analyzer.process_bin_sequential(BinId(0), warm);
+    } else {
+        analyzer.process_bin(BinId(0), warm);
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let bin = BinId(1 + rep as u64);
+        let t = Instant::now();
+        let report = if sequential {
+            analyzer.process_bin_sequential(bin, work)
+        } else {
+            analyzer.process_bin(bin, work)
+        };
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report);
+    }
+    pinpoint_stats::median(&samples).expect("reps >= 1")
+}
+
+fn run_workload(
+    name: &str,
+    mapper: &AsMapper,
+    warm: &[TracerouteRecord],
+    work: &[TracerouteRecord],
+    reps: usize,
+) -> WorkloadResult {
+    // Parity gate: identical outputs from warmed-equal analyzers, so the
+    // timings below compare engines that do the same work.
+    let mut a = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    let mut b = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    a.process_bin(BinId(0), warm);
+    b.process_bin_sequential(BinId(0), warm);
+    let ra = a.process_bin(BinId(1), work);
+    let rb = b.process_bin_sequential(BinId(1), work);
+    assert_eq!(
+        ra.delay_alarms, rb.delay_alarms,
+        "{name}: engine parity broke"
+    );
+    assert_eq!(ra.link_stats, rb.link_stats, "{name}: engine parity broke");
+    let links = ra.link_stats.len();
+
+    let sequential_ms = time_path(mapper, warm, work, reps, true);
+    let parallel_ms = time_path(mapper, warm, work, reps, false);
+    WorkloadResult {
+        name: name.to_string(),
+        records: work.len(),
+        links,
+        sequential_ms,
+        parallel_ms,
+    }
+}
+
+fn main() {
+    let mut seed = 2015u64;
+    let mut reps = 9usize;
+    let mut out_path = String::from("BENCH_pipeline.json");
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v.parse().expect("--seed must be a u64");
+        } else if let Some(v) = arg.strip_prefix("--reps=") {
+            reps = v.parse().expect("--reps must be a usize");
+            assert!(reps >= 1, "--reps must be at least 1");
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH]");
+            return;
+        } else {
+            // A typo'd flag must not silently record default-parameter
+            // numbers into the tracked perf-trajectory file.
+            panic!("unknown argument {arg:?} (see --help)");
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("==== pipeline_bench ==== (seed {seed}, {reps} reps, {threads} hw threads)");
+
+    // Workload 1: faithful simulator bin.
+    let case = steady::case_study(seed, Scale::Small);
+    let warm = case.platform.collect_bin(BinId(0));
+    let work = case.platform.collect_bin(BinId(1));
+    let steady_result = run_workload("steady_small", &case.mapper, &warm, &work, reps);
+
+    // Workload 2: synthetic Atlas-scale bin.
+    let spec = WorkloadSpec::large();
+    let mapper = synthetic_mapper();
+    let warm = synthetic_bin(&spec, seed, 0);
+    let work = synthetic_bin(&spec, seed, 1);
+    let large_result = run_workload("synthetic_large", &mapper, &warm, &work, reps);
+
+    let results = [steady_result, large_result];
+    for r in &results {
+        println!(
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s",
+            r.name,
+            r.records,
+            r.links,
+            r.sequential_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.records_per_sec_parallel(),
+        );
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde_json).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"analyzer_process_bin\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"hw_threads\": {threads},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}}}{}\n",
+            r.name,
+            r.records,
+            r.links,
+            r.sequential_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.records_per_sec_parallel(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&out_path).expect("create bench output");
+    file.write_all(json.as_bytes()).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -30,7 +30,7 @@ fn main() {
     // Probe coverage from a representative bin (cheap; coverage is stable).
     let coverage_records = case.platform.collect_bin(case.start_bin);
     for (link, samples) in collect_link_samples(&coverage_records) {
-        for probe in samples.per_probe.keys() {
+        for probe in samples.per_probe().keys() {
             probes_per_link.entry(link).or_default().insert(probe.0);
         }
     }
@@ -59,14 +59,38 @@ fn main() {
     println!("{:-<74}", "");
     let rows: Vec<(&str, String, &str)> = vec![
         ("traceroutes consumed", summary.records.to_string(), "2.8 B"),
-        ("monitored links (≥3-AS diversity)", seen_links.len().to_string(), "262 k"),
-        ("mean probes observing a link", format!("{mean_probes:.0}"), "147"),
-        ("% links with ≥1 delay alarm", format!("{pct_alarmed:.0} %"), "33 %"),
-        ("router IPs with forwarding models", summary.tracked_patterns.to_string(), "170 k keys"),
-        ("mean next hops per model", format!("{:.1}", summary.mean_next_hops), "4"),
-        ("P(delay magnitude < 1)", format!("{p_below_1:.3}", ), "0.97"),
+        (
+            "monitored links (≥3-AS diversity)",
+            seen_links.len().to_string(),
+            "262 k",
+        ),
+        (
+            "mean probes observing a link",
+            format!("{mean_probes:.0}"),
+            "147",
+        ),
+        (
+            "% links with ≥1 delay alarm",
+            format!("{pct_alarmed:.0} %"),
+            "33 %",
+        ),
+        (
+            "router IPs with forwarding models",
+            summary.tracked_patterns.to_string(),
+            "170 k keys",
+        ),
+        (
+            "mean next hops per model",
+            format!("{:.1}", summary.mean_next_hops),
+            "4",
+        ),
+        ("P(delay magnitude < 1)", format!("{p_below_1:.3}",), "0.97"),
         ("delay alarms", summary.delay_alarms.to_string(), "—"),
-        ("forwarding alarms", summary.forwarding_alarms.to_string(), "—"),
+        (
+            "forwarding alarms",
+            summary.forwarding_alarms.to_string(),
+            "—",
+        ),
     ];
     for (name, measured, paper) in rows {
         println!("{name:<46} {measured:>12} {paper:>14}");

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod workload;
+
 use pinpoint_scenarios::Scale;
 
 /// Parsed harness options.
@@ -106,7 +108,10 @@ pub fn print_series(name: &str, series: &[(u64, f64)], max_rows: usize) {
 
 /// Print the final verdict line the EXPERIMENTS.md table consumes.
 pub fn verdict(ok: bool, detail: &str) {
-    println!("\nVERDICT: {} — {detail}", if ok { "REPRODUCED" } else { "DIVERGED" });
+    println!(
+        "\nVERDICT: {} — {detail}",
+        if ok { "REPRODUCED" } else { "DIVERGED" }
+    );
 }
 
 #[cfg(test)]

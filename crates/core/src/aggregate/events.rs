@@ -99,8 +99,8 @@ impl EventExtractor {
         for (asn, series) in &self.history {
             let mut current: Option<Event> = None;
             for (bin, m) in series {
-                let over = m.delay_magnitude.abs() > threshold
-                    || m.forwarding_magnitude.abs() > threshold;
+                let over =
+                    m.delay_magnitude.abs() > threshold || m.forwarding_magnitude.abs() > threshold;
                 // A gap of one bin is bridged (events often dip between
                 // attack hours, cf. Fig. 6's two-peak structure is two
                 // events because the gap is hours long).

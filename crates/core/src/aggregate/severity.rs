@@ -28,10 +28,7 @@ pub fn delay_severity(alarms: &[DelayAlarm], mapper: &AsMapper) -> BTreeMap<Asn,
 }
 
 /// Sum per AS of rᵢ over reported next hops of forwarding alarms.
-pub fn forwarding_severity(
-    alarms: &[ForwardingAlarm],
-    mapper: &AsMapper,
-) -> BTreeMap<Asn, f64> {
+pub fn forwarding_severity(alarms: &[ForwardingAlarm], mapper: &AsMapper) -> BTreeMap<Asn, f64> {
     let mut out = BTreeMap::new();
     for alarm in alarms {
         for (hop, r) in &alarm.responsibilities {
@@ -89,8 +86,8 @@ mod tests {
     #[test]
     fn delay_severity_sums_and_splits_across_ases() {
         let alarms = vec![
-            delay_alarm("16.0.0.1", "16.0.0.2", 5.0),  // both in AS100
-            delay_alarm("16.0.0.3", "16.1.0.1", 2.0),  // crosses 100↔200
+            delay_alarm("16.0.0.1", "16.0.0.2", 5.0), // both in AS100
+            delay_alarm("16.0.0.3", "16.1.0.1", 2.0), // crosses 100↔200
         ];
         let sev = delay_severity(&alarms, &mapper());
         assert_eq!(sev[&Asn(100)], 7.0);

@@ -57,9 +57,10 @@ impl MeanDetector {
         let s = Summary::from_slice(samples);
         let mean = s.mean();
         let half_width = self.cfg.wilson_z * s.std_dev() / (s.count() as f64).sqrt();
-        let entry = self.references.entry(link).or_insert_with(|| {
-            Ewma::with_initial(self.cfg.alpha, mean)
-        });
+        let entry = self
+            .references
+            .entry(link)
+            .or_insert_with(|| Ewma::with_initial(self.cfg.alpha, mean));
         let reference = entry.value().unwrap_or(mean);
         let alarm = ((mean - reference).abs() > half_width)
             && ((mean - reference).abs() >= self.cfg.min_median_gap_ms);

@@ -35,6 +35,11 @@ pub struct DetectorConfig {
     pub magnitude_window_bins: usize,
     /// Seed for the (rare) random choices, e.g. entropy rebalancing.
     pub seed: u64,
+    /// Worker threads for the per-bin link engine: `0` means "use all
+    /// available cores". Results are byte-identical for any value — the
+    /// engine's randomness is derived per (seed, link, bin) and its output
+    /// totally ordered — so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for DetectorConfig {
@@ -51,11 +56,22 @@ impl Default for DetectorConfig {
             min_pattern_packets: 9.0,
             magnitude_window_bins: 7 * 24,
             seed: 0xF0_07,
+            threads: 0,
         }
     }
 }
 
 impl DetectorConfig {
+    /// Resolved engine worker count: `threads`, or every available core
+    /// when it is `0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
     /// A configuration suited to short unit-test scenarios: faster-moving
     /// references and a short magnitude window.
     pub fn fast_test() -> Self {
@@ -82,5 +98,6 @@ mod tests {
         assert_eq!(c.forwarding_tau, -0.25);
         assert_eq!(c.magnitude_window_bins, 168);
         assert_eq!(c.warmup_bins, 3);
+        assert_eq!(c.threads, 0, "default engine uses every core");
     }
 }

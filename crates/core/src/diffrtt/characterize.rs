@@ -6,7 +6,7 @@
 //! destroyed by outliers (Fig. 3).
 
 use crate::config::DetectorConfig;
-use pinpoint_stats::wilson::{median_ci_sorted, ConfidenceInterval};
+use pinpoint_stats::wilson::{median_ci_select, median_ci_sorted, ConfidenceInterval};
 
 /// Robust summary of one link in one bin.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +24,45 @@ impl LinkStat {
 
 /// Characterize filtered samples; `None` when empty or non-finite.
 pub fn characterize(samples: &[f64], cfg: &DetectorConfig) -> Option<LinkStat> {
+    let mut scratch = Vec::new();
+    characterize_into(samples, &mut scratch, cfg)
+}
+
+/// Engine variant of [`characterize`]: the finite samples are copied into
+/// `scratch` (cleared first) and characterized via order-statistic
+/// selection — expected O(n), no full sort, no allocation once `scratch`
+/// has grown to bin size. Bit-identical to [`characterize`] and
+/// [`characterize_full_sort`].
+pub fn characterize_into(
+    samples: &[f64],
+    scratch: &mut Vec<f64>,
+    cfg: &DetectorConfig,
+) -> Option<LinkStat> {
+    scratch.clear();
+    scratch.extend(samples.iter().copied().filter(|x| x.is_finite()));
+    if scratch.is_empty() {
+        return None;
+    }
+    let ci = median_ci_select(scratch, cfg.wilson_z)?;
+    Some(LinkStat { ci })
+}
+
+/// Zero-copy engine variant: drops non-finite values from `buf` in place,
+/// then characterizes by permuting `buf` itself. The hot path hands in the
+/// diversity filter's surviving-samples buffer, so a link is characterized
+/// with no copies at all. Bit-identical to [`characterize_full_sort`].
+pub fn characterize_in_place(buf: &mut Vec<f64>, cfg: &DetectorConfig) -> Option<LinkStat> {
+    buf.retain(|x| x.is_finite());
+    if buf.is_empty() {
+        return None;
+    }
+    let ci = median_ci_select(buf, cfg.wilson_z)?;
+    Some(LinkStat { ci })
+}
+
+/// The original full-sort implementation, retained as the reference the
+/// engine-parity tests (and the sequential baseline bench) compare against.
+pub fn characterize_full_sort(samples: &[f64], cfg: &DetectorConfig) -> Option<LinkStat> {
     let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
     if sorted.is_empty() {
         return None;
@@ -54,6 +93,27 @@ mod tests {
         let cfg = DetectorConfig::default();
         assert!(characterize(&[], &cfg).is_none());
         assert!(characterize(&[f64::NAN, f64::INFINITY], &cfg).is_none());
+    }
+
+    #[test]
+    fn select_path_matches_full_sort() {
+        let cfg = DetectorConfig::default();
+        let mut rng = SplitMix64::new(99);
+        let mut scratch = Vec::new();
+        for n in [1usize, 2, 3, 10, 101, 500] {
+            let samples: Vec<f64> = (0..n).map(|_| rng.next_f64() * 50.0 - 10.0).collect();
+            assert_eq!(
+                characterize_into(&samples, &mut scratch, &cfg),
+                characterize_full_sort(&samples, &cfg),
+                "n={n}"
+            );
+        }
+        // NaN/∞ filtering matches too.
+        let weird = [1.0, f64::NAN, 3.0, f64::INFINITY, 2.0, -1.0];
+        assert_eq!(
+            characterize_into(&weird, &mut scratch, &cfg),
+            characterize_full_sort(&weird, &cfg)
+        );
     }
 
     #[test]

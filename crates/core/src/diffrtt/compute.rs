@@ -5,19 +5,88 @@
 //! nine samples per traceroute, keyed by the ordered IP pair (X, Y). Samples
 //! stay attributed to their probe (and the probe's AS) because the
 //! diversity filter of §4.3 operates on probes, not raw samples.
+//!
+//! Two representations are provided:
+//!
+//! * [`LinkSamples`] / [`collect_link_samples`] — the readable nested-map
+//!   reference layout, one `HashMap` per link keyed by probe. This is the
+//!   *reference path* the engine-parity tests compare against.
+//! * [`SampleArena`] — the engine's flat layout: one contiguous sample pool
+//!   plus per-link/per-probe index spans, with every buffer reused across
+//!   bins. Building it is a flat append + one cache-friendly sort instead
+//!   of millions of per-probe map insertions, and a bin's worth of samples
+//!   ends up in memory the per-link pipeline can walk without chasing
+//!   pointers.
 
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::{Asn, IpLink, ProbeId};
+use pinpoint_model::{Asn, FxHashMap, IpLink, ProbeId};
 use std::collections::HashMap;
 
 /// All differential RTT samples for one link in one bin, per probe.
+///
+/// Construct via [`LinkSamples::insert`] or [`LinkSamples::from_per_probe`]
+/// so the distinct-AS count stays consistent with the probe map.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkSamples {
     /// probe → (probe AS, samples).
-    pub per_probe: HashMap<ProbeId, (Asn, Vec<f64>)>,
+    per_probe: HashMap<ProbeId, (Asn, Vec<f64>)>,
+    /// Distinct probe ASes, kept sorted — maintained incrementally so the
+    /// diversity filter's `as_count` query is O(1) instead of re-sorting a
+    /// fresh `Vec<Asn>` on every call.
+    ases: Vec<Asn>,
 }
 
 impl LinkSamples {
+    /// Build from a ready-made probe map (test helper / conversions).
+    pub fn from_per_probe(per_probe: HashMap<ProbeId, (Asn, Vec<f64>)>) -> Self {
+        let mut ases: Vec<Asn> = per_probe.values().map(|(a, _)| *a).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        LinkSamples { per_probe, ases }
+    }
+
+    /// Append one sample for `probe` (attributed to `asn`).
+    ///
+    /// A probe's AS is fixed by its first insertion: should later samples
+    /// arrive under a different ASN (malformed feed), they stay attributed
+    /// to the first-seen AS, and the distinct-AS count follows the stored
+    /// attribution — the same rule the arena's probe interning applies.
+    pub fn insert(&mut self, probe: ProbeId, asn: Asn, sample: f64) {
+        let entry = self
+            .per_probe
+            .entry(probe)
+            .or_insert_with(|| (asn, Vec::new()));
+        entry.1.push(sample);
+        let stored = entry.0;
+        if let Err(pos) = self.ases.binary_search(&stored) {
+            self.ases.insert(pos, stored);
+        }
+    }
+
+    /// Bulk variant of [`LinkSamples::insert`]: one probe-map lookup and
+    /// one AS-list update for a whole batch of samples, so the reference
+    /// collection path pays per-(record, link) map costs — as the original
+    /// implementation did — rather than per-sample.
+    pub fn insert_many(&mut self, probe: ProbeId, asn: Asn, samples: &[f64]) {
+        if samples.is_empty() {
+            return;
+        }
+        let entry = self
+            .per_probe
+            .entry(probe)
+            .or_insert_with(|| (asn, Vec::new()));
+        entry.1.extend_from_slice(samples);
+        let stored = entry.0;
+        if let Err(pos) = self.ases.binary_search(&stored) {
+            self.ases.insert(pos, stored);
+        }
+    }
+
+    /// The probe → (AS, samples) map.
+    pub fn per_probe(&self) -> &HashMap<ProbeId, (Asn, Vec<f64>)> {
+        &self.per_probe
+    }
+
     /// Total sample count across probes.
     pub fn sample_count(&self) -> usize {
         self.per_probe.values().map(|(_, v)| v.len()).sum()
@@ -28,12 +97,9 @@ impl LinkSamples {
         self.per_probe.len()
     }
 
-    /// Number of distinct probe ASes.
+    /// Number of distinct probe ASes (O(1): tracked incrementally).
     pub fn as_count(&self) -> usize {
-        let mut ases: Vec<Asn> = self.per_probe.values().map(|(a, _)| *a).collect();
-        ases.sort_unstable();
-        ases.dedup();
-        ases.len()
+        self.ases.len()
     }
 
     /// Flatten all samples (order: unspecified).
@@ -45,34 +111,327 @@ impl LinkSamples {
     }
 }
 
-/// Extract per-link differential RTT samples from a bin of traceroutes.
-pub fn collect_link_samples(
-    records: &[TracerouteRecord],
-) -> HashMap<IpLink, LinkSamples> {
+/// Extract per-link differential RTT samples from a bin of traceroutes
+/// (reference path; the engine uses [`SampleArena::build`]).
+///
+/// A probe's AS is pinned to the first `probe_asn` it reports in the bin
+/// (across all links, in record order) — the identical rule the arena's
+/// probe interning uses, so a malformed feed that flips a probe's ASN
+/// mid-bin cannot break engine parity.
+pub fn collect_link_samples(records: &[TracerouteRecord]) -> HashMap<IpLink, LinkSamples> {
     let mut out: HashMap<IpLink, LinkSamples> = HashMap::new();
+    let mut probe_asns: HashMap<ProbeId, Asn> = HashMap::new();
+    let mut near_rtts: Vec<f64> = Vec::new();
+    let mut diffs: Vec<f64> = Vec::new();
     for rec in records {
-        for (link, near_idx, far_idx) in rec.links() {
+        let asn = *probe_asns.entry(rec.probe_id).or_insert(rec.probe_asn);
+        rec.for_each_link(|link, near_idx, far_idx| {
             let near_hop = &rec.hops[near_idx];
             let far_hop = &rec.hops[far_idx];
-            let near_rtts: Vec<f64> = near_hop.rtts_from(link.near).collect();
-            let far_rtts: Vec<f64> = far_hop.rtts_from(link.far).collect();
-            if near_rtts.is_empty() || far_rtts.is_empty() {
-                continue;
+            near_rtts.clear();
+            near_rtts.extend(near_hop.rtts_from(link.near));
+            if near_rtts.is_empty() {
+                return;
             }
-            let entry = out
-                .entry(link)
-                .or_default()
-                .per_probe
-                .entry(rec.probe_id)
-                .or_insert_with(|| (rec.probe_asn, Vec::new()));
-            for &fy in &far_rtts {
-                for &fx in &near_rtts {
-                    entry.1.push(fy - fx);
+            diffs.clear();
+            for fy in far_hop.rtts_from(link.far) {
+                for &fx in near_rtts.iter() {
+                    diffs.push(fy - fx);
                 }
             }
-        }
+            if diffs.is_empty() {
+                return;
+            }
+            out.entry(link)
+                .or_default()
+                .insert_many(rec.probe_id, asn, &diffs);
+        });
     }
     out
+}
+
+/// Number of arena/reference shards. Fixed (not tied to the thread count)
+/// so a link lives in the same shard no matter how many workers run, and
+/// high enough to keep any realistic core count busy.
+pub(crate) const NUM_SHARDS: usize = 32;
+
+/// Stable shard assignment: one SplitMix64 round over the packed address
+/// pair. Must not involve `RandomState` or anything process-seeded —
+/// determinism across runs and thread counts depends on it.
+pub(crate) fn shard_of(link: &IpLink) -> usize {
+    let key = (u64::from(u32::from(link.near)) << 32) | u64::from(u32::from(link.far));
+    (pinpoint_stats::SplitMix64::new(key).next_raw() % NUM_SHARDS as u64) as usize
+}
+
+/// One probe's contiguous run of samples for one link.
+#[derive(Debug, Clone, Copy)]
+struct ProbeSpan {
+    /// Index into the arena's probe tables.
+    slot: u32,
+    start: u32,
+    len: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkEntry {
+    link: IpLink,
+    spans_start: u32,
+    spans_len: u32,
+    as_count: u32,
+}
+
+/// One link's view into the arena.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSlice<'a> {
+    /// The link (ordered IP pair).
+    pub link: IpLink,
+    /// Distinct probe ASes contributing to this link.
+    pub as_count: usize,
+    spans: &'a [ProbeSpan],
+    pool: &'a [f64],
+    probe_ids: &'a [ProbeId],
+    probe_asns: &'a [Asn],
+}
+
+impl<'a> LinkSlice<'a> {
+    /// Number of contributing probes.
+    pub fn probe_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total samples for this link.
+    pub fn sample_count(&self) -> usize {
+        self.spans.iter().map(|s| s.len as usize).sum()
+    }
+
+    /// Iterate `(probe, asn, samples)` — deterministic order (probes in
+    /// first-encounter interning order).
+    pub fn probes(&self) -> impl Iterator<Item = (ProbeId, Asn, &'a [f64])> + '_ {
+        self.spans.iter().map(move |s| {
+            (
+                self.probe_ids[s.slot as usize],
+                self.probe_asns[s.slot as usize],
+                &self.pool[s.start as usize..(s.start + s.len) as usize],
+            )
+        })
+    }
+}
+
+/// One shard's rows and grouped layout. `rows` is written by the scatter
+/// pass; `finalize` (run by the shard's worker thread) sorts and groups it
+/// into `pool`/`spans`/`entries`.
+#[derive(Debug, Default)]
+pub(crate) struct ArenaShard {
+    /// `(link_local << 32 | probe_slot, value)` — 16 bytes, sorted by key.
+    rows: Vec<(u64, f64)>,
+    /// Local link id → link, in first-encounter order.
+    links: Vec<IpLink>,
+    pool: Vec<f64>,
+    spans: Vec<ProbeSpan>,
+    entries: Vec<LinkEntry>,
+    as_scratch: Vec<Asn>,
+}
+
+impl ArenaShard {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.links.clear();
+        self.pool.clear();
+        self.spans.clear();
+        self.entries.clear();
+    }
+
+    /// Sort this shard's rows and lay out the grouped pool/span/entry
+    /// indexes. Safe to run concurrently across shards.
+    pub(crate) fn finalize(&mut self, probe_asns: &[Asn]) {
+        self.pool.clear();
+        self.spans.clear();
+        self.entries.clear();
+        // One u64-keyed sort over a small, cache-resident shard.
+        self.rows.sort_unstable_by_key(|r| r.0);
+        let mut i = 0;
+        while i < self.rows.len() {
+            let link_local = (self.rows[i].0 >> 32) as u32;
+            let spans_start = self.spans.len() as u32;
+            self.as_scratch.clear();
+            while i < self.rows.len() && (self.rows[i].0 >> 32) as u32 == link_local {
+                let key = self.rows[i].0;
+                let slot = key as u32;
+                let start = self.pool.len() as u32;
+                while i < self.rows.len() && self.rows[i].0 == key {
+                    self.pool.push(self.rows[i].1);
+                    i += 1;
+                }
+                self.spans.push(ProbeSpan {
+                    slot,
+                    start,
+                    len: self.pool.len() as u32 - start,
+                });
+                self.as_scratch.push(probe_asns[slot as usize]);
+            }
+            self.as_scratch.sort_unstable();
+            self.as_scratch.dedup();
+            self.entries.push(LinkEntry {
+                link: self.links[link_local as usize],
+                spans_start,
+                spans_len: self.spans.len() as u32 - spans_start,
+                as_count: self.as_scratch.len() as u32,
+            });
+        }
+    }
+
+    /// Links in this shard (after `finalize`).
+    pub(crate) fn link_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn link_in<'a>(
+        &'a self,
+        j: usize,
+        probe_ids: &'a [ProbeId],
+        probe_asns: &'a [Asn],
+    ) -> LinkSlice<'a> {
+        let e = self.entries[j];
+        LinkSlice {
+            link: e.link,
+            as_count: e.as_count as usize,
+            spans: &self.spans[e.spans_start as usize..(e.spans_start + e.spans_len) as usize],
+            pool: &self.pool,
+            probe_ids,
+            probe_asns,
+        }
+    }
+}
+
+/// The engine's flat, sharded, bin-reusable sample store.
+///
+/// [`SampleArena::scatter`] stages every differential RTT as a 16-byte
+/// `(link, probe, value)` row directly in the owning link's shard (links
+/// and probes are interned into dense ids on first encounter);
+/// [`ArenaShard::finalize`] — run per shard, in parallel — sorts each
+/// shard's rows by one u64 key and lays the values out contiguously with
+/// per-probe and per-link index spans. Every buffer is retained across
+/// bins, so a steady stream of equally-sized bins settles into zero
+/// steady-state allocation; and because rows never leave their shard,
+/// the whole grouping step parallelizes without synchronization.
+#[derive(Debug)]
+pub struct SampleArena {
+    pub(crate) shards: Vec<ArenaShard>,
+    link_index: FxHashMap<IpLink, (u32, u32)>,
+    probe_index: FxHashMap<ProbeId, u32>,
+    pub(crate) probe_ids: Vec<ProbeId>,
+    pub(crate) probe_asns: Vec<Asn>,
+    near_rtts: Vec<f64>,
+}
+
+impl Default for SampleArena {
+    fn default() -> Self {
+        SampleArena {
+            shards: (0..NUM_SHARDS).map(|_| ArenaShard::default()).collect(),
+            link_index: FxHashMap::default(),
+            probe_index: FxHashMap::default(),
+            probe_ids: Vec::new(),
+            probe_asns: Vec::new(),
+            near_rtts: Vec::new(),
+        }
+    }
+}
+
+impl SampleArena {
+    /// Fresh arena (buffers grow on first use).
+    pub fn new() -> Self {
+        SampleArena::default()
+    }
+
+    /// Stage one bin of traceroutes into per-shard rows, reusing all
+    /// buffers. Call [`ArenaShard::finalize`] (or [`SampleArena::build`])
+    /// to group them.
+    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord]) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        self.link_index.clear();
+        self.probe_index.clear();
+        self.probe_ids.clear();
+        self.probe_asns.clear();
+
+        for rec in records {
+            let shards = &mut self.shards;
+            let link_index = &mut self.link_index;
+            let probe_index = &mut self.probe_index;
+            let probe_ids = &mut self.probe_ids;
+            let probe_asns = &mut self.probe_asns;
+            let near_rtts = &mut self.near_rtts;
+            let slot = *probe_index.entry(rec.probe_id).or_insert_with(|| {
+                probe_ids.push(rec.probe_id);
+                probe_asns.push(rec.probe_asn);
+                probe_ids.len() as u32 - 1
+            });
+            rec.for_each_link(|link, near_idx, far_idx| {
+                let near_hop = &rec.hops[near_idx];
+                let far_hop = &rec.hops[far_idx];
+                near_rtts.clear();
+                near_rtts.extend(near_hop.rtts_from(link.near));
+                if near_rtts.is_empty() {
+                    return;
+                }
+                let mut key: Option<(usize, u64)> = None;
+                for fy in far_hop.rtts_from(link.far) {
+                    let (shard_idx, row_key) = *key.get_or_insert_with(|| {
+                        let (shard_idx, local) = *link_index.entry(link).or_insert_with(|| {
+                            let s = shard_of(&link) as u32;
+                            let local = shards[s as usize].links.len() as u32;
+                            shards[s as usize].links.push(link);
+                            (s, local)
+                        });
+                        (
+                            shard_idx as usize,
+                            (u64::from(local) << 32) | u64::from(slot),
+                        )
+                    });
+                    let rows = &mut shards[shard_idx].rows;
+                    for &fx in near_rtts.iter() {
+                        rows.push((row_key, fy - fx));
+                    }
+                }
+            });
+        }
+    }
+
+    /// Scatter + finalize every shard inline (the single-threaded
+    /// convenience entry; the engine finalizes shards on its workers).
+    pub fn build(&mut self, records: &[TracerouteRecord]) {
+        self.scatter(records);
+        let probe_asns = std::mem::take(&mut self.probe_asns);
+        for shard in &mut self.shards {
+            shard.finalize(&probe_asns);
+        }
+        self.probe_asns = probe_asns;
+    }
+
+    /// Number of links with at least one sample in the current bin
+    /// (after finalize).
+    pub fn link_count(&self) -> usize {
+        self.shards.iter().map(|s| s.link_count()).sum()
+    }
+
+    /// Total differential RTT samples in the current bin (after finalize).
+    pub fn total_samples(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.len()).sum()
+    }
+
+    /// View of the `i`-th link, counting across shards (arbitrary but
+    /// deterministic order; after finalize).
+    pub fn link(&self, i: usize) -> LinkSlice<'_> {
+        let mut i = i;
+        for shard in &self.shards {
+            if i < shard.link_count() {
+                return shard.link_in(i, &self.probe_ids, &self.probe_asns);
+            }
+            i -= shard.link_count();
+        }
+        panic!("link index {i} out of bounds");
+    }
 }
 
 #[cfg(test)]
@@ -100,10 +459,7 @@ mod tests {
     }
 
     fn hop(ttl: u8, addr: &str, rtts: &[f64]) -> Hop {
-        Hop::new(
-            ttl,
-            rtts.iter().map(|&r| Reply::new(ip(addr), r)).collect(),
-        )
+        Hop::new(ttl, rtts.iter().map(|&r| Reply::new(ip(addr), r)).collect())
     }
 
     #[test]
@@ -143,16 +499,94 @@ mod tests {
     #[test]
     fn samples_group_by_probe_and_as() {
         let recs = vec![
-            record(1, 100, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[2.0])]),
-            record(2, 100, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[3.0])]),
-            record(3, 200, vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[4.0])]),
+            record(
+                1,
+                100,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[2.0])],
+            ),
+            record(
+                2,
+                100,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[3.0])],
+            ),
+            record(
+                3,
+                200,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[4.0])],
+            ),
         ];
         let out = collect_link_samples(&recs);
         let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
         let s = &out[&link];
         assert_eq!(s.probe_count(), 3);
         assert_eq!(s.as_count(), 2);
-        assert_eq!(s.per_probe[&ProbeId(3)].0, Asn(200));
+        assert_eq!(s.per_probe()[&ProbeId(3)].0, Asn(200));
+    }
+
+    #[test]
+    fn conflicting_probe_asn_attributed_to_first_seen_in_both_paths() {
+        // A malformed feed reports probe 1 under AS 100, then AS 200 — on
+        // the same link and on a second link it only visits under AS 200.
+        // Both representations must pin the probe to its first-seen AS
+        // (AS 100) everywhere, or engine parity would break on the
+        // diversity filter's AS count.
+        let recs = vec![
+            record(
+                1,
+                100,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[2.0])],
+            ),
+            record(
+                1,
+                200,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[3.0])],
+            ),
+            record(
+                1,
+                200,
+                vec![hop(1, "10.0.9.1", &[1.0]), hop(2, "10.0.9.2", &[3.0])],
+            ),
+            record(
+                2,
+                300,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[4.0])],
+            ),
+        ];
+        let reference = collect_link_samples(&recs);
+        let mut arena = SampleArena::new();
+        arena.build(&recs);
+        for i in 0..arena.link_count() {
+            let slice = arena.link(i);
+            let expect = &reference[&slice.link];
+            assert_eq!(slice.as_count, expect.as_count(), "link {}", slice.link);
+            for (probe, asn, _) in slice.probes() {
+                assert_eq!(asn, expect.per_probe()[&probe].0, "probe {probe:?}");
+            }
+        }
+        // Probe 1 is AS 100 everywhere, including the link it never
+        // visited under AS 100.
+        let second = IpLink::new(ip("10.0.9.1"), ip("10.0.9.2"));
+        assert_eq!(reference[&second].per_probe()[&ProbeId(1)].0, Asn(100));
+        // And LinkSamples' incremental AS list matches a rebuild.
+        let first = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
+        let rebuilt = LinkSamples::from_per_probe(reference[&first].per_probe().clone());
+        assert_eq!(reference[&first].as_count(), rebuilt.as_count());
+        assert_eq!(reference[&first].as_count(), 2); // AS 100 + AS 300
+    }
+
+    #[test]
+    fn as_count_tracks_insertions_incrementally() {
+        let mut s = LinkSamples::default();
+        assert_eq!(s.as_count(), 0);
+        s.insert(ProbeId(1), Asn(100), 1.0);
+        s.insert(ProbeId(2), Asn(100), 2.0);
+        assert_eq!(s.as_count(), 1);
+        s.insert(ProbeId(3), Asn(300), 3.0);
+        s.insert(ProbeId(4), Asn(200), 4.0);
+        assert_eq!(s.as_count(), 3);
+        // Agrees with a from-scratch reconstruction.
+        let rebuilt = LinkSamples::from_per_probe(s.per_probe().clone());
+        assert_eq!(rebuilt.as_count(), 3);
     }
 
     #[test]
@@ -183,5 +617,83 @@ mod tests {
         let link = IpLink::new(ip("10.0.0.1"), ip("10.0.1.1"));
         assert_eq!(out[&link].sample_count(), 2);
         assert_eq!(out[&link].probe_count(), 1);
+    }
+
+    #[test]
+    fn arena_matches_reference_collection() {
+        // Interleaved records across two links and three probes: the arena
+        // must regroup them identically to the nested-map path.
+        let recs = vec![
+            record(
+                2,
+                200,
+                vec![hop(1, "10.0.0.1", &[1.0, 1.2]), hop(2, "10.0.1.1", &[5.0])],
+            ),
+            record(
+                1,
+                100,
+                vec![hop(1, "10.0.0.1", &[1.1]), hop(2, "10.0.1.1", &[4.0, 4.5])],
+            ),
+            record(
+                3,
+                300,
+                vec![hop(1, "10.0.9.1", &[2.0]), hop(2, "10.0.9.2", &[3.0])],
+            ),
+            record(
+                2,
+                200,
+                vec![hop(1, "10.0.0.1", &[0.9]), hop(2, "10.0.1.1", &[6.0])],
+            ),
+        ];
+        let reference = collect_link_samples(&recs);
+        let mut arena = SampleArena::new();
+        arena.build(&recs);
+
+        assert_eq!(arena.link_count(), reference.len());
+        assert_eq!(
+            arena.total_samples(),
+            reference.values().map(|s| s.sample_count()).sum::<usize>()
+        );
+        for i in 0..arena.link_count() {
+            let slice = arena.link(i);
+            let expect = &reference[&slice.link];
+            assert_eq!(slice.probe_count(), expect.probe_count());
+            assert_eq!(slice.as_count, expect.as_count());
+            assert_eq!(slice.sample_count(), expect.sample_count());
+            for (probe, asn, samples) in slice.probes() {
+                let (easn, esamples) = &expect.per_probe()[&probe];
+                assert_eq!(asn, *easn);
+                let mut got: Vec<f64> = samples.to_vec();
+                let mut want = esamples.clone();
+                got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_reusable_across_bins() {
+        let mk = |rtt: f64| {
+            record(
+                1,
+                64500,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[rtt])],
+            )
+        };
+        let mut arena = SampleArena::new();
+        arena.build(&[mk(2.0), mk(3.0)]);
+        assert_eq!(arena.link_count(), 1);
+        assert_eq!(arena.total_samples(), 2);
+        // Rebuild with a different (smaller) bin: no stale state.
+        arena.build(&[mk(7.0)]);
+        assert_eq!(arena.link_count(), 1);
+        assert_eq!(arena.total_samples(), 1);
+        let slice = arena.link(0);
+        assert_eq!(slice.probes().next().unwrap().2, &[6.0]);
+        // And an empty bin empties the arena.
+        arena.build(&[]);
+        assert_eq!(arena.link_count(), 0);
+        assert_eq!(arena.total_samples(), 0);
     }
 }

@@ -150,7 +150,9 @@ mod tests {
     fn overlap_means_no_alarm() {
         let cfg = DetectorConfig::default();
         let reference = warmed_reference(4.0, 5.0, 6.0);
-        let stat = LinkStat { ci: ci(5.5, 6.5, 7.5) };
+        let stat = LinkStat {
+            ci: ci(5.5, 6.5, 7.5),
+        };
         assert!(check(link(), BinId(5), &stat, &reference, &cfg).is_none());
     }
 
@@ -173,7 +175,9 @@ mod tests {
     fn decrease_detected_symmetrically() {
         let cfg = DetectorConfig::default();
         let reference = warmed_reference(10.0, 11.0, 12.0);
-        let stat = LinkStat { ci: ci(1.0, 2.0, 3.0) };
+        let stat = LinkStat {
+            ci: ci(1.0, 2.0, 3.0),
+        };
         let alarm = check(link(), BinId(1), &stat, &reference, &cfg).unwrap();
         assert_eq!(alarm.direction, Direction::Decrease);
         // d = (10 − 3) / (11 − 10) = 7.
@@ -185,7 +189,9 @@ mod tests {
         let cfg = DetectorConfig::default();
         let reference = warmed_reference(5.00, 5.01, 5.02);
         // Disjoint but tiny: |5.8 − 5.01| < 1 ms.
-        let stat = LinkStat { ci: ci(5.75, 5.80, 5.85) };
+        let stat = LinkStat {
+            ci: ci(5.75, 5.80, 5.85),
+        };
         assert!(check(link(), BinId(2), &stat, &reference, &cfg).is_none());
     }
 
@@ -193,7 +199,9 @@ mod tests {
     fn unwarmed_reference_never_alarms() {
         let cfg = DetectorConfig::default();
         let mut reference = LinkReference::new(&cfg);
-        reference.update(&LinkStat { ci: ci(4.0, 5.0, 6.0) });
+        reference.update(&LinkStat {
+            ci: ci(4.0, 5.0, 6.0),
+        });
         let stat = LinkStat {
             ci: ci(100.0, 101.0, 102.0),
         };

@@ -10,29 +10,31 @@
 //!    until H(A) exceeds the threshold ("the link is not discarded.
 //!    Instead, a probe from the most represented AS is randomly selected
 //!    and discarded").
+//!
+//! Both the nested-map reference path ([`filter`]) and the arena engine
+//! path ([`filter_slice`]) funnel into one rebalancing core, so the two
+//! representations make byte-identical keep/drop decisions (and consume
+//! the per-link RNG identically).
 
-use super::compute::LinkSamples;
+use super::compute::{LinkSamples, LinkSlice};
 use crate::config::DetectorConfig;
 use pinpoint_model::{Asn, ProbeId};
 use pinpoint_stats::entropy::normalized_entropy;
 use pinpoint_stats::rng::SplitMix64;
 use std::collections::HashMap;
 
-/// Apply both criteria; returns the surviving flattened samples, or `None`
-/// if the link must be discarded.
-pub fn filter(
-    obs: &LinkSamples,
+/// The shared §4.3 rebalancing core: given each probe and its AS, decide
+/// which probes to discard. Probe order does not matter — the per-AS lists
+/// are sorted before any random choice is made.
+fn rebalance_removals(
+    probes: impl Iterator<Item = (ProbeId, Asn)>,
     cfg: &DetectorConfig,
     rng: &mut SplitMix64,
-) -> Option<Vec<f64>> {
-    if obs.as_count() < cfg.min_as_diversity {
-        return None;
-    }
-
+) -> Vec<ProbeId> {
     // Probe lists per AS, deterministically ordered.
     let mut by_as: HashMap<Asn, Vec<ProbeId>> = HashMap::new();
-    for (&probe, (asn, _)) in &obs.per_probe {
-        by_as.entry(*asn).or_default().push(probe);
+    for (probe, asn) in probes {
+        by_as.entry(asn).or_default().push(probe);
     }
     for probes in by_as.values_mut() {
         probes.sort_unstable();
@@ -41,22 +43,28 @@ pub fn filter(
     ases.sort_unstable();
 
     let mut removed: Vec<ProbeId> = Vec::new();
+    let mut counts: Vec<u32> = Vec::with_capacity(ases.len());
     loop {
-        let counts: Vec<u32> = ases
-            .iter()
-            .map(|a| by_as[a].len() as u32)
-            .collect();
-        let h = normalized_entropy(&counts)?;
+        counts.clear();
+        counts.extend(ases.iter().map(|a| by_as[a].len() as u32));
+        let Some(h) = normalized_entropy(&counts) else {
+            break;
+        };
         if h > cfg.entropy_threshold {
             break;
         }
         // Drop a random probe from the most-represented AS (deterministic
         // tie-break on ASN order).
-        let (max_as, _) = ases
+        let Some((max_as, _)) = ases
             .iter()
             .map(|a| (*a, by_as[a].len()))
-            .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))?;
-        let probes = by_as.get_mut(&max_as)?;
+            .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))
+        else {
+            break;
+        };
+        let Some(probes) = by_as.get_mut(&max_as) else {
+            break;
+        };
         if probes.len() <= 1 {
             // Cannot rebalance further; entropy can no longer change.
             break;
@@ -64,9 +72,18 @@ pub fn filter(
         let idx = rng.next_below(probes.len() as u64) as usize;
         removed.push(probes.swap_remove(idx));
     }
+    removed
+}
 
+/// Apply both criteria; returns the surviving flattened samples, or `None`
+/// if the link must be discarded.
+pub fn filter(obs: &LinkSamples, cfg: &DetectorConfig, rng: &mut SplitMix64) -> Option<Vec<f64>> {
+    if obs.as_count() < cfg.min_as_diversity {
+        return None;
+    }
+    let removed = rebalance_removals(obs.per_probe().iter().map(|(&p, (a, _))| (p, *a)), cfg, rng);
     let surviving: Vec<f64> = obs
-        .per_probe
+        .per_probe()
         .iter()
         .filter(|(probe, _)| !removed.contains(probe))
         .flat_map(|(_, (_, samples))| samples.iter().copied())
@@ -78,9 +95,73 @@ pub fn filter(
     }
 }
 
+/// Reusable buffers for [`filter_slice`]'s balanced-link fast path.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    by_as: Vec<(Asn, u32)>,
+    counts: Vec<u32>,
+}
+
+/// Arena-path twin of [`filter`]: appends the surviving samples to `out`
+/// (cleared first) and returns whether the link survives. Uses the same
+/// rebalancing core and RNG stream, so it keeps exactly the multiset of
+/// samples [`filter`] keeps.
+///
+/// Most links are already balanced, so the common case is handled without
+/// touching the rebalancing core: probe-per-AS counts are accumulated in
+/// `scratch` (sorted by ASN — the same summation order the core uses, so
+/// the entropy value is bit-identical), and if H(A) already clears the
+/// threshold no per-probe lists are ever built and the RNG is never drawn
+/// from — exactly like a rebalancing loop that exits on its first check.
+pub fn filter_slice(
+    slice: &LinkSlice<'_>,
+    cfg: &DetectorConfig,
+    rng: &mut SplitMix64,
+    out: &mut Vec<f64>,
+    scratch: &mut Scratch,
+) -> bool {
+    out.clear();
+    if slice.as_count < cfg.min_as_diversity {
+        return false;
+    }
+    // Fast path: probe counts per AS, kept sorted by ASN.
+    scratch.by_as.clear();
+    for (_, asn, _) in slice.probes() {
+        match scratch.by_as.binary_search_by_key(&asn, |&(a, _)| a) {
+            Ok(i) => scratch.by_as[i].1 += 1,
+            Err(i) => scratch.by_as.insert(i, (asn, 1)),
+        }
+    }
+    scratch.counts.clear();
+    scratch.counts.extend(scratch.by_as.iter().map(|&(_, c)| c));
+    let balanced = match normalized_entropy(&scratch.counts) {
+        Some(h) => h > cfg.entropy_threshold,
+        None => true, // unreachable post-as_count check; treat as no-op
+    };
+    if balanced {
+        for (_, _, samples) in slice.probes() {
+            out.extend_from_slice(samples);
+        }
+        return !out.is_empty();
+    }
+    // Unbalanced link: defer to the shared core. Its first loop iteration
+    // recomputes the entropy just checked — accepted redundancy, so the
+    // slow path stays byte-identical to [`filter`] by construction.
+    let removed = rebalance_removals(slice.probes().map(|(p, a, _)| (p, a)), cfg, rng);
+    for (probe, _, samples) in slice.probes() {
+        if !removed.contains(&probe) {
+            out.extend_from_slice(samples);
+        }
+    }
+    !out.is_empty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diffrtt::compute::SampleArena;
+    use pinpoint_model::records::{Hop, Reply, TracerouteRecord};
+    use pinpoint_model::{MeasurementId, SimTime};
 
     fn obs(spec: &[(u32, u32, usize)]) -> LinkSamples {
         // (probe id, asn, n samples)
@@ -91,7 +172,7 @@ mod tests {
                 (Asn(a), (0..n).map(|i| i as f64).collect::<Vec<_>>()),
             );
         }
-        LinkSamples { per_probe }
+        LinkSamples::from_per_probe(per_probe)
     }
 
     fn cfg() -> DetectorConfig {
@@ -167,5 +248,50 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         // Must terminate (result content is secondary).
         let _ = filter(&o, &c, &mut rng);
+    }
+
+    #[test]
+    fn slice_and_map_paths_agree() {
+        // Build the same unbalanced bin through records, run both filter
+        // paths with the same seed, and compare the kept sample multisets.
+        let ip = |s: &str| s.parse::<std::net::Ipv4Addr>().unwrap();
+        let mut records = Vec::new();
+        for p in 0..12u32 {
+            let asn = if p < 8 { 100 } else { 200 + (p % 2) * 100 };
+            records.push(TracerouteRecord {
+                msm_id: MeasurementId(1),
+                probe_id: ProbeId(p),
+                probe_asn: Asn(asn),
+                dst: ip("198.51.100.1"),
+                timestamp: SimTime(0),
+                paris_id: 0,
+                hops: vec![
+                    Hop::new(1, vec![Reply::new(ip("10.0.0.1"), 1.0 + f64::from(p))]),
+                    Hop::new(2, vec![Reply::new(ip("10.0.1.1"), 3.0 + f64::from(p))]),
+                ],
+                destination_reached: true,
+            });
+        }
+        let reference = super::super::compute::collect_link_samples(&records);
+        let (link, obs) = reference.iter().next().unwrap();
+        let mut arena = SampleArena::new();
+        arena.build(&records);
+        let slice = (0..arena.link_count())
+            .map(|i| arena.link(i))
+            .find(|s| s.link == *link)
+            .unwrap();
+
+        let mut kept_map = filter(obs, &cfg(), &mut SplitMix64::new(77)).unwrap();
+        let mut kept_slice = Vec::new();
+        assert!(filter_slice(
+            &slice,
+            &cfg(),
+            &mut SplitMix64::new(77),
+            &mut kept_slice,
+            &mut Scratch::default(),
+        ));
+        kept_map.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        kept_slice.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(kept_map, kept_slice);
     }
 }

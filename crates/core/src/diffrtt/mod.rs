@@ -13,6 +13,22 @@
 //!    deviation d(Δ) (Eq. 6);
 //! 5. [`reference`] — fold the bin's median/CI into the reference
 //!    (exponential smoothing, Eq. 7; warm-up median of the first 3 bins).
+//!
+//! ## The sharded bin engine
+//!
+//! [`DelayDetector::process_bin`] is the §4–§6 hot path, so it is built as
+//! a parallel, allocation-lean engine:
+//!
+//! * samples live in a flat [`compute::SampleArena`] whose buffers are
+//!   reused across bins (no per-probe maps rebuilt each hour);
+//! * links — and their smoothed references — are sharded by a *stable*
+//!   hash of the link, and a scoped thread pool walks whole shards, so
+//!   reference mutation needs no locks;
+//! * per-link randomness comes from a `(seed, link, bin)`-derived RNG and
+//!   alarms get a final total-order sort, so the output is byte-for-byte
+//!   identical for any thread count — including the sequential reference
+//!   path [`DelayDetector::process_bin_sequential`], which the parity
+//!   tests compare against.
 
 pub mod characterize;
 pub mod compute;
@@ -21,21 +37,49 @@ pub mod diversity;
 pub mod reference;
 
 pub use characterize::LinkStat;
-pub use compute::{collect_link_samples, LinkSamples};
+pub use compute::{collect_link_samples, LinkSamples, SampleArena};
 pub use detect::{DelayAlarm, Direction};
 pub use reference::LinkReference;
 
 use crate::config::DetectorConfig;
+use compute::{shard_of, NUM_SHARDS};
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::{BinId, IpLink};
+use pinpoint_model::{BinId, FxHashMap, IpLink};
 use pinpoint_stats::rng::{derive_seed, SplitMix64};
 use std::collections::HashMap;
+
+/// Per-link RNG for the §4.3 rebalancing, derived from (seed, link, bin) —
+/// never shared across links, so results do not depend on iteration order.
+fn link_rng(cfg_seed: u64, link: &IpLink, bin: BinId) -> SplitMix64 {
+    SplitMix64::new(derive_seed(
+        cfg_seed
+            ^ (u64::from(u32::from(link.near)) << 17)
+            ^ u64::from(u32::from(link.far))
+            ^ (bin.0 << 40),
+        "diversity-rebalance",
+    ))
+}
+
+/// One shard's slice of detector state.
+#[derive(Debug, Default)]
+struct Shard {
+    references: FxHashMap<IpLink, LinkReference>,
+}
+
+/// What one shard produced for one bin.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    alarms: Vec<DelayAlarm>,
+    stats: Vec<(IpLink, LinkStat)>,
+    new_links: usize,
+}
 
 /// Stateful delay-change detector (one instance per analysis stream).
 #[derive(Debug)]
 pub struct DelayDetector {
     cfg: DetectorConfig,
-    references: HashMap<IpLink, LinkReference>,
+    shards: Vec<Shard>,
+    arena: SampleArena,
     /// Total links characterized at least once (for Table A reporting).
     pub links_seen: usize,
 }
@@ -45,16 +89,130 @@ impl DelayDetector {
     pub fn new(cfg: &DetectorConfig) -> Self {
         DelayDetector {
             cfg: cfg.clone(),
-            references: HashMap::new(),
+            shards: (0..NUM_SHARDS).map(|_| Shard::default()).collect(),
+            arena: SampleArena::new(),
             links_seen: 0,
         }
     }
 
-    /// Run the five steps over one bin of traceroutes.
+    /// Worker threads used per bin: the configured count, or all available
+    /// cores when `cfg.threads == 0`, capped by the shard count.
+    fn effective_threads(&self) -> usize {
+        self.cfg.effective_threads().clamp(1, NUM_SHARDS)
+    }
+
+    /// Run the five steps over one bin of traceroutes — the parallel,
+    /// arena-backed engine.
     ///
     /// Also returns the per-link statistics (used by the figure harnesses
     /// to plot median series even when no alarm fires).
     pub fn process_bin(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+    ) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>) {
+        // Step 1 (scatter): stage every differential RTT in its link's
+        // shard — flat 16-byte rows, all buffers bin-reused.
+        self.arena.scatter(records);
+
+        let threads = self.effective_threads();
+        let cfg = &self.cfg;
+        let probe_ids: &[pinpoint_model::ProbeId] = &self.arena.probe_ids;
+        let probe_asns: &[pinpoint_model::Asn] = &self.arena.probe_asns;
+
+        // Each worker owns a round-robin bundle of shards and runs the
+        // whole per-shard pipeline — group rows, then steps 2–5 per link.
+        // Shard state is handed out by `&mut` — no locks, no contention —
+        // and every per-link decision depends only on (cfg, link, bin), so
+        // the merge below is independent of the thread count.
+        let mut bundles: Vec<Vec<(&mut compute::ArenaShard, &mut Shard)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, (arena_shard, shard)) in self
+            .arena
+            .shards
+            .iter_mut()
+            .zip(self.shards.iter_mut())
+            .enumerate()
+        {
+            bundles[i % threads].push((arena_shard, shard));
+        }
+
+        let worker = |bundle: Vec<(&mut compute::ArenaShard, &mut Shard)>| -> ShardOutput {
+            let mut out = ShardOutput::default();
+            // Reused across links: surviving samples + diversity scratch.
+            let mut surviving: Vec<f64> = Vec::new();
+            let mut diversity_scratch = diversity::Scratch::default();
+            for (arena_shard, shard) in bundle {
+                arena_shard.finalize(probe_asns);
+                for j in 0..arena_shard.link_count() {
+                    let slice = arena_shard.link_in(j, probe_ids, probe_asns);
+                    let link = slice.link;
+                    // Step 2: probe-diversity filter.
+                    let mut rng = link_rng(cfg.seed, &link, bin);
+                    if !diversity::filter_slice(
+                        &slice,
+                        cfg,
+                        &mut rng,
+                        &mut surviving,
+                        &mut diversity_scratch,
+                    ) {
+                        continue;
+                    }
+                    // Step 3: robust characterization, in place via
+                    // order-statistic selection.
+                    let Some(stat) = characterize::characterize_in_place(&mut surviving, cfg)
+                    else {
+                        continue;
+                    };
+                    // Steps 4 + 5 against the running reference.
+                    let reference = shard.references.entry(link).or_insert_with(|| {
+                        out.new_links += 1;
+                        LinkReference::new(cfg)
+                    });
+                    if let Some(alarm) = detect::check(link, bin, &stat, reference, cfg) {
+                        out.alarms.push(alarm);
+                    }
+                    reference.update(&stat);
+                    out.stats.push((link, stat));
+                }
+            }
+            out
+        };
+
+        let outputs: Vec<ShardOutput> = if threads <= 1 {
+            // Inline on one core: no spawn overhead, identical results.
+            bundles.into_iter().map(worker).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bundles
+                    .into_iter()
+                    .map(|bundle| scope.spawn(|| worker(bundle)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Deterministic merge.
+        let mut alarms = Vec::new();
+        let mut stats = HashMap::new();
+        for out in outputs {
+            self.links_seen += out.new_links;
+            alarms.extend(out.alarms);
+            stats.extend(out.stats);
+        }
+        sort_alarms(&mut alarms);
+        (alarms, stats)
+    }
+
+    /// The original single-threaded, nested-map, full-sort path — kept as
+    /// the reference implementation the engine-parity tests compare the
+    /// parallel engine against. Mutates the same sharded state, so a
+    /// detector driven exclusively through this method is a valid (slow)
+    /// analysis stream.
+    pub fn process_bin_sequential(
         &mut self,
         bin: BinId,
         records: &[TracerouteRecord],
@@ -65,25 +223,18 @@ impl DelayDetector {
         let mut stats = HashMap::new();
 
         for (link, obs) in samples {
-            // Step 2: probe-diversity filter. The rebalancing RNG is
-            // derived per (seed, link, bin) — never shared across links —
-            // so results do not depend on map iteration order.
-            let mut link_rng = SplitMix64::new(derive_seed(
-                self.cfg.seed
-                    ^ (u64::from(u32::from(link.near)) << 17)
-                    ^ u64::from(u32::from(link.far))
-                    ^ (bin.0 << 40),
-                "diversity-rebalance",
-            ));
-            let Some(filtered) = diversity::filter(&obs, &self.cfg, &mut link_rng) else {
+            // Step 2: probe-diversity filter.
+            let mut rng = link_rng(self.cfg.seed, &link, bin);
+            let Some(filtered) = diversity::filter(&obs, &self.cfg, &mut rng) else {
                 continue;
             };
-            // Step 3: robust characterization.
-            let Some(stat) = characterize::characterize(&filtered, &self.cfg) else {
+            // Step 3: robust characterization (full sort).
+            let Some(stat) = characterize::characterize_full_sort(&filtered, &self.cfg) else {
                 continue;
             };
             // Steps 4 + 5 against the running reference.
-            let reference = self.references.entry(link).or_insert_with(|| {
+            let shard = &mut self.shards[shard_of(&link)];
+            let reference = shard.references.entry(link).or_insert_with(|| {
                 self.links_seen += 1;
                 LinkReference::new(&self.cfg)
             });
@@ -93,25 +244,29 @@ impl DelayDetector {
             reference.update(&stat);
             stats.insert(link, stat);
         }
-        // Strongest first; ties broken totally so output order is
-        // deterministic regardless of hash-map iteration.
-        alarms.sort_by(|a, b| {
-            b.deviation
-                .abs()
-                .partial_cmp(&a.deviation.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.link.cmp(&b.link))
-        });
+        sort_alarms(&mut alarms);
         (alarms, stats)
     }
 
     /// Reference for a link, if it exists yet.
     pub fn reference(&self, link: &IpLink) -> Option<&LinkReference> {
-        self.references.get(link)
+        self.shards[shard_of(link)].references.get(link)
     }
 
     /// Number of links currently tracked.
     pub fn tracked_links(&self) -> usize {
-        self.references.len()
+        self.shards.iter().map(|s| s.references.len()).sum()
     }
+}
+
+/// Strongest first; ties broken totally so output order is deterministic
+/// regardless of hash-map iteration or shard interleaving.
+fn sort_alarms(alarms: &mut [DelayAlarm]) {
+    alarms.sort_by(|a, b| {
+        b.deviation
+            .abs()
+            .partial_cmp(&a.deviation.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.link.cmp(&b.link))
+    });
 }

@@ -77,11 +77,7 @@ pub fn responsibilities(
     fbar: &[f64],
     rho: f64,
 ) -> Vec<(NextHop, f64)> {
-    let denom: f64 = f
-        .iter()
-        .zip(fbar)
-        .map(|(p, pb)| (p - pb).abs())
-        .sum();
+    let denom: f64 = f.iter().zip(fbar).map(|(p, pb)| (p - pb).abs()).sum();
     if denom <= 0.0 {
         return Vec::new();
     }
@@ -185,9 +181,17 @@ mod tests {
                 .map(|(_, v)| *v)
                 .unwrap()
         };
-        assert!(get("10.0.1.2") < -0.1, "B not devalued: {}", get("10.0.1.2"));
+        assert!(
+            get("10.0.1.2") < -0.1,
+            "B not devalued: {}",
+            get("10.0.1.2")
+        );
         assert!(get("10.0.1.3") > 0.1, "C not promoted: {}", get("10.0.1.3"));
-        assert!(get("10.0.1.1").abs() < 0.05, "A blamed: {}", get("10.0.1.1"));
+        assert!(
+            get("10.0.1.1").abs() < 0.05,
+            "A blamed: {}",
+            get("10.0.1.1")
+        );
         assert_eq!(
             alarm.most_devalued().unwrap().0,
             NextHop::Ip(ip("10.0.1.2"))

@@ -19,14 +19,13 @@ pub use reference::PatternReference;
 
 use crate::config::DetectorConfig;
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::BinId;
-use std::collections::HashMap;
+use pinpoint_model::{BinId, FxHashMap};
 
 /// Stateful forwarding-anomaly detector.
 #[derive(Debug)]
 pub struct ForwardingDetector {
     cfg: DetectorConfig,
-    references: HashMap<PatternKey, PatternReference>,
+    references: FxHashMap<PatternKey, PatternReference>,
 }
 
 impl ForwardingDetector {
@@ -34,7 +33,7 @@ impl ForwardingDetector {
     pub fn new(cfg: &DetectorConfig) -> Self {
         ForwardingDetector {
             cfg: cfg.clone(),
-            references: HashMap::new(),
+            references: FxHashMap::default(),
         }
     }
 

@@ -9,7 +9,7 @@
 //! traceroute destination) because forwarding is destination-dependent.
 
 use pinpoint_model::records::TracerouteRecord;
-use std::collections::HashMap;
+use pinpoint_model::FxHashMap;
 use std::net::Ipv4Addr;
 
 /// A next-hop slot in a forwarding pattern.
@@ -42,7 +42,7 @@ pub struct PatternKey {
 /// Observed packet counts per next hop in one bin.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Pattern {
-    counts: HashMap<NextHop, f64>,
+    counts: FxHashMap<NextHop, f64>,
 }
 
 impl Pattern {
@@ -78,8 +78,8 @@ impl Pattern {
 }
 
 /// Build forwarding patterns from one bin of traceroutes.
-pub fn collect_patterns(records: &[TracerouteRecord]) -> HashMap<PatternKey, Pattern> {
-    let mut out: HashMap<PatternKey, Pattern> = HashMap::new();
+pub fn collect_patterns(records: &[TracerouteRecord]) -> FxHashMap<PatternKey, Pattern> {
+    let mut out: FxHashMap<PatternKey, Pattern> = FxHashMap::default();
     for rec in records {
         for i in 0..rec.hops.len().saturating_sub(1) {
             let Some(router) = rec.hops[i].first_responder() else {
@@ -206,7 +206,10 @@ mod tests {
         let mk = || {
             rec(
                 "198.51.100.1",
-                vec![hop(1, &[Some("10.0.0.1"); 3]), hop(2, &[Some("10.0.1.1"); 3])],
+                vec![
+                    hop(1, &[Some("10.0.0.1"); 3]),
+                    hop(2, &[Some("10.0.1.1"); 3]),
+                ],
             )
         };
         let patterns = collect_patterns(&[mk(), mk()]);

@@ -53,10 +53,8 @@ impl PatternReference {
 
     /// Fold an observed bin pattern into the reference.
     pub fn update(&mut self, observed: &Pattern) {
-        self.ewma.update(
-            observed.iter().map(|(h, c)| (*h, c)),
-            PRUNE_BELOW,
-        );
+        self.ewma
+            .update(observed.iter().map(|(h, c)| (*h, c)), PRUNE_BELOW);
     }
 }
 

@@ -37,6 +37,40 @@
 //! runs and the §8 streaming ("Internet Health Report") mode. The
 //! [`baseline`] module carries the non-robust comparison detectors used by
 //! the ablation benches.
+//!
+//! ## Performance
+//!
+//! The per-bin hot path is a sharded, parallel, allocation-lean engine
+//! (the paper's system must keep pace with the full Atlas stream, §8):
+//!
+//! * **Flat sample arena** — differential RTTs are staged as 16-byte
+//!   `(link, probe, value)` rows directly in the owning link's shard
+//!   ([`diffrtt::SampleArena`]), then each shard sorts its rows by one
+//!   u64 key and lays them out contiguously. Every buffer is reused
+//!   across bins: a steady stream settles into zero steady-state
+//!   allocation.
+//! * **Sharded per-link pipeline** — links (and their smoothed
+//!   references) are assigned to 32 shards by a stable hash; a scoped
+//!   thread pool walks whole shards, so reference mutation needs no
+//!   locks. `DetectorConfig::threads` picks the worker count (0 = all
+//!   cores).
+//! * **Selection, not sorting** — per-link characterization uses
+//!   `median_ci_select` (three quickselects) instead of a full sort,
+//!   and the delay and forwarding detectors run concurrently inside
+//!   [`pipeline::Analyzer::process_bin`].
+//! * **Determinism** — per-link randomness is derived from
+//!   `(seed, link, bin)` and alarms get a final total-order sort, so
+//!   output is byte-for-byte identical for any thread count. The
+//!   original single-threaded path is kept as
+//!   [`pipeline::Analyzer::process_bin_sequential`], and
+//!   `tests/engine_parity.rs` proves equivalence across scenarios,
+//!   seeds, and thread counts.
+//!
+//! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
+//! includes parallel-vs-sequential engine benches) and
+//! `cargo run --release -p pinpoint-bench --bin pipeline_bench`, which
+//! writes throughput + speedup numbers to `BENCH_pipeline.json` so the
+//! perf trajectory is tracked PR over PR.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

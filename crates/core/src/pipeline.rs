@@ -6,7 +6,9 @@
 //! references and sliding windows are stateful, exactly like the online
 //! deployment of §8 consuming the Atlas stream.
 
-use crate::aggregate::{delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker};
+use crate::aggregate::{
+    delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker,
+};
 use crate::config::DetectorConfig;
 use crate::diffrtt::{DelayAlarm, DelayDetector, LinkStat};
 use crate::forwarding::{ForwardingAlarm, ForwardingDetector};
@@ -81,9 +83,59 @@ impl Analyzer {
     }
 
     /// Run one bin through the full pipeline.
+    ///
+    /// The delay and forwarding detectors read the same immutable record
+    /// slice and share no state, so they run concurrently (§4 ∥ §5); the
+    /// §6 aggregation joins their outputs. Output is byte-identical to the
+    /// sequential ordering.
     pub fn process_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> BinReport {
-        let (delay_alarms, link_stats) = self.delay.process_bin(bin, records);
+        let Analyzer {
+            cfg,
+            delay,
+            forwarding,
+            ..
+        } = self;
+        let ((delay_alarms, link_stats), forwarding_alarms) = if cfg.effective_threads() <= 1 {
+            // Single-threaded configuration: run back to back, no spawn.
+            (
+                delay.process_bin(bin, records),
+                forwarding.process_bin(bin, records),
+            )
+        } else {
+            std::thread::scope(|s| {
+                let delay_task = s.spawn(|| delay.process_bin(bin, records));
+                let forwarding_alarms = forwarding.process_bin(bin, records);
+                (
+                    delay_task.join().expect("delay detector panicked"),
+                    forwarding_alarms,
+                )
+            })
+        };
+        self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
+    }
+
+    /// Single-threaded reference path: nested-map sample store, full-sort
+    /// characterization, detectors run back to back. Exists so the parity
+    /// tests can prove the parallel engine produces identical [`BinReport`]s
+    /// (and so the benches have a baseline to beat).
+    pub fn process_bin_sequential(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+    ) -> BinReport {
+        let (delay_alarms, link_stats) = self.delay.process_bin_sequential(bin, records);
         let forwarding_alarms = self.forwarding.process_bin(bin, records);
+        self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
+    }
+
+    fn aggregate(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+        delay_alarms: Vec<DelayAlarm>,
+        link_stats: HashMap<IpLink, LinkStat>,
+        forwarding_alarms: Vec<ForwardingAlarm>,
+    ) -> BinReport {
         let dsev = delay_severity(&delay_alarms, &self.mapper);
         let fsev = forwarding_severity(&forwarding_alarms, &self.mapper);
         let magnitudes = self.magnitudes.score_bin(&dsev, &fsev);
@@ -142,10 +194,7 @@ mod tests {
                 } else {
                     (0..3)
                         .map(|k| {
-                            Reply::new(
-                                ip("10.0.0.2"),
-                                base + link_delay + 0.01 * f64::from(k),
-                            )
+                            Reply::new(ip("10.0.0.2"), base + link_delay + 0.01 * f64::from(k))
                         })
                         .collect()
                 };
@@ -159,10 +208,15 @@ mod tests {
                     hops: vec![
                         Hop::new(
                             1,
-                            (0..3).map(|k| Reply::new(ip("10.0.0.1"), base + 0.01 * f64::from(k))).collect(),
+                            (0..3)
+                                .map(|k| Reply::new(ip("10.0.0.1"), base + 0.01 * f64::from(k)))
+                                .collect(),
                         ),
                         Hop::new(2, far_replies),
-                        Hop::new(3, vec![Reply::new(ip("198.51.100.1"), base + link_delay + 2.0); 3]),
+                        Hop::new(
+                            3,
+                            vec![Reply::new(ip("198.51.100.1"), base + link_delay + 2.0); 3],
+                        ),
                     ],
                     destination_reached: true,
                 });
@@ -200,7 +254,11 @@ mod tests {
         // Aggregation: AS 64500 has positive delay severity and magnitude.
         let mag = report.magnitude(Asn(64500)).unwrap();
         assert!(mag.delay_severity > 0.0);
-        assert!(mag.delay_magnitude > 1.0, "magnitude {}", mag.delay_magnitude);
+        assert!(
+            mag.delay_magnitude > 1.0,
+            "magnitude {}",
+            mag.delay_magnitude
+        );
         // The alarm graph contains the link's component.
         let g = report.alarm_graph();
         assert!(g.component_of(ip("10.0.0.2")).is_some());

@@ -38,12 +38,7 @@ pub enum Value {
 impl Value {
     /// Shorthand: object from key/value pairs.
     pub fn object(pairs: Vec<(&str, Value)>) -> Value {
-        Value::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Get a field of an object.
@@ -168,7 +163,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -451,7 +450,8 @@ pub fn record_from_json(v: &Value) -> Result<TracerouteRecord, DecodeError> {
         .map(|h| {
             let ttl = field(h, "hop")?
                 .as_u64()
-                .ok_or_else(|| DecodeError("hop not an integer".into()))? as u8;
+                .ok_or_else(|| DecodeError("hop not an integer".into()))?
+                as u8;
             let replies = field(h, "result")?
                 .as_array()
                 .ok_or_else(|| DecodeError("hop result not an array".into()))?
@@ -488,7 +488,8 @@ pub fn record_from_json(v: &Value) -> Result<TracerouteRecord, DecodeError> {
         ),
         probe_asn: Asn(field(v, "src_asn")?
             .as_u64()
-            .ok_or_else(|| DecodeError("src_asn not an integer".into()))? as u32),
+            .ok_or_else(|| DecodeError("src_asn not an integer".into()))?
+            as u32),
         dst,
         timestamp: SimTime(
             field(v, "timestamp")?

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod hash;
 pub mod json;
 pub mod link;
 pub mod lpm;
@@ -26,7 +27,8 @@ pub mod records;
 pub mod time;
 
 pub use addr::{Asn, Prefix};
-pub use lpm::LpmTable;
+pub use hash::{FxHashMap, FxHashSet};
 pub use link::IpLink;
+pub use lpm::LpmTable;
 pub use records::{Hop, MeasurementId, ProbeId, Reply, TracerouteRecord};
 pub use time::{BinId, SimTime};

@@ -114,12 +114,7 @@ impl<V> LpmTable<V> {
     /// Iterate over all `(prefix, value)` pairs in trie order.
     pub fn iter(&self) -> Vec<(Prefix, &V)> {
         let mut out = Vec::with_capacity(self.len);
-        fn walk<'a, V>(
-            node: &'a Node<V>,
-            bits: u32,
-            depth: u8,
-            out: &mut Vec<(Prefix, &'a V)>,
-        ) {
+        fn walk<'a, V>(node: &'a Node<V>, bits: u32, depth: u8, out: &mut Vec<(Prefix, &'a V)>) {
             if let Some(v) = node.value.as_ref() {
                 out.push((Prefix::new(Ipv4Addr::from(bits), depth), v));
             }
@@ -204,7 +199,9 @@ mod tests {
         t.insert(pfx("172.16.0.0/12"), 3);
         let items = t.iter();
         assert_eq!(items.len(), 3);
-        assert!(items.iter().any(|(p, v)| *p == pfx("10.1.0.0/16") && **v == 2));
+        assert!(items
+            .iter()
+            .any(|(p, v)| *p == pfx("10.1.0.0/16") && **v == 2));
     }
 
     #[test]

@@ -152,6 +152,14 @@ impl TracerouteRecord {
     /// Yields `(link, near_hop_index, far_hop_index)`.
     pub fn links(&self) -> Vec<(IpLink, usize, usize)> {
         let mut out = Vec::new();
+        self.for_each_link(|link, near, far| out.push((link, near, far)));
+        out
+    }
+
+    /// Visit each adjacent responsive IP pair without allocating — the
+    /// per-bin sample engine calls this once per record on the hot path.
+    /// Same semantics as [`Self::links`].
+    pub fn for_each_link<F: FnMut(IpLink, usize, usize)>(&self, mut f: F) {
         let mut prev: Option<(Ipv4Addr, usize)> = None;
         for (i, hop) in self.hops.iter().enumerate() {
             match hop.first_responder() {
@@ -160,7 +168,7 @@ impl TracerouteRecord {
                         // Adjacent TTLs only: a silent hop in between means
                         // the two responders are not IP-adjacent.
                         if pi + 1 == i && paddr != addr {
-                            out.push((IpLink::new(paddr, addr), pi, i));
+                            f(IpLink::new(paddr, addr), pi, i);
                         }
                     }
                     prev = Some((addr, i));
@@ -170,7 +178,6 @@ impl TracerouteRecord {
                 }
             }
         }
-        out
     }
 
     /// The last responsive hop index, if any.

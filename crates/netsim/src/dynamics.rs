@@ -30,8 +30,14 @@ use pinpoint_stats::rng::SplitMix64;
 
 fn mix(a: u64, b: u64, c: u64, d: u64) -> u64 {
     let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x = x.rotate_left(27).wrapping_add(c).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = x.rotate_left(31).wrapping_add(d).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x = x
+        .rotate_left(27)
+        .wrapping_add(c)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = x
+        .rotate_left(31)
+        .wrapping_add(d)
+        .wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 30)
 }
 
@@ -99,8 +105,7 @@ impl DelayModel {
     /// plus queueing.
     pub fn link_delay_ms(&self, link: &Link, t: SimTime, extra_util: f64) -> f64 {
         let u = self.utilization(link.id, t, extra_util);
-        let queue =
-            self.queue_scale_ms * Self::capacity_factor(link.capacity) * u / (1.0 - u);
+        let queue = self.queue_scale_ms * Self::capacity_factor(link.capacity) * u / (1.0 - u);
         link.base_delay_ms + queue
     }
 }
@@ -156,12 +161,7 @@ impl LossModel {
         if p >= 1.0 {
             return true;
         }
-        let mut r = SplitMix64::new(mix(
-            self.seed ^ salt,
-            link.0 as u64,
-            t.secs(),
-            flow,
-        ));
+        let mut r = SplitMix64::new(mix(self.seed ^ salt, link.0 as u64, t.secs(), flow));
         r.next_bool(p)
     }
 }

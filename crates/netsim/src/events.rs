@@ -145,10 +145,7 @@ impl LeakScope {
         match self {
             LeakScope::All => true,
             LeakScope::SampleDests { permille, salt } => {
-                let h = pinpoint_stats::rng::derive_seed(
-                    salt ^ u64::from(dest.0),
-                    "leak-scope",
-                );
+                let h = pinpoint_stats::rng::derive_seed(salt ^ u64::from(dest.0), "leak-scope");
                 (h % 1000) < u64::from(*permille)
             }
         }
@@ -320,10 +317,7 @@ impl EventSchedule {
             }
         }
         // Routing epochs change exactly at leak boundaries.
-        let mut boundaries: Vec<SimTime> = leaks
-            .iter()
-            .flat_map(|(_, _, s, e)| [*s, *e])
-            .collect();
+        let mut boundaries: Vec<SimTime> = leaks.iter().flat_map(|(_, _, s, e)| [*s, *e]).collect();
         boundaries.sort_unstable();
         boundaries.dedup();
         ResolvedSchedule {
@@ -407,9 +401,7 @@ mod tests {
         assert!(!links.is_empty());
         for l in &links {
             let link = topo.link(*l);
-            assert!(
-                topo.router(link.a).as_id == stub.id || topo.router(link.b).as_id == stub.id
-            );
+            assert!(topo.router(link.a).as_id == stub.id || topo.router(link.b).as_id == stub.id);
         }
     }
 
@@ -432,11 +424,7 @@ mod tests {
     #[test]
     fn selector_ixp_lan_resolves_fabric_links() {
         let topo = TopologyConfig::default().build();
-        let ixp = topo
-            .ases
-            .iter()
-            .find(|a| a.tier == AsTier::IxpLan)
-            .unwrap();
+        let ixp = topo.ases.iter().find(|a| a.tier == AsTier::IxpLan).unwrap();
         let links = LinkSelector::IxpLanOf(ixp.asn).resolve(&topo);
         for l in &links {
             assert_eq!(topo.link(*l).kind, LinkKind::IxpLan(ixp.id));
@@ -479,8 +467,15 @@ mod tests {
         assert_eq!(resolved.extra_util(LinkId(1), SimTime::from_hours(11)), 0.0);
 
         let any_dest = Asn(64999);
-        assert!(resolved.active_leaks(SimTime::from_hours(19), any_dest).is_empty());
-        assert_eq!(resolved.active_leaks(SimTime::from_hours(21), any_dest).len(), 1);
+        assert!(resolved
+            .active_leaks(SimTime::from_hours(19), any_dest)
+            .is_empty());
+        assert_eq!(
+            resolved
+                .active_leaks(SimTime::from_hours(21), any_dest)
+                .len(),
+            1
+        );
         assert_eq!(resolved.routing_epoch(SimTime::from_hours(19)), 0);
         assert_eq!(resolved.routing_epoch(SimTime::from_hours(20)), 1);
         assert_eq!(resolved.routing_epoch(SimTime::from_hours(22)), 2);
@@ -505,11 +500,7 @@ mod tests {
     #[test]
     fn ixp_outage_forces_loss() {
         let topo = TopologyConfig::default().build();
-        let ixp = topo
-            .ases
-            .iter()
-            .find(|a| a.tier == AsTier::IxpLan)
-            .unwrap();
+        let ixp = topo.ases.iter().find(|a| a.tier == AsTier::IxpLan).unwrap();
         let lan_links = LinkSelector::IxpLanOf(ixp.asn).resolve(&topo);
         let resolved = EventSchedule::new()
             .with(NetworkEvent::IxpOutage {

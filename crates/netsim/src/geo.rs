@@ -59,47 +59,290 @@ pub enum Region {
 /// The list intentionally includes every location named in the paper's case
 /// studies (Kansas City, St. Petersburg, Poznan, Frankfurt, Amsterdam,
 /// London, New York, Kuala Lumpur, ...).
+// Kuala Lumpur's real latitude happens to be 3.14; it is not an
+// approximation of pi.
+#[allow(clippy::approx_constant)]
 pub const CITIES: &[City] = &[
-    City { name: "Amsterdam", code: "AMS", lat: 52.37, lon: 4.90, region: Region::Europe },
-    City { name: "London", code: "LON", lat: 51.51, lon: -0.13, region: Region::Europe },
-    City { name: "Frankfurt", code: "FRA", lat: 50.11, lon: 8.68, region: Region::Europe },
-    City { name: "Paris", code: "PAR", lat: 48.86, lon: 2.35, region: Region::Europe },
-    City { name: "Zurich", code: "ZRH", lat: 47.38, lon: 8.54, region: Region::Europe },
-    City { name: "Munich", code: "MUC", lat: 48.14, lon: 11.58, region: Region::Europe },
-    City { name: "Vienna", code: "VIE", lat: 48.21, lon: 16.37, region: Region::Europe },
-    City { name: "Stockholm", code: "STO", lat: 59.33, lon: 18.07, region: Region::Europe },
-    City { name: "Poznan", code: "POZ", lat: 52.41, lon: 16.93, region: Region::Europe },
-    City { name: "Warsaw", code: "WAW", lat: 52.23, lon: 21.01, region: Region::Europe },
-    City { name: "Moscow", code: "MOW", lat: 55.76, lon: 37.62, region: Region::Europe },
-    City { name: "St. Petersburg", code: "LED", lat: 59.94, lon: 30.31, region: Region::Europe },
-    City { name: "Madrid", code: "MAD", lat: 40.42, lon: -3.70, region: Region::Europe },
-    City { name: "Milan", code: "MIL", lat: 45.46, lon: 9.19, region: Region::Europe },
-    City { name: "Dublin", code: "DUB", lat: 53.35, lon: -6.26, region: Region::Europe },
-    City { name: "Berlin", code: "BER", lat: 52.52, lon: 13.40, region: Region::Europe },
-    City { name: "New York", code: "NYC", lat: 40.71, lon: -74.01, region: Region::NorthAmerica },
-    City { name: "Washington", code: "WDC", lat: 38.91, lon: -77.04, region: Region::NorthAmerica },
-    City { name: "Miami", code: "MIA", lat: 25.76, lon: -80.19, region: Region::NorthAmerica },
-    City { name: "Chicago", code: "CHI", lat: 41.88, lon: -87.63, region: Region::NorthAmerica },
-    City { name: "Dallas", code: "DAL", lat: 32.78, lon: -96.80, region: Region::NorthAmerica },
-    City { name: "Kansas City", code: "MKC", lat: 39.10, lon: -94.58, region: Region::NorthAmerica },
-    City { name: "Los Angeles", code: "LAX", lat: 34.05, lon: -118.24, region: Region::NorthAmerica },
-    City { name: "San Jose", code: "SJC", lat: 37.34, lon: -121.89, region: Region::NorthAmerica },
-    City { name: "Seattle", code: "SEA", lat: 47.61, lon: -122.33, region: Region::NorthAmerica },
-    City { name: "Toronto", code: "YYZ", lat: 43.65, lon: -79.38, region: Region::NorthAmerica },
-    City { name: "Sao Paulo", code: "GRU", lat: -23.55, lon: -46.63, region: Region::SouthAmerica },
-    City { name: "Buenos Aires", code: "EZE", lat: -34.60, lon: -58.38, region: Region::SouthAmerica },
-    City { name: "Tokyo", code: "TYO", lat: 35.68, lon: 139.69, region: Region::AsiaPacific },
-    City { name: "Osaka", code: "OSA", lat: 34.69, lon: 135.50, region: Region::AsiaPacific },
-    City { name: "Seoul", code: "SEL", lat: 37.57, lon: 126.98, region: Region::AsiaPacific },
-    City { name: "Hong Kong", code: "HKG", lat: 22.32, lon: 114.17, region: Region::AsiaPacific },
-    City { name: "Singapore", code: "SIN", lat: 1.35, lon: 103.82, region: Region::AsiaPacific },
-    City { name: "Kuala Lumpur", code: "KUL", lat: 3.14, lon: 101.69, region: Region::AsiaPacific },
-    City { name: "Sydney", code: "SYD", lat: -33.87, lon: 151.21, region: Region::AsiaPacific },
-    City { name: "Mumbai", code: "BOM", lat: 19.08, lon: 72.88, region: Region::AsiaPacific },
-    City { name: "Dubai", code: "DXB", lat: 25.20, lon: 55.27, region: Region::MiddleEastAfrica },
-    City { name: "Johannesburg", code: "JNB", lat: -26.20, lon: 28.05, region: Region::MiddleEastAfrica },
-    City { name: "Nairobi", code: "NBO", lat: -1.29, lon: 36.82, region: Region::MiddleEastAfrica },
-    City { name: "Cairo", code: "CAI", lat: 30.04, lon: 31.24, region: Region::MiddleEastAfrica },
+    City {
+        name: "Amsterdam",
+        code: "AMS",
+        lat: 52.37,
+        lon: 4.90,
+        region: Region::Europe,
+    },
+    City {
+        name: "London",
+        code: "LON",
+        lat: 51.51,
+        lon: -0.13,
+        region: Region::Europe,
+    },
+    City {
+        name: "Frankfurt",
+        code: "FRA",
+        lat: 50.11,
+        lon: 8.68,
+        region: Region::Europe,
+    },
+    City {
+        name: "Paris",
+        code: "PAR",
+        lat: 48.86,
+        lon: 2.35,
+        region: Region::Europe,
+    },
+    City {
+        name: "Zurich",
+        code: "ZRH",
+        lat: 47.38,
+        lon: 8.54,
+        region: Region::Europe,
+    },
+    City {
+        name: "Munich",
+        code: "MUC",
+        lat: 48.14,
+        lon: 11.58,
+        region: Region::Europe,
+    },
+    City {
+        name: "Vienna",
+        code: "VIE",
+        lat: 48.21,
+        lon: 16.37,
+        region: Region::Europe,
+    },
+    City {
+        name: "Stockholm",
+        code: "STO",
+        lat: 59.33,
+        lon: 18.07,
+        region: Region::Europe,
+    },
+    City {
+        name: "Poznan",
+        code: "POZ",
+        lat: 52.41,
+        lon: 16.93,
+        region: Region::Europe,
+    },
+    City {
+        name: "Warsaw",
+        code: "WAW",
+        lat: 52.23,
+        lon: 21.01,
+        region: Region::Europe,
+    },
+    City {
+        name: "Moscow",
+        code: "MOW",
+        lat: 55.76,
+        lon: 37.62,
+        region: Region::Europe,
+    },
+    City {
+        name: "St. Petersburg",
+        code: "LED",
+        lat: 59.94,
+        lon: 30.31,
+        region: Region::Europe,
+    },
+    City {
+        name: "Madrid",
+        code: "MAD",
+        lat: 40.42,
+        lon: -3.70,
+        region: Region::Europe,
+    },
+    City {
+        name: "Milan",
+        code: "MIL",
+        lat: 45.46,
+        lon: 9.19,
+        region: Region::Europe,
+    },
+    City {
+        name: "Dublin",
+        code: "DUB",
+        lat: 53.35,
+        lon: -6.26,
+        region: Region::Europe,
+    },
+    City {
+        name: "Berlin",
+        code: "BER",
+        lat: 52.52,
+        lon: 13.40,
+        region: Region::Europe,
+    },
+    City {
+        name: "New York",
+        code: "NYC",
+        lat: 40.71,
+        lon: -74.01,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Washington",
+        code: "WDC",
+        lat: 38.91,
+        lon: -77.04,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Miami",
+        code: "MIA",
+        lat: 25.76,
+        lon: -80.19,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Chicago",
+        code: "CHI",
+        lat: 41.88,
+        lon: -87.63,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Dallas",
+        code: "DAL",
+        lat: 32.78,
+        lon: -96.80,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Kansas City",
+        code: "MKC",
+        lat: 39.10,
+        lon: -94.58,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Los Angeles",
+        code: "LAX",
+        lat: 34.05,
+        lon: -118.24,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "San Jose",
+        code: "SJC",
+        lat: 37.34,
+        lon: -121.89,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Seattle",
+        code: "SEA",
+        lat: 47.61,
+        lon: -122.33,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Toronto",
+        code: "YYZ",
+        lat: 43.65,
+        lon: -79.38,
+        region: Region::NorthAmerica,
+    },
+    City {
+        name: "Sao Paulo",
+        code: "GRU",
+        lat: -23.55,
+        lon: -46.63,
+        region: Region::SouthAmerica,
+    },
+    City {
+        name: "Buenos Aires",
+        code: "EZE",
+        lat: -34.60,
+        lon: -58.38,
+        region: Region::SouthAmerica,
+    },
+    City {
+        name: "Tokyo",
+        code: "TYO",
+        lat: 35.68,
+        lon: 139.69,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Osaka",
+        code: "OSA",
+        lat: 34.69,
+        lon: 135.50,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Seoul",
+        code: "SEL",
+        lat: 37.57,
+        lon: 126.98,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Hong Kong",
+        code: "HKG",
+        lat: 22.32,
+        lon: 114.17,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Singapore",
+        code: "SIN",
+        lat: 1.35,
+        lon: 103.82,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Kuala Lumpur",
+        code: "KUL",
+        lat: 3.14,
+        lon: 101.69,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Sydney",
+        code: "SYD",
+        lat: -33.87,
+        lon: 151.21,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Mumbai",
+        code: "BOM",
+        lat: 19.08,
+        lon: 72.88,
+        region: Region::AsiaPacific,
+    },
+    City {
+        name: "Dubai",
+        code: "DXB",
+        lat: 25.20,
+        lon: 55.27,
+        region: Region::MiddleEastAfrica,
+    },
+    City {
+        name: "Johannesburg",
+        code: "JNB",
+        lat: -26.20,
+        lon: 28.05,
+        region: Region::MiddleEastAfrica,
+    },
+    City {
+        name: "Nairobi",
+        code: "NBO",
+        lat: -1.29,
+        lon: 36.82,
+        region: Region::MiddleEastAfrica,
+    },
+    City {
+        name: "Cairo",
+        code: "CAI",
+        lat: 30.04,
+        lon: 31.24,
+        region: Region::MiddleEastAfrica,
+    },
 ];
 
 /// Mean Earth radius in kilometres.
@@ -182,7 +425,9 @@ mod tests {
 
     #[test]
     fn all_paper_case_study_cities_present() {
-        for code in ["MKC", "LED", "POZ", "FRA", "AMS", "LON", "NYC", "KUL", "ZRH", "MUC"] {
+        for code in [
+            "MKC", "LED", "POZ", "FRA", "AMS", "LON", "NYC", "KUL", "ZRH", "MUC",
+        ] {
             assert!(city_by_code(code).is_some(), "missing {code}");
         }
     }

@@ -24,12 +24,11 @@ use crate::ids::{AsId, RouterId};
 use crate::routing::forwarding::{Forwarding, PathStitcher};
 use crate::routing::policy::{compute_routes, RouteTable};
 use crate::topology::{RouterKind, Topology};
-use parking_lot::RwLock;
 use pinpoint_model::SimTime;
 use pinpoint_stats::rng::derive_seed;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One hop of a traceroute result.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,7 +139,12 @@ impl Network {
     /// Route table towards `dest_as` at time `t` (cached per epoch).
     pub fn routes_to(&self, dest_as: AsId, t: SimTime) -> Arc<RouteTable> {
         let epoch = self.schedule.routing_epoch(t);
-        if let Some(table) = self.route_cache.read().get(&(dest_as, epoch)) {
+        if let Some(table) = self
+            .route_cache
+            .read()
+            .expect("route cache poisoned")
+            .get(&(dest_as, epoch))
+        {
             return table.clone();
         }
         let dest_asn = self.topo.asn(dest_as).asn;
@@ -148,6 +152,7 @@ impl Network {
         let table = Arc::new(compute_routes(&self.topo, dest_as, &leaks, self.seed));
         self.route_cache
             .write()
+            .expect("route cache poisoned")
             .insert((dest_as, epoch), table.clone());
         table
     }
@@ -177,14 +182,12 @@ impl Network {
     /// One-way delay along a router path at `t` (ms), queueing included.
     pub fn one_way_delay_ms(&self, path: &[RouterId], t: SimTime) -> f64 {
         path.windows(2)
-            .map(|w| {
-                match self.topo.link_between_routers(w[0], w[1]) {
-                    Some(l) => {
-                        let extra = self.schedule.extra_util(l.id, t);
-                        self.delay.link_delay_ms(l, t, extra)
-                    }
-                    None => 0.0,
+            .map(|w| match self.topo.link_between_routers(w[0], w[1]) {
+                Some(l) => {
+                    let extra = self.schedule.extra_util(l.id, t);
+                    self.delay.link_delay_ms(l, t, extra)
                 }
+                None => 0.0,
             })
             .sum()
     }
@@ -262,9 +265,7 @@ impl Network {
             } else {
                 self.return_path(router, q.src, q.t, q.flow)
             };
-            let ret_delay = rpath
-                .as_ref()
-                .map(|p| self.one_way_delay_ms(p, q.t));
+            let ret_delay = rpath.as_ref().map(|p| self.one_way_delay_ms(p, q.t));
 
             let mut rtts = Vec::with_capacity(q.packets_per_hop);
             for k in 0..q.packets_per_hop {
@@ -274,18 +275,13 @@ impl Network {
                 // Reply leg: the ICMP must make it back.
                 let reply_ok = match (&rpath, fwd_ok, silent) {
                     (_, false, _) | (_, _, true) | (None, _, _) => false,
-                    (Some(rp), true, false) => {
-                        self.survives(rp, q.t, q.flow, salt ^ 0x5A5A_5A5A)
-                    }
+                    (Some(rp), true, false) => self.survives(rp, q.t, q.flow, salt ^ 0x5A5A_5A5A),
                 };
                 if reply_ok {
-                    let noise =
-                        self.noise
-                            .rtt_noise_ms(router, q.t, q.flow, (h * 8 + k) as u64);
-                    let rtt = cum_fwd[h]
-                        + ret_delay.unwrap_or(0.0)
-                        + self.access_rtt_ms
-                        + noise;
+                    let noise = self
+                        .noise
+                        .rtt_noise_ms(router, q.t, q.flow, (h * 8 + k) as u64);
+                    let rtt = cum_fwd[h] + ret_delay.unwrap_or(0.0) + self.access_rtt_ms + noise;
                     rtts.push(Some(rtt));
                     if is_dest {
                         reached = true;

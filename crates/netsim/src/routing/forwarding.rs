@@ -34,11 +34,8 @@ pub struct IntraMatrix {
 impl IntraMatrix {
     fn build(topo: &Topology, as_id: AsId) -> Self {
         let routers: Vec<RouterId> = topo.asn(as_id).routers.clone();
-        let local: HashMap<RouterId, usize> = routers
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, i))
-            .collect();
+        let local: HashMap<RouterId, usize> =
+            routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         let n = routers.len();
         let mut next = vec![vec![None; n]; n];
         let mut dist = vec![vec![INF; n]; n];
@@ -73,18 +70,12 @@ impl IntraMatrix {
                     // neighbor order fixed by the topology's link order.
                     if nd < d[v_i] - 1e-12 {
                         d[v_i] = nd;
-                        first_hop[v_i] = if u == src_i {
-                            Some(v)
-                        } else {
-                            first_hop[u]
-                        };
+                        first_hop[v_i] = if u == src_i { Some(v) } else { first_hop[u] };
                     }
                 }
             }
-            for t in 0..n {
-                dist[src_i][t] = d[t];
-                next[src_i][t] = first_hop[t];
-            }
+            dist[src_i].copy_from_slice(&d);
+            next[src_i].copy_from_slice(&first_hop);
         }
         IntraMatrix {
             routers,
@@ -295,11 +286,7 @@ mod tests {
     fn intra_matrix_symmetric_and_triangle() {
         let (topo, fwd) = setup();
         // Pick the largest AS for a meaningful check.
-        let big = topo
-            .ases
-            .iter()
-            .max_by_key(|a| a.routers.len())
-            .unwrap();
+        let big = topo.ases.iter().max_by_key(|a| a.routers.len()).unwrap();
         let m = fwd.intra(big.id);
         let rs = &big.routers;
         for &a in rs.iter().take(6) {
@@ -403,10 +390,7 @@ mod tests {
             .find(|x| x.id != topo.router(a).as_id && !x.routers.is_empty())
             .unwrap();
         let b = other_as.routers[0];
-        assert!(fwd
-            .intra(topo.router(a).as_id)
-            .distance(a, b)
-            .is_infinite());
+        assert!(fwd.intra(topo.router(a).as_id).distance(a, b).is_infinite());
         assert!(fwd.intra(topo.router(a).as_id).path(a, b).is_none());
     }
 }

@@ -127,12 +127,7 @@ fn mix(a: u64, b: u64, c: u64, d: u64) -> u64 {
 ///
 /// `salt` perturbs tie-breaks only; scenarios use the topology seed so that
 /// routing is stable across runs.
-pub fn compute_routes(
-    topo: &Topology,
-    dest: AsId,
-    leaks: &[LeakSpec],
-    salt: u64,
-) -> RouteTable {
+pub fn compute_routes(topo: &Topology, dest: AsId, leaks: &[LeakSpec], salt: u64) -> RouteTable {
     let n = topo.ases.len();
     let mut entries: Vec<Option<RouteEntry>> = vec![None; n];
     entries[dest.idx()] = Some(RouteEntry {
@@ -212,9 +207,9 @@ pub fn compute_routes(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geo::city_by_code;
     use crate::topology::builder::{TopologyBuilder, TopologyConfig};
     use crate::topology::{AsTier, CapacityClass};
-    use crate::geo::city_by_code;
     use pinpoint_model::Asn;
 
     /// A hand-built diamond: two tier-1 peers on top, a transit under each,
@@ -320,7 +315,11 @@ mod tests {
                 return false;
             }
             // `Across` may appear at most once.
-            phase = if step == Phase::Across { Phase::Down } else { step };
+            phase = if step == Phase::Across {
+                Phase::Down
+            } else {
+                step
+            };
         }
         true
     }

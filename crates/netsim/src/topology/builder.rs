@@ -128,8 +128,7 @@ impl TopologyBuilder {
             return l.id;
         }
         let id = LinkId(self.topo.links.len() as u32);
-        let delay =
-            geo::propagation_delay_ms(self.topo.router(a).city, self.topo.router(b).city);
+        let delay = geo::propagation_delay_ms(self.topo.router(a).city, self.topo.router(b).city);
         self.topo.links.push(Link {
             id,
             a,
@@ -142,7 +141,11 @@ impl TopologyBuilder {
         self.topo.routers[b.idx()].links.push(id);
         let (as_a, as_b) = (self.topo.router(a).as_id, self.topo.router(b).as_id);
         if as_a != as_b {
-            let key = if as_a <= as_b { (as_a, as_b) } else { (as_b, as_a) };
+            let key = if as_a <= as_b {
+                (as_a, as_b)
+            } else {
+                (as_b, as_a)
+            };
             self.topo.links_between.entry(key).or_default().push(id);
         }
         id
@@ -176,7 +179,13 @@ impl TopologyBuilder {
             self.topo.ases[a.idx()].peers.push(b);
             self.topo.ases[b.idx()].peers.push(a);
         }
-        self.wire_closest(a, b, LinkKind::InterAs(Relationship::PeerPeer), cap, n_links);
+        self.wire_closest(
+            a,
+            b,
+            LinkKind::InterAs(Relationship::PeerPeer),
+            cap,
+            n_links,
+        );
     }
 
     fn wire_closest(
@@ -195,8 +204,7 @@ impl TopologyBuilder {
                 {
                     continue;
                 }
-                let d =
-                    geo::distance_km(self.topo.router(ra).city, self.topo.router(rb).city);
+                let d = geo::distance_km(self.topo.router(ra).city, self.topo.router(rb).city);
                 pairs.push((d, ra, rb));
             }
         }
@@ -620,8 +628,10 @@ mod tests {
             assert_eq!(a.ip, b.ip);
             assert_eq!(a.city, b.city);
         }
-        let mut cfg = TopologyConfig::default();
-        cfg.seed = 99;
+        let cfg = TopologyConfig {
+            seed: 99,
+            ..TopologyConfig::default()
+        };
         let t3 = cfg.build();
         // Different seed, different wiring (link count differs in general).
         assert!(

@@ -255,7 +255,10 @@ impl Topology {
     /// Inter-AS links between two ASes (order-insensitive).
     pub fn inter_as_links(&self, a: AsId, b: AsId) -> &[LinkId] {
         let key = if a <= b { (a, b) } else { (b, a) };
-        self.links_between.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        self.links_between
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All stub ASes (candidate probe hosts).
@@ -326,7 +329,10 @@ impl Topology {
                 let entry = self.router(inst.entry);
                 let server = self.router(inst.server);
                 if entry.as_id != svc.operator || server.as_id != svc.operator {
-                    problems.push(format!("{}: instance routers outside operator AS", svc.name));
+                    problems.push(format!(
+                        "{}: instance routers outside operator AS",
+                        svc.name
+                    ));
                 }
                 if self.link_between_routers(inst.entry, inst.server).is_none() {
                     problems.push(format!("{}: entry/server not adjacent", svc.name));

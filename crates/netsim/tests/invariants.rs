@@ -5,17 +5,19 @@
 //! paper's differential-RTT method exists to survive ("past studies report
 //! about 90% of AS-level routes as asymmetric", §3 Challenge 1).
 
+use pinpoint_model::SimTime;
+use pinpoint_netsim::network::TraceQuery;
 use pinpoint_netsim::routing::forwarding::{Forwarding, PathStitcher};
 use pinpoint_netsim::routing::policy::compute_routes;
 use pinpoint_netsim::{EventSchedule, Network, TopologyConfig};
-use pinpoint_model::SimTime;
-use pinpoint_netsim::network::TraceQuery;
 
 #[test]
 fn as_level_routes_are_substantially_asymmetric() {
     for seed in [1u64, 7, 42] {
-        let mut cfg = TopologyConfig::default();
-        cfg.seed = seed;
+        let cfg = TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        };
         let topo = cfg.build();
         let stubs: Vec<_> = topo.stub_ases().map(|a| a.id).collect();
         let mut asym = 0usize;
@@ -96,8 +98,10 @@ fn router_level_forward_and_return_paths_differ() {
 #[test]
 fn stitched_paths_never_loop_across_seeds() {
     for seed in [3u64, 13, 31] {
-        let mut cfg = TopologyConfig::default();
-        cfg.seed = seed;
+        let cfg = TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        };
         let topo = cfg.build();
         let fwd = Forwarding::new(&topo);
         let stitcher = PathStitcher::new(&topo, &fwd);
@@ -106,8 +110,7 @@ fn stitched_paths_never_loop_across_seeds() {
         let table = compute_routes(&topo, dst.id, &[], seed);
         for s in stubs.iter().take(20) {
             for flow in 0..4u64 {
-                if let Some(path) =
-                    stitcher.route(s.routers[0], &table, Some(dst.routers[0]), flow)
+                if let Some(path) = stitcher.route(s.routers[0], &table, Some(dst.routers[0]), flow)
                 {
                     let mut seen = std::collections::HashSet::new();
                     assert!(

@@ -26,8 +26,8 @@ pub const ATTACK_EXTRA_UTIL: f64 = 0.52;
 /// Day offset of November 30th from the scenario epoch.
 fn attack_day(scale: Scale) -> u64 {
     match scale {
-        Scale::Small => 4,   // epoch = Nov 26 (Fig. 7 window)
-        Scale::Paper => 13,  // epoch = Nov 17 (Fig. 6 window)
+        Scale::Small => 4,  // epoch = Nov 26 (Fig. 7 window)
+        Scale::Paper => 13, // epoch = Nov 17 (Fig. 6 window)
     }
 }
 

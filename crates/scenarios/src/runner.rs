@@ -160,7 +160,11 @@ mod tests {
         assert_eq!(seen, 2);
         assert_eq!(summary.bins, 2);
         assert!(summary.records > 100, "records {}", summary.records);
-        assert!(summary.tracked_links > 10, "links {}", summary.tracked_links);
+        assert!(
+            summary.tracked_links > 10,
+            "links {}",
+            summary.tracked_links
+        );
         assert!(summary.tracked_patterns > 10);
     }
 

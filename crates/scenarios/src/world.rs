@@ -113,7 +113,10 @@ impl World {
 
         // ---------------- Tier-1 clique ---------------------------------
         let level3 = b.add_as(Asn(3356), "level3", AsTier::Tier1);
-        for c in ["LON", "NYC", "WDC", "MIA", "CHI", "DAL", "LAX", "AMS", "FRA", "PAR", "VIE", "DUB", "BER"] {
+        for c in [
+            "LON", "NYC", "WDC", "MIA", "CHI", "DAL", "LAX", "AMS", "FRA", "PAR", "VIE", "DUB",
+            "BER",
+        ] {
             b.add_router(level3, city(c));
         }
         b.mesh_intra_as(level3, 0.15);
@@ -148,7 +151,9 @@ impl World {
 
         // ---------------- Global Crossing (AS3549) ----------------------
         let gc = b.add_as(Asn(3549), "global-crossing", AsTier::Transit);
-        for c in ["LON", "AMS", "FRA", "NYC", "WDC", "MIA", "LAX", "HKG", "SIN"] {
+        for c in [
+            "LON", "AMS", "FRA", "NYC", "WDC", "MIA", "LAX", "HKG", "SIN",
+        ] {
             b.add_router(gc, city(c));
         }
         b.mesh_intra_as(gc, 0.2);
@@ -307,10 +312,10 @@ impl World {
 
         // ---------------- Stubs, probes' homes, anchors ------------------
         let stub_cities = [
-            "AMS", "LON", "FRA", "PAR", "ZRH", "VIE", "STO", "WAW", "MOW", "LED",
-            "MAD", "MIL", "DUB", "BER", "NYC", "WDC", "MIA", "CHI", "DAL", "LAX",
-            "SJC", "SEA", "YYZ", "GRU", "EZE", "TYO", "OSA", "SEL", "HKG", "SIN",
-            "KUL", "SYD", "BOM", "DXB", "JNB", "NBO", "CAI", "POZ", "MKC", "MUC",
+            "AMS", "LON", "FRA", "PAR", "ZRH", "VIE", "STO", "WAW", "MOW", "LED", "MAD", "MIL",
+            "DUB", "BER", "NYC", "WDC", "MIA", "CHI", "DAL", "LAX", "SJC", "SEA", "YYZ", "GRU",
+            "EZE", "TYO", "OSA", "SEL", "HKG", "SIN", "KUL", "SYD", "BOM", "DXB", "JNB", "NBO",
+            "CAI", "POZ", "MKC", "MUC",
         ];
         let n_stubs = scale.stubs();
         let mut anchors = Vec::new();
@@ -350,8 +355,11 @@ impl World {
                     (ap_transit, "OSA"),
                     (ap_transit, "SEL"),
                 ][i];
-                let eyeball =
-                    b.add_as(Asn(64800 + i as u32), &format!("edge-eye-{i}"), AsTier::Stub);
+                let eyeball = b.add_as(
+                    Asn(64800 + i as u32),
+                    &format!("edge-eye-{i}"),
+                    AsTier::Stub,
+                );
                 b.add_router(eyeball, city(code));
                 b.provider_customer(host, eyeball, 1);
             }

@@ -1,0 +1,326 @@
+//! Offline, deterministic stand-in for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the real `proptest` is
+//! unavailable. This shim keeps the property tests running (rather than
+//! deleting them) with the same source syntax:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { body } }`,
+//!   optionally with `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * range strategies over integers and floats (`0u32..1000`,
+//!   `0.0f64..=1.0`);
+//! * `prop::collection::vec(elem, len_range)`;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Inputs are generated from a SplitMix64 stream seeded by the test's module
+//! path and name, so every run of a given test binary explores the same
+//! cases — no shrinking, but failures are exactly reproducible. Scalar
+//! strategies yield their range endpoints in the first cases, and
+//! collection elements are forced to an endpoint with probability 1/8,
+//! so boundary values get coverage at both levels.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases run when no `proptest_config` is given.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Runner configuration (API-compatible subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator driving the shim (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    /// Index of the case currently being generated (drives edge cases).
+    pub case: u32,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (test path) via FNV-1a.
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h, case: 0 }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_raw(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_raw();
+            let m = (x as u128).wrapping_mul(n as u128);
+            if (m as u64) >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A value generator (API-compatible subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // First two cases pin the boundaries.
+                    match rng.case {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => {
+                            let span = (self.end as i128 - self.start as i128) as u64;
+                            (self.start as i128 + rng.next_below(span) as i128) as $t
+                        }
+                    }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    match rng.case {
+                        0 => *self.start(),
+                        1 => *self.end(),
+                        _ => {
+                            let span =
+                                (*self.end() as i128 - *self.start() as i128) as u64;
+                            if span == u64::MAX {
+                                rng.next_raw() as $t
+                            } else {
+                                (*self.start() as i128 + rng.next_below(span + 1) as i128)
+                                    as $t
+                            }
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        match rng.case {
+            0 => self.start,
+            _ => self.start + (self.end - self.start) * rng.next_f64(),
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        match rng.case {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => self.start() + (self.end() - self.start()) * rng.next_f64(),
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from `elem`, with a length drawn
+    /// from `len` (half-open, like proptest's size ranges).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            // First case pins the minimum length (exercises empty vecs when
+            // the range allows them); afterwards lengths are uniform.
+            let n = match rng.case {
+                0 => self.len.start,
+                1 => self.len.end - 1,
+                _ => {
+                    self.len.start + rng.next_below((self.len.end - self.len.start) as u64) as usize
+                }
+            };
+            // Element generation must not inherit the vec-level case
+            // pinning (every element of case 0 would be the range
+            // minimum), but boundary values still need coverage: each
+            // element independently has a 1-in-8 chance of being forced
+            // to one of its strategy's endpoint cases.
+            let case = rng.case;
+            let out = (0..n)
+                .map(|_| {
+                    rng.case = if rng.next_below(8) == 0 {
+                        (rng.next_raw() & 1) as u32
+                    } else {
+                        u32::MAX
+                    };
+                    self.elem.generate(rng)
+                })
+                .collect();
+            rng.case = case;
+            out
+        }
+    }
+}
+
+/// The `prop` path alias used via the prelude (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Assert inside a property (panics with the case's inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_label(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    __rng.case = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// The `proptest!` test-definition macro (deterministic shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_label("x");
+        let mut b = crate::TestRng::from_label("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..10, x in -2.0f64..2.0, p in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u32..5, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the parts of `rand` the workspace uses.
+//!
+//! `pinpoint-stats::rng::SplitMix64` implements [`RngCore`] so it can plug
+//! into the `rand` ecosystem when the real crate is available; this shim
+//! provides an API-compatible trait so the impl compiles without network
+//! access to crates.io.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (only ever constructed by fallible
+/// external generators, which this workspace has none of).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait of the `rand` ecosystem (API-compatible subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (infallible for in-process generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

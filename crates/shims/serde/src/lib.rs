@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! The workspace's real interchange format is `pinpoint-model::json`, which
+//! never touches serde traits, so empty derives lose nothing.
+
+pub use serde_derive::{Deserialize, Serialize};

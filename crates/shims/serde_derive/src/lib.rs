@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde` cannot be vendored. The data model only *declares* the derives
+//! (its interchange format is the hand-rolled JSON codec in
+//! `pinpoint-model::json`), so emitting no impls is sufficient: nothing in
+//! the workspace calls `Serialize`/`Deserialize` trait methods.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -80,7 +80,9 @@ mod tests {
     fn uncorrelated_is_near_zero() {
         // Alternating pattern orthogonal to a linear ramp.
         let x: Vec<f64> = (0..100).map(f64::from).collect();
-        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho = pearson(&x, &y).unwrap();
         assert!(rho.abs() < 0.1, "rho = {rho}");
     }

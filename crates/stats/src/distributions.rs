@@ -186,7 +186,11 @@ mod tests {
         let med = xs[xs.len() / 2];
         assert!((med - 2.0).abs() < 0.05, "median {med}");
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!((mean - d.mean()).abs() < 0.05, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.05,
+            "mean {mean} vs {}",
+            d.mean()
+        );
         assert!(xs[0] > 0.0, "log-normal must be positive");
     }
 

@@ -57,4 +57,4 @@ pub use quantile::{median, quantile};
 pub use rng::SplitMix64;
 pub use sliding::SlidingRobust;
 pub use smoothing::Ewma;
-pub use wilson::{median_ci, wilson_bounds, ConfidenceInterval};
+pub use wilson::{median_ci, median_ci_select, wilson_bounds, ConfidenceInterval};

@@ -22,12 +22,18 @@ pub fn phi(x: f64) -> f64 {
 
 /// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
 pub fn erf(x: f64) -> f64 {
+    // The polynomial evaluates to ~1e-9 at zero; pin the exact value so the
+    // function is odd everywhere, including the origin.
+    if x == 0.0 {
+        return 0.0;
+    }
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -42,6 +48,7 @@ pub fn norm_cdf(x: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `p` is outside `(0, 1)`.
+#[allow(clippy::excessive_precision)] // published Acklam coefficients, verbatim
 pub fn norm_ppf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "norm_ppf requires p in (0,1), got {p}");
 
@@ -215,7 +222,7 @@ mod tests {
         for i in 0..25 {
             data[i * 20] = 500.0 + i as f64;
         }
-        let clean = qq_correlation(&data[1..40].to_vec()).unwrap_or(1.0);
+        let clean = qq_correlation(&data[1..40]).unwrap_or(1.0);
         let dirty = qq_correlation(&data).unwrap();
         assert!(dirty < 0.8, "outlier sample scored {dirty} (clean {clean})");
     }

@@ -183,9 +183,9 @@ mod tests {
         let data = [9.0, -3.0, 7.0, 0.5, 7.0, 2.0, 11.0, -8.0];
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        for k in 0..data.len() {
+        for (k, &want) in sorted.iter().enumerate() {
             let mut buf = data.to_vec();
-            assert_eq!(select_kth(&mut buf, k), sorted[k], "k={k}");
+            assert_eq!(select_kth(&mut buf, k), want, "k={k}");
         }
     }
 

@@ -27,10 +27,7 @@ impl Ewma {
     /// # Panics
     /// Panics if α is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "alpha {alpha} outside (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0, 1]");
         Ewma { alpha, value: None }
     }
 
@@ -85,10 +82,7 @@ pub struct VectorEwma<K: Ord + Clone> {
 impl<K: Ord + Clone> VectorEwma<K> {
     /// Create an empty vector smoother with the given α ∈ (0, 1].
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "alpha {alpha} outside (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0, 1]");
         VectorEwma {
             alpha,
             values: std::collections::BTreeMap::new(),

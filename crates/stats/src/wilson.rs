@@ -16,7 +16,7 @@
 //! asymmetry falls out naturally because the bounding order statistics of a
 //! skewed sample are asymmetric around the median.
 
-use crate::quantile::median_sorted;
+use crate::quantile::{median_sorted, select_kth};
 
 /// The z value for a 95 % confidence level, used throughout the paper.
 pub const Z_95: f64 = 1.96;
@@ -113,6 +113,62 @@ pub fn median_ci_sorted(sorted: &[f64], z: f64) -> Option<ConfidenceInterval> {
 pub fn median_ci(samples: &[f64], z: f64) -> Option<ConfidenceInterval> {
     let sorted = crate::quantile::sorted_copy(samples);
     median_ci_sorted(&sorted, z)
+}
+
+/// Order statistic `k` of `data` when `data[m_idx]` is already the selected
+/// median pivot: everything left of `m_idx` is ≤ it, everything right is ≥
+/// it, so the remaining selection can be confined to one partition.
+fn order_stat_around_pivot(data: &mut [f64], m_idx: usize, k: usize) -> f64 {
+    match k.cmp(&m_idx) {
+        std::cmp::Ordering::Equal => data[m_idx],
+        std::cmp::Ordering::Less => select_kth(&mut data[..m_idx], k),
+        std::cmp::Ordering::Greater => select_kth(&mut data[m_idx + 1..], k - m_idx - 1),
+    }
+}
+
+/// Median and Wilson-score CI via order-statistic selection — no full sort.
+///
+/// Produces results bit-identical to [`median_ci`], but in expected O(n)
+/// instead of O(n log n): one quickselect pins the median, and the two CI
+/// bounds are selected inside the partitions that first select leaves
+/// behind (at most three `select_kth` calls in total). The buffer is
+/// permuted in place, which is exactly what the bin engine wants — it hands
+/// in a scratch buffer it reuses across links.
+///
+/// Non-finite values must be filtered by the caller (as with
+/// [`median_ci`], they would poison comparisons). Returns `None` on an
+/// empty slice.
+pub fn median_ci_select(data: &mut [f64], z: f64) -> Option<ConfidenceInterval> {
+    if data.is_empty() {
+        return None;
+    }
+    let n = data.len();
+    let m_idx = n / 2;
+    let hi = select_kth(data, m_idx);
+    let med = if n % 2 == 1 {
+        hi
+    } else {
+        // After selecting n/2, the other central element is the max of the
+        // lower partition — same recipe as `quantile::median`.
+        let lo = data[..m_idx]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo + hi) / 2.0
+    };
+    // Identical rank mapping to `median_ci_sorted`.
+    let (wl, wu) = wilson_bounds(n, 0.5, z);
+    let li = ((n as f64 * wl).floor() as usize).min(n - 1);
+    let ui = ((n as f64 * wu).ceil() as usize).clamp(1, n) - 1;
+    let (li, ui) = (li.min(ui), ui.max(li));
+    let lower = order_stat_around_pivot(data, m_idx, li);
+    let upper = order_stat_around_pivot(data, m_idx, ui);
+    Some(ConfidenceInterval {
+        lower: lower.min(med),
+        median: med,
+        upper: upper.max(med),
+        n,
+    })
 }
 
 #[cfg(test)]
@@ -244,5 +300,42 @@ mod tests {
             prop_assert!(close(ci.lower) || (ci.lower - ci.median).abs() < 1e-9);
             prop_assert!(close(ci.upper) || (ci.upper - ci.median).abs() < 1e-9);
         }
+
+        #[test]
+        fn prop_select_matches_sort_path(
+            data in prop::collection::vec(-1e5f64..1e5, 1..300),
+            z in 0.0f64..4.0,
+        ) {
+            // The selection-based CI must be bit-identical to the
+            // sort-based one — the engine-parity guarantee rests on it.
+            let mut buf = data.clone();
+            let fast = median_ci_select(&mut buf, z).unwrap();
+            let slow = median_ci(&data, z).unwrap();
+            prop_assert_eq!(fast, slow);
+            // And the buffer is a permutation of the input.
+            let mut a = buf;
+            let mut b = data;
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn select_ci_small_inputs_match() {
+        for n in 1..24usize {
+            let data: Vec<f64> = (0..n).map(|i| ((i * 7919) % 23) as f64 * 0.5).collect();
+            let mut buf = data.clone();
+            assert_eq!(
+                median_ci_select(&mut buf, Z_95),
+                median_ci(&data, Z_95),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_ci_empty_is_none() {
+        assert_eq!(median_ci_select(&mut [], Z_95), None);
     }
 }

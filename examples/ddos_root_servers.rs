@@ -19,7 +19,10 @@ fn main() {
     let case = ddos::case_study(2015, scale);
     let kroot_asn = case.landmarks.kroot_asn;
     let kroot_addr = case.landmarks.kroot_addr;
-    println!("epoch: {} | window bins {}..{}", case.epoch_label, case.start_bin.0, case.end_bin.0);
+    println!(
+        "epoch: {} | window bins {}..{}",
+        case.epoch_label, case.start_bin.0, case.end_bin.0
+    );
     let (a1s, a1e) = ddos::attack1(scale);
     let (a2s, a2e) = ddos::attack2(scale);
     println!("attack 1: {} – {} | attack 2: {} – {}", a1s, a1e, a2s, a2e);
@@ -40,10 +43,11 @@ fn main() {
         for (link, stat) in &report.link_stats {
             if link.far == kroot_addr {
                 let alarmed = report.delay_alarms.iter().any(|a| a.link == *link);
-                per_link_series
-                    .entry(*link)
-                    .or_default()
-                    .push((report.bin.0, stat.median(), alarmed));
+                per_link_series.entry(*link).or_default().push((
+                    report.bin.0,
+                    stat.median(),
+                    alarmed,
+                ));
             }
         }
     });

@@ -62,11 +62,13 @@ fn main() {
                         c.forwarding_flagged.len()
                     );
                     let mut edges = c.edges.clone();
-                    edges.sort_by(|a, b| {
-                        b.median_shift_ms.partial_cmp(&a.median_shift_ms).unwrap()
-                    });
+                    edges
+                        .sort_by(|a, b| b.median_shift_ms.partial_cmp(&a.median_shift_ms).unwrap());
                     for e in edges.iter().take(5) {
-                        s.push_str(&format!("\n    {} — {}  +{:.0} ms", e.a, e.b, e.median_shift_ms));
+                        s.push_str(&format!(
+                            "\n    {} — {}  +{:.0} ms",
+                            e.a, e.b, e.median_shift_ms
+                        ));
                     }
                     london_component = Some(s);
                 }
@@ -75,7 +77,10 @@ fn main() {
     });
 
     println!("per-AS magnitudes (bins where any |mag| > 2):");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "bin", "GC dly", "GC fwd", "L3 dly", "L3 fwd");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "bin", "GC dly", "GC fwd", "L3 dly", "L3 fwd"
+    );
     for (bin, gd, gf, ld, lf) in &series {
         if gd.abs() > 2.0 || gf.abs() > 2.0 || ld.abs() > 2.0 || lf.abs() > 2.0 {
             println!("{bin:>5} {gd:>10.1} {gf:>10.1} {ld:>10.1} {lf:>10.1}");

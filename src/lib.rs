@@ -18,7 +18,8 @@
 //! * [`stats`] — robust statistics (medians, Wilson scores, entropy, MAD)
 //! * [`netsim`] — deterministic Internet simulator with event injection
 //! * [`atlas`] — RIPE Atlas measurement platform emulator
-//! * [`core`] — the paper's detection pipeline
+//! * [`core`] — the paper's detection pipeline (see its crate docs for the
+//!   parallel bin-engine architecture and how to run the benches)
 //! * [`scenarios`] — reproducible case-study scenarios
 
 #![forbid(unsafe_code)]

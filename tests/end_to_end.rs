@@ -25,7 +25,10 @@ fn pipeline_is_deterministic_end_to_end() {
                 fingerprint.push(format!("{a}"));
             }
             for (asn, m) in &report.magnitudes {
-                fingerprint.push(format!("{asn}:{:.9}:{:.9}", m.delay_magnitude, m.forwarding_magnitude));
+                fingerprint.push(format!(
+                    "{asn}:{:.9}:{:.9}",
+                    m.delay_magnitude, m.forwarding_magnitude
+                ));
             }
         });
         fingerprint

@@ -127,8 +127,14 @@ fn enormous_single_bin_is_handled() {
         rec.probe_id = ProbeId(i % 50);
         rec.probe_asn = Asn(100 + (i % 7));
         rec.hops = vec![
-            Hop::new(1, vec![Reply::new(ip("10.0.0.1"), 1.0 + f64::from(i % 10) * 0.01); 3]),
-            Hop::new(2, vec![Reply::new(ip("10.0.0.2"), 3.0 + f64::from(i % 10) * 0.01); 3]),
+            Hop::new(
+                1,
+                vec![Reply::new(ip("10.0.0.1"), 1.0 + f64::from(i % 10) * 0.01); 3],
+            ),
+            Hop::new(
+                2,
+                vec![Reply::new(ip("10.0.0.2"), 3.0 + f64::from(i % 10) * 0.01); 3],
+            ),
         ];
         records.push(rec);
     }

@@ -32,13 +32,14 @@ fn detector_results_identical_after_round_trip() {
         let records = case.platform.collect_bin(BinId(bin));
         let through_json: Vec<_> = records
             .iter()
-            .map(|r| {
-                record_from_json(&parse(&record_to_json(r).to_string()).unwrap()).unwrap()
-            })
+            .map(|r| record_from_json(&parse(&record_to_json(r).to_string()).unwrap()).unwrap())
             .collect();
         let a = direct.process_bin(BinId(bin), &records);
         let b = replayed.process_bin(BinId(bin), &through_json);
-        assert_eq!(a.delay_alarms, b.delay_alarms, "bin {bin} delay alarms differ");
+        assert_eq!(
+            a.delay_alarms, b.delay_alarms,
+            "bin {bin} delay alarms differ"
+        );
         assert_eq!(
             a.forwarding_alarms, b.forwarding_alarms,
             "bin {bin} forwarding alarms differ"
