@@ -4,16 +4,28 @@
 //! so the perf trajectory is recorded from PR to PR.
 //!
 //! ```text
-//! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH]
+//! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Two workloads run: the steady scenario's Small bin (faithful simulator
-//! output) and a synthetic Atlas-scale bin (hundreds of diversity-passing
-//! links). Each is timed over `reps` repetitions on warmed analyzers and
-//! summarized by the median wall time; alarm/stat outputs of both paths
-//! are cross-checked for equality before any number is reported.
+//! Four workloads run: the steady scenario's Small bin (faithful simulator
+//! output), a synthetic Atlas-scale delay-heavy bin (hundreds of
+//! diversity-passing links), a forwarding-heavy bin (~1200 next-hop
+//! patterns, links below the diversity floor), and a mixed bin driving
+//! both detectors' shard pipelines at once. Each is timed over `reps`
+//! repetitions on warmed analyzers and summarized by the median wall time;
+//! alarm/stat outputs of both paths are cross-checked for equality before
+//! any number is reported — so a run doubles as an engine-parity gate.
+//!
+//! `--check=PATH` additionally compares the run against a committed
+//! baseline (normally the repo's `BENCH_pipeline.json`): a missing
+//! baseline workload fails the run, while a >25 % parallel-throughput
+//! regression emits a GitHub Actions `::warning::` annotation and keeps
+//! going — machine-to-machine variance makes absolute speed advisory, but
+//! parity is law.
 
-use pinpoint_bench::workload::{synthetic_bin, synthetic_mapper, WorkloadSpec};
+use pinpoint_bench::workload::{
+    forwarding_bin, mixed_bin, synthetic_bin, synthetic_mapper, ForwardingSpec, WorkloadSpec,
+};
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::{Analyzer, DetectorConfig};
 use pinpoint_model::records::TracerouteRecord;
@@ -89,6 +101,10 @@ fn run_workload(
         ra.delay_alarms, rb.delay_alarms,
         "{name}: engine parity broke"
     );
+    assert_eq!(
+        ra.forwarding_alarms, rb.forwarding_alarms,
+        "{name}: engine parity broke"
+    );
     assert_eq!(ra.link_stats, rb.link_stats, "{name}: engine parity broke");
     let links = ra.link_stats.len();
 
@@ -103,10 +119,55 @@ fn run_workload(
     }
 }
 
+/// Pull `"field": <number>` out of one workload's object in the baseline
+/// JSON (the workspace deliberately has no serde_json; the file is written
+/// by this binary, so the shape is known).
+fn baseline_field(baseline: &str, workload: &str, field: &str) -> Option<f64> {
+    let obj_start = baseline.find(&format!("\"name\": \"{workload}\""))?;
+    let obj = &baseline[obj_start..];
+    let obj = &obj[..obj.find('}').unwrap_or(obj.len())];
+    let v = obj.split(&format!("\"{field}\": ")).nth(1)?;
+    let end = v
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+/// Compare a run against the committed baseline. A workload missing from
+/// the baseline is fatal (the trajectory file must stay complete); a >25 %
+/// drop in parallel throughput is a non-fatal GitHub annotation.
+fn check_against_baseline(results: &[WorkloadResult], baseline_path: &str) {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
+    for r in results {
+        let Some(want) = baseline_field(&baseline, &r.name, "records_per_sec_parallel") else {
+            panic!(
+                "--check: workload {:?} missing from {baseline_path}",
+                r.name
+            );
+        };
+        let got = r.records_per_sec_parallel();
+        if got < 0.75 * want {
+            println!(
+                "::warning title=pipeline_bench regression::{} parallel throughput {got:.0} rec/s \
+                 is {:.0}% of the committed {want:.0} rec/s",
+                r.name,
+                100.0 * got / want
+            );
+        } else {
+            println!(
+                "check {:<16} ok: {got:.0} rec/s vs committed {want:.0} rec/s",
+                r.name
+            );
+        }
+    }
+}
+
 fn main() {
     let mut seed = 2015u64;
     let mut reps = 9usize;
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut check_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--seed=") {
             seed = v.parse().expect("--seed must be a u64");
@@ -115,8 +176,10 @@ fn main() {
             assert!(reps >= 1, "--reps must be at least 1");
         } else if let Some(v) = arg.strip_prefix("--out=") {
             out_path = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--check=") {
+            check_path = Some(v.to_string());
         } else if arg == "--help" || arg == "-h" {
-            eprintln!("usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH]");
+            eprintln!("usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]");
             return;
         } else {
             // A typo'd flag must not silently record default-parameter
@@ -134,14 +197,27 @@ fn main() {
     let work = case.platform.collect_bin(BinId(1));
     let steady_result = run_workload("steady_small", &case.mapper, &warm, &work, reps);
 
-    // Workload 2: synthetic Atlas-scale bin.
+    // Workload 2: synthetic Atlas-scale delay-heavy bin.
     let spec = WorkloadSpec::large();
     let mapper = synthetic_mapper();
     let warm = synthetic_bin(&spec, seed, 0);
     let work = synthetic_bin(&spec, seed, 1);
     let large_result = run_workload("synthetic_large", &mapper, &warm, &work, reps);
 
-    let results = [steady_result, large_result];
+    // Workload 3: forwarding-heavy bin (§5 dominates; delay links fall
+    // below the AS-diversity floor).
+    let fwd_spec = ForwardingSpec::large();
+    let warm = forwarding_bin(&fwd_spec, seed, 0);
+    let work = forwarding_bin(&fwd_spec, seed, 1);
+    let forwarding_result = run_workload("forwarding_heavy", &mapper, &warm, &work, reps);
+
+    // Workload 4: mixed bin — both detectors' shard pipelines loaded in
+    // the same combined (§4 ∥ §5) pass.
+    let warm = mixed_bin(&spec, &fwd_spec, seed, 0);
+    let work = mixed_bin(&spec, &fwd_spec, seed, 1);
+    let mixed_result = run_workload("mixed_full", &mapper, &warm, &work, reps);
+
+    let results = [steady_result, large_result, forwarding_result, mixed_result];
     for r in &results {
         println!(
             "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s",
@@ -179,4 +255,8 @@ fn main() {
     let mut file = std::fs::File::create(&out_path).expect("create bench output");
     file.write_all(json.as_bytes()).expect("write bench output");
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        check_against_baseline(&results, &baseline_path);
+    }
 }

@@ -115,6 +115,126 @@ pub fn synthetic_mapper() -> AsMapper {
     ])
 }
 
+/// Shape of a synthetic forwarding-heavy bin.
+///
+/// The delay workload above exercises the §4 path (dense RTT samples per
+/// link); this one stresses §5: many (router, destination) patterns, each
+/// spraying packets over an ECMP-like next-hop fan-out, while keeping the
+/// probe set per link below the §4.3 AS-diversity floor so the delay
+/// detector drops the links early and the forwarding engine dominates the
+/// bin's cost.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardingSpec {
+    /// Distinct routers whose forwarding is modeled.
+    pub routers: usize,
+    /// Destinations traced through each router (patterns = routers × this).
+    pub dsts_per_router: usize,
+    /// Next hops each pattern spreads its packets over.
+    pub next_hops: usize,
+    /// Traceroutes per (router, destination) per bin.
+    pub shots: usize,
+}
+
+impl ForwardingSpec {
+    /// A large bin: ~`routers × dsts` patterns with a realistic (~4-hop)
+    /// fan-out each.
+    pub fn large() -> Self {
+        ForwardingSpec {
+            routers: 300,
+            dsts_per_router: 4,
+            next_hops: 4,
+            shots: 3,
+        }
+    }
+
+    /// A small smoke-test bin.
+    pub fn small() -> Self {
+        ForwardingSpec {
+            routers: 30,
+            dsts_per_router: 2,
+            next_hops: 3,
+            shots: 2,
+        }
+    }
+
+    /// Total records this spec produces.
+    pub fn records(&self) -> usize {
+        self.routers * self.dsts_per_router * self.shots
+    }
+
+    /// Total (router, destination) patterns this spec produces.
+    pub fn patterns(&self) -> usize {
+        self.routers * self.dsts_per_router
+    }
+}
+
+/// Build one synthetic forwarding-heavy bin.
+///
+/// Per (router, destination), `shots` single-probe traceroutes each send
+/// three packets past the router; every packet picks one of `next_hops`
+/// successors pseudo-randomly (a timeout once in a while, so the
+/// unresponsive bucket Z stays populated). Packet spread is seeded per
+/// `(seed, bin)`, so successive bins wander enough to exercise the
+/// reference smoothing without (usually) tripping τ.
+pub fn forwarding_bin(spec: &ForwardingSpec, seed: u64, bin: u64) -> Vec<TracerouteRecord> {
+    let mut rng = SplitMix64::new(seed ^ 0xF0_0D ^ (bin.wrapping_mul(0x9E37_79B9)));
+    let mut out = Vec::with_capacity(spec.records());
+    for r in 0..spec.routers {
+        let router = Ipv4Addr::new(10, 200, (r / 250) as u8, (r % 250) as u8);
+        for d in 0..spec.dsts_per_router {
+            let dst = Ipv4Addr::new(198, 51, 200 + d as u8, (r % 250) as u8);
+            for shot in 0..spec.shots {
+                let probe = (r * spec.dsts_per_router + d) * spec.shots + shot;
+                let base = 8.0 + rng.next_range_f64(0.0, 2.0);
+                let next_replies = (0..3)
+                    .map(|_| {
+                        // ~6% timeouts keep the Z bucket in the patterns.
+                        if rng.next_range_f64(0.0, 1.0) < 0.06 {
+                            Reply::TIMEOUT
+                        } else {
+                            let h = (rng.next_raw() % spec.next_hops as u64) as u8;
+                            Reply::new(
+                                Ipv4Addr::new(10, 210 + h, (r / 250) as u8, (r % 250) as u8),
+                                base + 1.0 + rng.next_range_f64(0.0, 0.5),
+                            )
+                        }
+                    })
+                    .collect();
+                out.push(TracerouteRecord {
+                    msm_id: MeasurementId(9000 + r as u32),
+                    probe_id: ProbeId(7_000_000 + probe as u32),
+                    // Two ASes < the 3-AS diversity floor: the delay path
+                    // discards these links right after grouping.
+                    probe_asn: Asn(64900 + (probe % 2) as u32),
+                    dst,
+                    timestamp: SimTime(bin * 3600 + (shot as u64) * 1100),
+                    paris_id: shot as u16,
+                    hops: vec![
+                        Hop::new(1, vec![Reply::new(router, base); 3]),
+                        Hop::new(2, next_replies),
+                    ],
+                    destination_reached: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A mixed Atlas-like bin: the delay-heavy and forwarding-heavy workloads
+/// interleaved, so the combined engine runs both detectors' shard
+/// pipelines (§4 ∥ §5) with real work on each side.
+pub fn mixed_bin(
+    delay_spec: &WorkloadSpec,
+    forwarding_spec: &ForwardingSpec,
+    seed: u64,
+    bin: u64,
+) -> Vec<TracerouteRecord> {
+    let mut out = synthetic_bin(delay_spec, seed, bin);
+    out.extend(forwarding_bin(forwarding_spec, seed, bin));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +249,34 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(records, synthetic_bin(&spec, 7, 0));
         assert_ne!(records, synthetic_bin(&spec, 8, 0));
+    }
+
+    #[test]
+    fn forwarding_bin_feeds_the_forwarding_detector() {
+        let spec = ForwardingSpec::small();
+        let records = forwarding_bin(&spec, 7, 0);
+        assert_eq!(records.len(), spec.records());
+        // Deterministic per seed.
+        assert_eq!(records, forwarding_bin(&spec, 7, 0));
+        assert_ne!(records, forwarding_bin(&spec, 8, 0));
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+        let report = analyzer.process_bin(BinId(0), &records);
+        // Every (router, dst) produces a forwarding model; the sub-floor
+        // AS diversity keeps the delay path out of the picture.
+        assert_eq!(analyzer.tracked_patterns(), spec.patterns());
+        assert!(report.link_stats.is_empty());
+    }
+
+    #[test]
+    fn mixed_bin_drives_both_detectors() {
+        let d = WorkloadSpec::small();
+        let f = ForwardingSpec::small();
+        let records = mixed_bin(&d, &f, 7, 0);
+        assert_eq!(records.len(), d.records() + f.records());
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+        let report = analyzer.process_bin(BinId(0), &records);
+        assert_eq!(report.link_stats.len(), 2 * d.links);
+        assert!(analyzer.tracked_patterns() >= f.patterns());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct DetectorConfig {
     /// Minimum packets per (router, destination) pattern before it is
     /// compared (guards against correlating two packets).
     pub min_pattern_packets: f64,
+    /// Bins a forwarding reference may go unseen before it is evicted —
+    /// (router, destination) pairs churn constantly in real traceroute
+    /// feeds (targets retire, paths move), and without eviction the
+    /// reference maps grow without bound. One week of hourly bins by
+    /// default, matching the magnitude window.
+    pub reference_expiry_bins: usize,
     /// Sliding window length for the magnitude metric, in bins (paper: one
     /// week of hourly bins).
     pub magnitude_window_bins: usize,
@@ -54,6 +60,7 @@ impl Default for DetectorConfig {
             warmup_bins: 3,
             forwarding_tau: -0.25,
             min_pattern_packets: 9.0,
+            reference_expiry_bins: 7 * 24,
             magnitude_window_bins: 7 * 24,
             seed: 0xF0_07,
             threads: 0,
@@ -96,6 +103,7 @@ mod tests {
         assert_eq!(c.entropy_threshold, 0.5);
         assert_eq!(c.min_median_gap_ms, 1.0);
         assert_eq!(c.forwarding_tau, -0.25);
+        assert_eq!(c.reference_expiry_bins, 168);
         assert_eq!(c.magnitude_window_bins, 168);
         assert_eq!(c.warmup_bins, 3);
         assert_eq!(c.threads, 0, "default engine uses every core");

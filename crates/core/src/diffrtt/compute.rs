@@ -150,17 +150,13 @@ pub fn collect_link_samples(records: &[TracerouteRecord]) -> HashMap<IpLink, Lin
     out
 }
 
-/// Number of arena/reference shards. Fixed (not tied to the thread count)
-/// so a link lives in the same shard no matter how many workers run, and
-/// high enough to keep any realistic core count busy.
-pub(crate) const NUM_SHARDS: usize = 32;
+pub(crate) use crate::engine::NUM_SHARDS;
 
 /// Stable shard assignment: one SplitMix64 round over the packed address
-/// pair. Must not involve `RandomState` or anything process-seeded —
-/// determinism across runs and thread counts depends on it.
+/// pair (see [`crate::engine`] for the determinism contract).
 pub(crate) fn shard_of(link: &IpLink) -> usize {
     let key = (u64::from(u32::from(link.near)) << 32) | u64::from(u32::from(link.far));
-    (pinpoint_stats::SplitMix64::new(key).next_raw() % NUM_SHARDS as u64) as usize
+    crate::engine::shard_of_u64(key)
 }
 
 /// One probe's contiguous run of samples for one link.
@@ -337,10 +333,28 @@ impl Default for SampleArena {
     }
 }
 
+/// Split borrow of an arena: mutable shards alongside the shared probe
+/// tables, so stage construction can hand shards to workers while the
+/// probe id/ASN slices stay readable from every job.
+pub(crate) struct SampleArenaParts<'a> {
+    pub(crate) shards: &'a mut [ArenaShard],
+    pub(crate) probe_ids: &'a [ProbeId],
+    pub(crate) probe_asns: &'a [Asn],
+}
+
 impl SampleArena {
     /// Fresh arena (buffers grow on first use).
     pub fn new() -> Self {
         SampleArena::default()
+    }
+
+    /// Disjoint views for the engine stage (after [`SampleArena::scatter`]).
+    pub(crate) fn parts_mut(&mut self) -> SampleArenaParts<'_> {
+        SampleArenaParts {
+            shards: &mut self.shards,
+            probe_ids: &self.probe_ids,
+            probe_asns: &self.probe_asns,
+        }
     }
 
     /// Stage one bin of traceroutes into per-shard rows, reusing all

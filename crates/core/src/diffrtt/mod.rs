@@ -42,9 +42,10 @@ pub use detect::{DelayAlarm, Direction};
 pub use reference::LinkReference;
 
 use crate::config::DetectorConfig;
+use crate::engine;
 use compute::{shard_of, NUM_SHARDS};
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::{BinId, FxHashMap, IpLink};
+use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
 use pinpoint_stats::rng::{derive_seed, SplitMix64};
 use std::collections::HashMap;
 
@@ -111,100 +112,45 @@ impl DelayDetector {
         bin: BinId,
         records: &[TracerouteRecord],
     ) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>) {
+        let threads = self.effective_threads();
+        let mut stage = self.stage(bin, records, threads);
+        engine::run_jobs(stage.jobs(), threads);
+        let (alarms, stats, new_links) = stage.finish();
+        self.links_seen += new_links;
+        (alarms, stats)
+    }
+
+    /// Stage one bin for the shared engine: scatter the records into the
+    /// arena (step 1) and deal the shards into `threads` round-robin
+    /// bundles. The returned [`DelayStage`] hands out one boxed job per
+    /// bundle via [`DelayStage::jobs`] so the caller ([`DelayDetector::
+    /// process_bin`] standalone, or `Analyzer::process_bin` pooling both
+    /// detectors) decides which pool executes them.
+    pub(crate) fn stage<'a>(
+        &'a mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+        threads: usize,
+    ) -> DelayStage<'a> {
+        let DelayDetector {
+            cfg, shards, arena, ..
+        } = self;
         // Step 1 (scatter): stage every differential RTT in its link's
         // shard — flat 16-byte rows, all buffers bin-reused.
-        self.arena.scatter(records);
-
-        let threads = self.effective_threads();
-        let cfg = &self.cfg;
-        let probe_ids: &[pinpoint_model::ProbeId] = &self.arena.probe_ids;
-        let probe_asns: &[pinpoint_model::Asn] = &self.arena.probe_asns;
-
-        // Each worker owns a round-robin bundle of shards and runs the
-        // whole per-shard pipeline — group rows, then steps 2–5 per link.
-        // Shard state is handed out by `&mut` — no locks, no contention —
-        // and every per-link decision depends only on (cfg, link, bin), so
-        // the merge below is independent of the thread count.
-        let mut bundles: Vec<Vec<(&mut compute::ArenaShard, &mut Shard)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, (arena_shard, shard)) in self
-            .arena
-            .shards
-            .iter_mut()
-            .zip(self.shards.iter_mut())
-            .enumerate()
-        {
-            bundles[i % threads].push((arena_shard, shard));
+        arena.scatter(records);
+        let compute::SampleArenaParts {
+            shards: arena_shards,
+            probe_ids,
+            probe_asns,
+        } = arena.parts_mut();
+        let bundles = engine::round_robin(arena_shards.iter_mut().zip(shards.iter_mut()), threads);
+        DelayStage {
+            inner: engine::ShardStage::new(bundles),
+            cfg,
+            bin,
+            probe_ids,
+            probe_asns,
         }
-
-        let worker = |bundle: Vec<(&mut compute::ArenaShard, &mut Shard)>| -> ShardOutput {
-            let mut out = ShardOutput::default();
-            // Reused across links: surviving samples + diversity scratch.
-            let mut surviving: Vec<f64> = Vec::new();
-            let mut diversity_scratch = diversity::Scratch::default();
-            for (arena_shard, shard) in bundle {
-                arena_shard.finalize(probe_asns);
-                for j in 0..arena_shard.link_count() {
-                    let slice = arena_shard.link_in(j, probe_ids, probe_asns);
-                    let link = slice.link;
-                    // Step 2: probe-diversity filter.
-                    let mut rng = link_rng(cfg.seed, &link, bin);
-                    if !diversity::filter_slice(
-                        &slice,
-                        cfg,
-                        &mut rng,
-                        &mut surviving,
-                        &mut diversity_scratch,
-                    ) {
-                        continue;
-                    }
-                    // Step 3: robust characterization, in place via
-                    // order-statistic selection.
-                    let Some(stat) = characterize::characterize_in_place(&mut surviving, cfg)
-                    else {
-                        continue;
-                    };
-                    // Steps 4 + 5 against the running reference.
-                    let reference = shard.references.entry(link).or_insert_with(|| {
-                        out.new_links += 1;
-                        LinkReference::new(cfg)
-                    });
-                    if let Some(alarm) = detect::check(link, bin, &stat, reference, cfg) {
-                        out.alarms.push(alarm);
-                    }
-                    reference.update(&stat);
-                    out.stats.push((link, stat));
-                }
-            }
-            out
-        };
-
-        let outputs: Vec<ShardOutput> = if threads <= 1 {
-            // Inline on one core: no spawn overhead, identical results.
-            bundles.into_iter().map(worker).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = bundles
-                    .into_iter()
-                    .map(|bundle| scope.spawn(|| worker(bundle)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
-
-        // Deterministic merge.
-        let mut alarms = Vec::new();
-        let mut stats = HashMap::new();
-        for out in outputs {
-            self.links_seen += out.new_links;
-            alarms.extend(out.alarms);
-            stats.extend(out.stats);
-        }
-        sort_alarms(&mut alarms);
-        (alarms, stats)
     }
 
     /// The original single-threaded, nested-map, full-sort path — kept as
@@ -257,6 +203,99 @@ impl DelayDetector {
     pub fn tracked_links(&self) -> usize {
         self.shards.iter().map(|s| s.references.len()).sum()
     }
+}
+
+/// One worker's bundle: its share of arena shards zipped with their state.
+type DelayBundle<'a> = Vec<(&'a mut compute::ArenaShard, &'a mut Shard)>;
+
+/// A bin staged for the shared engine: an [`engine::ShardStage`] of shard
+/// bundles plus the per-bin inputs every job reads. Produce jobs with
+/// [`DelayStage::jobs`], execute them on any pool ([`engine::run_jobs`]),
+/// then collect with [`DelayStage::finish`].
+pub(crate) struct DelayStage<'a> {
+    inner: engine::ShardStage<DelayBundle<'a>, ShardOutput>,
+    cfg: &'a DetectorConfig,
+    bin: BinId,
+    probe_ids: &'a [ProbeId],
+    probe_asns: &'a [Asn],
+}
+
+impl<'a> DelayStage<'a> {
+    /// One boxed job per shard bundle, each writing into its own output
+    /// slot.
+    pub(crate) fn jobs<'s>(&'s mut self) -> Vec<engine::Job<'s>> {
+        let (cfg, bin, probe_ids, probe_asns) =
+            (self.cfg, self.bin, self.probe_ids, self.probe_asns);
+        self.inner
+            .jobs(move |bundle| run_delay_bundle(bundle, cfg, bin, probe_ids, probe_asns))
+    }
+
+    /// Deterministic merge of the executed jobs' outputs:
+    /// `(alarms, stats, newly seen links)`.
+    pub(crate) fn finish(self) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>, usize) {
+        let mut alarms = Vec::new();
+        let mut stats = HashMap::new();
+        let mut new_links = 0;
+        for out in self.inner.into_outputs() {
+            new_links += out.new_links;
+            alarms.extend(out.alarms);
+            stats.extend(out.stats);
+        }
+        sort_alarms(&mut alarms);
+        (alarms, stats, new_links)
+    }
+}
+
+/// The per-worker shard pipeline: group each bundled shard's rows, then run
+/// steps 2–5 per link. Shard state arrives by `&mut` — no locks, no
+/// contention — and every per-link decision depends only on
+/// `(cfg, link, bin)`, so the caller's in-order merge is independent of the
+/// thread count.
+fn run_delay_bundle(
+    bundle: Vec<(&mut compute::ArenaShard, &mut Shard)>,
+    cfg: &DetectorConfig,
+    bin: BinId,
+    probe_ids: &[ProbeId],
+    probe_asns: &[Asn],
+) -> ShardOutput {
+    let mut out = ShardOutput::default();
+    // Reused across links: surviving samples + diversity scratch.
+    let mut surviving: Vec<f64> = Vec::new();
+    let mut diversity_scratch = diversity::Scratch::default();
+    for (arena_shard, shard) in bundle {
+        arena_shard.finalize(probe_asns);
+        for j in 0..arena_shard.link_count() {
+            let slice = arena_shard.link_in(j, probe_ids, probe_asns);
+            let link = slice.link;
+            // Step 2: probe-diversity filter.
+            let mut rng = link_rng(cfg.seed, &link, bin);
+            if !diversity::filter_slice(
+                &slice,
+                cfg,
+                &mut rng,
+                &mut surviving,
+                &mut diversity_scratch,
+            ) {
+                continue;
+            }
+            // Step 3: robust characterization, in place via order-statistic
+            // selection.
+            let Some(stat) = characterize::characterize_in_place(&mut surviving, cfg) else {
+                continue;
+            };
+            // Steps 4 + 5 against the running reference.
+            let reference = shard.references.entry(link).or_insert_with(|| {
+                out.new_links += 1;
+                LinkReference::new(cfg)
+            });
+            if let Some(alarm) = detect::check(link, bin, &stat, reference, cfg) {
+                out.alarms.push(alarm);
+            }
+            reference.update(&stat);
+            out.stats.push((link, stat));
+        }
+    }
+    out
 }
 
 /// Strongest first; ties broken totally so output order is deterministic

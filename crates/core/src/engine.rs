@@ -1,0 +1,180 @@
+//! The shared sharded-execution engine both detectors run on.
+//!
+//! PR 1 built the delay path as a sharded, allocation-lean, deterministic
+//! parallel engine; this module extracts the pieces that are not specific
+//! to delay analysis so the forwarding detector (and any future detector,
+//! or whole per-stream analyzers) can ride the same machinery:
+//!
+//! * a fixed shard count ([`NUM_SHARDS`]) with *stable* shard assignment —
+//!   [`shard_of_u64`] for keys that pack into a word (IP links),
+//!   [`shard_of_hashed`] for arbitrary `Hash` keys (forwarding pattern
+//!   keys) via the workspace's deterministic `FxHasher`;
+//! * deterministic round-robin work splitting ([`round_robin`]);
+//! * a scoped-thread job pool ([`run_jobs`]) that executes boxed shard
+//!   jobs from *multiple* detectors on one set of workers, so the delay
+//!   and forwarding shards of a bin interleave on the same cores instead
+//!   of running as two separate thread herds.
+//!
+//! Determinism contract: a job must depend only on the state it owns plus
+//! `(cfg, bin)`-derived inputs, and callers must merge job outputs in job
+//! order (never completion order). Under that contract the thread count is
+//! purely a throughput knob — the engine-parity tests prove it.
+
+use std::hash::{BuildHasher, BuildHasherDefault};
+
+/// Number of state shards per detector. Fixed (not tied to the thread
+/// count) so a key lives in the same shard no matter how many workers run,
+/// and high enough to keep any realistic core count busy.
+pub(crate) const NUM_SHARDS: usize = 32;
+
+/// Stable shard assignment for word-packable keys: one SplitMix64 round.
+/// Must not involve `RandomState` or anything process-seeded — determinism
+/// across runs and thread counts depends on it.
+pub(crate) fn shard_of_u64(key: u64) -> usize {
+    (pinpoint_stats::SplitMix64::new(key).next_raw() % NUM_SHARDS as u64) as usize
+}
+
+/// Stable shard assignment for arbitrary hashable keys, via the
+/// workspace's deterministic [`FxHasher`](pinpoint_model::hash::FxHasher).
+pub(crate) fn shard_of_hashed<T: std::hash::Hash>(key: &T) -> usize {
+    let h = BuildHasherDefault::<pinpoint_model::hash::FxHasher>::default().hash_one(key);
+    (h % NUM_SHARDS as u64) as usize
+}
+
+/// Deal `items` into `ways` buckets round-robin, preserving order within
+/// each bucket. Deterministic: bucket `w` gets items `w, w+ways, …`.
+pub(crate) fn round_robin<T>(items: impl IntoIterator<Item = T>, ways: usize) -> Vec<Vec<T>> {
+    let ways = ways.max(1);
+    let mut out: Vec<Vec<T>> = (0..ways).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % ways].push(item);
+    }
+    out
+}
+
+/// One unit of shard work: owns its slice of detector state (handed out by
+/// `&mut` — no locks) and writes its result into a caller-provided slot.
+pub(crate) type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// The bundles-and-slots skeleton every staged detector shares: per-worker
+/// shard bundles going in, one output slot per bundle coming back. Holds
+/// the two invariants of the determinism contract in one place — each
+/// bundle becomes exactly one job ([`ShardStage::jobs`] consumes the
+/// bundles, so it runs at most once per stage), and outputs are read back
+/// in job order, never completion order ([`ShardStage::into_outputs`]).
+pub(crate) struct ShardStage<B, O> {
+    bundles: Vec<B>,
+    outputs: Vec<Option<O>>,
+}
+
+impl<B, O> ShardStage<B, O> {
+    /// Stage the dealt bundles.
+    pub(crate) fn new(bundles: Vec<B>) -> Self {
+        ShardStage {
+            bundles,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// One boxed job per bundle, each running `run` and writing into its
+    /// own output slot.
+    pub(crate) fn jobs<'s, F>(&'s mut self, run: F) -> Vec<Job<'s>>
+    where
+        B: Send + 's,
+        O: Send + 's,
+        F: Fn(B) -> O + Copy + Send + 's,
+    {
+        let bundles = std::mem::take(&mut self.bundles);
+        self.outputs = (0..bundles.len()).map(|_| None).collect();
+        bundles
+            .into_iter()
+            .zip(self.outputs.iter_mut())
+            .map(|(bundle, slot)| {
+                Box::new(move || {
+                    *slot = Some(run(bundle));
+                }) as Job<'s>
+            })
+            .collect()
+    }
+
+    /// The executed jobs' outputs, in job order.
+    pub(crate) fn into_outputs(self) -> impl Iterator<Item = O> {
+        self.outputs.into_iter().flatten()
+    }
+}
+
+/// Run `jobs` on `threads` scoped workers.
+///
+/// Jobs are dealt to workers round-robin by index and each worker runs its
+/// share *in order*, so which OS thread executes a job is a pure function
+/// of `(job index, thread count)` — nothing is work-stolen, nothing races.
+/// With `threads <= 1` everything runs inline on the caller's thread (no
+/// spawn overhead, identical results).
+pub(crate) fn run_jobs(jobs: Vec<Job<'_>>, threads: usize) {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let queues = round_robin(jobs, threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                scope.spawn(move || {
+                    for job in queue {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("engine worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_deterministic_and_complete() {
+        let buckets = round_robin(0..10, 3);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], vec![0, 3, 6, 9]);
+        assert_eq!(buckets[1], vec![1, 4, 7]);
+        assert_eq!(buckets[2], vec![2, 5, 8]);
+        // Degenerate ways.
+        assert_eq!(round_robin(0..3, 0).len(), 1);
+    }
+
+    #[test]
+    fn shard_assignments_are_stable_and_in_range() {
+        for k in 0..1000u64 {
+            let s = shard_of_u64(k);
+            assert!(s < NUM_SHARDS);
+            assert_eq!(s, shard_of_u64(k));
+        }
+        let key = ("10.0.0.1".parse::<std::net::Ipv4Addr>().unwrap(), 7u32);
+        assert_eq!(shard_of_hashed(&key), shard_of_hashed(&key));
+        assert!(shard_of_hashed(&key) < NUM_SHARDS);
+    }
+
+    #[test]
+    fn run_jobs_executes_everything_once_per_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let slots: Vec<std::sync::Mutex<usize>> =
+                (0..10).map(|_| std::sync::Mutex::new(0)).collect();
+            let jobs: Vec<Job> = slots
+                .iter()
+                .map(|slot| Box::new(move || *slot.lock().unwrap() += 1) as Job)
+                .collect();
+            run_jobs(jobs, threads);
+            for slot in &slots {
+                assert_eq!(*slot.lock().unwrap(), 1, "threads={threads}");
+            }
+        }
+    }
+}

@@ -11,12 +11,11 @@
 //! positive rᵢ → hop newly receiving traffic; negative rᵢ → hop starved of
 //! its usual packets (or dropping them).
 
-use super::pattern::{NextHop, Pattern, PatternKey};
+use super::pattern::{NextHop, Pattern, PatternKey, PatternSlice};
 use super::reference::PatternReference;
 use crate::config::DetectorConfig;
 use pinpoint_model::BinId;
 use pinpoint_stats::correlation::pearson;
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// A reported forwarding anomaly.
@@ -56,18 +55,73 @@ impl fmt::Display for ForwardingAlarm {
     }
 }
 
-/// Align observed and reference over the union of hops and return the
-/// vectors plus the hop order.
-fn align(observed: &Pattern, reference: &PatternReference) -> (Vec<NextHop>, Vec<f64>, Vec<f64>) {
-    let hops: BTreeSet<NextHop> = observed
-        .iter()
-        .map(|(h, _)| *h)
-        .chain(reference.iter().map(|(h, _)| *h))
-        .collect();
-    let hops: Vec<NextHop> = hops.into_iter().collect();
-    let f: Vec<f64> = hops.iter().map(|h| observed.get(h)).collect();
-    let fbar: Vec<f64> = hops.iter().map(|h| reference.get(h)).collect();
-    (hops, f, fbar)
+/// An observed bin pattern, abstracted over its storage: the nested-map
+/// [`Pattern`] of the reference path and the engine's flat
+/// [`PatternSlice`] compare against references through the same code, so
+/// the two paths cannot drift.
+pub trait ObservedPattern {
+    /// Packet count for a hop (0 if absent).
+    fn packets(&self, hop: &NextHop) -> f64;
+    /// Total packets.
+    fn total_packets(&self) -> f64;
+    /// Append every hop present to `out`.
+    fn push_hops(&self, out: &mut Vec<NextHop>);
+}
+
+impl ObservedPattern for Pattern {
+    fn packets(&self, hop: &NextHop) -> f64 {
+        self.get(hop)
+    }
+
+    fn total_packets(&self) -> f64 {
+        self.total()
+    }
+
+    fn push_hops(&self, out: &mut Vec<NextHop>) {
+        out.extend(self.iter().map(|(h, _)| *h));
+    }
+}
+
+impl ObservedPattern for PatternSlice<'_> {
+    fn packets(&self, hop: &NextHop) -> f64 {
+        self.get(hop)
+    }
+
+    fn total_packets(&self) -> f64 {
+        self.total()
+    }
+
+    fn push_hops(&self, out: &mut Vec<NextHop>) {
+        out.extend(self.iter().map(|(h, _)| h));
+    }
+}
+
+/// Reusable alignment buffers: one per engine worker, so steady-state bins
+/// run the check loop without allocating.
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    hops: Vec<NextHop>,
+    f: Vec<f64>,
+    fbar: Vec<f64>,
+}
+
+impl AlignScratch {
+    /// Align observed and reference over the sorted union of their hops.
+    /// Sort + dedup of a `Vec` produces the identical hop order the
+    /// original `BTreeSet` alignment did (ascending by `Ord`).
+    fn align(&mut self, observed: &impl ObservedPattern, reference: &PatternReference) {
+        self.hops.clear();
+        observed.push_hops(&mut self.hops);
+        self.hops.extend(reference.iter().map(|(h, _)| *h));
+        self.hops.sort_unstable();
+        self.hops.dedup();
+        self.f.clear();
+        self.fbar.clear();
+        for h in &self.hops {
+            self.f.push(observed.packets(h));
+            self.fbar.push(reference.get(h));
+        }
+    }
 }
 
 /// Eq. 9 responsibility scores for an anomalous pattern.
@@ -94,25 +148,46 @@ pub fn responsibilities(
 pub fn check(
     key: &PatternKey,
     bin: BinId,
-    observed: &Pattern,
+    observed: &impl ObservedPattern,
+    reference: &PatternReference,
+    cfg: &DetectorConfig,
+) -> Option<ForwardingAlarm> {
+    check_with(
+        &mut AlignScratch::default(),
+        key,
+        bin,
+        observed,
+        reference,
+        cfg,
+    )
+}
+
+/// [`check`] with caller-owned alignment buffers (the engine keeps one
+/// [`AlignScratch`] per worker). Produces bit-identical results — the
+/// scratch only recycles allocations.
+pub fn check_with(
+    scratch: &mut AlignScratch,
+    key: &PatternKey,
+    bin: BinId,
+    observed: &impl ObservedPattern,
     reference: &PatternReference,
     cfg: &DetectorConfig,
 ) -> Option<ForwardingAlarm> {
     if !reference.is_ready() {
         return None;
     }
-    if observed.total() < cfg.min_pattern_packets {
+    if observed.total_packets() < cfg.min_pattern_packets {
         return None;
     }
-    let (hops, f, fbar) = align(observed, reference);
-    if hops.len() < 2 {
+    scratch.align(observed, reference);
+    if scratch.hops.len() < 2 {
         return None; // correlation undefined on a single hop
     }
-    let rho = pearson(&f, &fbar)?;
+    let rho = pearson(&scratch.f, &scratch.fbar)?;
     if rho >= cfg.forwarding_tau {
         return None;
     }
-    let responsibilities = responsibilities(&hops, &f, &fbar, rho);
+    let responsibilities = responsibilities(&scratch.hops, &scratch.f, &scratch.fbar, rho);
     Some(ForwardingAlarm {
         router: key.router,
         dst: key.dst,

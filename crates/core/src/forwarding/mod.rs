@@ -8,6 +8,26 @@
 //! whose Pearson correlation with the reference falls below τ = −0.25,
 //! attributing the change to specific next hops via responsibility scores
 //! ([`detect`], Eq. 9).
+//!
+//! ## The sharded pattern engine
+//!
+//! Like the delay path, [`ForwardingDetector::process_bin`] runs on the
+//! shared sharded engine (`crate::engine`):
+//!
+//! * packets live in a flat [`pattern::PatternArena`] whose buffers are
+//!   reused across bins — 16-byte `(pattern, hop, packets)` rows scattered
+//!   straight into the owning pattern's shard;
+//! * patterns — and their smoothed references — are sharded by a *stable*
+//!   `FxHash` of the [`PatternKey`], and shard workers own their shard's
+//!   reference map, so the check → alarm → reference-update pipeline needs
+//!   no locks;
+//! * references track the last bin their pattern appeared in and are
+//!   evicted once unseen for `cfg.reference_expiry_bins`, so churned
+//!   (router, destination) pairs cannot grow the maps without bound;
+//! * alarms get a final total-order sort, so the output is byte-for-byte
+//!   identical for any thread count — including the sequential reference
+//!   path [`ForwardingDetector::process_bin_sequential`], which the parity
+//!   tests compare against.
 
 pub mod detect;
 pub mod pattern;
@@ -18,14 +38,48 @@ pub use pattern::{collect_patterns, NextHop, PatternKey};
 pub use reference::PatternReference;
 
 use crate::config::DetectorConfig;
+use crate::engine;
+use pattern::{shard_of_pattern, PatternArena, PatternArenaShard};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{BinId, FxHashMap};
+
+/// One (router, destination) reference plus the last bin it was observed
+/// in — the eviction clock.
+#[derive(Debug)]
+struct ReferenceEntry {
+    reference: PatternReference,
+    last_seen: BinId,
+}
+
+/// One shard's slice of detector state.
+#[derive(Debug, Default)]
+struct FwdShard {
+    references: FxHashMap<PatternKey, ReferenceEntry>,
+}
+
+impl FwdShard {
+    /// Drop references whose pattern has not appeared for longer than the
+    /// configured expiry. Runs once per bin per shard, on the shard's own
+    /// worker — deterministic for any thread count.
+    fn evict(&mut self, bin: BinId, cfg: &DetectorConfig) {
+        let expiry = cfg.reference_expiry_bins as u64;
+        self.references
+            .retain(|_, e| bin.0.saturating_sub(e.last_seen.0) <= expiry);
+    }
+}
+
+/// What one shard produced for one bin.
+#[derive(Debug, Default)]
+struct FwdShardOutput {
+    alarms: Vec<ForwardingAlarm>,
+}
 
 /// Stateful forwarding-anomaly detector.
 #[derive(Debug)]
 pub struct ForwardingDetector {
     cfg: DetectorConfig,
-    references: FxHashMap<PatternKey, PatternReference>,
+    shards: Vec<FwdShard>,
+    arena: PatternArena,
 }
 
 impl ForwardingDetector {
@@ -33,12 +87,63 @@ impl ForwardingDetector {
     pub fn new(cfg: &DetectorConfig) -> Self {
         ForwardingDetector {
             cfg: cfg.clone(),
-            references: FxHashMap::default(),
+            shards: (0..engine::NUM_SHARDS)
+                .map(|_| FwdShard::default())
+                .collect(),
+            arena: PatternArena::new(),
         }
     }
 
-    /// Process one bin of traceroutes; returns forwarding alarms.
+    /// Worker threads used per bin: the configured count, or all available
+    /// cores when `cfg.threads == 0`, capped by the shard count.
+    fn effective_threads(&self) -> usize {
+        self.cfg.effective_threads().clamp(1, engine::NUM_SHARDS)
+    }
+
+    /// Process one bin of traceroutes; returns forwarding alarms — the
+    /// parallel, arena-backed engine.
     pub fn process_bin(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+    ) -> Vec<ForwardingAlarm> {
+        let threads = self.effective_threads();
+        let mut stage = self.stage(bin, records, threads);
+        engine::run_jobs(stage.jobs(), threads);
+        stage.finish()
+    }
+
+    /// Stage one bin for the shared engine: scatter the records into the
+    /// pattern arena and deal the shards into `threads` round-robin
+    /// bundles (see [`crate::diffrtt::DelayDetector::stage`] — the
+    /// `Analyzer` pools both detectors' jobs on one set of workers).
+    pub(crate) fn stage<'a>(
+        &'a mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+        threads: usize,
+    ) -> ForwardingStage<'a> {
+        let ForwardingDetector { cfg, shards, arena } = self;
+        arena.scatter(records);
+        let pattern::PatternArenaParts {
+            shards: arena_shards,
+            hops,
+        } = arena.parts_mut();
+        let bundles = engine::round_robin(arena_shards.iter_mut().zip(shards.iter_mut()), threads);
+        ForwardingStage {
+            inner: engine::ShardStage::new(bundles),
+            cfg,
+            bin,
+            hops,
+        }
+    }
+
+    /// The original single-threaded, nested-map path — kept as the
+    /// reference implementation the engine-parity tests compare the
+    /// parallel engine against. Mutates the same sharded state (including
+    /// last-seen eviction), so a detector driven exclusively through this
+    /// method is a valid (slow) analysis stream.
+    pub fn process_bin_sequential(
         &mut self,
         bin: BinId,
         records: &[TracerouteRecord],
@@ -46,38 +151,245 @@ impl ForwardingDetector {
         let patterns = collect_patterns(records);
         let mut alarms = Vec::new();
         for (key, observed) in patterns {
-            let reference = self
+            let shard = &mut self.shards[shard_of_pattern(&key)];
+            let entry = shard
                 .references
                 .entry(key)
-                .or_insert_with(|| PatternReference::new(&self.cfg));
-            if let Some(alarm) = detect::check(&key, bin, &observed, reference, &self.cfg) {
+                .or_insert_with(|| ReferenceEntry {
+                    reference: PatternReference::new(&self.cfg),
+                    last_seen: bin,
+                });
+            if let Some(alarm) = detect::check(&key, bin, &observed, &entry.reference, &self.cfg) {
                 alarms.push(alarm);
             }
-            reference.update(&observed);
+            entry.reference.update(&observed);
+            entry.last_seen = bin;
         }
-        // Most anti-correlated first; ties broken totally so output order
-        // is deterministic regardless of hash-map iteration.
-        alarms.sort_by(|a, b| {
-            a.rho
-                .partial_cmp(&b.rho)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (a.router, a.dst).cmp(&(b.router, b.dst)))
-        });
+        for shard in &mut self.shards {
+            shard.evict(bin, &self.cfg);
+        }
+        sort_alarms(&mut alarms);
         alarms
     }
 
     /// Number of (router, destination) patterns tracked.
     pub fn tracked_patterns(&self) -> usize {
-        self.references.len()
+        self.shards.iter().map(|s| s.references.len()).sum()
     }
 
     /// Mean number of next hops per tracked pattern (Table A statistic:
     /// "on average forwarding models contain four different next hops").
     pub fn mean_next_hops(&self) -> f64 {
-        if self.references.is_empty() {
+        let tracked = self.tracked_patterns();
+        if tracked == 0 {
             return 0.0;
         }
-        let total: usize = self.references.values().map(|r| r.len()).sum();
-        total as f64 / self.references.len() as f64
+        let total: usize = self
+            .shards
+            .iter()
+            .flat_map(|s| s.references.values())
+            .map(|e| e.reference.len())
+            .sum();
+        total as f64 / tracked as f64
+    }
+}
+
+/// One worker's bundle: its share of arena shards zipped with their state.
+type ForwardingBundle<'a> = Vec<(&'a mut PatternArenaShard, &'a mut FwdShard)>;
+
+/// A bin staged for the shared engine — the forwarding twin of
+/// [`crate::diffrtt::DelayStage`]: an [`engine::ShardStage`] of shard
+/// bundles plus the per-bin inputs every job reads, merged in job order by
+/// [`ForwardingStage::finish`].
+pub(crate) struct ForwardingStage<'a> {
+    inner: engine::ShardStage<ForwardingBundle<'a>, FwdShardOutput>,
+    cfg: &'a DetectorConfig,
+    bin: BinId,
+    hops: &'a [NextHop],
+}
+
+impl<'a> ForwardingStage<'a> {
+    /// One boxed job per shard bundle, each writing into its own output
+    /// slot.
+    pub(crate) fn jobs<'s>(&'s mut self) -> Vec<engine::Job<'s>> {
+        let (cfg, bin, hops) = (self.cfg, self.bin, self.hops);
+        self.inner
+            .jobs(move |bundle| run_forwarding_bundle(bundle, cfg, bin, hops))
+    }
+
+    /// Deterministic merge of the executed jobs' outputs.
+    pub(crate) fn finish(self) -> Vec<ForwardingAlarm> {
+        let mut alarms = Vec::new();
+        for out in self.inner.into_outputs() {
+            alarms.extend(out.alarms);
+        }
+        sort_alarms(&mut alarms);
+        alarms
+    }
+}
+
+/// The per-worker shard pipeline: group each bundled shard's rows, then
+/// check → alarm → reference-update every pattern, then evict expired
+/// references. Shard state arrives by `&mut` — no locks — and every
+/// per-pattern decision depends only on `(cfg, key, bin)`, so the caller's
+/// in-order merge is independent of the thread count.
+fn run_forwarding_bundle(
+    bundle: Vec<(&mut PatternArenaShard, &mut FwdShard)>,
+    cfg: &DetectorConfig,
+    bin: BinId,
+    hops: &[NextHop],
+) -> FwdShardOutput {
+    let mut out = FwdShardOutput::default();
+    // Reused across patterns: hop-alignment buffers.
+    let mut scratch = detect::AlignScratch::default();
+    for (arena_shard, shard) in bundle {
+        arena_shard.finalize();
+        for j in 0..arena_shard.pattern_count() {
+            let slice = arena_shard.pattern_in(j, hops);
+            let entry = shard
+                .references
+                .entry(slice.key)
+                .or_insert_with(|| ReferenceEntry {
+                    reference: PatternReference::new(cfg),
+                    last_seen: bin,
+                });
+            if let Some(alarm) =
+                detect::check_with(&mut scratch, &slice.key, bin, &slice, &entry.reference, cfg)
+            {
+                out.alarms.push(alarm);
+            }
+            entry.reference.update_from(slice.iter());
+            entry.last_seen = bin;
+        }
+        shard.evict(bin, cfg);
+    }
+    out
+}
+
+/// Most anti-correlated first; ties broken totally so output order is
+/// deterministic regardless of hash-map iteration or shard interleaving.
+fn sort_alarms(alarms: &mut [ForwardingAlarm]) {
+    alarms.sort_by(|a, b| {
+        a.rho
+            .partial_cmp(&b.rho)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.router, a.dst).cmp(&(b.router, b.dst)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_model::records::{Hop, Reply};
+    use pinpoint_model::{Asn, MeasurementId, ProbeId, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// One probe's traceroute through router R whose next hop is `next`.
+    fn rec(next: &str) -> TracerouteRecord {
+        TracerouteRecord {
+            msm_id: MeasurementId(1),
+            probe_id: ProbeId(1),
+            probe_asn: Asn(64500),
+            dst: ip("198.51.100.1"),
+            timestamp: SimTime(0),
+            paris_id: 0,
+            hops: vec![
+                Hop::new(1, vec![Reply::new(ip("10.0.0.1"), 1.0); 12]),
+                Hop::new(2, vec![Reply::new(ip(next), 2.0); 12]),
+            ],
+            destination_reached: true,
+        }
+    }
+
+    #[test]
+    fn route_change_fires_one_alarm_in_both_paths() {
+        let cfg = DetectorConfig::fast_test();
+        let mut engine_path = ForwardingDetector::new(&cfg);
+        let mut reference_path = ForwardingDetector::new(&cfg);
+        for b in 0..6 {
+            assert!(engine_path
+                .process_bin(BinId(b), &[rec("10.0.1.1")])
+                .is_empty());
+            assert!(reference_path
+                .process_bin_sequential(BinId(b), &[rec("10.0.1.1")])
+                .is_empty());
+        }
+        // All packets move to a new next hop.
+        let a = engine_path.process_bin(BinId(6), &[rec("10.0.9.9")]);
+        let b = reference_path.process_bin_sequential(BinId(6), &[rec("10.0.9.9")]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].rho < -0.25);
+        assert_eq!(a[0].router, ip("10.0.0.1"));
+    }
+
+    #[test]
+    fn unseen_references_are_evicted_after_expiry() {
+        let mut cfg = DetectorConfig::fast_test();
+        cfg.reference_expiry_bins = 4;
+        let mut detector = ForwardingDetector::new(&cfg);
+        detector.process_bin(BinId(0), &[rec("10.0.1.1")]);
+        assert_eq!(detector.tracked_patterns(), 1);
+        // Quiet bins: the pattern stops appearing but survives the window…
+        for b in 1..=4 {
+            detector.process_bin(BinId(b), &[]);
+            assert_eq!(detector.tracked_patterns(), 1, "evicted early at bin {b}");
+        }
+        // …and is evicted one bin past it.
+        detector.process_bin(BinId(5), &[]);
+        assert_eq!(detector.tracked_patterns(), 0);
+    }
+
+    #[test]
+    fn eviction_is_identical_in_the_sequential_path() {
+        let mut cfg = DetectorConfig::fast_test();
+        cfg.reference_expiry_bins = 2;
+        let mut engine_path = ForwardingDetector::new(&cfg);
+        let mut reference_path = ForwardingDetector::new(&cfg);
+        for (b, records) in [
+            vec![rec("10.0.1.1")],
+            vec![],
+            vec![],
+            vec![],
+            vec![rec("10.0.9.9")],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let a = engine_path.process_bin(BinId(b as u64), &records);
+            let s = reference_path.process_bin_sequential(BinId(b as u64), &records);
+            assert_eq!(a, s, "bin {b}");
+            assert_eq!(
+                engine_path.tracked_patterns(),
+                reference_path.tracked_patterns(),
+                "bin {b}"
+            );
+        }
+        // The reference was evicted before the route change, so bin 4 sees
+        // a fresh (unwarmed) reference: no alarm, one tracked pattern.
+        assert_eq!(engine_path.tracked_patterns(), 1);
+    }
+
+    #[test]
+    fn reappearing_pattern_restarts_its_reference() {
+        let mut cfg = DetectorConfig::fast_test();
+        cfg.reference_expiry_bins = 1;
+        let mut detector = ForwardingDetector::new(&cfg);
+        for b in 0..3 {
+            detector.process_bin(BinId(b), &[rec("10.0.1.1")]);
+        }
+        for b in 3..6 {
+            detector.process_bin(BinId(b), &[]);
+        }
+        assert_eq!(detector.tracked_patterns(), 0);
+        // A completely different next hop right after re-learning must not
+        // alarm against the long-gone old reference.
+        detector.process_bin(BinId(6), &[rec("10.0.9.9")]);
+        let alarms = detector.process_bin(BinId(7), &[rec("10.0.9.9")]);
+        assert!(alarms.is_empty());
     }
 }

@@ -8,6 +8,7 @@
 //! are indissociable in traceroutes"). Patterns are per (router IP,
 //! traceroute destination) because forwarding is destination-dependent.
 
+use crate::engine;
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::FxHashMap;
 use std::net::Ipv4Addr;
@@ -77,7 +78,8 @@ impl Pattern {
     }
 }
 
-/// Build forwarding patterns from one bin of traceroutes.
+/// Build forwarding patterns from one bin of traceroutes (reference path;
+/// the engine uses [`PatternArena::scatter`]).
 pub fn collect_patterns(records: &[TracerouteRecord]) -> FxHashMap<PatternKey, Pattern> {
     let mut out: FxHashMap<PatternKey, Pattern> = FxHashMap::default();
     for rec in records {
@@ -99,6 +101,272 @@ pub fn collect_patterns(records: &[TracerouteRecord]) -> FxHashMap<PatternKey, P
                 }
             }
         }
+    }
+    out
+}
+
+/// Stable shard assignment for a pattern key (FxHash — see
+/// [`crate::engine`] for the determinism contract).
+pub(crate) fn shard_of_pattern(key: &PatternKey) -> usize {
+    engine::shard_of_hashed(key)
+}
+
+/// One pattern's view into the arena: the key plus its `(hop, packets)`
+/// rows, resolved against the arena's hop intern table.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternSlice<'a> {
+    /// The (router, destination) this pattern belongs to.
+    pub key: PatternKey,
+    counts: &'a [(u32, f64)],
+    hops: &'a [NextHop],
+}
+
+impl<'a> PatternSlice<'a> {
+    /// Packet count for a hop (0 if absent). Linear scan — the paper
+    /// reports ~4 next hops per model on average.
+    pub fn get(&self, hop: &NextHop) -> f64 {
+        self.counts
+            .iter()
+            .find(|(slot, _)| self.hops[*slot as usize] == *hop)
+            .map_or(0.0, |(_, c)| *c)
+    }
+
+    /// Iterate `(hop, packets)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NextHop, f64)> + 'a {
+        let hops = self.hops;
+        self.counts
+            .iter()
+            .map(move |(slot, c)| (hops[*slot as usize], *c))
+    }
+
+    /// Number of distinct next hops (including Z if present).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no packets were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total packets.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().map(|(_, c)| *c).sum()
+    }
+}
+
+/// One shard's pattern rows and grouped layout. `rows` is written by the
+/// scatter pass; `finalize` (run by the shard's worker thread) sorts and
+/// groups it into `pool`/`entries`.
+#[derive(Debug, Default)]
+pub(crate) struct PatternArenaShard {
+    /// `(pattern_local << 32 | hop_slot, packets)` — 16 bytes, sorted by
+    /// key at finalize.
+    rows: Vec<(u64, f64)>,
+    /// Local pattern id → key, in first-encounter order.
+    keys: Vec<PatternKey>,
+    /// Grouped `(hop_slot, packets)` per pattern.
+    pool: Vec<(u32, f64)>,
+    /// `entries[local]` = the pattern's `(pool start, pool len)`.
+    entries: Vec<(u32, u32)>,
+}
+
+impl PatternArenaShard {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.keys.clear();
+        self.pool.clear();
+        self.entries.clear();
+    }
+
+    /// Sort this shard's rows and lay out the grouped pool/entry indexes.
+    /// Safe to run concurrently across shards. Every interned pattern gets
+    /// an entry — including packet-less ones (a hop whose successor sent no
+    /// replies), whose empty observation must still decay its reference
+    /// exactly as the nested-map path does.
+    pub(crate) fn finalize(&mut self) {
+        self.pool.clear();
+        self.entries.clear();
+        // One u64-keyed sort over a small, cache-resident shard. Equal keys
+        // are summed; the addends are whole packets, so the sum is exact
+        // and independent of row order.
+        self.rows.sort_unstable_by_key(|r| r.0);
+        let mut i = 0;
+        for local in 0..self.keys.len() as u32 {
+            let start = self.pool.len() as u32;
+            while i < self.rows.len() && (self.rows[i].0 >> 32) as u32 == local {
+                let key = self.rows[i].0;
+                let slot = key as u32;
+                let mut packets = 0.0;
+                while i < self.rows.len() && self.rows[i].0 == key {
+                    packets += self.rows[i].1;
+                    i += 1;
+                }
+                self.pool.push((slot, packets));
+            }
+            self.entries.push((start, self.pool.len() as u32 - start));
+        }
+    }
+
+    /// Patterns in this shard (after `finalize`).
+    pub(crate) fn pattern_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn pattern_in<'a>(&'a self, j: usize, hops: &'a [NextHop]) -> PatternSlice<'a> {
+        let (start, len) = self.entries[j];
+        PatternSlice {
+            key: self.keys[j],
+            counts: &self.pool[start as usize..(start + len) as usize],
+            hops,
+        }
+    }
+}
+
+/// Split borrow of an arena: mutable shards alongside the shared hop
+/// intern table, so stage construction can hand shards to workers while
+/// the hop slice stays readable from every job.
+pub(crate) struct PatternArenaParts<'a> {
+    pub(crate) shards: &'a mut [PatternArenaShard],
+    pub(crate) hops: &'a [NextHop],
+}
+
+/// The engine's flat, sharded, bin-reusable forwarding-pattern store —
+/// the forwarding twin of [`crate::diffrtt::SampleArena`].
+///
+/// [`PatternArena::scatter`] stages every next-hop packet as a 16-byte
+/// `(pattern, hop, packets)` row directly in the owning pattern's shard
+/// (patterns are sharded by [`FxHasher`](pinpoint_model::hash::FxHasher)
+/// on their [`PatternKey`]; patterns and hops are interned into dense ids
+/// on first encounter); [`PatternArenaShard::finalize`] — run per shard,
+/// in parallel — sorts each shard's rows by one u64 key and sums them into
+/// per-pattern `(hop, packets)` runs. Every buffer is retained across
+/// bins, so a steady stream of equally-sized bins settles into zero
+/// steady-state allocation; and because rows never leave their shard, the
+/// whole grouping step parallelizes without synchronization.
+#[derive(Debug)]
+pub struct PatternArena {
+    pub(crate) shards: Vec<PatternArenaShard>,
+    pattern_index: FxHashMap<PatternKey, (u32, u32)>,
+    hop_index: FxHashMap<NextHop, u32>,
+    hops: Vec<NextHop>,
+}
+
+impl Default for PatternArena {
+    fn default() -> Self {
+        PatternArena {
+            shards: (0..engine::NUM_SHARDS)
+                .map(|_| PatternArenaShard::default())
+                .collect(),
+            pattern_index: FxHashMap::default(),
+            hop_index: FxHashMap::default(),
+            hops: Vec::new(),
+        }
+    }
+}
+
+impl PatternArena {
+    /// Fresh arena (buffers grow on first use).
+    pub fn new() -> Self {
+        PatternArena::default()
+    }
+
+    /// Stage one bin of traceroutes into per-shard rows, reusing all
+    /// buffers. Call [`PatternArenaShard::finalize`] (or
+    /// [`PatternArena::build`]) to group them.
+    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord]) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        self.pattern_index.clear();
+        self.hop_index.clear();
+        self.hops.clear();
+
+        let shards = &mut self.shards;
+        let pattern_index = &mut self.pattern_index;
+        let hop_index = &mut self.hop_index;
+        let hops = &mut self.hops;
+        for rec in records {
+            for i in 0..rec.hops.len().saturating_sub(1) {
+                let Some(router) = rec.hops[i].first_responder() else {
+                    continue;
+                };
+                let key = PatternKey {
+                    router,
+                    dst: rec.dst,
+                };
+                // Intern before the reply loop: a pattern whose successor
+                // hop sent nothing still exists (and its reference decays).
+                let (shard_idx, local) = *pattern_index.entry(key).or_insert_with(|| {
+                    let s = shard_of_pattern(&key) as u32;
+                    let local = shards[s as usize].keys.len() as u32;
+                    shards[s as usize].keys.push(key);
+                    (s, local)
+                });
+                let rows = &mut shards[shard_idx as usize].rows;
+                for reply in &rec.hops[i + 1].replies {
+                    let hop = match reply.from {
+                        Some(ip) if ip != router => NextHop::Ip(ip),
+                        // A repeated address (TTL quirk) is not a next hop.
+                        Some(_) => continue,
+                        None => NextHop::Unresponsive,
+                    };
+                    let slot = *hop_index.entry(hop).or_insert_with(|| {
+                        hops.push(hop);
+                        hops.len() as u32 - 1
+                    });
+                    rows.push(((u64::from(local) << 32) | u64::from(slot), 1.0));
+                }
+            }
+        }
+    }
+
+    /// Scatter + finalize every shard inline (the single-threaded
+    /// convenience entry; the engine finalizes shards on its workers).
+    pub fn build(&mut self, records: &[TracerouteRecord]) {
+        self.scatter(records);
+        for shard in &mut self.shards {
+            shard.finalize();
+        }
+    }
+
+    /// Disjoint views for the engine stage (after [`PatternArena::scatter`]).
+    pub(crate) fn parts_mut(&mut self) -> PatternArenaParts<'_> {
+        PatternArenaParts {
+            shards: &mut self.shards,
+            hops: &self.hops,
+        }
+    }
+
+    /// Number of patterns in the current bin (after finalize).
+    pub fn pattern_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pattern_count()).sum()
+    }
+
+    /// Iterate every pattern of the current bin (after finalize; arbitrary
+    /// but deterministic order).
+    pub fn patterns(&self) -> impl Iterator<Item = PatternSlice<'_>> {
+        let hops = &self.hops[..];
+        self.shards
+            .iter()
+            .flat_map(move |s| (0..s.pattern_count()).map(move |j| s.pattern_in(j, hops)))
+    }
+}
+
+/// Build one bin's patterns through the sharded arena and return them in
+/// the reference path's nested-map representation. Exists so tests (and
+/// the proptest in `tests/forwarding_parity.rs`) can demand equality with
+/// [`collect_patterns`] on arbitrary record sets.
+pub fn collect_patterns_sharded(records: &[TracerouteRecord]) -> FxHashMap<PatternKey, Pattern> {
+    let mut arena = PatternArena::new();
+    arena.build(records);
+    let mut out = FxHashMap::default();
+    for slice in arena.patterns() {
+        let mut pattern = Pattern::default();
+        for (hop, packets) in slice.iter() {
+            pattern.add(hop, packets);
+        }
+        out.insert(slice.key, pattern);
     }
     out
 }
@@ -224,5 +492,84 @@ mod tests {
     fn last_hop_has_no_pattern() {
         let r = rec("198.51.100.1", vec![hop(1, &[Some("10.0.0.1"); 3])]);
         assert!(collect_patterns(&[r]).is_empty());
+    }
+
+    #[test]
+    fn arena_matches_reference_collection() {
+        // Interleaved records across several routers, destinations, and
+        // reply mixes (responsive, unresponsive, repeated-address quirks):
+        // the arena must regroup them identically to the nested-map path.
+        let recs = vec![
+            rec(
+                "198.51.100.1",
+                vec![
+                    hop(1, &[Some("10.0.0.1"); 3]),
+                    hop(2, &[Some("10.0.1.1"), Some("10.0.1.2"), None]),
+                    hop(3, &[Some("10.0.2.1"); 3]),
+                ],
+            ),
+            rec(
+                "198.51.100.2",
+                vec![
+                    hop(1, &[Some("10.0.0.1"); 3]),
+                    // Repeated address: not a next hop.
+                    hop(2, &[Some("10.0.0.1"), Some("10.0.1.9"), None]),
+                ],
+            ),
+            rec(
+                "198.51.100.1",
+                vec![
+                    hop(1, &[Some("10.0.0.1"); 3]),
+                    hop(2, &[Some("10.0.1.1"); 2]),
+                ],
+            ),
+        ];
+        assert_eq!(collect_patterns_sharded(&recs), collect_patterns(&recs));
+    }
+
+    #[test]
+    fn arena_keeps_packet_less_patterns() {
+        // Hop 2 exists but its replies resolve to no next-hop packets at
+        // all (empty reply list). Both paths must still produce the empty
+        // pattern — its reference decays on empty observations.
+        let r = rec(
+            "198.51.100.1",
+            vec![hop(1, &[Some("10.0.0.1"); 3]), Hop::new(2, Vec::new())],
+        );
+        let reference = collect_patterns(std::slice::from_ref(&r));
+        let sharded = collect_patterns_sharded(&[r]);
+        assert_eq!(sharded, reference);
+        assert_eq!(sharded.len(), 1);
+        let key = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        assert!(sharded[&key].is_empty());
+    }
+
+    #[test]
+    fn arena_is_reusable_across_bins() {
+        let mk = |next: &str| {
+            rec(
+                "198.51.100.1",
+                vec![hop(1, &[Some("10.0.0.1"); 3]), hop(2, &[Some(next); 3])],
+            )
+        };
+        let mut arena = PatternArena::new();
+        arena.build(&[mk("10.0.1.1"), mk("10.0.1.2")]);
+        assert_eq!(arena.pattern_count(), 1);
+        let slice = arena.patterns().next().unwrap();
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.total(), 6.0);
+        // Rebuild with a different bin: no stale state.
+        arena.build(&[mk("10.0.9.9")]);
+        assert_eq!(arena.pattern_count(), 1);
+        let slice = arena.patterns().next().unwrap();
+        assert_eq!(slice.len(), 1);
+        assert_eq!(slice.get(&NextHop::Ip(ip("10.0.9.9"))), 3.0);
+        assert_eq!(slice.get(&NextHop::Ip(ip("10.0.1.1"))), 0.0);
+        // And an empty bin empties the arena.
+        arena.build(&[]);
+        assert_eq!(arena.pattern_count(), 0);
     }
 }

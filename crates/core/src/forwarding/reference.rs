@@ -53,8 +53,16 @@ impl PatternReference {
 
     /// Fold an observed bin pattern into the reference.
     pub fn update(&mut self, observed: &Pattern) {
-        self.ewma
-            .update(observed.iter().map(|(h, c)| (*h, c)), PRUNE_BELOW);
+        self.update_from(observed.iter().map(|(h, c)| (*h, c)));
+    }
+
+    /// Fold an observed `(hop, packets)` vector into the reference — the
+    /// engine path's entry point, fed straight from a
+    /// [`PatternSlice`](super::pattern::PatternSlice) without building a
+    /// map. The smoother collects into a `BTreeMap` internally, so the
+    /// result is independent of iteration order.
+    pub fn update_from<I: IntoIterator<Item = (NextHop, f64)>>(&mut self, observed: I) {
+        self.ewma.update(observed, PRUNE_BELOW);
     }
 }
 

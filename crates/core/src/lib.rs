@@ -54,23 +54,41 @@
 //!   thread pool walks whole shards, so reference mutation needs no
 //!   locks. `DetectorConfig::threads` picks the worker count (0 = all
 //!   cores).
+//! * **Sharded forwarding engine** — the §5 detector runs the same
+//!   architecture: next-hop packets are staged as 16-byte rows in a flat
+//!   [`forwarding::pattern::PatternArena`] (bin-reused buffers), pattern
+//!   keys shard by a stable `FxHash`, and each shard worker owns its
+//!   reference map through the check → alarm → update pipeline.
+//!   References carry a last-seen bin and age out after
+//!   `DetectorConfig::reference_expiry_bins`, so churned (router,
+//!   destination) pairs cannot grow the maps without bound.
+//! * **One worker pool for both detectors** — the shared engine module
+//!   boxes per-shard jobs from *both* detectors and deals them
+//!   round-robin onto one scoped pool inside
+//!   [`pipeline::Analyzer::process_bin`], so delay-link shards and
+//!   forwarding-pattern shards interleave on the same cores (§4 ∥ §5)
+//!   instead of racing as two thread herds.
 //! * **Selection, not sorting** — per-link characterization uses
-//!   `median_ci_select` (three quickselects) instead of a full sort,
-//!   and the delay and forwarding detectors run concurrently inside
-//!   [`pipeline::Analyzer::process_bin`].
+//!   `median_ci_select` (three quickselects) instead of a full sort.
 //! * **Determinism** — per-link randomness is derived from
-//!   `(seed, link, bin)` and alarms get a final total-order sort, so
+//!   `(seed, link, bin)`, job outputs merge in job order (never
+//!   completion order), and alarms get a final total-order sort, so
 //!   output is byte-for-byte identical for any thread count. The
-//!   original single-threaded path is kept as
+//!   original single-threaded paths are kept behind
 //!   [`pipeline::Analyzer::process_bin_sequential`], and
-//!   `tests/engine_parity.rs` proves equivalence across scenarios,
-//!   seeds, and thread counts.
+//!   `tests/engine_parity.rs` + `tests/forwarding_parity.rs` prove
+//!   equivalence across scenarios, seeds, and thread counts (re-run in
+//!   CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} matrix on a
+//!   multi-core runner).
 //!
 //! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
 //! includes parallel-vs-sequential engine benches) and
 //! `cargo run --release -p pinpoint-bench --bin pipeline_bench`, which
-//! writes throughput + speedup numbers to `BENCH_pipeline.json` so the
-//! perf trajectory is tracked PR over PR.
+//! writes throughput + speedup numbers to `BENCH_pipeline.json` — four
+//! workloads: faithful simulator bin, delay-heavy, forwarding-heavy, and
+//! a mixed bin loading both shard pipelines in one combined pass — so the
+//! perf trajectory is tracked PR over PR (`--check` turns a run into a
+//! regression gate against the committed numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,6 +97,7 @@ pub mod aggregate;
 pub mod baseline;
 pub mod config;
 pub mod diffrtt;
+pub(crate) mod engine;
 pub mod forwarding;
 pub mod graph;
 pub mod pipeline;

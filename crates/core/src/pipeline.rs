@@ -85,9 +85,11 @@ impl Analyzer {
     /// Run one bin through the full pipeline.
     ///
     /// The delay and forwarding detectors read the same immutable record
-    /// slice and share no state, so they run concurrently (§4 ∥ §5); the
-    /// §6 aggregation joins their outputs. Output is byte-identical to the
-    /// sequential ordering.
+    /// slice and share no state, so both are staged onto ONE scoped worker
+    /// pool (`crate::engine`): every worker interleaves delay-link shards
+    /// and forwarding-pattern shards (§4 ∥ §5) instead of the two
+    /// detectors racing on separate thread herds. The §6 aggregation joins
+    /// their outputs. Output is byte-identical to the sequential ordering.
     pub fn process_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> BinReport {
         let Analyzer {
             cfg,
@@ -95,36 +97,37 @@ impl Analyzer {
             forwarding,
             ..
         } = self;
-        let ((delay_alarms, link_stats), forwarding_alarms) = if cfg.effective_threads() <= 1 {
-            // Single-threaded configuration: run back to back, no spawn.
+        let threads = cfg.effective_threads().clamp(1, crate::engine::NUM_SHARDS);
+        let (delay_alarms, link_stats, new_links, forwarding_alarms) = {
+            let mut delay_stage = delay.stage(bin, records, threads);
+            let mut forwarding_stage = forwarding.stage(bin, records, threads);
+            let mut jobs = delay_stage.jobs();
+            jobs.extend(forwarding_stage.jobs());
+            crate::engine::run_jobs(jobs, threads);
+            let (delay_alarms, link_stats, new_links) = delay_stage.finish();
             (
-                delay.process_bin(bin, records),
-                forwarding.process_bin(bin, records),
+                delay_alarms,
+                link_stats,
+                new_links,
+                forwarding_stage.finish(),
             )
-        } else {
-            std::thread::scope(|s| {
-                let delay_task = s.spawn(|| delay.process_bin(bin, records));
-                let forwarding_alarms = forwarding.process_bin(bin, records);
-                (
-                    delay_task.join().expect("delay detector panicked"),
-                    forwarding_alarms,
-                )
-            })
         };
+        self.delay.links_seen += new_links;
         self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
     }
 
-    /// Single-threaded reference path: nested-map sample store, full-sort
-    /// characterization, detectors run back to back. Exists so the parity
-    /// tests can prove the parallel engine produces identical [`BinReport`]s
-    /// (and so the benches have a baseline to beat).
+    /// Single-threaded reference path: nested-map sample and pattern
+    /// stores, full-sort characterization, detectors run back to back.
+    /// Exists so the parity tests can prove the parallel engine produces
+    /// identical [`BinReport`]s (and so the benches have a baseline to
+    /// beat).
     pub fn process_bin_sequential(
         &mut self,
         bin: BinId,
         records: &[TracerouteRecord],
     ) -> BinReport {
         let (delay_alarms, link_stats) = self.delay.process_bin_sequential(bin, records);
-        let forwarding_alarms = self.forwarding.process_bin(bin, records);
+        let forwarding_alarms = self.forwarding.process_bin_sequential(bin, records);
         self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
     }
 

@@ -27,6 +27,14 @@ pub fn outage_window() -> (SimTime, SimTime) {
     )
 }
 
+/// Analysis bins overlapping the outage, as a half-open `[start, end)`
+/// range — for harnesses and parity tests that zoom into the event
+/// instead of replaying the whole window.
+pub fn outage_bins() -> (u64, u64) {
+    let (start, end) = outage_window();
+    (start.0 / 3600, end.0.div_ceil(3600))
+}
+
 /// Analysis window in bins. Bin 0 = 2015-05-08 00:00 UTC.
 pub fn window(scale: Scale) -> (u64, u64) {
     match scale {
@@ -117,6 +125,14 @@ mod tests {
             fwd_min.abs() > delay_peak,
             "delay ({delay_peak}) outweighed forwarding ({fwd_min})"
         );
+    }
+
+    #[test]
+    fn outage_bins_bracket_the_window() {
+        let (first, last) = outage_bins();
+        assert_eq!((first, last), (130, 132));
+        let (s, e) = outage_window();
+        assert!(first * 3600 <= s.0 && e.0 <= last * 3600);
     }
 
     #[test]

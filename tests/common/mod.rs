@@ -1,0 +1,36 @@
+//! Helpers shared by the engine-parity integration tests.
+
+use pinpoint::core::{BinReport, DetectorConfig};
+
+/// Thread count under test: `PINPOINT_THREADS` when set (the CI matrix
+/// exports 1/2/4/8 on a real multi-core runner), otherwise 0 ("all
+/// cores"). Byte-for-byte parity must hold for every value.
+pub fn threads_from_env() -> usize {
+    match std::env::var("PINPOINT_THREADS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PINPOINT_THREADS={v:?} is not a thread count")),
+        Err(_) => 0,
+    }
+}
+
+/// The parity config: `fast_test` with the matrix-selected thread count.
+pub fn parity_config() -> DetectorConfig {
+    let mut cfg = DetectorConfig::fast_test();
+    cfg.threads = threads_from_env();
+    cfg
+}
+
+/// Demand two bin reports be byte-for-byte identical — same alarms in the
+/// same order, same link statistics, same AS magnitudes.
+pub fn assert_reports_identical(a: &BinReport, b: &BinReport, ctx: &str) {
+    assert_eq!(a.bin, b.bin, "{ctx}: bin");
+    assert_eq!(a.records, b.records, "{ctx}: record count");
+    assert_eq!(a.delay_alarms, b.delay_alarms, "{ctx}: delay alarms");
+    assert_eq!(
+        a.forwarding_alarms, b.forwarding_alarms,
+        "{ctx}: forwarding alarms"
+    );
+    assert_eq!(a.link_stats, b.link_stats, "{ctx}: link stats");
+    assert_eq!(a.magnitudes, b.magnitudes, "{ctx}: magnitudes");
+}
