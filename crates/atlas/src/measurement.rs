@@ -9,13 +9,17 @@ use pinpoint_model::{MeasurementId, ProbeId, SimTime};
 use pinpoint_stats::rng::derive_seed;
 use std::net::Ipv4Addr;
 
-/// The two Atlas measurement classes used in the paper.
+/// The Atlas measurement classes used in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasurementKind {
     /// Probe → DNS root service, every 30 minutes.
     Builtin,
     /// Probe → anchor host, every 15 minutes.
     Anchoring,
+    /// User-defined traceroute towards an arbitrary target — the §8
+    /// deployment analyzes these as independent streams alongside the
+    /// builtins (default 15-minute interval, like a typical one-off).
+    UserDefined,
 }
 
 impl MeasurementKind {
@@ -23,7 +27,7 @@ impl MeasurementKind {
     pub fn default_interval(self) -> u64 {
         match self {
             MeasurementKind::Builtin => 1800,
-            MeasurementKind::Anchoring => 900,
+            MeasurementKind::Anchoring | MeasurementKind::UserDefined => 900,
         }
     }
 

@@ -103,10 +103,23 @@ impl Platform {
     /// Execute every measurement firing inside the bin and return records
     /// sorted by timestamp.
     pub fn collect_bin(&self, bin: BinId) -> Vec<TracerouteRecord> {
+        self.collect_bin_where(bin, |_| true)
+    }
+
+    /// Like [`Platform::collect_bin`], but only for measurements the
+    /// predicate selects — the multi-stream interface: a stream is a
+    /// subset of measurements (one mesh, one user-defined measurement, …)
+    /// analyzed by its own detector instance, so each stream collects its
+    /// own bin from the shared platform.
+    pub fn collect_bin_where(
+        &self,
+        bin: BinId,
+        mut include: impl FnMut(&Measurement) -> bool,
+    ) -> Vec<TracerouteRecord> {
         let from = bin.start(self.bin_secs);
         let to = bin.end(self.bin_secs);
         let mut records = Vec::new();
-        for m in &self.measurements {
+        for m in self.measurements.iter().filter(|m| include(m)) {
             for &probe_id in &m.probes {
                 let Some(probe) = self.probes.get(probe_id) else {
                     continue;
@@ -252,6 +265,34 @@ mod tests {
             total_links > records.len(),
             "too few adjacent-IP pairs: {total_links}"
         );
+    }
+
+    #[test]
+    fn filtered_collection_partitions_the_bin() {
+        // Splitting the measurement set into streams must lose nothing:
+        // the per-stream bins, merged and re-sorted, are exactly the full
+        // bin (each stream is a disjoint measurement subset).
+        let mut p = platform();
+        let target = {
+            let topo = p.network().topology();
+            topo.router(topo.stub_ases().next().unwrap().routers[0]).ip
+        };
+        let probes = p.probes().probes.iter().take(10).map(|x| x.id).collect();
+        p.add_measurement(Measurement::new(
+            MeasurementId(9000),
+            MeasurementKind::UserDefined,
+            target,
+            probes,
+        ));
+        let full = p.collect_bin(BinId(2));
+        let user = p.collect_bin_where(BinId(2), |m| m.kind == MeasurementKind::UserDefined);
+        let rest = p.collect_bin_where(BinId(2), |m| m.kind != MeasurementKind::UserDefined);
+        assert!(!user.is_empty() && !rest.is_empty());
+        assert!(user.iter().all(|r| r.msm_id == MeasurementId(9000)));
+        let mut merged = user;
+        merged.extend(rest);
+        merged.sort_by_key(|r| (r.timestamp, r.probe_id, r.msm_id));
+        assert_eq!(merged, full);
     }
 
     #[test]

@@ -7,14 +7,16 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Four workloads run: the steady scenario's Small bin (faithful simulator
+//! Five workloads run: the steady scenario's Small bin (faithful simulator
 //! output), a synthetic Atlas-scale delay-heavy bin (hundreds of
 //! diversity-passing links), a forwarding-heavy bin (~1200 next-hop
-//! patterns, links below the diversity floor), and a mixed bin driving
-//! both detectors' shard pipelines at once. Each is timed over `reps`
-//! repetitions on warmed analyzers and summarized by the median wall time;
-//! alarm/stat outputs of both paths are cross-checked for equality before
-//! any number is reported — so a run doubles as an engine-parity gate.
+//! patterns, links below the diversity floor), a mixed bin driving both
+//! detectors' shard pipelines at once, and a three-stream fleet bin run
+//! through one `StreamRouter` pool (every stream's §4 and §5 shards on the
+//! same workers). Each is timed over `reps` repetitions on warmed
+//! analyzers and summarized by the median wall time; alarm/stat outputs of
+//! both paths are cross-checked for equality before any number is
+//! reported — so a run doubles as an engine-parity gate.
 //!
 //! `--check=PATH` additionally compares the run against a committed
 //! baseline (normally the repo's `BENCH_pipeline.json`): a missing
@@ -24,10 +26,11 @@
 //! parity is law.
 
 use pinpoint_bench::workload::{
-    forwarding_bin, mixed_bin, synthetic_bin, synthetic_mapper, ForwardingSpec, WorkloadSpec,
+    forwarding_bin, mixed_bin, multi_stream_feeds, synthetic_bin, synthetic_mapper, ForwardingSpec,
+    WorkloadSpec,
 };
 use pinpoint_core::aggregate::AsMapper;
-use pinpoint_core::{Analyzer, DetectorConfig};
+use pinpoint_core::{Analyzer, DetectorConfig, FleetReport, StreamRouter};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::BinId;
 use pinpoint_scenarios::{steady, Scale};
@@ -113,6 +116,97 @@ fn run_workload(
     WorkloadResult {
         name: name.to_string(),
         records: work.len(),
+        links,
+        sequential_ms,
+        parallel_ms,
+    }
+}
+
+/// Build the bench fleet: one analyzer per stream on the default config.
+fn fleet(mapper: &AsMapper, streams: usize) -> StreamRouter {
+    let mut router = StreamRouter::new();
+    for i in 0..streams {
+        router.add_stream(
+            format!("stream-{i}"),
+            Analyzer::new(DetectorConfig::default(), mapper.clone()),
+        );
+    }
+    router
+}
+
+/// Demand two fleet reports carry identical detector outputs.
+fn assert_fleet_parity(name: &str, a: &FleetReport, b: &FleetReport) {
+    assert_eq!(
+        a.streams.len(),
+        b.streams.len(),
+        "{name}: fleet parity broke"
+    );
+    for (ra, rb) in a.streams.iter().zip(&b.streams) {
+        assert_eq!(
+            ra.delay_alarms, rb.delay_alarms,
+            "{name}: fleet parity broke"
+        );
+        assert_eq!(
+            ra.forwarding_alarms, rb.forwarding_alarms,
+            "{name}: fleet parity broke"
+        );
+        assert_eq!(ra.link_stats, rb.link_stats, "{name}: fleet parity broke");
+    }
+    assert_eq!(a.magnitudes, b.magnitudes, "{name}: fleet parity broke");
+}
+
+/// Time `reps` fleet bins on a warmed router; median wall ms per bin.
+fn time_fleet(
+    mapper: &AsMapper,
+    warm: &[Vec<TracerouteRecord>],
+    work: &[Vec<TracerouteRecord>],
+    reps: usize,
+    sequential: bool,
+) -> f64 {
+    let mut router = fleet(mapper, warm.len());
+    if sequential {
+        router.process_bin_sequential(BinId(0), warm);
+    } else {
+        router.process_bin(BinId(0), warm);
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let bin = BinId(1 + rep as u64);
+        let t = Instant::now();
+        let report = if sequential {
+            router.process_bin_sequential(bin, work)
+        } else {
+            router.process_bin(bin, work)
+        };
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report);
+    }
+    pinpoint_stats::median(&samples).expect("reps >= 1")
+}
+
+/// The fleet workload: parity-gate the pooled router against the
+/// sequential path, then time both.
+fn run_multi_workload(
+    name: &str,
+    mapper: &AsMapper,
+    warm: &[Vec<TracerouteRecord>],
+    work: &[Vec<TracerouteRecord>],
+    reps: usize,
+) -> WorkloadResult {
+    let mut a = fleet(mapper, warm.len());
+    let mut b = fleet(mapper, warm.len());
+    a.process_bin(BinId(0), warm);
+    b.process_bin_sequential(BinId(0), warm);
+    let ra = a.process_bin(BinId(1), work);
+    let rb = b.process_bin_sequential(BinId(1), work);
+    assert_fleet_parity(name, &ra, &rb);
+    let links: usize = ra.streams.iter().map(|r| r.link_stats.len()).sum();
+
+    let sequential_ms = time_fleet(mapper, warm, work, reps, true);
+    let parallel_ms = time_fleet(mapper, warm, work, reps, false);
+    WorkloadResult {
+        name: name.to_string(),
+        records: work.iter().map(Vec::len).sum(),
         links,
         sequential_ms,
         parallel_ms,
@@ -217,7 +311,19 @@ fn main() {
     let work = mixed_bin(&spec, &fwd_spec, seed, 1);
     let mixed_result = run_workload("mixed_full", &mapper, &warm, &work, reps);
 
-    let results = [steady_result, large_result, forwarding_result, mixed_result];
+    // Workload 5: three-stream fleet — every stream's delay + forwarding
+    // shards pooled onto ONE shared worker herd via the StreamRouter.
+    let warm = multi_stream_feeds(3, seed, 0);
+    let work = multi_stream_feeds(3, seed, 1);
+    let multi_result = run_multi_workload("multi_stream", &mapper, &warm, &work, reps);
+
+    let results = [
+        steady_result,
+        large_result,
+        forwarding_result,
+        mixed_result,
+        multi_result,
+    ];
     for r in &results {
         println!(
             "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s",

@@ -221,6 +221,35 @@ pub fn forwarding_bin(spec: &ForwardingSpec, seed: u64, bin: u64) -> Vec<Tracero
     out
 }
 
+/// Per-stream feeds for the multi-stream fleet workload: `streams` mixed
+/// bins (delay + forwarding work in each), seeded per stream so the RTT
+/// and packet-spread jitter differ across streams. Sized so the whole
+/// fleet bin is comparable to `mixed_full` while loading the shared pool
+/// with `2 × streams` detector stages at once.
+pub fn multi_stream_feeds(streams: usize, seed: u64, bin: u64) -> Vec<Vec<TracerouteRecord>> {
+    let delay = WorkloadSpec {
+        links: 150,
+        probes_per_link: 12,
+        shots: 2,
+    };
+    let forwarding = ForwardingSpec {
+        routers: 100,
+        dsts_per_router: 4,
+        next_hops: 4,
+        shots: 3,
+    };
+    (0..streams)
+        .map(|s| {
+            mixed_bin(
+                &delay,
+                &forwarding,
+                seed ^ 0xA5A5u64.wrapping_mul(s as u64 + 1),
+                bin,
+            )
+        })
+        .collect()
+}
+
 /// A mixed Atlas-like bin: the delay-heavy and forwarding-heavy workloads
 /// interleaved, so the combined engine runs both detectors' shard
 /// pipelines (§4 ∥ §5) with real work on each side.
@@ -277,6 +306,28 @@ mod tests {
         let report = analyzer.process_bin(BinId(0), &records);
         assert_eq!(report.link_stats.len(), 2 * d.links);
         assert!(analyzer.tracked_patterns() >= f.patterns());
+    }
+
+    #[test]
+    fn multi_stream_feeds_drive_a_fleet() {
+        use pinpoint_core::StreamRouter;
+        let feeds = multi_stream_feeds(3, 7, 0);
+        assert_eq!(feeds.len(), 3);
+        assert!(feeds.iter().all(|f| !f.is_empty()));
+        // Deterministic per seed, distinct across streams.
+        assert_eq!(feeds, multi_stream_feeds(3, 7, 0));
+        assert_ne!(feeds[0], feeds[1]);
+        let mut router = StreamRouter::new();
+        for i in 0..3 {
+            router.add_stream(
+                format!("stream-{i}"),
+                Analyzer::new(DetectorConfig::default(), synthetic_mapper()),
+            );
+        }
+        let report = router.process_bin(BinId(0), &feeds);
+        assert_eq!(report.records(), feeds.iter().map(Vec::len).sum::<usize>());
+        assert!(report.streams.iter().all(|r| !r.link_stats.is_empty()));
+        assert!(router.tracked_patterns() > 0);
     }
 
     #[test]

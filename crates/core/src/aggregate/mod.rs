@@ -8,10 +8,12 @@
 
 pub mod asmap;
 pub mod events;
+pub mod fleet;
 pub mod magnitude;
 pub mod severity;
 
 pub use asmap::AsMapper;
 pub use events::{Event, EventExtractor, EventKind};
+pub use fleet::merge_severities;
 pub use magnitude::{AsMagnitude, MagnitudeTracker};
 pub use severity::{delay_severity, forwarding_severity};

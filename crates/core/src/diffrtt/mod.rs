@@ -24,6 +24,10 @@
 //! * links — and their smoothed references — are sharded by a *stable*
 //!   hash of the link, and a scoped thread pool walks whole shards, so
 //!   reference mutation needs no locks;
+//! * references track the last bin their link was characterized in and are
+//!   evicted once unseen for `cfg.reference_expiry_bins` (the same clock
+//!   the forwarding side uses), so link churn cannot grow the per-shard
+//!   maps without bound;
 //! * per-link randomness comes from a `(seed, link, bin)`-derived RNG and
 //!   alarms get a final total-order sort, so the output is byte-for-byte
 //!   identical for any thread count — including the sequential reference
@@ -61,10 +65,31 @@ fn link_rng(cfg_seed: u64, link: &IpLink, bin: BinId) -> SplitMix64 {
     ))
 }
 
+/// One link's reference plus the last bin it was characterized in — the
+/// eviction clock (same shape as the forwarding side's `ReferenceEntry`).
+#[derive(Debug)]
+struct ReferenceEntry {
+    reference: LinkReference,
+    last_seen: BinId,
+}
+
 /// One shard's slice of detector state.
 #[derive(Debug, Default)]
 struct Shard {
-    references: FxHashMap<IpLink, LinkReference>,
+    references: FxHashMap<IpLink, ReferenceEntry>,
+}
+
+impl Shard {
+    /// Drop references whose link has not been characterized for longer
+    /// than the configured expiry. Links churn constantly in real
+    /// traceroute feeds (paths move, targets retire); without eviction the
+    /// per-shard maps grow without bound — and a link that died mid-warm-up
+    /// would hold its warm-up buffer forever. Runs once per bin per shard,
+    /// on the shard's own worker — deterministic for any thread count.
+    fn evict(&mut self, bin: BinId, cfg: &DetectorConfig) {
+        self.references
+            .retain(|_, e| !engine::reference_expired(bin, e.last_seen, cfg.reference_expiry_bins));
+    }
 }
 
 /// What one shard produced for one bin.
@@ -81,7 +106,10 @@ pub struct DelayDetector {
     cfg: DetectorConfig,
     shards: Vec<Shard>,
     arena: SampleArena,
-    /// Total links characterized at least once (for Table A reporting).
+    /// Total reference warm-ups started (for Table A reporting). Under
+    /// link churn this counts a link again when it reappears after its
+    /// reference was evicted — tracking exact unique links forever would
+    /// need the unbounded memory eviction exists to avoid.
     pub links_seen: usize,
 }
 
@@ -99,7 +127,7 @@ impl DelayDetector {
     /// Worker threads used per bin: the configured count, or all available
     /// cores when `cfg.threads == 0`, capped by the shard count.
     fn effective_threads(&self) -> usize {
-        self.cfg.effective_threads().clamp(1, NUM_SHARDS)
+        engine::resolve_threads(self.cfg.threads)
     }
 
     /// Run the five steps over one bin of traceroutes — the parallel,
@@ -180,23 +208,33 @@ impl DelayDetector {
             };
             // Steps 4 + 5 against the running reference.
             let shard = &mut self.shards[shard_of(&link)];
-            let reference = shard.references.entry(link).or_insert_with(|| {
+            let entry = shard.references.entry(link).or_insert_with(|| {
                 self.links_seen += 1;
-                LinkReference::new(&self.cfg)
+                ReferenceEntry {
+                    reference: LinkReference::new(&self.cfg),
+                    last_seen: bin,
+                }
             });
-            if let Some(alarm) = detect::check(link, bin, &stat, reference, &self.cfg) {
+            if let Some(alarm) = detect::check(link, bin, &stat, &entry.reference, &self.cfg) {
                 alarms.push(alarm);
             }
-            reference.update(&stat);
+            entry.reference.update(&stat);
+            entry.last_seen = bin;
             stats.insert(link, stat);
+        }
+        for shard in &mut self.shards {
+            shard.evict(bin, &self.cfg);
         }
         sort_alarms(&mut alarms);
         (alarms, stats)
     }
 
-    /// Reference for a link, if it exists yet.
+    /// Reference for a link, if it exists yet (and has not been evicted).
     pub fn reference(&self, link: &IpLink) -> Option<&LinkReference> {
-        self.shards[shard_of(link)].references.get(link)
+        self.shards[shard_of(link)]
+            .references
+            .get(link)
+            .map(|e| &e.reference)
     }
 
     /// Number of links currently tracked.
@@ -284,16 +322,21 @@ fn run_delay_bundle(
                 continue;
             };
             // Steps 4 + 5 against the running reference.
-            let reference = shard.references.entry(link).or_insert_with(|| {
+            let entry = shard.references.entry(link).or_insert_with(|| {
                 out.new_links += 1;
-                LinkReference::new(cfg)
+                ReferenceEntry {
+                    reference: LinkReference::new(cfg),
+                    last_seen: bin,
+                }
             });
-            if let Some(alarm) = detect::check(link, bin, &stat, reference, cfg) {
+            if let Some(alarm) = detect::check(link, bin, &stat, &entry.reference, cfg) {
                 out.alarms.push(alarm);
             }
-            reference.update(&stat);
+            entry.reference.update(&stat);
+            entry.last_seen = bin;
             out.stats.push((link, stat));
         }
+        shard.evict(bin, cfg);
     }
     out
 }

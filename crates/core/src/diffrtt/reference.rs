@@ -25,9 +25,13 @@ pub struct LinkReference {
 impl LinkReference {
     /// Fresh (un-warmed) reference.
     pub fn new(cfg: &DetectorConfig) -> Self {
+        // The warm-up logic below needs at least one bin, so clamp before
+        // sizing the buffer — with `warmup_bins = 0` the raw value would
+        // reserve nothing while the first update still pushes one stat.
+        let warmup_bins = cfg.warmup_bins.max(1);
         LinkReference {
-            warmup: Vec::with_capacity(cfg.warmup_bins),
-            warmup_bins: cfg.warmup_bins.max(1),
+            warmup: Vec::with_capacity(warmup_bins),
+            warmup_bins,
             med: Ewma::new(cfg.alpha),
             lower: Ewma::new(cfg.alpha),
             upper: Ewma::new(cfg.alpha),
@@ -146,5 +150,21 @@ mod tests {
         let mut r = LinkReference::new(&c);
         r.update(&stat(1.0, 2.0, 3.0));
         assert!(r.is_ready());
+    }
+
+    #[test]
+    fn zero_warmup_bins_behaves_like_one() {
+        // Regression: `warmup_bins = 0` used to size the warm-up buffer at
+        // zero while the warm-up logic clamped to one bin — the first push
+        // reallocated, and the capacity/logic disagreement hid the clamp.
+        let mut c = cfg();
+        c.warmup_bins = 0;
+        let mut r = LinkReference::new(&c);
+        assert!(r.warmup.capacity() >= 1, "capacity must match the clamp");
+        assert!(!r.is_ready());
+        r.update(&stat(1.0, 2.0, 3.0));
+        assert!(r.is_ready(), "one stat must complete a zero-bin warm-up");
+        let ci = r.interval().unwrap();
+        assert!((ci.median - 2.0).abs() < 1e-12);
     }
 }

@@ -20,12 +20,35 @@
 //! order (never completion order). Under that contract the thread count is
 //! purely a throughput knob — the engine-parity tests prove it.
 
+use pinpoint_model::BinId;
 use std::hash::{BuildHasher, BuildHasherDefault};
 
 /// Number of state shards per detector. Fixed (not tied to the thread
 /// count) so a key lives in the same shard no matter how many workers run,
 /// and high enough to keep any realistic core count busy.
 pub(crate) const NUM_SHARDS: usize = 32;
+
+/// Resolve a `threads` knob (`0` = all available cores) into a worker
+/// count, clamped to the range useful for shard-granular work. Every
+/// consumer of the engine (both detectors, the analyzer, the stream
+/// router) resolves through this one function so the fleet can never
+/// silently run a different worker count than a solo analyzer configured
+/// the same way.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    threads.clamp(1, NUM_SHARDS)
+}
+
+/// The shared reference-expiry clock: true when `last_seen` is more than
+/// `expiry_bins` bins behind `now`. Both detectors' eviction sweeps use
+/// this one boundary predicate so their aging semantics cannot drift.
+pub(crate) fn reference_expired(now: BinId, last_seen: BinId, expiry_bins: usize) -> bool {
+    now.0.saturating_sub(last_seen.0) > expiry_bins as u64
+}
 
 /// Stable shard assignment for word-packable keys: one SplitMix64 round.
 /// Must not involve `RandomState` or anything process-seeded — determinism

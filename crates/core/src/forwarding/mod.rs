@@ -62,9 +62,8 @@ impl FwdShard {
     /// configured expiry. Runs once per bin per shard, on the shard's own
     /// worker — deterministic for any thread count.
     fn evict(&mut self, bin: BinId, cfg: &DetectorConfig) {
-        let expiry = cfg.reference_expiry_bins as u64;
         self.references
-            .retain(|_, e| bin.0.saturating_sub(e.last_seen.0) <= expiry);
+            .retain(|_, e| !engine::reference_expired(bin, e.last_seen, cfg.reference_expiry_bins));
     }
 }
 
@@ -97,7 +96,7 @@ impl ForwardingDetector {
     /// Worker threads used per bin: the configured count, or all available
     /// cores when `cfg.threads == 0`, capped by the shard count.
     fn effective_threads(&self) -> usize {
-        self.cfg.effective_threads().clamp(1, engine::NUM_SHARDS)
+        engine::resolve_threads(self.cfg.threads)
     }
 
     /// Process one bin of traceroutes; returns forwarding alarms — the

@@ -34,9 +34,11 @@
 //! ```
 //!
 //! [`pipeline::Analyzer`] wires the stages together for both offline batch
-//! runs and the §8 streaming ("Internet Health Report") mode. The
-//! [`baseline`] module carries the non-robust comparison detectors used by
-//! the ablation benches.
+//! runs and the §8 streaming ("Internet Health Report") mode;
+//! [`stream::StreamRouter`] scales that to a fleet of analyzers — one per
+//! concurrent measurement stream — sharing one engine pool with merged
+//! cross-stream reporting. The [`baseline`] module carries the non-robust
+//! comparison detectors used by the ablation benches.
 //!
 //! ## Performance
 //!
@@ -59,15 +61,25 @@
 //!   [`forwarding::pattern::PatternArena`] (bin-reused buffers), pattern
 //!   keys shard by a stable `FxHash`, and each shard worker owns its
 //!   reference map through the check → alarm → update pipeline.
-//!   References carry a last-seen bin and age out after
-//!   `DetectorConfig::reference_expiry_bins`, so churned (router,
-//!   destination) pairs cannot grow the maps without bound.
+//! * **Reference eviction on both sides** — delay *and* forwarding
+//!   references carry a last-seen bin and age out after
+//!   `DetectorConfig::reference_expiry_bins`, so churned links and
+//!   (router, destination) pairs cannot grow the maps without bound
+//!   (and links that die mid-warm-up release their warm-up buffers).
 //! * **One worker pool for both detectors** — the shared engine module
 //!   boxes per-shard jobs from *both* detectors and deals them
 //!   round-robin onto one scoped pool inside
 //!   [`pipeline::Analyzer::process_bin`], so delay-link shards and
 //!   forwarding-pattern shards interleave on the same cores (§4 ∥ §5)
 //!   instead of racing as two thread herds.
+//! * **One worker pool for a whole fleet** — [`stream::StreamRouter`]
+//!   stages every member analyzer's bin first, then runs ALL streams'
+//!   shard jobs on one pool: stream A's delay shards interleave with
+//!   stream B's forwarding shards. Per-stream state stays per-stream;
+//!   the merged [`stream::FleetReport`] sums per-AS severities across
+//!   streams and normalizes them against a fleet-level baseline. See
+//!   `src/README.md` for the architecture and the full determinism
+//!   contract.
 //! * **Selection, not sorting** — per-link characterization uses
 //!   `median_ci_select` (three quickselects) instead of a full sort.
 //! * **Determinism** — per-link randomness is derived from
@@ -75,18 +87,20 @@
 //!   completion order), and alarms get a final total-order sort, so
 //!   output is byte-for-byte identical for any thread count. The
 //!   original single-threaded paths are kept behind
-//!   [`pipeline::Analyzer::process_bin_sequential`], and
-//!   `tests/engine_parity.rs` + `tests/forwarding_parity.rs` prove
-//!   equivalence across scenarios, seeds, and thread counts (re-run in
-//!   CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} matrix on a
-//!   multi-core runner).
+//!   [`pipeline::Analyzer::process_bin_sequential`] /
+//!   [`stream::StreamRouter::process_bin_sequential`], and
+//!   `tests/engine_parity.rs` + `tests/forwarding_parity.rs` +
+//!   `tests/stream_parity.rs` prove equivalence across scenarios, seeds,
+//!   and thread counts (re-run in CI under a `PINPOINT_THREADS` ∈
+//!   {1, 2, 4, 8} matrix on a multi-core runner).
 //!
 //! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
 //! includes parallel-vs-sequential engine benches) and
 //! `cargo run --release -p pinpoint-bench --bin pipeline_bench`, which
-//! writes throughput + speedup numbers to `BENCH_pipeline.json` — four
-//! workloads: faithful simulator bin, delay-heavy, forwarding-heavy, and
-//! a mixed bin loading both shard pipelines in one combined pass — so the
+//! writes throughput + speedup numbers to `BENCH_pipeline.json` — five
+//! workloads: faithful simulator bin, delay-heavy, forwarding-heavy, a
+//! mixed bin loading both shard pipelines in one combined pass, and a
+//! three-stream fleet bin pooled through the `StreamRouter` — so the
 //! perf trajectory is tracked PR over PR (`--check` turns a run into a
 //! regression gate against the committed numbers).
 
@@ -101,8 +115,10 @@ pub(crate) mod engine;
 pub mod forwarding;
 pub mod graph;
 pub mod pipeline;
+pub mod stream;
 
 pub use config::DetectorConfig;
 pub use diffrtt::{DelayAlarm, DelayDetector};
 pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
 pub use pipeline::{Analyzer, BinReport};
+pub use stream::{FleetReport, StreamId, StreamRouter};

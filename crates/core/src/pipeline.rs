@@ -90,30 +90,53 @@ impl Analyzer {
     /// and forwarding-pattern shards (§4 ∥ §5) instead of the two
     /// detectors racing on separate thread herds. The §6 aggregation joins
     /// their outputs. Output is byte-identical to the sequential ordering.
+    ///
+    /// A fleet of analyzers shares one pool the same way: see
+    /// [`crate::stream::StreamRouter`], which stages every member with
+    /// [`Analyzer::stage`] and runs all jobs together.
     pub fn process_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> BinReport {
-        let Analyzer {
-            cfg,
-            delay,
-            forwarding,
-            ..
-        } = self;
-        let threads = cfg.effective_threads().clamp(1, crate::engine::NUM_SHARDS);
-        let (delay_alarms, link_stats, new_links, forwarding_alarms) = {
-            let mut delay_stage = delay.stage(bin, records, threads);
-            let mut forwarding_stage = forwarding.stage(bin, records, threads);
-            let mut jobs = delay_stage.jobs();
-            jobs.extend(forwarding_stage.jobs());
+        let threads = crate::engine::resolve_threads(self.cfg.threads);
+        let staged = {
+            let mut stage = self.stage(bin, records, threads);
+            let jobs = stage.jobs();
             crate::engine::run_jobs(jobs, threads);
-            let (delay_alarms, link_stats, new_links) = delay_stage.finish();
-            (
-                delay_alarms,
-                link_stats,
-                new_links,
-                forwarding_stage.finish(),
-            )
+            stage.finish()
         };
-        self.delay.links_seen += new_links;
-        self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
+        self.absorb(bin, records.len(), staged)
+    }
+
+    /// Stage one bin's detector work for the shared engine without running
+    /// it: both detectors scatter their records and deal their shards into
+    /// `threads` bundles. The caller decides which pool executes the jobs —
+    /// [`Analyzer::process_bin`] runs its own, the stream router pools the
+    /// jobs of a whole fleet — then collects with [`AnalyzerStage::finish`]
+    /// and hands the result back through [`Analyzer::absorb`].
+    pub(crate) fn stage<'a>(
+        &'a mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+        threads: usize,
+    ) -> AnalyzerStage<'a> {
+        let Analyzer {
+            delay, forwarding, ..
+        } = self;
+        AnalyzerStage {
+            delay: delay.stage(bin, records, threads),
+            forwarding: forwarding.stage(bin, records, threads),
+        }
+    }
+
+    /// Fold one staged bin's detector outputs into the analyzer's stateful
+    /// trackers and aggregate them into a [`BinReport`] (§6).
+    pub(crate) fn absorb(&mut self, bin: BinId, records: usize, staged: StagedBin) -> BinReport {
+        self.delay.links_seen += staged.new_links;
+        self.aggregate(
+            bin,
+            records,
+            staged.delay_alarms,
+            staged.link_stats,
+            staged.forwarding_alarms,
+        )
     }
 
     /// Single-threaded reference path: nested-map sample and pattern
@@ -128,13 +151,19 @@ impl Analyzer {
     ) -> BinReport {
         let (delay_alarms, link_stats) = self.delay.process_bin_sequential(bin, records);
         let forwarding_alarms = self.forwarding.process_bin_sequential(bin, records);
-        self.aggregate(bin, records, delay_alarms, link_stats, forwarding_alarms)
+        self.aggregate(
+            bin,
+            records.len(),
+            delay_alarms,
+            link_stats,
+            forwarding_alarms,
+        )
     }
 
     fn aggregate(
         &mut self,
         bin: BinId,
-        records: &[TracerouteRecord],
+        records: usize,
         delay_alarms: Vec<DelayAlarm>,
         link_stats: HashMap<IpLink, LinkStat>,
         forwarding_alarms: Vec<ForwardingAlarm>,
@@ -148,7 +177,7 @@ impl Analyzer {
             forwarding_alarms,
             link_stats,
             magnitudes,
-            records: records.len(),
+            records,
         }
     }
 
@@ -171,6 +200,45 @@ impl Analyzer {
     pub fn mapper(&self) -> &AsMapper {
         &self.mapper
     }
+}
+
+/// One analyzer's bin, staged for the shared engine: the delay and
+/// forwarding stages side by side. [`AnalyzerStage::jobs`] hands out every
+/// boxed shard job of both detectors; after the pool ran them,
+/// [`AnalyzerStage::finish`] merges each detector's outputs in job order.
+pub(crate) struct AnalyzerStage<'a> {
+    delay: crate::diffrtt::DelayStage<'a>,
+    forwarding: crate::forwarding::ForwardingStage<'a>,
+}
+
+impl<'a> AnalyzerStage<'a> {
+    /// All shard jobs of this analyzer's bin (delay first, then
+    /// forwarding — the engine's round-robin dealing interleaves them
+    /// across workers either way).
+    pub(crate) fn jobs<'s>(&'s mut self) -> Vec<crate::engine::Job<'s>> {
+        let mut jobs = self.delay.jobs();
+        jobs.extend(self.forwarding.jobs());
+        jobs
+    }
+
+    /// Deterministic merge of both detectors' outputs.
+    pub(crate) fn finish(self) -> StagedBin {
+        let (delay_alarms, link_stats, new_links) = self.delay.finish();
+        StagedBin {
+            delay_alarms,
+            link_stats,
+            new_links,
+            forwarding_alarms: self.forwarding.finish(),
+        }
+    }
+}
+
+/// What one analyzer's staged bin produced, before aggregation.
+pub(crate) struct StagedBin {
+    delay_alarms: Vec<DelayAlarm>,
+    link_stats: HashMap<IpLink, LinkStat>,
+    new_links: usize,
+    forwarding_alarms: Vec<ForwardingAlarm>,
 }
 
 #[cfg(test)]

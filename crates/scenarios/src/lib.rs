@@ -11,6 +11,7 @@
 //! | [`ddos`] | §7.1, Fig. 5–8 | two DDoS windows against anycast root services |
 //! | [`leak`] | §7.2, Fig. 9–12 | a customer route leak through a tier-1 |
 //! | [`ixp`] | §7.3, Fig. 13 | an IXP fabric outage blackholing its LAN |
+//! | [`multi`] | §7.3 + §8 | the same outage split over a three-stream analyzer fleet |
 //! | [`full`] | Fig. 5, Table A | all of the above over two months |
 //!
 //! All scenarios share the [`world`] topology so addresses and ASNs are
@@ -24,6 +25,7 @@ pub mod ddos;
 pub mod full;
 pub mod ixp;
 pub mod leak;
+pub mod multi;
 pub mod runner;
 pub mod steady;
 pub mod world;
