@@ -7,16 +7,21 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Five workloads run: the steady scenario's Small bin (faithful simulator
+//! Six workloads run: the steady scenario's Small bin (faithful simulator
 //! output), a synthetic Atlas-scale delay-heavy bin (hundreds of
 //! diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
-//! detectors' shard pipelines at once, and a three-stream fleet bin run
+//! detectors' shard pipelines at once, a three-stream fleet bin run
 //! through one `StreamRouter` pool (every stream's §4 and §5 shards on the
-//! same workers). Each is timed over `reps` repetitions on warmed
-//! analyzers and summarized by the median wall time; alarm/stat outputs of
-//! both paths are cross-checked for equality before any number is
-//! reported — so a run doubles as an engine-parity gate.
+//! same workers), and a scatter-dominated `ingest_heavy` bin (long
+//! responsive paths, ~200k rows, almost no per-key analysis) that isolates
+//! the chunked-ingestion layer. Each is timed over `reps` repetitions on
+//! warmed analyzers and summarized by the median wall time; alarm/stat
+//! outputs of both paths are cross-checked for equality before any number
+//! is reported — so a run doubles as an engine-parity gate. Per workload,
+//! the work bin's intern-table insertions are recorded too: a steady bin
+//! (same key universe as the warm bin) must report 0 — the persistent
+//! interning epoch at work.
 //!
 //! `--check=PATH` additionally compares the run against a committed
 //! baseline (normally the repo's `BENCH_pipeline.json`): a missing
@@ -26,8 +31,8 @@
 //! parity is law.
 
 use pinpoint_bench::workload::{
-    forwarding_bin, mixed_bin, multi_stream_feeds, synthetic_bin, synthetic_mapper, ForwardingSpec,
-    WorkloadSpec,
+    forwarding_bin, ingest_bin, mixed_bin, multi_stream_feeds, synthetic_bin, synthetic_mapper,
+    ForwardingSpec, IngestSpec, WorkloadSpec,
 };
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::{Analyzer, DetectorConfig, FleetReport, StreamRouter};
@@ -43,6 +48,9 @@ struct WorkloadResult {
     links: usize,
     sequential_ms: f64,
     parallel_ms: f64,
+    /// Intern-table insertions during the (warmed) work bin — 0 when the
+    /// warm bin already interned the whole key universe.
+    intern_inserts: u64,
 }
 
 impl WorkloadResult {
@@ -110,6 +118,7 @@ fn run_workload(
     );
     assert_eq!(ra.link_stats, rb.link_stats, "{name}: engine parity broke");
     let links = ra.link_stats.len();
+    let intern_inserts = a.ingest_stats().bin_insertions;
 
     let sequential_ms = time_path(mapper, warm, work, reps, true);
     let parallel_ms = time_path(mapper, warm, work, reps, false);
@@ -119,6 +128,7 @@ fn run_workload(
         links,
         sequential_ms,
         parallel_ms,
+        intern_inserts,
     }
 }
 
@@ -201,6 +211,7 @@ fn run_multi_workload(
     let rb = b.process_bin_sequential(BinId(1), work);
     assert_fleet_parity(name, &ra, &rb);
     let links: usize = ra.streams.iter().map(|r| r.link_stats.len()).sum();
+    let intern_inserts = a.ingest_stats().bin_insertions;
 
     let sequential_ms = time_fleet(mapper, warm, work, reps, true);
     let parallel_ms = time_fleet(mapper, warm, work, reps, false);
@@ -210,6 +221,7 @@ fn run_multi_workload(
         links,
         sequential_ms,
         parallel_ms,
+        intern_inserts,
     }
 }
 
@@ -317,16 +329,31 @@ fn main() {
     let work = multi_stream_feeds(3, seed, 1);
     let multi_result = run_multi_workload("multi_stream", &mapper, &warm, &work, reps);
 
+    // Workload 6: scatter-dominated ingestion bin — the record→row front
+    // end is the cost; per-key analysis is nearly free. The work bin's
+    // key universe equals the warm bin's, so the persistent intern epoch
+    // must report zero insertions (asserted: this is the steady-state
+    // no-insertion guarantee, gated on every bench run).
+    let ingest_spec = IngestSpec::large();
+    let warm = ingest_bin(&ingest_spec, seed, 0);
+    let work = ingest_bin(&ingest_spec, seed, 1);
+    let ingest_result = run_workload("ingest_heavy", &mapper, &warm, &work, reps);
+    assert_eq!(
+        ingest_result.intern_inserts, 0,
+        "ingest_heavy steady-state bin performed intern insertions"
+    );
+
     let results = [
         steady_result,
         large_result,
         forwarding_result,
         mixed_result,
         multi_result,
+        ingest_result,
     ];
     for r in &results {
         println!(
-            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s",
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts",
             r.name,
             r.records,
             r.links,
@@ -334,6 +361,7 @@ fn main() {
             r.parallel_ms,
             r.speedup(),
             r.records_per_sec_parallel(),
+            r.intern_inserts,
         );
     }
 
@@ -346,7 +374,7 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}}}{}\n",
             r.name,
             r.records,
             r.links,
@@ -354,6 +382,7 @@ fn main() {
             r.parallel_ms,
             r.speedup(),
             r.records_per_sec_parallel(),
+            r.intern_inserts,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

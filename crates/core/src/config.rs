@@ -41,6 +41,13 @@ pub struct DetectorConfig {
     pub magnitude_window_bins: usize,
     /// Seed for the (rare) random choices, e.g. entropy rebalancing.
     pub seed: u64,
+    /// Records per scatter chunk for the chunked parallel ingestion
+    /// front-end: each bin's records are split into chunks of this size,
+    /// scattered in parallel on the engine pool, and re-concatenated in
+    /// chunk order — so this is purely a throughput/latency knob; output
+    /// is byte-identical for any value. `0` (the default) picks
+    /// `ingest::DEFAULT_CHUNK_RECORDS`.
+    pub ingest_chunk_records: usize,
     /// Worker threads for the per-bin link engine: `0` means "use all
     /// available cores". Results are byte-identical for any value — the
     /// engine's randomness is derived per (seed, link, bin) and its output
@@ -63,6 +70,7 @@ impl Default for DetectorConfig {
             reference_expiry_bins: 7 * 24,
             magnitude_window_bins: 7 * 24,
             seed: 0xF0_07,
+            ingest_chunk_records: 0,
             threads: 0,
         }
     }
@@ -107,5 +115,6 @@ mod tests {
         assert_eq!(c.magnitude_window_bins, 168);
         assert_eq!(c.warmup_bins, 3);
         assert_eq!(c.threads, 0, "default engine uses every core");
+        assert_eq!(c.ingest_chunk_records, 0, "default chunk size is auto");
     }
 }

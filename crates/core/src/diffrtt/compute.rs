@@ -13,13 +13,16 @@
 //!   *reference path* the engine-parity tests compare against.
 //! * [`SampleArena`] — the engine's flat layout: one contiguous sample pool
 //!   plus per-link/per-probe index spans, with every buffer reused across
-//!   bins. Building it is a flat append + one cache-friendly sort instead
-//!   of millions of per-probe map insertions, and a bin's worth of samples
-//!   ends up in memory the per-link pipeline can walk without chasing
-//!   pointers.
+//!   bins. A bin is ingested through the chunked, parallel scatter
+//!   front-end (`crate::ingest`): engine workers scatter record chunks into
+//!   per-(chunk, shard) row buffers against epoch-persistent link/probe
+//!   intern tables, the rows are concatenated per shard in chunk order, and
+//!   one cache-friendly sort per shard groups them — no per-probe maps, no
+//!   re-interning of known keys, byte-identical output for any chunking.
 
+use crate::ingest::{ChunkPool, Interner, PENDING};
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::{Asn, FxHashMap, IpLink, ProbeId};
+use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
 use std::collections::HashMap;
 
 /// All differential RTT samples for one link in one bin, per probe.
@@ -116,8 +119,8 @@ impl LinkSamples {
 ///
 /// A probe's AS is pinned to the first `probe_asn` it reports in the bin
 /// (across all links, in record order) — the identical rule the arena's
-/// probe interning uses, so a malformed feed that flips a probe's ASN
-/// mid-bin cannot break engine parity.
+/// per-bin ASN re-pinning uses, so a malformed feed that flips a probe's
+/// ASN mid-bin cannot break engine parity.
 pub fn collect_link_samples(records: &[TracerouteRecord]) -> HashMap<IpLink, LinkSamples> {
     let mut out: HashMap<IpLink, LinkSamples> = HashMap::new();
     let mut probe_asns: HashMap<ProbeId, Asn> = HashMap::new();
@@ -201,7 +204,7 @@ impl<'a> LinkSlice<'a> {
     }
 
     /// Iterate `(probe, asn, samples)` — deterministic order (probes in
-    /// first-encounter interning order).
+    /// intern-epoch slot order).
     pub fn probes(&self) -> impl Iterator<Item = (ProbeId, Asn, &'a [f64])> + '_ {
         self.spans.iter().map(move |s| {
             (
@@ -213,15 +216,135 @@ impl<'a> LinkSlice<'a> {
     }
 }
 
-/// One shard's rows and grouped layout. `rows` is written by the scatter
-/// pass; `finalize` (run by the shard's worker thread) sorts and groups it
-/// into `pool`/`spans`/`entries`.
+/// One scatter chunk's private output: per-shard row buffers plus the
+/// chunk-local queues of keys not yet in the persistent intern tables.
+/// Written by exactly one scatter job (no sharing, no locks), then read by
+/// the sequential merge and the per-shard gather. All buffers are reused
+/// across bins.
+#[derive(Debug, Default)]
+pub(crate) struct DelayChunk {
+    /// Per-shard `(link_local << 32 | probe_slot, value)` rows, in record
+    /// order within the chunk. Ids may carry [`PENDING`].
+    rows: Vec<Vec<(u64, f64)>>,
+    /// Links first seen by this chunk, in encounter order; pending id `i`
+    /// is `new_links[i]`.
+    new_links: Vec<IpLink>,
+    /// Chunk-local dedup for `new_links`.
+    new_link_ids: FxHashMap<IpLink, u32>,
+    /// Filled by the merge: pending link id → final shard-local id.
+    link_patch: Vec<u32>,
+    /// Probes first seen by this chunk, in encounter order.
+    new_probes: Vec<ProbeId>,
+    /// Chunk-local probe dedup: probe → encoded slot (table slot, or
+    /// `PENDING | new_probes index`).
+    probe_seen: FxHashMap<ProbeId, u32>,
+    /// Every probe this chunk touched — `(encoded slot, first-seen ASN)`
+    /// in encounter order; drives per-bin ASN pinning and stamps.
+    touched_probes: Vec<(u32, Asn)>,
+    /// Filled by the merge: pending probe id → final table slot.
+    probe_patch: Vec<u32>,
+    /// Scratch for near-side RTTs.
+    near_rtts: Vec<f64>,
+}
+
+/// The read-only arena state a scatter job shares with every other job:
+/// the per-shard link tables and the probe table. Lookups are lock-free;
+/// known keys resolve without any insertion.
+#[derive(Clone, Copy)]
+pub(crate) struct DelayScatterView<'a> {
+    pub(crate) shards: &'a [ArenaShard],
+    pub(crate) probes: &'a Interner<ProbeId>,
+}
+
+impl DelayChunk {
+    fn clear(&mut self) {
+        if self.rows.len() < NUM_SHARDS {
+            self.rows.resize_with(NUM_SHARDS, Vec::new);
+        }
+        for rows in &mut self.rows {
+            rows.clear();
+        }
+        self.new_links.clear();
+        self.new_link_ids.clear();
+        self.link_patch.clear();
+        self.new_probes.clear();
+        self.probe_seen.clear();
+        self.touched_probes.clear();
+        self.probe_patch.clear();
+    }
+
+    /// Scatter one record chunk into this chunk's per-shard row buffers,
+    /// resolving keys against the shared persistent tables (`view`) and
+    /// queueing unknown ones chunk-locally. Pure per-chunk work: the
+    /// output depends only on `(records, table state at bin start)`, never
+    /// on the thread that ran it or on any other chunk.
+    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord], view: DelayScatterView<'_>) {
+        for rec in records {
+            let probe_enc = match self.probe_seen.get(&rec.probe_id) {
+                Some(&enc) => enc,
+                None => {
+                    let enc = match view.probes.get(&rec.probe_id) {
+                        Some(slot) => slot,
+                        None => {
+                            self.new_probes.push(rec.probe_id);
+                            PENDING | (self.new_probes.len() as u32 - 1)
+                        }
+                    };
+                    self.probe_seen.insert(rec.probe_id, enc);
+                    self.touched_probes.push((enc, rec.probe_asn));
+                    enc
+                }
+            };
+            let rows = &mut self.rows;
+            let new_links = &mut self.new_links;
+            let new_link_ids = &mut self.new_link_ids;
+            let near_rtts = &mut self.near_rtts;
+            rec.for_each_link(|link, near_idx, far_idx| {
+                let near_hop = &rec.hops[near_idx];
+                let far_hop = &rec.hops[far_idx];
+                near_rtts.clear();
+                near_rtts.extend(near_hop.rtts_from(link.near));
+                if near_rtts.is_empty() {
+                    return;
+                }
+                let mut key: Option<(usize, u64)> = None;
+                for fy in far_hop.rtts_from(link.far) {
+                    let (shard_idx, row_key) = *key.get_or_insert_with(|| {
+                        let s = shard_of(&link);
+                        let local = match view.shards[s].links.get(&link) {
+                            Some(local) => local,
+                            None => match new_link_ids.get(&link) {
+                                Some(&pending) => pending,
+                                None => {
+                                    new_links.push(link);
+                                    let pending = PENDING | (new_links.len() as u32 - 1);
+                                    new_link_ids.insert(link, pending);
+                                    pending
+                                }
+                            },
+                        };
+                        (s, (u64::from(local) << 32) | u64::from(probe_enc))
+                    });
+                    let rows = &mut rows[shard_idx];
+                    for &fx in near_rtts.iter() {
+                        rows.push((row_key, fy - fx));
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// One shard's per-bin rows and grouped layout, plus its slice of the
+/// persistent link intern epoch. `gather` concatenates the bin's chunk
+/// buffers in chunk order (patching pending ids); `finalize` (run by the
+/// shard's worker thread) sorts and groups into `pool`/`spans`/`entries`.
 #[derive(Debug, Default)]
 pub(crate) struct ArenaShard {
+    /// Epoch-persistent link → shard-local id table.
+    links: Interner<IpLink>,
     /// `(link_local << 32 | probe_slot, value)` — 16 bytes, sorted by key.
     rows: Vec<(u64, f64)>,
-    /// Local link id → link, in first-encounter order.
-    links: Vec<IpLink>,
     pool: Vec<f64>,
     spans: Vec<ProbeSpan>,
     entries: Vec<LinkEntry>,
@@ -229,17 +352,39 @@ pub(crate) struct ArenaShard {
 }
 
 impl ArenaShard {
-    fn clear(&mut self) {
+    /// Concatenate this shard's rows from every chunk **in chunk order**
+    /// (= record order, whatever the chunk size), patching pending ids to
+    /// their merged table slots. Safe to run concurrently across shards:
+    /// each shard reads only its own `chunk.rows[idx]` buffers.
+    pub(crate) fn gather(&mut self, idx: usize, chunks: &[DelayChunk]) {
         self.rows.clear();
-        self.links.clear();
-        self.pool.clear();
-        self.spans.clear();
-        self.entries.clear();
+        for chunk in chunks {
+            // Steady-state fast path: a chunk that discovered no new keys
+            // wrote no pending ids anywhere — its buffer is final and can
+            // be copied wholesale.
+            if chunk.new_links.is_empty() && chunk.new_probes.is_empty() {
+                self.rows.extend_from_slice(&chunk.rows[idx]);
+                continue;
+            }
+            for &(key, value) in &chunk.rows[idx] {
+                let mut link = (key >> 32) as u32;
+                if link & PENDING != 0 {
+                    link = chunk.link_patch[(link ^ PENDING) as usize];
+                }
+                let mut slot = key as u32;
+                if slot & PENDING != 0 {
+                    slot = chunk.probe_patch[(slot ^ PENDING) as usize];
+                }
+                self.rows
+                    .push(((u64::from(link) << 32) | u64::from(slot), value));
+            }
+        }
     }
 
     /// Sort this shard's rows and lay out the grouped pool/span/entry
-    /// indexes. Safe to run concurrently across shards.
-    pub(crate) fn finalize(&mut self, probe_asns: &[Asn]) {
+    /// indexes, stamping every observed link's epoch entry with `bin`.
+    /// Safe to run concurrently across shards.
+    pub(crate) fn finalize(&mut self, bin: BinId, probe_asns: &[Asn]) {
         self.pool.clear();
         self.spans.clear();
         self.entries.clear();
@@ -267,8 +412,9 @@ impl ArenaShard {
             }
             self.as_scratch.sort_unstable();
             self.as_scratch.dedup();
+            self.links.stamp(link_local, bin);
             self.entries.push(LinkEntry {
-                link: self.links[link_local as usize],
+                link: self.links.key(link_local),
                 spans_start,
                 spans_len: self.spans.len() as u32 - spans_start,
                 as_count: self.as_scratch.len() as u32,
@@ -276,7 +422,7 @@ impl ArenaShard {
         }
     }
 
-    /// Links in this shard (after `finalize`).
+    /// Links in this shard's current bin (after `finalize`).
     pub(crate) fn link_count(&self) -> usize {
         self.entries.len()
     }
@@ -299,45 +445,58 @@ impl ArenaShard {
     }
 }
 
-/// The engine's flat, sharded, bin-reusable sample store.
+/// The engine's flat, sharded, bin-reusable sample store, fed by the
+/// chunked parallel ingestion front-end (`crate::ingest`).
 ///
-/// [`SampleArena::scatter`] stages every differential RTT as a 16-byte
-/// `(link, probe, value)` row directly in the owning link's shard (links
-/// and probes are interned into dense ids on first encounter);
-/// [`ArenaShard::finalize`] — run per shard, in parallel — sorts each
-/// shard's rows by one u64 key and lays the values out contiguously with
-/// per-probe and per-link index spans. Every buffer is retained across
-/// bins, so a steady stream of equally-sized bins settles into zero
-/// steady-state allocation; and because rows never leave their shard,
-/// the whole grouping step parallelizes without synchronization.
+/// Per bin: scatter jobs stage every differential RTT as a 16-byte
+/// `(link, probe, value)` row in private per-(chunk, shard) buffers,
+/// resolving links and probes through *epoch-persistent* intern tables
+/// (steady-state bins perform zero insertions); a short sequential merge
+/// assigns dense ids to the bin's new keys in chunk order (= record
+/// order); then [`ArenaShard::gather`] + [`ArenaShard::finalize`] — run
+/// per shard, in parallel — concatenate each shard's rows in chunk order
+/// and group them with one u64-keyed sort. Every buffer and every table
+/// is retained across bins, and a compaction sweep on the shared
+/// `reference_expiry_bins` clock evicts keys that stopped appearing, so
+/// neither allocation nor key churn grows with the epoch.
 #[derive(Debug)]
 pub struct SampleArena {
     pub(crate) shards: Vec<ArenaShard>,
-    link_index: FxHashMap<IpLink, (u32, u32)>,
-    probe_index: FxHashMap<ProbeId, u32>,
-    pub(crate) probe_ids: Vec<ProbeId>,
-    pub(crate) probe_asns: Vec<Asn>,
-    near_rtts: Vec<f64>,
+    /// Epoch-persistent probe → slot table.
+    probes: Interner<ProbeId>,
+    /// Probe slot → ASN, re-pinned each bin to the first ASN the probe
+    /// reported that bin (record order) — the reference path's rule.
+    probe_asns: Vec<Asn>,
+    /// Probe slot → scatter session in which `probe_asns` was last pinned.
+    probe_pins: Vec<u64>,
+    /// Monotonic scatter-session counter (bumped by [`Self::begin_bin`]).
+    session: u64,
+    /// The bin's scatter-chunk buffers (reused across bins).
+    chunks: ChunkPool<DelayChunk>,
+    insertions_at_bin_start: u64,
 }
 
 impl Default for SampleArena {
     fn default() -> Self {
         SampleArena {
             shards: (0..NUM_SHARDS).map(|_| ArenaShard::default()).collect(),
-            link_index: FxHashMap::default(),
-            probe_index: FxHashMap::default(),
-            probe_ids: Vec::new(),
+            probes: Interner::default(),
             probe_asns: Vec::new(),
-            near_rtts: Vec::new(),
+            probe_pins: Vec::new(),
+            session: 0,
+            chunks: ChunkPool::default(),
+            insertions_at_bin_start: 0,
         }
     }
 }
 
-/// Split borrow of an arena: mutable shards alongside the shared probe
-/// tables, so stage construction can hand shards to workers while the
-/// probe id/ASN slices stay readable from every job.
+/// Split borrow of an arena for the shard wave: mutable shards alongside
+/// the bin's chunk outputs and the shared probe tables, so stage
+/// construction can hand shards to workers while chunk rows and probe
+/// id/ASN slices stay readable from every job.
 pub(crate) struct SampleArenaParts<'a> {
     pub(crate) shards: &'a mut [ArenaShard],
+    pub(crate) chunks: &'a [DelayChunk],
     pub(crate) probe_ids: &'a [ProbeId],
     pub(crate) probe_asns: &'a [Asn],
 }
@@ -348,79 +507,155 @@ impl SampleArena {
         SampleArena::default()
     }
 
-    /// Disjoint views for the engine stage (after [`SampleArena::scatter`]).
+    fn total_insertions(&self) -> u64 {
+        self.probes.insertions()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.links.insertions())
+                .sum::<u64>()
+    }
+
+    /// Interning-epoch counters for this arena (links + probes).
+    pub(crate) fn stats(&self) -> crate::ingest::IngestStats {
+        crate::ingest::IngestStats {
+            interned: self.probes.len() + self.shards.iter().map(|s| s.links.len()).sum::<usize>(),
+            bin_insertions: self.total_insertions() - self.insertions_at_bin_start,
+            insertions: self.total_insertions(),
+            evictions: self.probes.evictions()
+                + self.shards.iter().map(|s| s.links.evictions()).sum::<u64>(),
+        }
+    }
+
+    /// Start a new scatter session: the next bin's chunks overwrite the
+    /// pool from the beginning and the bin-insertion counter resets.
+    pub(crate) fn begin_bin(&mut self) {
+        self.session += 1;
+        self.chunks.begin_bin();
+        self.insertions_at_bin_start = self.total_insertions();
+    }
+
+    /// Evict links and probes unseen for more than `expiry_bins` bins and
+    /// renumber the survivors. Dense ids never reach reports, so a sweep
+    /// is byte-for-byte invisible downstream. Must run between bins
+    /// (before [`Self::begin_bin`]'s chunks scatter), never mid-bin.
+    pub(crate) fn compact(&mut self, now: BinId, expiry_bins: usize) {
+        for shard in &mut self.shards {
+            shard.links.compact(now, expiry_bins);
+        }
+        if let Some(kept) = self.probes.compact(now, expiry_bins) {
+            for (new, &old) in kept.iter().enumerate() {
+                self.probe_asns[new] = self.probe_asns[old as usize];
+                self.probe_pins[new] = self.probe_pins[old as usize];
+            }
+            self.probe_asns.truncate(kept.len());
+            self.probe_pins.truncate(kept.len());
+        }
+    }
+
+    /// Reserve `n` cleared chunk buffers for the current session and
+    /// return them alongside the shared scatter view. The buffers extend
+    /// the session's chunk sequence (incremental feeding appends).
+    pub(crate) fn scatter_parts(&mut self, n: usize) -> (&mut [DelayChunk], DelayScatterView<'_>) {
+        let SampleArena {
+            chunks,
+            shards,
+            probes,
+            ..
+        } = self;
+        (
+            chunks.reserve(n, DelayChunk::clear),
+            DelayScatterView { shards, probes },
+        )
+    }
+
+    /// The sequential chunk-ordered merge between the scatter wave and the
+    /// shard wave: assign dense ids to keys first seen this bin (chunk
+    /// order = record order, so the assignment is identical for every
+    /// chunk size and thread count), re-pin each touched probe's ASN to
+    /// its first record of the bin, and stamp last-seen clocks.
+    pub(crate) fn merge(&mut self, bin: BinId) {
+        let SampleArena {
+            chunks,
+            shards,
+            probes,
+            probe_asns,
+            probe_pins,
+            session,
+            ..
+        } = self;
+        for chunk in chunks.active_mut() {
+            chunk.link_patch.clear();
+            for &link in &chunk.new_links {
+                let s = shard_of(&link);
+                let local = match shards[s].links.get(&link) {
+                    Some(local) => local,
+                    None => shards[s].links.insert(link, bin),
+                };
+                chunk.link_patch.push(local);
+            }
+            chunk.probe_patch.clear();
+            for &(enc, asn) in &chunk.touched_probes {
+                let slot = if enc & PENDING != 0 {
+                    debug_assert_eq!((enc ^ PENDING) as usize, chunk.probe_patch.len());
+                    let probe = chunk.new_probes[(enc ^ PENDING) as usize];
+                    let slot = match probes.get(&probe) {
+                        Some(slot) => slot,
+                        None => {
+                            let slot = probes.insert(probe, bin);
+                            probe_asns.push(asn);
+                            probe_pins.push(0);
+                            slot
+                        }
+                    };
+                    chunk.probe_patch.push(slot);
+                    slot
+                } else {
+                    enc
+                };
+                if probe_pins[slot as usize] != *session {
+                    probe_pins[slot as usize] = *session;
+                    probe_asns[slot as usize] = asn;
+                }
+                probes.stamp(slot, bin);
+            }
+        }
+    }
+
+    /// Disjoint views for the engine's shard wave (after [`Self::merge`]).
     pub(crate) fn parts_mut(&mut self) -> SampleArenaParts<'_> {
+        let SampleArena {
+            shards,
+            chunks,
+            probes,
+            probe_asns,
+            ..
+        } = self;
         SampleArenaParts {
-            shards: &mut self.shards,
-            probe_ids: &self.probe_ids,
-            probe_asns: &self.probe_asns,
+            shards,
+            chunks: chunks.active(),
+            probe_ids: probes.keys(),
+            probe_asns,
         }
     }
 
-    /// Stage one bin of traceroutes into per-shard rows, reusing all
-    /// buffers. Call [`ArenaShard::finalize`] (or [`SampleArena::build`])
-    /// to group them.
-    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord]) {
-        for shard in &mut self.shards {
-            shard.clear();
-        }
-        self.link_index.clear();
-        self.probe_index.clear();
-        self.probe_ids.clear();
-        self.probe_asns.clear();
-
-        for rec in records {
-            let shards = &mut self.shards;
-            let link_index = &mut self.link_index;
-            let probe_index = &mut self.probe_index;
-            let probe_ids = &mut self.probe_ids;
-            let probe_asns = &mut self.probe_asns;
-            let near_rtts = &mut self.near_rtts;
-            let slot = *probe_index.entry(rec.probe_id).or_insert_with(|| {
-                probe_ids.push(rec.probe_id);
-                probe_asns.push(rec.probe_asn);
-                probe_ids.len() as u32 - 1
-            });
-            rec.for_each_link(|link, near_idx, far_idx| {
-                let near_hop = &rec.hops[near_idx];
-                let far_hop = &rec.hops[far_idx];
-                near_rtts.clear();
-                near_rtts.extend(near_hop.rtts_from(link.near));
-                if near_rtts.is_empty() {
-                    return;
-                }
-                let mut key: Option<(usize, u64)> = None;
-                for fy in far_hop.rtts_from(link.far) {
-                    let (shard_idx, row_key) = *key.get_or_insert_with(|| {
-                        let (shard_idx, local) = *link_index.entry(link).or_insert_with(|| {
-                            let s = shard_of(&link) as u32;
-                            let local = shards[s as usize].links.len() as u32;
-                            shards[s as usize].links.push(link);
-                            (s, local)
-                        });
-                        (
-                            shard_idx as usize,
-                            (u64::from(local) << 32) | u64::from(slot),
-                        )
-                    });
-                    let rows = &mut shards[shard_idx].rows;
-                    for &fx in near_rtts.iter() {
-                        rows.push((row_key, fy - fx));
-                    }
-                }
-            });
-        }
-    }
-
-    /// Scatter + finalize every shard inline (the single-threaded
-    /// convenience entry; the engine finalizes shards on its workers).
+    /// Scatter + merge + gather + finalize inline, as a single chunk (the
+    /// single-threaded convenience entry; the engine runs chunks and
+    /// shards on its workers). No compaction — callers with an expiry
+    /// policy drive [`Self::compact`] themselves.
     pub fn build(&mut self, records: &[TracerouteRecord]) {
-        self.scatter(records);
-        let probe_asns = std::mem::take(&mut self.probe_asns);
-        for shard in &mut self.shards {
-            shard.finalize(&probe_asns);
+        let bin = BinId(0);
+        self.begin_bin();
+        {
+            let (chunks, view) = self.scatter_parts(1);
+            chunks[0].scatter(records, view);
         }
-        self.probe_asns = probe_asns;
+        self.merge(bin);
+        let parts = self.parts_mut();
+        for (i, shard) in parts.shards.iter_mut().enumerate() {
+            shard.gather(i, parts.chunks);
+            shard.finalize(bin, parts.probe_asns);
+        }
     }
 
     /// Number of links with at least one sample in the current bin
@@ -434,13 +669,13 @@ impl SampleArena {
         self.shards.iter().map(|s| s.pool.len()).sum()
     }
 
-    /// View of the `i`-th link, counting across shards (arbitrary but
-    /// deterministic order; after finalize).
+    /// View of the `i`-th link of the current bin, counting across shards
+    /// (arbitrary but deterministic order; after finalize).
     pub fn link(&self, i: usize) -> LinkSlice<'_> {
         let mut i = i;
         for shard in &self.shards {
             if i < shard.link_count() {
-                return shard.link_in(i, &self.probe_ids, &self.probe_asns);
+                return shard.link_in(i, self.probes.keys(), &self.probe_asns);
             }
             i -= shard.link_count();
         }
@@ -589,6 +824,26 @@ mod tests {
     }
 
     #[test]
+    fn probe_asn_repins_per_bin_like_the_reference_path() {
+        // Bin 1: probe 1 reports AS 100. Bin 2: the same probe reports
+        // AS 900 from its first record. The reference path pins per bin,
+        // so the persistent probe table must re-pin — not freeze the
+        // epoch-first ASN.
+        let mk = |asn: u32| {
+            record(
+                1,
+                asn,
+                vec![hop(1, "10.0.0.1", &[1.0]), hop(2, "10.0.1.1", &[2.0])],
+            )
+        };
+        let mut arena = SampleArena::new();
+        arena.build(&[mk(100)]);
+        assert_eq!(arena.link(0).probes().next().unwrap().1, Asn(100));
+        arena.build(&[mk(900)]);
+        assert_eq!(arena.link(0).probes().next().unwrap().1, Asn(900));
+    }
+
+    #[test]
     fn as_count_tracks_insertions_incrementally() {
         let mut s = LinkSamples::default();
         assert_eq!(s.as_count(), 0);
@@ -709,5 +964,12 @@ mod tests {
         arena.build(&[]);
         assert_eq!(arena.link_count(), 0);
         assert_eq!(arena.total_samples(), 0);
+        // The intern epoch persisted: rebuilding the first bin's shape
+        // performs zero new insertions.
+        let before = arena.stats();
+        arena.build(&[mk(2.0), mk(3.0)]);
+        let after = arena.stats();
+        assert_eq!(after.bin_insertions, 0, "steady-state bin re-interned");
+        assert_eq!(after.insertions, before.insertions);
     }
 }

@@ -20,7 +20,11 @@
 //! a parallel, allocation-lean engine:
 //!
 //! * samples live in a flat [`compute::SampleArena`] whose buffers are
-//!   reused across bins (no per-probe maps rebuilt each hour);
+//!   reused across bins (no per-probe maps rebuilt each hour), fed by the
+//!   chunked parallel scatter front-end (`crate::ingest`): record chunks
+//!   scatter on the worker pool against epoch-persistent link/probe
+//!   intern tables (zero insertions in steady state), and per-shard rows
+//!   concatenate in chunk order so output never depends on the chunking;
 //! * links — and their smoothed references — are sharded by a *stable*
 //!   hash of the link, and a scoped thread pool walks whole shards, so
 //!   reference mutation needs no locks;
@@ -47,7 +51,8 @@ pub use reference::LinkReference;
 
 use crate::config::DetectorConfig;
 use crate::engine;
-use compute::{shard_of, NUM_SHARDS};
+use crate::ingest;
+use compute::{shard_of, DelayChunk, NUM_SHARDS};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
 use pinpoint_stats::rng::{derive_seed, SplitMix64};
@@ -131,7 +136,8 @@ impl DelayDetector {
     }
 
     /// Run the five steps over one bin of traceroutes — the parallel,
-    /// arena-backed engine.
+    /// arena-backed engine: a scatter wave (chunk jobs), the sequential
+    /// chunk-ordered intern merge, then the shard wave.
     ///
     /// Also returns the per-link statistics (used by the figure harnesses
     /// to plot median series even when no alarm fires).
@@ -141,41 +147,87 @@ impl DelayDetector {
         records: &[TracerouteRecord],
     ) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>) {
         let threads = self.effective_threads();
-        let mut stage = self.stage(bin, records, threads);
+        let chunk = ingest::resolve_chunk(self.cfg.ingest_chunk_records);
+        self.begin_bin(bin);
+        engine::run_jobs(self.scatter_jobs(records, chunk), threads);
+        self.merge_scatter(bin);
+        let mut stage = self.stage(bin, threads);
         engine::run_jobs(stage.jobs(), threads);
         let (alarms, stats, new_links) = stage.finish();
         self.links_seen += new_links;
         (alarms, stats)
     }
 
-    /// Stage one bin for the shared engine: scatter the records into the
-    /// arena (step 1) and deal the shards into `threads` round-robin
-    /// bundles. The returned [`DelayStage`] hands out one boxed job per
-    /// bundle via [`DelayStage::jobs`] so the caller ([`DelayDetector::
-    /// process_bin`] standalone, or `Analyzer::process_bin` pooling both
-    /// detectors) decides which pool executes them.
-    pub(crate) fn stage<'a>(
+    /// Open one bin's ingestion: compact the intern epoch on the shared
+    /// expiry clock, then start a fresh scatter session. Must precede any
+    /// [`DelayDetector::scatter_jobs`] call for the bin.
+    pub(crate) fn begin_bin(&mut self, bin: BinId) {
+        self.arena.compact(bin, self.cfg.reference_expiry_bins);
+        self.arena.begin_bin();
+    }
+
+    /// The pre-stage: one boxed scatter job per fixed-size record chunk,
+    /// to be executed on the shared engine pool (possibly pooled with
+    /// other detectors' — or other streams' — chunk jobs). May be called
+    /// repeatedly within a bin: chunks append in call order, which is how
+    /// incremental (streaming) ingestion feeds partial bins.
+    pub(crate) fn scatter_jobs<'a>(
         &'a mut self,
-        bin: BinId,
-        records: &[TracerouteRecord],
-        threads: usize,
-    ) -> DelayStage<'a> {
+        records: &'a [TracerouteRecord],
+        chunk_records: usize,
+    ) -> Vec<engine::Job<'a>> {
+        let n = ingest::chunk_count(records.len(), chunk_records);
+        let (chunks, view) = self.arena.scatter_parts(n);
+        ingest::chunk_jobs(
+            chunks,
+            records,
+            chunk_records,
+            view,
+            |chunk, records, view| chunk.scatter(records, view),
+        )
+    }
+
+    /// The sequential merge between the scatter wave and the shard wave:
+    /// chunk-ordered intern assignment for the bin's new links/probes.
+    pub(crate) fn merge_scatter(&mut self, bin: BinId) {
+        self.arena.merge(bin);
+    }
+
+    /// Interning-epoch counters (links + probes).
+    pub fn ingest_stats(&self) -> ingest::IngestStats {
+        self.arena.stats()
+    }
+
+    /// Stage one bin for the shared engine: deal the scattered-and-merged
+    /// arena shards into `threads` round-robin bundles. The returned
+    /// [`DelayStage`] hands out one boxed job per bundle via
+    /// [`DelayStage::jobs`] so the caller ([`DelayDetector::process_bin`]
+    /// standalone, or `Analyzer::process_bin` pooling both detectors)
+    /// decides which pool executes them. Callers must have run the bin's
+    /// scatter jobs and [`DelayDetector::merge_scatter`] first.
+    pub(crate) fn stage<'a>(&'a mut self, bin: BinId, threads: usize) -> DelayStage<'a> {
         let DelayDetector {
             cfg, shards, arena, ..
         } = self;
-        // Step 1 (scatter): stage every differential RTT in its link's
-        // shard — flat 16-byte rows, all buffers bin-reused.
-        arena.scatter(records);
         let compute::SampleArenaParts {
             shards: arena_shards,
+            chunks,
             probe_ids,
             probe_asns,
         } = arena.parts_mut();
-        let bundles = engine::round_robin(arena_shards.iter_mut().zip(shards.iter_mut()), threads);
+        let bundles = engine::round_robin(
+            arena_shards
+                .iter_mut()
+                .enumerate()
+                .zip(shards.iter_mut())
+                .map(|((idx, arena_shard), shard)| (idx, arena_shard, shard)),
+            threads,
+        );
         DelayStage {
             inner: engine::ShardStage::new(bundles),
             cfg,
             bin,
+            chunks,
             probe_ids,
             probe_asns,
         }
@@ -243,8 +295,9 @@ impl DelayDetector {
     }
 }
 
-/// One worker's bundle: its share of arena shards zipped with their state.
-type DelayBundle<'a> = Vec<(&'a mut compute::ArenaShard, &'a mut Shard)>;
+/// One worker's bundle: its share of arena shards (with their index, for
+/// chunk-row gathering) zipped with their detector state.
+type DelayBundle<'a> = Vec<(usize, &'a mut compute::ArenaShard, &'a mut Shard)>;
 
 /// A bin staged for the shared engine: an [`engine::ShardStage`] of shard
 /// bundles plus the per-bin inputs every job reads. Produce jobs with
@@ -254,6 +307,7 @@ pub(crate) struct DelayStage<'a> {
     inner: engine::ShardStage<DelayBundle<'a>, ShardOutput>,
     cfg: &'a DetectorConfig,
     bin: BinId,
+    chunks: &'a [DelayChunk],
     probe_ids: &'a [ProbeId],
     probe_asns: &'a [Asn],
 }
@@ -262,10 +316,15 @@ impl<'a> DelayStage<'a> {
     /// One boxed job per shard bundle, each writing into its own output
     /// slot.
     pub(crate) fn jobs<'s>(&'s mut self) -> Vec<engine::Job<'s>> {
-        let (cfg, bin, probe_ids, probe_asns) =
-            (self.cfg, self.bin, self.probe_ids, self.probe_asns);
+        let (cfg, bin, chunks, probe_ids, probe_asns) = (
+            self.cfg,
+            self.bin,
+            self.chunks,
+            self.probe_ids,
+            self.probe_asns,
+        );
         self.inner
-            .jobs(move |bundle| run_delay_bundle(bundle, cfg, bin, probe_ids, probe_asns))
+            .jobs(move |bundle| run_delay_bundle(bundle, cfg, bin, chunks, probe_ids, probe_asns))
     }
 
     /// Deterministic merge of the executed jobs' outputs:
@@ -284,15 +343,16 @@ impl<'a> DelayStage<'a> {
     }
 }
 
-/// The per-worker shard pipeline: group each bundled shard's rows, then run
-/// steps 2–5 per link. Shard state arrives by `&mut` — no locks, no
-/// contention — and every per-link decision depends only on
-/// `(cfg, link, bin)`, so the caller's in-order merge is independent of the
-/// thread count.
+/// The per-worker shard pipeline: gather each bundled shard's chunk rows
+/// in chunk order, group them, then run steps 2–5 per link. Shard state
+/// arrives by `&mut` — no locks, no contention — and every per-link
+/// decision depends only on `(cfg, link, bin)`, so the caller's in-order
+/// merge is independent of the thread count.
 fn run_delay_bundle(
-    bundle: Vec<(&mut compute::ArenaShard, &mut Shard)>,
+    bundle: Vec<(usize, &mut compute::ArenaShard, &mut Shard)>,
     cfg: &DetectorConfig,
     bin: BinId,
+    chunks: &[DelayChunk],
     probe_ids: &[ProbeId],
     probe_asns: &[Asn],
 ) -> ShardOutput {
@@ -300,8 +360,9 @@ fn run_delay_bundle(
     // Reused across links: surviving samples + diversity scratch.
     let mut surviving: Vec<f64> = Vec::new();
     let mut diversity_scratch = diversity::Scratch::default();
-    for (arena_shard, shard) in bundle {
-        arena_shard.finalize(probe_asns);
+    for (idx, arena_shard, shard) in bundle {
+        arena_shard.gather(idx, chunks);
+        arena_shard.finalize(bin, probe_asns);
         for j in 0..arena_shard.link_count() {
             let slice = arena_shard.link_in(j, probe_ids, probe_asns);
             let link = slice.link;

@@ -132,7 +132,9 @@ impl<B, O> ShardStage<B, O> {
 /// share *in order*, so which OS thread executes a job is a pure function
 /// of `(job index, thread count)` — nothing is work-stolen, nothing races.
 /// With `threads <= 1` everything runs inline on the caller's thread (no
-/// spawn overhead, identical results).
+/// spawn overhead, identical results); with fewer jobs than workers only
+/// `jobs.len()` threads are spawned (an empty round-robin queue is a
+/// spawn+join for nothing — incremental ingestion feeds many tiny waves).
 pub(crate) fn run_jobs(jobs: Vec<Job<'_>>, threads: usize) {
     if threads <= 1 || jobs.len() <= 1 {
         for job in jobs {
@@ -140,7 +142,8 @@ pub(crate) fn run_jobs(jobs: Vec<Job<'_>>, threads: usize) {
         }
         return;
     }
-    let queues = round_robin(jobs, threads);
+    let workers = threads.min(jobs.len());
+    let queues = round_robin(jobs, workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = queues
             .into_iter()

@@ -16,7 +16,11 @@
 //!
 //! * packets live in a flat [`pattern::PatternArena`] whose buffers are
 //!   reused across bins — 16-byte `(pattern, hop, packets)` rows scattered
-//!   straight into the owning pattern's shard;
+//!   by the chunked parallel front-end (`crate::ingest`) into per-(chunk,
+//!   shard) buffers against epoch-persistent pattern/hop intern tables
+//!   (zero insertions in steady state; identical replies within a record
+//!   collapse into one accumulated row), concatenated per shard in chunk
+//!   order so output never depends on the chunking;
 //! * patterns — and their smoothed references — are sharded by a *stable*
 //!   `FxHash` of the [`PatternKey`], and shard workers own their shard's
 //!   reference map, so the check → alarm → reference-update pipeline needs
@@ -39,7 +43,8 @@ pub use reference::PatternReference;
 
 use crate::config::DetectorConfig;
 use crate::engine;
-use pattern::{shard_of_pattern, PatternArena, PatternArenaShard};
+use crate::ingest;
+use pattern::{shard_of_pattern, PatternArena, PatternArenaShard, PatternChunk};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{BinId, FxHashMap};
 
@@ -100,39 +105,84 @@ impl ForwardingDetector {
     }
 
     /// Process one bin of traceroutes; returns forwarding alarms — the
-    /// parallel, arena-backed engine.
+    /// parallel, arena-backed engine: a scatter wave (chunk jobs), the
+    /// sequential chunk-ordered intern merge, then the shard wave.
     pub fn process_bin(
         &mut self,
         bin: BinId,
         records: &[TracerouteRecord],
     ) -> Vec<ForwardingAlarm> {
         let threads = self.effective_threads();
-        let mut stage = self.stage(bin, records, threads);
+        let chunk = ingest::resolve_chunk(self.cfg.ingest_chunk_records);
+        self.begin_bin(bin);
+        engine::run_jobs(self.scatter_jobs(records, chunk), threads);
+        self.merge_scatter(bin);
+        let mut stage = self.stage(bin, threads);
         engine::run_jobs(stage.jobs(), threads);
         stage.finish()
     }
 
-    /// Stage one bin for the shared engine: scatter the records into the
-    /// pattern arena and deal the shards into `threads` round-robin
-    /// bundles (see [`crate::diffrtt::DelayDetector::stage`] — the
-    /// `Analyzer` pools both detectors' jobs on one set of workers).
-    pub(crate) fn stage<'a>(
+    /// Open one bin's ingestion: compact the intern epoch on the shared
+    /// expiry clock, then start a fresh scatter session.
+    pub(crate) fn begin_bin(&mut self, bin: BinId) {
+        self.arena.compact(bin, self.cfg.reference_expiry_bins);
+        self.arena.begin_bin();
+    }
+
+    /// The pre-stage: one boxed scatter job per fixed-size record chunk
+    /// (see [`crate::diffrtt::DelayDetector::scatter_jobs`] — the twin).
+    pub(crate) fn scatter_jobs<'a>(
         &'a mut self,
-        bin: BinId,
-        records: &[TracerouteRecord],
-        threads: usize,
-    ) -> ForwardingStage<'a> {
+        records: &'a [TracerouteRecord],
+        chunk_records: usize,
+    ) -> Vec<engine::Job<'a>> {
+        let n = ingest::chunk_count(records.len(), chunk_records);
+        let (chunks, view) = self.arena.scatter_parts(n);
+        ingest::chunk_jobs(
+            chunks,
+            records,
+            chunk_records,
+            view,
+            |chunk, records, view| chunk.scatter(records, view),
+        )
+    }
+
+    /// The sequential merge between the scatter wave and the shard wave.
+    pub(crate) fn merge_scatter(&mut self, bin: BinId) {
+        self.arena.merge(bin);
+    }
+
+    /// Interning-epoch counters (patterns + next hops).
+    pub fn ingest_stats(&self) -> ingest::IngestStats {
+        self.arena.stats()
+    }
+
+    /// Stage one bin for the shared engine: deal the scattered-and-merged
+    /// arena shards into `threads` round-robin bundles (see
+    /// [`crate::diffrtt::DelayDetector::stage`] — the `Analyzer` pools
+    /// both detectors' jobs on one set of workers). Callers must have run
+    /// the bin's scatter jobs and [`ForwardingDetector::merge_scatter`]
+    /// first.
+    pub(crate) fn stage<'a>(&'a mut self, bin: BinId, threads: usize) -> ForwardingStage<'a> {
         let ForwardingDetector { cfg, shards, arena } = self;
-        arena.scatter(records);
         let pattern::PatternArenaParts {
             shards: arena_shards,
+            chunks,
             hops,
         } = arena.parts_mut();
-        let bundles = engine::round_robin(arena_shards.iter_mut().zip(shards.iter_mut()), threads);
+        let bundles = engine::round_robin(
+            arena_shards
+                .iter_mut()
+                .enumerate()
+                .zip(shards.iter_mut())
+                .map(|((idx, arena_shard), shard)| (idx, arena_shard, shard)),
+            threads,
+        );
         ForwardingStage {
             inner: engine::ShardStage::new(bundles),
             cfg,
             bin,
+            chunks,
             hops,
         }
     }
@@ -193,8 +243,9 @@ impl ForwardingDetector {
     }
 }
 
-/// One worker's bundle: its share of arena shards zipped with their state.
-type ForwardingBundle<'a> = Vec<(&'a mut PatternArenaShard, &'a mut FwdShard)>;
+/// One worker's bundle: its share of arena shards (with their index, for
+/// chunk-row gathering) zipped with their detector state.
+type ForwardingBundle<'a> = Vec<(usize, &'a mut PatternArenaShard, &'a mut FwdShard)>;
 
 /// A bin staged for the shared engine — the forwarding twin of
 /// [`crate::diffrtt::DelayStage`]: an [`engine::ShardStage`] of shard
@@ -204,6 +255,7 @@ pub(crate) struct ForwardingStage<'a> {
     inner: engine::ShardStage<ForwardingBundle<'a>, FwdShardOutput>,
     cfg: &'a DetectorConfig,
     bin: BinId,
+    chunks: &'a [PatternChunk],
     hops: &'a [NextHop],
 }
 
@@ -211,9 +263,9 @@ impl<'a> ForwardingStage<'a> {
     /// One boxed job per shard bundle, each writing into its own output
     /// slot.
     pub(crate) fn jobs<'s>(&'s mut self) -> Vec<engine::Job<'s>> {
-        let (cfg, bin, hops) = (self.cfg, self.bin, self.hops);
+        let (cfg, bin, chunks, hops) = (self.cfg, self.bin, self.chunks, self.hops);
         self.inner
-            .jobs(move |bundle| run_forwarding_bundle(bundle, cfg, bin, hops))
+            .jobs(move |bundle| run_forwarding_bundle(bundle, cfg, bin, chunks, hops))
     }
 
     /// Deterministic merge of the executed jobs' outputs.
@@ -227,22 +279,25 @@ impl<'a> ForwardingStage<'a> {
     }
 }
 
-/// The per-worker shard pipeline: group each bundled shard's rows, then
-/// check → alarm → reference-update every pattern, then evict expired
-/// references. Shard state arrives by `&mut` — no locks — and every
-/// per-pattern decision depends only on `(cfg, key, bin)`, so the caller's
-/// in-order merge is independent of the thread count.
+/// The per-worker shard pipeline: gather each bundled shard's chunk rows
+/// in chunk order, group them, then check → alarm → reference-update
+/// every pattern, then evict expired references. Shard state arrives by
+/// `&mut` — no locks — and every per-pattern decision depends only on
+/// `(cfg, key, bin)`, so the caller's in-order merge is independent of
+/// the thread count.
 fn run_forwarding_bundle(
-    bundle: Vec<(&mut PatternArenaShard, &mut FwdShard)>,
+    bundle: Vec<(usize, &mut PatternArenaShard, &mut FwdShard)>,
     cfg: &DetectorConfig,
     bin: BinId,
+    chunks: &[PatternChunk],
     hops: &[NextHop],
 ) -> FwdShardOutput {
     let mut out = FwdShardOutput::default();
     // Reused across patterns: hop-alignment buffers.
     let mut scratch = detect::AlignScratch::default();
-    for (arena_shard, shard) in bundle {
-        arena_shard.finalize();
+    for (idx, arena_shard, shard) in bundle {
+        arena_shard.gather(idx, chunks);
+        arena_shard.finalize(bin);
         for j in 0..arena_shard.pattern_count() {
             let slice = arena_shard.pattern_in(j, hops);
             let entry = shard

@@ -9,8 +9,9 @@
 //! traceroute destination) because forwarding is destination-dependent.
 
 use crate::engine;
+use crate::ingest::{ChunkPool, Interner, PENDING, SENTINEL};
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::FxHashMap;
+use pinpoint_model::{BinId, FxHashMap};
 use std::net::Ipv4Addr;
 
 /// A next-hop slot in a forwarding pattern.
@@ -79,7 +80,7 @@ impl Pattern {
 }
 
 /// Build forwarding patterns from one bin of traceroutes (reference path;
-/// the engine uses [`PatternArena::scatter`]).
+/// the engine uses [`PatternArena::build`]).
 pub fn collect_patterns(records: &[TracerouteRecord]) -> FxHashMap<PatternKey, Pattern> {
     let mut out: FxHashMap<PatternKey, Pattern> = FxHashMap::default();
     for rec in records {
@@ -155,44 +156,198 @@ impl<'a> PatternSlice<'a> {
     }
 }
 
-/// One shard's pattern rows and grouped layout. `rows` is written by the
-/// scatter pass; `finalize` (run by the shard's worker thread) sorts and
-/// groups it into `pool`/`entries`.
+/// One scatter chunk's private output for the forwarding side: per-shard
+/// pattern rows plus chunk-local queues of pattern keys and next hops not
+/// yet in the persistent tables. Written by exactly one scatter job, read
+/// by the merge and the per-shard gather; all buffers bin-reused.
+#[derive(Debug, Default)]
+pub(crate) struct PatternChunk {
+    /// Per-shard `(pattern_local << 32 | hop_slot, packets)` rows, in
+    /// record order within the chunk. Ids may carry [`PENDING`]; the hop
+    /// part may be [`SENTINEL`] (presence-only row).
+    rows: Vec<Vec<(u64, f64)>>,
+    /// Pattern keys first seen by this chunk, in encounter order.
+    new_patterns: Vec<PatternKey>,
+    /// Chunk-local dedup for `new_patterns`.
+    new_pattern_ids: FxHashMap<PatternKey, u32>,
+    /// Filled by the merge: pending pattern id → final shard-local id.
+    pattern_patch: Vec<u32>,
+    /// Next hops first seen by this chunk, in encounter order.
+    new_hops: Vec<NextHop>,
+    /// Chunk-local hop dedup: hop → encoded slot.
+    hop_seen: FxHashMap<NextHop, u32>,
+    /// Every hop this chunk touched (encoded slots, encounter order) —
+    /// drives last-seen stamps for the hop table.
+    touched_hops: Vec<u32>,
+    /// Filled by the merge: pending hop id → final table slot.
+    hop_patch: Vec<u32>,
+    /// Per-(record, router-hop) accumulation scratch: identical
+    /// `(pattern, hop)` packets collapse into one row before pushing.
+    acc: Vec<(u32, f64)>,
+}
+
+/// The read-only arena state a scatter job shares with every other job.
+#[derive(Clone, Copy)]
+pub(crate) struct PatternScatterView<'a> {
+    pub(crate) shards: &'a [PatternArenaShard],
+    pub(crate) hops: &'a Interner<NextHop>,
+}
+
+impl PatternChunk {
+    fn clear(&mut self) {
+        if self.rows.len() < engine::NUM_SHARDS {
+            self.rows.resize_with(engine::NUM_SHARDS, Vec::new);
+        }
+        for rows in &mut self.rows {
+            rows.clear();
+        }
+        self.new_patterns.clear();
+        self.new_pattern_ids.clear();
+        self.pattern_patch.clear();
+        self.new_hops.clear();
+        self.hop_seen.clear();
+        self.touched_hops.clear();
+        self.hop_patch.clear();
+    }
+
+    /// Scatter one record chunk into this chunk's per-shard row buffers.
+    ///
+    /// Replies landing on the same next hop within one (record, router)
+    /// observation are accumulated into a single `(key, n)` row before
+    /// pushing — reply-heavy hops produce one row per *distinct* next hop
+    /// instead of one per packet. A router observed with no next-hop
+    /// packets at all (empty or all-repeated successor replies) pushes one
+    /// [`SENTINEL`] presence row, so the pattern still exists this bin and
+    /// its reference still decays, exactly like the nested-map path.
+    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord], view: PatternScatterView<'_>) {
+        for rec in records {
+            for i in 0..rec.hops.len().saturating_sub(1) {
+                let Some(router) = rec.hops[i].first_responder() else {
+                    continue;
+                };
+                let key = PatternKey {
+                    router,
+                    dst: rec.dst,
+                };
+                let s = shard_of_pattern(&key);
+                let local = match view.shards[s].patterns.get(&key) {
+                    Some(local) => local,
+                    None => match self.new_pattern_ids.get(&key) {
+                        Some(&pending) => pending,
+                        None => {
+                            self.new_patterns.push(key);
+                            let pending = PENDING | (self.new_patterns.len() as u32 - 1);
+                            self.new_pattern_ids.insert(key, pending);
+                            pending
+                        }
+                    },
+                };
+                self.acc.clear();
+                for reply in &rec.hops[i + 1].replies {
+                    let hop = match reply.from {
+                        Some(ip) if ip != router => NextHop::Ip(ip),
+                        // A repeated address (TTL quirk) is not a next hop.
+                        Some(_) => continue,
+                        None => NextHop::Unresponsive,
+                    };
+                    let enc = match self.hop_seen.get(&hop) {
+                        Some(&enc) => enc,
+                        None => {
+                            let enc = match view.hops.get(&hop) {
+                                Some(slot) => slot,
+                                None => {
+                                    self.new_hops.push(hop);
+                                    PENDING | (self.new_hops.len() as u32 - 1)
+                                }
+                            };
+                            self.hop_seen.insert(hop, enc);
+                            self.touched_hops.push(enc);
+                            enc
+                        }
+                    };
+                    match self.acc.iter_mut().find(|(slot, _)| *slot == enc) {
+                        Some((_, packets)) => *packets += 1.0,
+                        None => self.acc.push((enc, 1.0)),
+                    }
+                }
+                let hi = u64::from(local) << 32;
+                let rows = &mut self.rows[s];
+                if self.acc.is_empty() {
+                    rows.push((hi | u64::from(SENTINEL), 0.0));
+                } else {
+                    for &(slot, packets) in &self.acc {
+                        rows.push((hi | u64::from(slot), packets));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One shard's per-bin pattern rows and grouped layout, plus its slice of
+/// the persistent pattern intern epoch. `gather` concatenates the bin's
+/// chunk buffers in chunk order (patching pending ids); `finalize` (run
+/// by the shard's worker thread) sorts and groups into `pool`/`entries`.
 #[derive(Debug, Default)]
 pub(crate) struct PatternArenaShard {
+    /// Epoch-persistent pattern key → shard-local id table.
+    patterns: Interner<PatternKey>,
     /// `(pattern_local << 32 | hop_slot, packets)` — 16 bytes, sorted by
     /// key at finalize.
     rows: Vec<(u64, f64)>,
-    /// Local pattern id → key, in first-encounter order.
-    keys: Vec<PatternKey>,
-    /// Grouped `(hop_slot, packets)` per pattern.
+    /// Grouped `(hop_slot, packets)` per observed pattern.
     pool: Vec<(u32, f64)>,
-    /// `entries[local]` = the pattern's `(pool start, pool len)`.
-    entries: Vec<(u32, u32)>,
+    /// `(pattern_local, pool start, pool len)` per observed pattern, in
+    /// local-id order. Presence-only patterns have `len == 0`.
+    entries: Vec<(u32, u32, u32)>,
 }
 
 impl PatternArenaShard {
-    fn clear(&mut self) {
+    /// Concatenate this shard's rows from every chunk **in chunk order**
+    /// (= record order), patching pending ids. Safe to run concurrently
+    /// across shards.
+    pub(crate) fn gather(&mut self, idx: usize, chunks: &[PatternChunk]) {
         self.rows.clear();
-        self.keys.clear();
-        self.pool.clear();
-        self.entries.clear();
+        for chunk in chunks {
+            // Steady-state fast path: a chunk that discovered no new keys
+            // wrote no pending ids anywhere — its buffer is final and can
+            // be copied wholesale (SENTINEL rows need no patching either).
+            if chunk.new_patterns.is_empty() && chunk.new_hops.is_empty() {
+                self.rows.extend_from_slice(&chunk.rows[idx]);
+                continue;
+            }
+            for &(key, packets) in &chunk.rows[idx] {
+                let mut local = (key >> 32) as u32;
+                if local & PENDING != 0 {
+                    local = chunk.pattern_patch[(local ^ PENDING) as usize];
+                }
+                let mut slot = key as u32;
+                if slot != SENTINEL && slot & PENDING != 0 {
+                    slot = chunk.hop_patch[(slot ^ PENDING) as usize];
+                }
+                self.rows
+                    .push(((u64::from(local) << 32) | u64::from(slot), packets));
+            }
+        }
     }
 
-    /// Sort this shard's rows and lay out the grouped pool/entry indexes.
-    /// Safe to run concurrently across shards. Every interned pattern gets
-    /// an entry — including packet-less ones (a hop whose successor sent no
-    /// replies), whose empty observation must still decay its reference
-    /// exactly as the nested-map path does.
-    pub(crate) fn finalize(&mut self) {
+    /// Sort this shard's rows and lay out the grouped pool/entry indexes,
+    /// stamping every observed pattern's epoch entry with `bin`. Every
+    /// pattern with at least one row this bin gets an entry — including
+    /// presence-only ones (a hop whose successor sent no packets), whose
+    /// empty observation must still decay its reference exactly as the
+    /// nested-map path does. Safe to run concurrently across shards.
+    pub(crate) fn finalize(&mut self, bin: BinId) {
         self.pool.clear();
         self.entries.clear();
         // One u64-keyed sort over a small, cache-resident shard. Equal keys
         // are summed; the addends are whole packets, so the sum is exact
-        // and independent of row order.
+        // and independent of row order. SENTINEL sorts after every real
+        // hop slot, so presence rows are consumed at the end of a group.
         self.rows.sort_unstable_by_key(|r| r.0);
         let mut i = 0;
-        for local in 0..self.keys.len() as u32 {
+        while i < self.rows.len() {
+            let local = (self.rows[i].0 >> 32) as u32;
             let start = self.pool.len() as u32;
             while i < self.rows.len() && (self.rows[i].0 >> 32) as u32 == local {
                 let key = self.rows[i].0;
@@ -202,54 +357,65 @@ impl PatternArenaShard {
                     packets += self.rows[i].1;
                     i += 1;
                 }
-                self.pool.push((slot, packets));
+                if slot != SENTINEL {
+                    self.pool.push((slot, packets));
+                }
             }
-            self.entries.push((start, self.pool.len() as u32 - start));
+            self.patterns.stamp(local, bin);
+            self.entries
+                .push((local, start, self.pool.len() as u32 - start));
         }
     }
 
-    /// Patterns in this shard (after `finalize`).
+    /// Patterns observed in this shard's current bin (after `finalize`).
     pub(crate) fn pattern_count(&self) -> usize {
         self.entries.len()
     }
 
     pub(crate) fn pattern_in<'a>(&'a self, j: usize, hops: &'a [NextHop]) -> PatternSlice<'a> {
-        let (start, len) = self.entries[j];
+        let (local, start, len) = self.entries[j];
         PatternSlice {
-            key: self.keys[j],
+            key: self.patterns.key(local),
             counts: &self.pool[start as usize..(start + len) as usize],
             hops,
         }
     }
 }
 
-/// Split borrow of an arena: mutable shards alongside the shared hop
-/// intern table, so stage construction can hand shards to workers while
-/// the hop slice stays readable from every job.
+/// Split borrow of an arena for the shard wave: mutable shards alongside
+/// the bin's chunk outputs and the shared hop intern table, so stage
+/// construction can hand shards to workers while chunk rows and the hop
+/// slice stay readable from every job.
 pub(crate) struct PatternArenaParts<'a> {
     pub(crate) shards: &'a mut [PatternArenaShard],
+    pub(crate) chunks: &'a [PatternChunk],
     pub(crate) hops: &'a [NextHop],
 }
 
 /// The engine's flat, sharded, bin-reusable forwarding-pattern store —
-/// the forwarding twin of [`crate::diffrtt::SampleArena`].
+/// the forwarding twin of [`crate::diffrtt::SampleArena`], fed by the
+/// same chunked parallel ingestion front-end (`crate::ingest`).
 ///
-/// [`PatternArena::scatter`] stages every next-hop packet as a 16-byte
-/// `(pattern, hop, packets)` row directly in the owning pattern's shard
-/// (patterns are sharded by [`FxHasher`](pinpoint_model::hash::FxHasher)
-/// on their [`PatternKey`]; patterns and hops are interned into dense ids
-/// on first encounter); [`PatternArenaShard::finalize`] — run per shard,
-/// in parallel — sorts each shard's rows by one u64 key and sums them into
-/// per-pattern `(hop, packets)` runs. Every buffer is retained across
-/// bins, so a steady stream of equally-sized bins settles into zero
-/// steady-state allocation; and because rows never leave their shard, the
-/// whole grouping step parallelizes without synchronization.
+/// Per bin: scatter jobs stage next-hop packets as 16-byte
+/// `(pattern, hop, packets)` rows in private per-(chunk, shard) buffers
+/// (patterns are sharded by a stable `FxHash` of their [`PatternKey`];
+/// keys and hops resolve through *epoch-persistent* intern tables, so
+/// steady-state bins perform zero insertions); a short sequential merge
+/// assigns dense ids to the bin's new keys in chunk order (= record
+/// order); then [`PatternArenaShard::gather`] +
+/// [`PatternArenaShard::finalize`] — run per shard, in parallel —
+/// concatenate each shard's rows in chunk order and sum them into
+/// per-pattern `(hop, packets)` runs. Buffers and tables persist across
+/// bins; compaction on the shared `reference_expiry_bins` clock bounds
+/// the tables under key churn.
 #[derive(Debug)]
 pub struct PatternArena {
     pub(crate) shards: Vec<PatternArenaShard>,
-    pattern_index: FxHashMap<PatternKey, (u32, u32)>,
-    hop_index: FxHashMap<NextHop, u32>,
-    hops: Vec<NextHop>,
+    /// Epoch-persistent next-hop → slot table.
+    hops: Interner<NextHop>,
+    /// The bin's scatter-chunk buffers (reused across bins).
+    chunks: ChunkPool<PatternChunk>,
+    insertions_at_bin_start: u64,
 }
 
 impl Default for PatternArena {
@@ -258,9 +424,9 @@ impl Default for PatternArena {
             shards: (0..engine::NUM_SHARDS)
                 .map(|_| PatternArenaShard::default())
                 .collect(),
-            pattern_index: FxHashMap::default(),
-            hop_index: FxHashMap::default(),
-            hops: Vec::new(),
+            hops: Interner::default(),
+            chunks: ChunkPool::default(),
+            insertions_at_bin_start: 0,
         }
     }
 }
@@ -271,74 +437,138 @@ impl PatternArena {
         PatternArena::default()
     }
 
-    /// Stage one bin of traceroutes into per-shard rows, reusing all
-    /// buffers. Call [`PatternArenaShard::finalize`] (or
-    /// [`PatternArena::build`]) to group them.
-    pub(crate) fn scatter(&mut self, records: &[TracerouteRecord]) {
-        for shard in &mut self.shards {
-            shard.clear();
-        }
-        self.pattern_index.clear();
-        self.hop_index.clear();
-        self.hops.clear();
+    fn total_insertions(&self) -> u64 {
+        self.hops.insertions()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.patterns.insertions())
+                .sum::<u64>()
+    }
 
-        let shards = &mut self.shards;
-        let pattern_index = &mut self.pattern_index;
-        let hop_index = &mut self.hop_index;
-        let hops = &mut self.hops;
-        for rec in records {
-            for i in 0..rec.hops.len().saturating_sub(1) {
-                let Some(router) = rec.hops[i].first_responder() else {
-                    continue;
+    /// Interning-epoch counters for this arena (patterns + next hops).
+    pub(crate) fn stats(&self) -> crate::ingest::IngestStats {
+        crate::ingest::IngestStats {
+            interned: self.hops.len() + self.shards.iter().map(|s| s.patterns.len()).sum::<usize>(),
+            bin_insertions: self.total_insertions() - self.insertions_at_bin_start,
+            insertions: self.total_insertions(),
+            evictions: self.hops.evictions()
+                + self
+                    .shards
+                    .iter()
+                    .map(|s| s.patterns.evictions())
+                    .sum::<u64>(),
+        }
+    }
+
+    /// Start a new scatter session (see [`crate::diffrtt::SampleArena`]).
+    pub(crate) fn begin_bin(&mut self) {
+        self.chunks.begin_bin();
+        self.insertions_at_bin_start = self.total_insertions();
+    }
+
+    /// Evict patterns and hops unseen for more than `expiry_bins` bins.
+    /// Byte-for-byte invisible in reports; must run between bins.
+    pub(crate) fn compact(&mut self, now: BinId, expiry_bins: usize) {
+        for shard in &mut self.shards {
+            shard.patterns.compact(now, expiry_bins);
+        }
+        self.hops.compact(now, expiry_bins);
+    }
+
+    /// Reserve `n` cleared chunk buffers for the current session and
+    /// return them alongside the shared scatter view (appends, so
+    /// incremental feeding extends the same bin).
+    pub(crate) fn scatter_parts(
+        &mut self,
+        n: usize,
+    ) -> (&mut [PatternChunk], PatternScatterView<'_>) {
+        let PatternArena {
+            chunks,
+            shards,
+            hops,
+            ..
+        } = self;
+        (
+            chunks.reserve(n, PatternChunk::clear),
+            PatternScatterView { shards, hops },
+        )
+    }
+
+    /// The sequential chunk-ordered merge between the scatter wave and
+    /// the shard wave: assign dense ids to the bin's new pattern keys and
+    /// next hops in chunk order (= record order) and stamp touched hops.
+    /// Observed patterns are stamped at finalize, on their own shard.
+    pub(crate) fn merge(&mut self, bin: BinId) {
+        let PatternArena {
+            chunks,
+            shards,
+            hops,
+            ..
+        } = self;
+        for chunk in chunks.active_mut() {
+            chunk.pattern_patch.clear();
+            for &key in &chunk.new_patterns {
+                let s = shard_of_pattern(&key);
+                let local = match shards[s].patterns.get(&key) {
+                    Some(local) => local,
+                    None => shards[s].patterns.insert(key, bin),
                 };
-                let key = PatternKey {
-                    router,
-                    dst: rec.dst,
-                };
-                // Intern before the reply loop: a pattern whose successor
-                // hop sent nothing still exists (and its reference decays).
-                let (shard_idx, local) = *pattern_index.entry(key).or_insert_with(|| {
-                    let s = shard_of_pattern(&key) as u32;
-                    let local = shards[s as usize].keys.len() as u32;
-                    shards[s as usize].keys.push(key);
-                    (s, local)
-                });
-                let rows = &mut shards[shard_idx as usize].rows;
-                for reply in &rec.hops[i + 1].replies {
-                    let hop = match reply.from {
-                        Some(ip) if ip != router => NextHop::Ip(ip),
-                        // A repeated address (TTL quirk) is not a next hop.
-                        Some(_) => continue,
-                        None => NextHop::Unresponsive,
+                chunk.pattern_patch.push(local);
+            }
+            chunk.hop_patch.clear();
+            for &enc in &chunk.touched_hops {
+                let slot = if enc & PENDING != 0 {
+                    debug_assert_eq!((enc ^ PENDING) as usize, chunk.hop_patch.len());
+                    let hop = chunk.new_hops[(enc ^ PENDING) as usize];
+                    let slot = match hops.get(&hop) {
+                        Some(slot) => slot,
+                        None => hops.insert(hop, bin),
                     };
-                    let slot = *hop_index.entry(hop).or_insert_with(|| {
-                        hops.push(hop);
-                        hops.len() as u32 - 1
-                    });
-                    rows.push(((u64::from(local) << 32) | u64::from(slot), 1.0));
-                }
+                    chunk.hop_patch.push(slot);
+                    slot
+                } else {
+                    enc
+                };
+                hops.stamp(slot, bin);
             }
         }
     }
 
-    /// Scatter + finalize every shard inline (the single-threaded
-    /// convenience entry; the engine finalizes shards on its workers).
+    /// Scatter + merge + gather + finalize inline, as a single chunk (the
+    /// single-threaded convenience entry; the engine runs chunks and
+    /// shards on its workers).
     pub fn build(&mut self, records: &[TracerouteRecord]) {
-        self.scatter(records);
-        for shard in &mut self.shards {
-            shard.finalize();
+        let bin = BinId(0);
+        self.begin_bin();
+        {
+            let (chunks, view) = self.scatter_parts(1);
+            chunks[0].scatter(records, view);
+        }
+        self.merge(bin);
+        let parts = self.parts_mut();
+        for (i, shard) in parts.shards.iter_mut().enumerate() {
+            shard.gather(i, parts.chunks);
+            shard.finalize(bin);
         }
     }
 
-    /// Disjoint views for the engine stage (after [`PatternArena::scatter`]).
+    /// Disjoint views for the engine's shard wave (after [`Self::merge`]).
     pub(crate) fn parts_mut(&mut self) -> PatternArenaParts<'_> {
+        let PatternArena {
+            shards,
+            chunks,
+            hops,
+            ..
+        } = self;
         PatternArenaParts {
-            shards: &mut self.shards,
-            hops: &self.hops,
+            shards,
+            chunks: chunks.active(),
+            hops: hops.keys(),
         }
     }
 
-    /// Number of patterns in the current bin (after finalize).
+    /// Number of patterns observed in the current bin (after finalize).
     pub fn pattern_count(&self) -> usize {
         self.shards.iter().map(|s| s.pattern_count()).sum()
     }
@@ -346,7 +576,7 @@ impl PatternArena {
     /// Iterate every pattern of the current bin (after finalize; arbitrary
     /// but deterministic order).
     pub fn patterns(&self) -> impl Iterator<Item = PatternSlice<'_>> {
-        let hops = &self.hops[..];
+        let hops = self.hops.keys();
         self.shards
             .iter()
             .flat_map(move |s| (0..s.pattern_count()).map(move |j| s.pattern_in(j, hops)))
@@ -548,6 +778,67 @@ mod tests {
     }
 
     #[test]
+    fn packet_less_pattern_stays_when_interned_in_an_earlier_bin() {
+        // Bin 1 observes the pattern with packets; bin 2 observes it with
+        // an empty successor hop. With persistent interning, presence this
+        // bin must come from this bin's rows — not from the epoch table —
+        // so bin 2 must still yield exactly one (empty) pattern.
+        let with_packets = rec(
+            "198.51.100.1",
+            vec![hop(1, &[Some("10.0.0.1"); 3]), hop(2, &[Some("10.0.1.1")])],
+        );
+        let empty_successor = rec(
+            "198.51.100.1",
+            vec![hop(1, &[Some("10.0.0.1"); 3]), Hop::new(2, Vec::new())],
+        );
+        let mut arena = PatternArena::new();
+        arena.build(std::slice::from_ref(&with_packets));
+        assert_eq!(arena.pattern_count(), 1);
+        arena.build(std::slice::from_ref(&empty_successor));
+        assert_eq!(arena.pattern_count(), 1);
+        let slice = arena.patterns().next().unwrap();
+        assert!(slice.is_empty());
+        // A bin where the router never appears yields no pattern at all,
+        // even though the key stays interned.
+        arena.build(&[]);
+        assert_eq!(arena.pattern_count(), 0);
+    }
+
+    #[test]
+    fn replies_to_one_hop_collapse_into_one_row_with_exact_counts() {
+        // 5 replies to the same next hop + 2 timeouts: the scatter-time
+        // accumulation must produce the same packet counts the per-reply
+        // reference path does.
+        let r = rec(
+            "198.51.100.1",
+            vec![
+                hop(1, &[Some("10.0.0.1"); 3]),
+                hop(
+                    2,
+                    &[
+                        Some("10.0.1.1"),
+                        Some("10.0.1.1"),
+                        None,
+                        Some("10.0.1.1"),
+                        Some("10.0.1.1"),
+                        None,
+                        Some("10.0.1.1"),
+                    ],
+                ),
+            ],
+        );
+        let reference = collect_patterns(std::slice::from_ref(&r));
+        let sharded = collect_patterns_sharded(&[r]);
+        assert_eq!(sharded, reference);
+        let key = PatternKey {
+            router: ip("10.0.0.1"),
+            dst: ip("198.51.100.1"),
+        };
+        assert_eq!(sharded[&key].get(&NextHop::Ip(ip("10.0.1.1"))), 5.0);
+        assert_eq!(sharded[&key].get(&NextHop::Unresponsive), 2.0);
+    }
+
+    #[test]
     fn arena_is_reusable_across_bins() {
         let mk = |next: &str| {
             rec(
@@ -571,5 +862,9 @@ mod tests {
         // And an empty bin empties the arena.
         arena.build(&[]);
         assert_eq!(arena.pattern_count(), 0);
+        // The intern epoch persisted: rebuilding a known shape performs
+        // zero new insertions.
+        arena.build(&[mk("10.0.1.1"), mk("10.0.1.2")]);
+        assert_eq!(arena.stats().bin_insertions, 0);
     }
 }

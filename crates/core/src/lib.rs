@@ -45,8 +45,23 @@
 //! The per-bin hot path is a sharded, parallel, allocation-lean engine
 //! (the paper's system must keep pace with the full Atlas stream, §8):
 //!
+//! * **Chunked parallel ingestion** — the record→row scatter pass (the
+//!   front door of every bin) splits records into fixed-size chunks and
+//!   scatters them on the engine pool into per-(chunk, shard) row
+//!   buffers, concatenated per shard **in chunk order** so grouped
+//!   output is byte-identical for any chunk size or thread count
+//!   ([`ingest`]). Bins can also be fed incrementally as slices arrive
+//!   ([`pipeline::Analyzer::begin_bin`] / [`pipeline::Analyzer::ingest`]
+//!   / [`pipeline::Analyzer::finish_bin`]) with the identical result.
+//! * **Persistent interning epochs** — links, probes, pattern keys, and
+//!   next hops intern into dense ids once and stay interned across bins:
+//!   steady-state bins perform zero intern-table insertions (counted by
+//!   [`pipeline::Analyzer::ingest_stats`], asserted in tests and on
+//!   every bench run), and a compaction sweep on the shared
+//!   `reference_expiry_bins` clock keeps the tables bounded under key
+//!   churn — invisibly, since dense ids never reach reports.
 //! * **Flat sample arena** — differential RTTs are staged as 16-byte
-//!   `(link, probe, value)` rows directly in the owning link's shard
+//!   `(link, probe, value)` rows in the owning link's shard
 //!   ([`diffrtt::SampleArena`]), then each shard sorts its rows by one
 //!   u64 key and lays them out contiguously. Every buffer is reused
 //!   across bins: a steady stream settles into zero steady-state
@@ -84,25 +99,29 @@
 //!   `median_ci_select` (three quickselects) instead of a full sort.
 //! * **Determinism** — per-link randomness is derived from
 //!   `(seed, link, bin)`, job outputs merge in job order (never
-//!   completion order), and alarms get a final total-order sort, so
-//!   output is byte-for-byte identical for any thread count. The
+//!   completion order), alarms get a final total-order sort, and
+//!   ingestion follows the chunk-order rule, so output is byte-for-byte
+//!   identical for any thread count and any scatter chunk size. The
 //!   original single-threaded paths are kept behind
 //!   [`pipeline::Analyzer::process_bin_sequential`] /
 //!   [`stream::StreamRouter::process_bin_sequential`], and
 //!   `tests/engine_parity.rs` + `tests/forwarding_parity.rs` +
-//!   `tests/stream_parity.rs` prove equivalence across scenarios, seeds,
-//!   and thread counts (re-run in CI under a `PINPOINT_THREADS` ∈
-//!   {1, 2, 4, 8} matrix on a multi-core runner).
+//!   `tests/stream_parity.rs` + `tests/ingest_parity.rs` prove
+//!   equivalence across scenarios, seeds, thread counts, and chunk
+//!   sizes (re-run in CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} ×
+//!   `PINPOINT_CHUNK` ∈ {3, default} matrix on a multi-core runner).
 //!
 //! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
 //! includes parallel-vs-sequential engine benches) and
 //! `cargo run --release -p pinpoint-bench --bin pipeline_bench`, which
-//! writes throughput + speedup numbers to `BENCH_pipeline.json` — five
+//! writes throughput + speedup numbers to `BENCH_pipeline.json` — six
 //! workloads: faithful simulator bin, delay-heavy, forwarding-heavy, a
-//! mixed bin loading both shard pipelines in one combined pass, and a
-//! three-stream fleet bin pooled through the `StreamRouter` — so the
-//! perf trajectory is tracked PR over PR (`--check` turns a run into a
-//! regression gate against the committed numbers).
+//! mixed bin loading both shard pipelines in one combined pass, a
+//! three-stream fleet bin pooled through the `StreamRouter`, and a
+//! scatter-dominated `ingest_heavy` bin isolating the chunked-ingestion
+//! layer (with its zero-steady-state-insertion guarantee asserted every
+//! run) — so the perf trajectory is tracked PR over PR (`--check` turns
+//! a run into a regression gate against the committed numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -114,11 +133,13 @@ pub mod diffrtt;
 pub(crate) mod engine;
 pub mod forwarding;
 pub mod graph;
+pub mod ingest;
 pub mod pipeline;
 pub mod stream;
 
 pub use config::DetectorConfig;
 pub use diffrtt::{DelayAlarm, DelayDetector};
 pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
+pub use ingest::IngestStats;
 pub use pipeline::{Analyzer, BinReport};
 pub use stream::{FleetReport, StreamId, StreamRouter};

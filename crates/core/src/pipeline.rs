@@ -5,6 +5,15 @@
 //! §4–§6 and returns a [`BinReport`]. Feed it bins in order — the
 //! references and sliding windows are stateful, exactly like the online
 //! deployment of §8 consuming the Atlas stream.
+//!
+//! Records can also arrive incrementally, as they do from the streaming
+//! Atlas API: open a bin with [`Analyzer::begin_bin`], feed record slices
+//! with [`Analyzer::ingest`] as they land, and close it with
+//! [`Analyzer::finish_bin`]. Because the chunked scatter front-end
+//! concatenates per-shard rows in chunk (= arrival) order, the report is
+//! byte-identical to a batch [`Analyzer::process_bin`] over the
+//! concatenated records, no matter how the feed was sliced — see
+//! `examples/chunked_ingest.rs`.
 
 use crate::aggregate::{
     delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker,
@@ -49,6 +58,13 @@ impl BinReport {
     }
 }
 
+/// An open incremental-ingestion bin (see [`Analyzer::begin_bin`]).
+#[derive(Debug, Clone, Copy)]
+struct IngestSession {
+    bin: BinId,
+    records: usize,
+}
+
 /// The stateful §4–§6 pipeline.
 #[derive(Debug)]
 pub struct Analyzer {
@@ -57,6 +73,7 @@ pub struct Analyzer {
     forwarding: ForwardingDetector,
     mapper: AsMapper,
     magnitudes: MagnitudeTracker,
+    session: Option<IngestSession>,
 }
 
 impl Analyzer {
@@ -69,6 +86,7 @@ impl Analyzer {
             magnitudes: MagnitudeTracker::new(cfg.magnitude_window_bins),
             cfg,
             mapper,
+            session: None,
         }
     }
 
@@ -84,20 +102,32 @@ impl Analyzer {
 
     /// Run one bin through the full pipeline.
     ///
-    /// The delay and forwarding detectors read the same immutable record
-    /// slice and share no state, so both are staged onto ONE scoped worker
-    /// pool (`crate::engine`): every worker interleaves delay-link shards
-    /// and forwarding-pattern shards (§4 ∥ §5) instead of the two
-    /// detectors racing on separate thread herds. The §6 aggregation joins
-    /// their outputs. Output is byte-identical to the sequential ordering.
+    /// The bin runs as two waves on ONE scoped worker pool
+    /// (`crate::engine`). First the ingestion wave: both detectors' record
+    /// chunks scatter in parallel against their persistent intern tables
+    /// ([`Analyzer::scatter_jobs`]), followed by the short sequential
+    /// chunk-ordered intern merge. Then the shard wave: every worker
+    /// interleaves delay-link shards and forwarding-pattern shards
+    /// (§4 ∥ §5) instead of the two detectors racing on separate thread
+    /// herds. The §6 aggregation joins their outputs. Output is
+    /// byte-identical to the sequential ordering, for any thread count
+    /// and any chunk size.
     ///
     /// A fleet of analyzers shares one pool the same way: see
-    /// [`crate::stream::StreamRouter`], which stages every member with
-    /// [`Analyzer::stage`] and runs all jobs together.
+    /// [`crate::stream::StreamRouter`], which pools every member's
+    /// scatter chunks in one wave and every member's shard jobs in the
+    /// next.
     pub fn process_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> BinReport {
+        assert!(
+            self.session.is_none(),
+            "process_bin called while an incremental bin is open (finish_bin first)"
+        );
         let threads = crate::engine::resolve_threads(self.cfg.threads);
+        let jobs = self.scatter_jobs(bin, records);
+        crate::engine::run_jobs(jobs, threads);
+        self.merge_scatter(bin);
         let staged = {
-            let mut stage = self.stage(bin, records, threads);
+            let mut stage = self.stage(bin, threads);
             let jobs = stage.jobs();
             crate::engine::run_jobs(jobs, threads);
             stage.finish()
@@ -105,24 +135,111 @@ impl Analyzer {
         self.absorb(bin, records.len(), staged)
     }
 
-    /// Stage one bin's detector work for the shared engine without running
-    /// it: both detectors scatter their records and deal their shards into
-    /// `threads` bundles. The caller decides which pool executes the jobs —
-    /// [`Analyzer::process_bin`] runs its own, the stream router pools the
-    /// jobs of a whole fleet — then collects with [`AnalyzerStage::finish`]
-    /// and hands the result back through [`Analyzer::absorb`].
-    pub(crate) fn stage<'a>(
+    /// Open one bin's ingestion (compact intern epochs, start scatter
+    /// sessions) and return both detectors' chunk jobs for the records.
+    /// The caller runs them on a pool of its choice, then calls
+    /// [`Analyzer::merge_scatter`] — the stream router uses this to pool
+    /// the scatter chunks of a whole fleet into one wave.
+    pub(crate) fn scatter_jobs<'a>(
         &'a mut self,
         bin: BinId,
-        records: &[TracerouteRecord],
-        threads: usize,
-    ) -> AnalyzerStage<'a> {
+        records: &'a [TracerouteRecord],
+    ) -> Vec<crate::engine::Job<'a>> {
+        let chunk = crate::ingest::resolve_chunk(self.cfg.ingest_chunk_records);
+        self.delay.begin_bin(bin);
+        self.forwarding.begin_bin(bin);
+        let mut jobs = self.delay.scatter_jobs(records, chunk);
+        jobs.extend(self.forwarding.scatter_jobs(records, chunk));
+        jobs
+    }
+
+    /// The sequential chunk-ordered intern merge between the scatter wave
+    /// and the shard wave, for both detectors.
+    pub(crate) fn merge_scatter(&mut self, bin: BinId) {
+        self.delay.merge_scatter(bin);
+        self.forwarding.merge_scatter(bin);
+    }
+
+    /// Open a bin for incremental ingestion. Feed record slices with
+    /// [`Analyzer::ingest`] as they arrive, then close the bin with
+    /// [`Analyzer::finish_bin`]. The resulting report is byte-identical
+    /// to [`Analyzer::process_bin`] over the concatenated records.
+    ///
+    /// # Panics
+    /// When a previous incremental bin is still open.
+    pub fn begin_bin(&mut self, bin: BinId) {
+        assert!(
+            self.session.is_none(),
+            "begin_bin called while a bin is already open (finish_bin first)"
+        );
+        self.delay.begin_bin(bin);
+        self.forwarding.begin_bin(bin);
+        self.session = Some(IngestSession { bin, records: 0 });
+    }
+
+    /// Scatter one slice of the open bin's records (in arrival order)
+    /// through both detectors' chunked front-ends, on the engine pool.
+    ///
+    /// # Panics
+    /// Without an open [`Analyzer::begin_bin`] session.
+    pub fn ingest(&mut self, records: &[TracerouteRecord]) {
+        {
+            let session = self
+                .session
+                .as_mut()
+                .expect("ingest called without begin_bin");
+            session.records += records.len();
+        }
+        let threads = crate::engine::resolve_threads(self.cfg.threads);
+        let chunk = crate::ingest::resolve_chunk(self.cfg.ingest_chunk_records);
+        let mut jobs = self.delay.scatter_jobs(records, chunk);
+        jobs.extend(self.forwarding.scatter_jobs(records, chunk));
+        crate::engine::run_jobs(jobs, threads);
+    }
+
+    /// Close the open incremental bin: merge the intern epochs, run the
+    /// shard wave, and aggregate the [`BinReport`].
+    ///
+    /// # Panics
+    /// Without an open [`Analyzer::begin_bin`] session.
+    pub fn finish_bin(&mut self) -> BinReport {
+        let IngestSession { bin, records } = self
+            .session
+            .take()
+            .expect("finish_bin called without begin_bin");
+        let threads = crate::engine::resolve_threads(self.cfg.threads);
+        self.merge_scatter(bin);
+        let staged = {
+            let mut stage = self.stage(bin, threads);
+            let jobs = stage.jobs();
+            crate::engine::run_jobs(jobs, threads);
+            stage.finish()
+        };
+        self.absorb(bin, records, staged)
+    }
+
+    /// Interning-epoch counters summed over both detectors' arenas. A
+    /// steady-state bin — every link, probe, pattern, and next hop
+    /// already interned — shows `bin_insertions == 0`.
+    pub fn ingest_stats(&self) -> crate::ingest::IngestStats {
+        self.delay
+            .ingest_stats()
+            .merged(self.forwarding.ingest_stats())
+    }
+
+    /// Stage one bin's shard work for the shared engine without running
+    /// it (after the scatter wave and [`Analyzer::merge_scatter`]). The
+    /// caller decides which pool executes the jobs — [`Analyzer::
+    /// process_bin`] runs its own, the stream router pools the jobs of a
+    /// whole fleet — then collects with [`AnalyzerStage::finish`] and
+    /// hands the result back through [`Analyzer::absorb`].
+    pub(crate) fn stage<'a>(&'a mut self, bin: BinId, threads: usize) -> AnalyzerStage<'a> {
         let Analyzer {
             delay, forwarding, ..
         } = self;
         AnalyzerStage {
-            delay: delay.stage(bin, records, threads),
-            forwarding: forwarding.stage(bin, records, threads),
+            delay: delay.stage(bin, threads),
+            forwarding: forwarding.stage(bin, threads),
         }
     }
 
@@ -149,6 +266,10 @@ impl Analyzer {
         bin: BinId,
         records: &[TracerouteRecord],
     ) -> BinReport {
+        assert!(
+            self.session.is_none(),
+            "process_bin_sequential called while an incremental bin is open (finish_bin first)"
+        );
         let (delay_alarms, link_stats) = self.delay.process_bin_sequential(bin, records);
         let forwarding_alarms = self.forwarding.process_bin_sequential(bin, records);
         self.aggregate(

@@ -7,9 +7,12 @@
 //! baselines (mixing feeds with different probing rates into one analyzer
 //! would smear every reference). [`StreamRouter`] owns one [`Analyzer`]
 //! per stream and runs a whole bin of the fleet through ONE scoped worker
-//! pool: every stream's delay-link shards and forwarding-pattern shards
-//! are boxed as engine jobs and dealt round-robin onto the same workers,
-//! so stream A's delay shards interleave with stream B's forwarding shards
+//! pool, in two waves. The ingestion wave pools every stream's
+//! scatter-chunk jobs — stream A's record→row scatter overlaps stream
+//! B's on the same workers, against each stream's own persistent intern
+//! epoch. The shard wave pools every stream's delay-link shards and
+//! forwarding-pattern shards, dealt round-robin onto the same workers, so
+//! stream A's delay shards interleave with stream B's forwarding shards
 //! instead of each stream spinning up its own thread herd.
 //!
 //! ## Determinism contract
@@ -144,9 +147,12 @@ impl StreamRouter {
     /// Run one bin of the whole fleet through one shared worker pool.
     ///
     /// `feeds[i]` is the record feed of stream `i` (one slot per stream,
-    /// empty when the stream saw no traffic this bin). Every stream's
-    /// delay and forwarding shard jobs are staged first, then executed
-    /// together: the engine deals all jobs round-robin onto one set of
+    /// empty when the stream saw no traffic this bin). The fleet bin runs
+    /// as two pooled waves: first every stream's scatter-chunk jobs
+    /// (stream A's ingestion overlaps stream B's on the same workers),
+    /// then — after the per-stream chunk-ordered intern merges, done in
+    /// stream order — every stream's delay and forwarding shard jobs.
+    /// The engine deals each wave's jobs round-robin onto one set of
     /// scoped workers, so the fleet runs as one thread herd.
     ///
     /// # Panics
@@ -160,13 +166,24 @@ impl StreamRouter {
             feeds.len()
         );
         let threads = self.effective_threads();
-        // Stage every stream, pool every job, run once.
+        // Ingestion wave: every stream's scatter chunks on one pool.
+        {
+            let mut wave = crate::ingest::IngestWave::new();
+            for (stream, records) in self.streams.iter_mut().zip(feeds) {
+                wave.add(stream.analyzer.scatter_jobs(bin, records));
+            }
+            wave.run(threads);
+        }
+        // Chunk-ordered intern merges, in stream order.
+        for stream in &mut self.streams {
+            stream.analyzer.merge_scatter(bin);
+        }
+        // Shard wave: stage every stream, pool every job, run once.
         let staged: Vec<_> = {
             let mut stages: Vec<_> = self
                 .streams
                 .iter_mut()
-                .zip(feeds)
-                .map(|(stream, records)| stream.analyzer.stage(bin, records, threads))
+                .map(|stream| stream.analyzer.stage(bin, threads))
                 .collect();
             let mut jobs = Vec::new();
             for stage in &mut stages {
@@ -237,6 +254,17 @@ impl StreamRouter {
             .iter()
             .map(|s| s.analyzer.tracked_patterns())
             .sum()
+    }
+
+    /// Interning-epoch counters summed over every stream's arenas: in a
+    /// steady-state fleet bin, `bin_insertions` is zero across the board.
+    pub fn ingest_stats(&self) -> crate::ingest::IngestStats {
+        self.streams
+            .iter()
+            .map(|s| s.analyzer.ingest_stats())
+            .fold(crate::ingest::IngestStats::default(), |acc, s| {
+                acc.merged(s)
+            })
     }
 }
 

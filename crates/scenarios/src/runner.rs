@@ -113,16 +113,55 @@ pub fn run(
     let mut summary = RunSummary::default();
     for (bin, records) in case.platform.stream(case.start_bin, case.end_bin) {
         let report = analyzer.process_bin(bin, &records);
-        summary.bins += 1;
-        summary.records += report.records;
-        summary.delay_alarms += report.delay_alarms.len();
-        summary.forwarding_alarms += report.forwarding_alarms.len();
+        fold_report(&mut summary, &report);
         observer(&report);
     }
+    close_summary(&mut summary, analyzer);
+    summary
+}
+
+/// Run the full pipeline over the case study's window in streaming mode:
+/// each bin's records arrive as arrival-ordered chunks of `chunk_records`
+/// ([`Platform::collect_bin_chunked`]) and are fed incrementally through
+/// `Analyzer::begin_bin` / `ingest` / `finish_bin` — the §8 deployment
+/// shape, where results trickle in from the Atlas stream instead of
+/// materializing per bin. The chunk-order determinism of the ingestion
+/// front-end makes the reports (and so the summary) byte-identical to
+/// [`run`] for any chunk size.
+pub fn run_streamed(
+    case: &CaseStudy,
+    analyzer: &mut Analyzer,
+    chunk_records: usize,
+    mut observer: impl FnMut(&BinReport),
+) -> RunSummary {
+    let mut summary = RunSummary::default();
+    for (bin, chunks) in case
+        .platform
+        .stream_chunked(case.start_bin, case.end_bin, chunk_records)
+    {
+        analyzer.begin_bin(bin);
+        for chunk in &chunks {
+            analyzer.ingest(chunk);
+        }
+        let report = analyzer.finish_bin();
+        fold_report(&mut summary, &report);
+        observer(&report);
+    }
+    close_summary(&mut summary, analyzer);
+    summary
+}
+
+fn fold_report(summary: &mut RunSummary, report: &BinReport) {
+    summary.bins += 1;
+    summary.records += report.records;
+    summary.delay_alarms += report.delay_alarms.len();
+    summary.forwarding_alarms += report.forwarding_alarms.len();
+}
+
+fn close_summary(summary: &mut RunSummary, analyzer: &Analyzer) {
     summary.tracked_links = analyzer.tracked_links();
     summary.tracked_patterns = analyzer.tracked_patterns();
     summary.mean_next_hops = analyzer.mean_next_hops();
-    summary
 }
 
 /// Convenience: the ASes whose magnitudes the figures plot.
@@ -166,6 +205,29 @@ mod tests {
             summary.tracked_links
         );
         assert!(summary.tracked_patterns > 10);
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_run() {
+        // Chunked incremental ingestion must be invisible: same alarms,
+        // same tracked state, same summary as the batch path, for any
+        // chunk size — including one smaller than a single bin's feed.
+        let case = CaseStudy::assemble(
+            5,
+            Scale::Small,
+            EventSchedule::new(),
+            DetectorConfig::fast_test(),
+            (0, 2),
+            "test-epoch",
+            4,
+        );
+        let mut batch = case.analyzer();
+        let want = run(&case, &mut batch, |_| {});
+        for chunk_records in [17usize, 1000] {
+            let mut streamed = case.analyzer();
+            let got = run_streamed(&case, &mut streamed, chunk_records, |_| {});
+            assert_eq!(got, want, "chunk_records={chunk_records}");
+        }
     }
 
     #[test]

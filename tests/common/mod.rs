@@ -2,22 +2,62 @@
 
 use pinpoint::core::{BinReport, DetectorConfig};
 
-/// Thread count under test: `PINPOINT_THREADS` when set (the CI matrix
-/// exports 1/2/4/8 on a real multi-core runner), otherwise 0 ("all
-/// cores"). Byte-for-byte parity must hold for every value.
-pub fn threads_from_env() -> usize {
-    match std::env::var("PINPOINT_THREADS") {
-        Ok(v) => v
-            .parse()
-            .unwrap_or_else(|_| panic!("PINPOINT_THREADS={v:?} is not a thread count")),
-        Err(_) => 0,
+/// Parse a parity-matrix environment variable.
+///
+/// Contract (shared by `PINPOINT_THREADS` and `PINPOINT_CHUNK`): unset
+/// means `0` — "let the engine decide" (all cores / the default chunk
+/// size); any other value must parse as a non-negative integer, and the
+/// engine's output must be byte-for-byte identical for every value. A
+/// value that does not parse is a harness misconfiguration (a typo'd CI
+/// matrix would silently test nothing), so it fails loudly with the
+/// contract instead of a bare `parse` panic.
+fn matrix_var(name: &str, meaning: &str) -> usize {
+    match std::env::var(name) {
+        Ok(v) => parse_matrix_var(name, &v, meaning),
+        Err(std::env::VarError::NotPresent) => 0,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("{name}={v:?} is not valid unicode — cannot be a {meaning}")
+        }
     }
 }
 
-/// The parity config: `fast_test` with the matrix-selected thread count.
+/// The value parser behind [`matrix_var`], split out so the failure mode
+/// itself is testable without mutating process-global environment state
+/// (tests in one binary run concurrently).
+pub fn parse_matrix_var(name: &str, value: &str, meaning: &str) -> usize {
+    value.trim().parse().unwrap_or_else(|_| {
+        panic!(
+            "{name}={value:?} is not a valid {meaning}: set {name} to 0 ({}) \
+             or a positive integer, e.g. `{name}=4 cargo test`",
+            match name {
+                "PINPOINT_THREADS" => "use all cores",
+                _ => "use the engine default",
+            }
+        )
+    })
+}
+
+/// Worker-thread count under test: `PINPOINT_THREADS` when set (the CI
+/// matrix exports 1/2/4/8 on a real multi-core runner), otherwise 0
+/// ("all cores"). Byte-for-byte parity must hold for every value.
+pub fn threads_from_env() -> usize {
+    matrix_var("PINPOINT_THREADS", "thread count")
+}
+
+/// Scatter chunk size under test: `PINPOINT_CHUNK` when set (the CI
+/// matrix pairs a pathological tiny chunk with the default), otherwise 0
+/// (`DetectorConfig::ingest_chunk_records` auto). Byte-for-byte parity
+/// must hold for every value — chunking is pure partitioning.
+pub fn chunk_from_env() -> usize {
+    matrix_var("PINPOINT_CHUNK", "scatter chunk size (records)")
+}
+
+/// The parity config: `fast_test` with the matrix-selected thread count
+/// and scatter chunk size.
 pub fn parity_config() -> DetectorConfig {
     let mut cfg = DetectorConfig::fast_test();
     cfg.threads = threads_from_env();
+    cfg.ingest_chunk_records = chunk_from_env();
     cfg
 }
 
