@@ -175,6 +175,17 @@ impl Platform {
         })
     }
 
+    /// Pre-materialize a window of bins — the feed shape the cross-bin
+    /// pipelined executor wants when measuring pure engine overlap: with
+    /// every bin's records already collected, the only serial work
+    /// between two-lane waves is the intern merge, so bin *n+1*'s scatter
+    /// genuinely hides behind bin *n*'s analysis instead of waiting on
+    /// the simulator. (The lazy [`Platform::stream`] works too; it just
+    /// re-enters the simulator between waves.)
+    pub fn collect_bins(&self, first: BinId, last: BinId) -> Vec<(BinId, Vec<TracerouteRecord>)> {
+        self.stream(first, last).collect()
+    }
+
     /// Iterate bins `[first, last)` as chunked record slices — the
     /// near-real-time interface: each bin arrives as arrival-ordered
     /// chunks ready for incremental ingestion.
@@ -334,6 +345,15 @@ mod tests {
         let p = platform();
         let bins: Vec<BinId> = p.stream(BinId(2), BinId(5)).map(|(b, _)| b).collect();
         assert_eq!(bins, vec![BinId(2), BinId(3), BinId(4)]);
+    }
+
+    #[test]
+    fn collected_window_equals_the_lazy_stream() {
+        let p = platform();
+        let window = p.collect_bins(BinId(1), BinId(4));
+        let lazy: Vec<_> = p.stream(BinId(1), BinId(4)).collect();
+        assert_eq!(window, lazy);
+        assert!(window.iter().all(|(_, records)| !records.is_empty()));
     }
 
     #[test]

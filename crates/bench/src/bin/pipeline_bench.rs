@@ -7,21 +7,23 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Six workloads run: the steady scenario's Small bin (faithful simulator
-//! output), a synthetic Atlas-scale delay-heavy bin (hundreds of
-//! diversity-passing links), a forwarding-heavy bin (~1200 next-hop
+//! Seven workloads run: the steady scenario's Small bin (faithful
+//! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
+//! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
 //! detectors' shard pipelines at once, a three-stream fleet bin run
 //! through one `StreamRouter` pool (every stream's §4 and §5 shards on the
-//! same workers), and a scatter-dominated `ingest_heavy` bin (long
-//! responsive paths, ~200k rows, almost no per-key analysis) that isolates
-//! the chunked-ingestion layer. Each is timed over `reps` repetitions on
-//! warmed analyzers and summarized by the median wall time; alarm/stat
-//! outputs of both paths are cross-checked for equality before any number
-//! is reported — so a run doubles as an engine-parity gate. Per workload,
-//! the work bin's intern-table insertions are recorded too: a steady bin
-//! (same key universe as the warm bin) must report 0 — the persistent
-//! interning epoch at work.
+//! same workers), a scatter-dominated `ingest_heavy` bin (long responsive
+//! paths, ~200k samples, almost no per-key analysis) that isolates the
+//! chunked-ingestion layer, and a `pipelined_stream` of mixed bins timing
+//! the cross-bin pipelined executor at depth 1 vs depth 2 (ingestion of
+//! bin *n+1* overlapped with analysis of bin *n*). Each is timed over
+//! `reps` repetitions on warmed analyzers and summarized by the median
+//! wall time; alarm/stat outputs of both paths are cross-checked for
+//! equality before any number is reported — so a run doubles as an
+//! engine-parity gate. Per workload, the work bin's intern-table
+//! insertions are recorded too: a steady bin (same key universe as the
+//! warm bin) must report 0 — the persistent interning epoch at work.
 //!
 //! `--check=PATH` additionally compares the run against a committed
 //! baseline (normally the repo's `BENCH_pipeline.json`): a missing
@@ -126,6 +128,96 @@ fn run_workload(
         name: name.to_string(),
         records: work.len(),
         links,
+        sequential_ms,
+        parallel_ms,
+        intern_inserts,
+    }
+}
+
+/// Time a stream of bins through the cross-bin pipelined executor at
+/// `depth`; median wall ms per bin over `reps` passes of the whole
+/// stream on a warmed analyzer (each pass advances the bin clock, like
+/// the deployment's endless feed).
+fn time_pipelined(
+    mapper: &AsMapper,
+    bins: &[Vec<TracerouteRecord>],
+    reps: usize,
+    depth: usize,
+) -> f64 {
+    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    analyzer.process_bin(BinId(0), &bins[0]);
+    let work = &bins[1..];
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let base = 1 + rep as u64 * work.len() as u64;
+        let t = Instant::now();
+        let mut driver = analyzer.pipelined(depth);
+        for (i, records) in work.iter().enumerate() {
+            std::hint::black_box(driver.push_bin(BinId(base + i as u64), records));
+        }
+        std::hint::black_box(driver.finish());
+        samples.push(t.elapsed().as_secs_f64() * 1e3 / work.len() as f64);
+    }
+    pinpoint_stats::median(&samples).expect("reps >= 1")
+}
+
+/// The pipelined-executor workload: parity-gate depth 2 against depth 1
+/// AND the plain serial engine bin by bin, then record depth-1 timings
+/// as `sequential_ms` and depth-2 as `parallel_ms` — so `speedup` is the
+/// overlap win of running bin *n+1*'s ingestion during bin *n*'s
+/// analysis (≈1.0 on a 1-core machine, where there is nothing to overlap
+/// with).
+fn run_pipelined_workload(
+    name: &str,
+    mapper: &AsMapper,
+    bins: &[Vec<TracerouteRecord>],
+    reps: usize,
+) -> WorkloadResult {
+    let work = &bins[1..];
+    let mut serial = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    serial.process_bin(BinId(0), &bins[0]);
+    let want: Vec<_> = work
+        .iter()
+        .enumerate()
+        .map(|(i, records)| serial.process_bin(BinId(1 + i as u64), records))
+        .collect();
+    let mut intern_inserts = 0;
+    for depth in [1usize, 2] {
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+        analyzer.process_bin(BinId(0), &bins[0]);
+        let mut got = Vec::new();
+        {
+            let mut driver = analyzer.pipelined(depth);
+            for (i, records) in work.iter().enumerate() {
+                got.extend(driver.push_bin(BinId(1 + i as u64), records));
+            }
+            got.extend(driver.finish());
+        }
+        assert_eq!(got.len(), want.len(), "{name}: depth {depth} lost reports");
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.bin, b.bin, "{name}: depth {depth} reordered bins");
+            assert_eq!(
+                a.delay_alarms, b.delay_alarms,
+                "{name}: pipelined parity broke (depth {depth})"
+            );
+            assert_eq!(
+                a.forwarding_alarms, b.forwarding_alarms,
+                "{name}: pipelined parity broke (depth {depth})"
+            );
+            assert_eq!(
+                a.link_stats, b.link_stats,
+                "{name}: pipelined parity broke (depth {depth})"
+            );
+        }
+        intern_inserts = analyzer.ingest_stats().bin_insertions;
+    }
+
+    let sequential_ms = time_pipelined(mapper, bins, reps, 1);
+    let parallel_ms = time_pipelined(mapper, bins, reps, 2);
+    WorkloadResult {
+        name: name.to_string(),
+        records: work.iter().map(Vec::len).sum::<usize>() / work.len(),
+        links: want[0].link_stats.len(),
         sequential_ms,
         parallel_ms,
         intern_inserts,
@@ -343,6 +435,21 @@ fn main() {
         "ingest_heavy steady-state bin performed intern insertions"
     );
 
+    // Workload 7: a stream of mixed bins through the cross-bin pipelined
+    // executor — depth-1 (serial bins) timed against depth-2 (bin n+1's
+    // scatter chunks overlapped with bin n's shard jobs), parity-gated
+    // against the plain engine per bin. Bins share one key universe, so
+    // the steady-state zero-insertion guarantee holds through the
+    // pipeline too (recorded; the warm bin interns everything).
+    let stream_bins: Vec<Vec<TracerouteRecord>> = (0..5)
+        .map(|b| mixed_bin(&spec, &fwd_spec, seed, b))
+        .collect();
+    let pipelined_result = run_pipelined_workload("pipelined_stream", &mapper, &stream_bins, reps);
+    assert_eq!(
+        pipelined_result.intern_inserts, 0,
+        "pipelined_stream steady-state bin performed intern insertions"
+    );
+
     let results = [
         steady_result,
         large_result,
@@ -350,6 +457,7 @@ fn main() {
         mixed_result,
         multi_result,
         ingest_result,
+        pipelined_result,
     ];
     for r in &results {
         println!(

@@ -53,6 +53,14 @@ pub struct DetectorConfig {
     /// engine's randomness is derived per (seed, link, bin) and its output
     /// totally ordered — so this is purely a throughput knob.
     pub threads: usize,
+    /// Depth of the cross-bin pipelined executor
+    /// (`Analyzer::pipelined` / `StreamRouter::pipelined`): `1` runs
+    /// bins strictly serially, `2` overlaps bin *n+1*'s scatter chunks
+    /// with bin *n*'s shard jobs on one worker herd, `0` (the default)
+    /// picks the engine default (2). Values above 2 clamp to 2 — the
+    /// serial merge fences every bin, so deeper pipelines buy nothing.
+    /// Purely a throughput knob; output is byte-identical for any value.
+    pub pipeline_depth: usize,
 }
 
 impl Default for DetectorConfig {
@@ -72,6 +80,7 @@ impl Default for DetectorConfig {
             seed: 0xF0_07,
             ingest_chunk_records: 0,
             threads: 0,
+            pipeline_depth: 0,
         }
     }
 }
@@ -116,5 +125,6 @@ mod tests {
         assert_eq!(c.warmup_bins, 3);
         assert_eq!(c.threads, 0, "default engine uses every core");
         assert_eq!(c.ingest_chunk_records, 0, "default chunk size is auto");
+        assert_eq!(c.pipeline_depth, 0, "default pipeline depth is auto");
     }
 }

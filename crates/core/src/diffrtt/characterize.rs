@@ -60,6 +60,32 @@ pub fn characterize_in_place(buf: &mut Vec<f64>, cfg: &DetectorConfig) -> Option
     Some(LinkStat { ci })
 }
 
+/// Zero-copy arena variant: characterize a link by quickselect-permuting
+/// its *contiguous shard-pool region* in place. After `finalize` a link's
+/// samples sit back to back in the shard pool (span order), so a balanced
+/// link — one the diversity filter keeps whole — never needs its samples
+/// copied into a scratch buffer at all. Non-finite samples are the rare
+/// exception (they must be dropped before selection, and dropping would
+/// disturb the pool layout), so that case falls back to the copying path
+/// through `scratch`. Bit-identical to [`characterize_in_place`] on a
+/// copy of the region: the region holds the same sample sequence the copy
+/// would, and `median_ci_select` returns exact order statistics either
+/// way.
+pub fn characterize_region(
+    region: &mut [f64],
+    scratch: &mut Vec<f64>,
+    cfg: &DetectorConfig,
+) -> Option<LinkStat> {
+    if region.iter().any(|x| !x.is_finite()) {
+        return characterize_into(region, scratch, cfg);
+    }
+    if region.is_empty() {
+        return None;
+    }
+    let ci = median_ci_select(region, cfg.wilson_z)?;
+    Some(LinkStat { ci })
+}
+
 /// The original full-sort implementation, retained as the reference the
 /// engine-parity tests (and the sequential baseline bench) compare against.
 pub fn characterize_full_sort(samples: &[f64], cfg: &DetectorConfig) -> Option<LinkStat> {
@@ -114,6 +140,36 @@ mod tests {
             characterize_into(&weird, &mut scratch, &cfg),
             characterize_full_sort(&weird, &cfg)
         );
+    }
+
+    #[test]
+    fn region_path_matches_copy_paths() {
+        let cfg = DetectorConfig::default();
+        let mut rng = SplitMix64::new(41);
+        let mut scratch = Vec::new();
+        for n in [1usize, 2, 5, 64, 257] {
+            let samples: Vec<f64> = (0..n).map(|_| rng.next_f64() * 40.0 - 15.0).collect();
+            let mut region = samples.clone();
+            assert_eq!(
+                characterize_region(&mut region, &mut scratch, &cfg),
+                characterize_full_sort(&samples, &cfg),
+                "n={n}"
+            );
+            // The in-place path only permutes: same multiset afterwards.
+            let mut got = region;
+            let mut want = samples;
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, want, "n={n}");
+        }
+        // Non-finite samples fall back to the copying path and agree.
+        let weird = [2.0, f64::NAN, 1.0, f64::INFINITY, 0.5];
+        let mut region = weird.to_vec();
+        assert_eq!(
+            characterize_region(&mut region, &mut scratch, &cfg),
+            characterize_full_sort(&weird, &cfg)
+        );
+        assert!(characterize_region(&mut [], &mut scratch, &cfg).is_none());
     }
 
     #[test]

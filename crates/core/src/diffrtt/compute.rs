@@ -15,10 +15,14 @@
 //!   plus per-link/per-probe index spans, with every buffer reused across
 //!   bins. A bin is ingested through the chunked, parallel scatter
 //!   front-end (`crate::ingest`): engine workers scatter record chunks into
-//!   per-(chunk, shard) row buffers against epoch-persistent link/probe
-//!   intern tables, the rows are concatenated per shard in chunk order, and
-//!   one cache-friendly sort per shard groups them — no per-probe maps, no
-//!   re-interning of known keys, byte-identical output for any chunking.
+//!   per-(chunk, shard) *run* buffers — one `(key, start, len)` run per
+//!   (record, link) over a per-shard value pool, since an observation's
+//!   1–9 differential RTTs share one key — against epoch-persistent
+//!   link/probe intern tables. Per-shard runs concatenate in chunk order
+//!   and one cache-friendly sort over the (small) run index groups them —
+//!   no per-probe maps, no re-interning of known keys, an order of
+//!   magnitude fewer sorted elements than row-by-row staging, and
+//!   byte-identical output for any chunking.
 
 use crate::ingest::{ChunkPool, Interner, PENDING};
 use pinpoint_model::records::TracerouteRecord;
@@ -173,7 +177,10 @@ struct ProbeSpan {
 
 #[derive(Debug, Clone, Copy)]
 struct LinkEntry {
-    link: IpLink,
+    /// Shard-local intern id — resolved to the [`IpLink`] against the
+    /// shard's epoch table at view time ([`ShardRows::link_in`]) and used
+    /// by the post-wave stamp fence ([`SampleArena::stamp_bin`]).
+    local: u32,
     spans_start: u32,
     spans_len: u32,
     as_count: u32,
@@ -223,9 +230,16 @@ impl<'a> LinkSlice<'a> {
 /// across bins.
 #[derive(Debug, Default)]
 pub(crate) struct DelayChunk {
-    /// Per-shard `(link_local << 32 | probe_slot, value)` rows, in record
-    /// order within the chunk. Ids may carry [`PENDING`].
-    rows: Vec<Vec<(u64, f64)>>,
+    /// Per-shard run index: `(link_local << 32 | probe_slot, start, len)`
+    /// with `start` addressing this chunk's per-shard `vals` pool, in
+    /// record order within the chunk. One (record, link) observation is
+    /// ONE run (its 1–9 differential RTTs are consecutive in `vals`), and
+    /// adjacent same-key runs merge at push — so the sort that groups a
+    /// shard handles ~an order of magnitude fewer elements than it would
+    /// row-by-row. Ids may carry [`PENDING`].
+    runs: Vec<Vec<(u64, u32, u32)>>,
+    /// Per-shard sample values, in record order (runs index into this).
+    vals: Vec<Vec<f64>>,
     /// Links first seen by this chunk, in encounter order; pending id `i`
     /// is `new_links[i]`.
     new_links: Vec<IpLink>,
@@ -249,20 +263,28 @@ pub(crate) struct DelayChunk {
 
 /// The read-only arena state a scatter job shares with every other job:
 /// the per-shard link tables and the probe table. Lookups are lock-free;
-/// known keys resolve without any insertion.
+/// known keys resolve without any insertion. Holding only the epoch
+/// tables (never the per-wave row workspace) is what lets the cross-bin
+/// pipelined executor run a scatter wave *concurrently* with the previous
+/// bin's shard wave: the shard jobs own the row workspace mutably while
+/// every scatter job shares these tables immutably.
 #[derive(Clone, Copy)]
 pub(crate) struct DelayScatterView<'a> {
-    pub(crate) shards: &'a [ArenaShard],
+    pub(crate) links: &'a [Interner<IpLink>],
     pub(crate) probes: &'a Interner<ProbeId>,
 }
 
 impl DelayChunk {
     fn clear(&mut self) {
-        if self.rows.len() < NUM_SHARDS {
-            self.rows.resize_with(NUM_SHARDS, Vec::new);
+        if self.runs.len() < NUM_SHARDS {
+            self.runs.resize_with(NUM_SHARDS, Vec::new);
+            self.vals.resize_with(NUM_SHARDS, Vec::new);
         }
-        for rows in &mut self.rows {
-            rows.clear();
+        for runs in &mut self.runs {
+            runs.clear();
+        }
+        for vals in &mut self.vals {
+            vals.clear();
         }
         self.new_links.clear();
         self.new_link_ids.clear();
@@ -295,7 +317,8 @@ impl DelayChunk {
                     enc
                 }
             };
-            let rows = &mut self.rows;
+            let runs = &mut self.runs;
+            let vals = &mut self.vals;
             let new_links = &mut self.new_links;
             let new_link_ids = &mut self.new_link_ids;
             let near_rtts = &mut self.near_rtts;
@@ -307,11 +330,13 @@ impl DelayChunk {
                 if near_rtts.is_empty() {
                     return;
                 }
-                let mut key: Option<(usize, u64)> = None;
+                // (shard, row key, run start) — resolved once per
+                // (record, link), on the first responsive far reply.
+                let mut key: Option<(usize, u64, u32)> = None;
                 for fy in far_hop.rtts_from(link.far) {
-                    let (shard_idx, row_key) = *key.get_or_insert_with(|| {
+                    if key.is_none() {
                         let s = shard_of(&link);
-                        let local = match view.shards[s].links.get(&link) {
+                        let local = match view.links[s].get(&link) {
                             Some(local) => local,
                             None => match new_link_ids.get(&link) {
                                 Some(&pending) => pending,
@@ -323,11 +348,24 @@ impl DelayChunk {
                                 }
                             },
                         };
-                        (s, (u64::from(local) << 32) | u64::from(probe_enc))
-                    });
-                    let rows = &mut rows[shard_idx];
+                        let row_key = (u64::from(local) << 32) | u64::from(probe_enc);
+                        key = Some((s, row_key, vals[s].len() as u32));
+                    }
+                    let (s, _, _) = key.expect("just set");
+                    let vals = &mut vals[s];
                     for &fx in near_rtts.iter() {
-                        rows.push((row_key, fy - fx));
+                        vals.push(fy - fx);
+                    }
+                }
+                // One run per observation; a same-key run ending exactly
+                // where this one starts (same probe re-tracing the link)
+                // extends in place instead.
+                if let Some((s, row_key, start)) = key {
+                    let len = vals[s].len() as u32 - start;
+                    debug_assert!(len > 0, "a resolved key implies pushed samples");
+                    match runs[s].last_mut() {
+                        Some(run) if run.0 == row_key => run.2 += len,
+                        _ => runs[s].push((row_key, start, len)),
                     }
                 }
             });
@@ -335,38 +373,65 @@ impl DelayChunk {
     }
 }
 
-/// One shard's per-bin rows and grouped layout, plus its slice of the
-/// persistent link intern epoch. `gather` concatenates the bin's chunk
-/// buffers in chunk order (patching pending ids); `finalize` (run by the
-/// shard's worker thread) sorts and groups into `pool`/`spans`/`entries`.
+/// One shard's per-wave row workspace: the bin's rows and their grouped
+/// layout. `gather` concatenates the bin's chunk buffers in chunk order
+/// (patching pending ids); `finalize` (run by the shard's worker thread)
+/// sorts and groups into `pool`/`spans`/`entries`.
+///
+/// Deliberately holds NO epoch state — the shard's link intern table
+/// lives in [`SampleArena::links`] — so a shard wave can own this
+/// workspace mutably while the next bin's scatter jobs read the epoch
+/// tables. The workspace is consumed within one wave (its content is
+/// dead once the wave's outputs are merged and the observed entries are
+/// stamped), which is why a depth-2 pipeline needs only double-buffered
+/// *chunk* storage, not double-buffered shards.
+#[derive(Debug, Clone, Copy)]
+struct SampleRun {
+    /// `link_local << 32 | probe_slot` (patched — never [`PENDING`]).
+    key: u64,
+    /// Which chunk's `vals` pool the run's samples live in.
+    chunk: u32,
+    /// Offset and length of the run in that pool.
+    start: u32,
+    len: u32,
+}
+
 #[derive(Debug, Default)]
-pub(crate) struct ArenaShard {
-    /// Epoch-persistent link → shard-local id table.
-    links: Interner<IpLink>,
-    /// `(link_local << 32 | probe_slot, value)` — 16 bytes, sorted by key.
-    rows: Vec<(u64, f64)>,
+pub(crate) struct ShardRows {
+    /// The bin's gathered runs, sorted by `(key, chunk, start)` at
+    /// finalize — equal keys keep gather (= record) order, so the pool
+    /// layout is exactly what a row-by-row sort would produce while the
+    /// sort itself handles ~an order of magnitude fewer elements (one
+    /// run per (record, link), not one row per sample).
+    runs: Vec<SampleRun>,
     pool: Vec<f64>,
     spans: Vec<ProbeSpan>,
     entries: Vec<LinkEntry>,
     as_scratch: Vec<Asn>,
 }
 
-impl ArenaShard {
-    /// Concatenate this shard's rows from every chunk **in chunk order**
+impl ShardRows {
+    /// Concatenate this shard's runs from every chunk **in chunk order**
     /// (= record order, whatever the chunk size), patching pending ids to
     /// their merged table slots. Safe to run concurrently across shards:
-    /// each shard reads only its own `chunk.rows[idx]` buffers.
+    /// each shard reads only its own `chunk.runs[idx]` buffers.
     pub(crate) fn gather(&mut self, idx: usize, chunks: &[DelayChunk]) {
-        self.rows.clear();
-        for chunk in chunks {
+        self.runs.clear();
+        for (c, chunk) in chunks.iter().enumerate() {
+            let source = &chunk.runs[idx];
             // Steady-state fast path: a chunk that discovered no new keys
-            // wrote no pending ids anywhere — its buffer is final and can
-            // be copied wholesale.
+            // wrote no pending ids anywhere — its runs are final.
             if chunk.new_links.is_empty() && chunk.new_probes.is_empty() {
-                self.rows.extend_from_slice(&chunk.rows[idx]);
+                self.runs
+                    .extend(source.iter().map(|&(key, start, len)| SampleRun {
+                        key,
+                        chunk: c as u32,
+                        start,
+                        len,
+                    }));
                 continue;
             }
-            for &(key, value) in &chunk.rows[idx] {
+            for &(key, start, len) in source {
                 let mut link = (key >> 32) as u32;
                 if link & PENDING != 0 {
                     link = chunk.link_patch[(link ^ PENDING) as usize];
@@ -375,32 +440,48 @@ impl ArenaShard {
                 if slot & PENDING != 0 {
                     slot = chunk.probe_patch[(slot ^ PENDING) as usize];
                 }
-                self.rows
-                    .push(((u64::from(link) << 32) | u64::from(slot), value));
+                self.runs.push(SampleRun {
+                    key: (u64::from(link) << 32) | u64::from(slot),
+                    chunk: c as u32,
+                    start,
+                    len,
+                });
             }
         }
     }
 
-    /// Sort this shard's rows and lay out the grouped pool/span/entry
-    /// indexes, stamping every observed link's epoch entry with `bin`.
-    /// Safe to run concurrently across shards.
-    pub(crate) fn finalize(&mut self, bin: BinId, probe_asns: &[Asn]) {
+    /// Sort this shard's runs and lay out the grouped pool/span/entry
+    /// indexes, copying each run's samples out of its chunk's value pool.
+    /// Safe to run concurrently across shards — and, in the pipelined
+    /// executor, concurrently with the next bin's scatter wave: it never
+    /// touches the epoch tables (observed links are stamped by the
+    /// caller's serial fence, [`SampleArena::stamp_bin`], from the entry
+    /// list this lays out).
+    pub(crate) fn finalize(&mut self, idx: usize, probe_asns: &[Asn], chunks: &[DelayChunk]) {
         self.pool.clear();
         self.spans.clear();
         self.entries.clear();
-        // One u64-keyed sort over a small, cache-resident shard.
-        self.rows.sort_unstable_by_key(|r| r.0);
+        // One composite-keyed sort over a small, cache-resident run
+        // index. The (chunk, start) tiebreak keeps equal keys in gather
+        // order — a stable sort by key, without a stable sort's
+        // allocation.
+        self.runs
+            .sort_unstable_by_key(|r| (r.key, r.chunk, r.start));
         let mut i = 0;
-        while i < self.rows.len() {
-            let link_local = (self.rows[i].0 >> 32) as u32;
+        while i < self.runs.len() {
+            let link_local = (self.runs[i].key >> 32) as u32;
             let spans_start = self.spans.len() as u32;
             self.as_scratch.clear();
-            while i < self.rows.len() && (self.rows[i].0 >> 32) as u32 == link_local {
-                let key = self.rows[i].0;
+            while i < self.runs.len() && (self.runs[i].key >> 32) as u32 == link_local {
+                let key = self.runs[i].key;
                 let slot = key as u32;
                 let start = self.pool.len() as u32;
-                while i < self.rows.len() && self.rows[i].0 == key {
-                    self.pool.push(self.rows[i].1);
+                while i < self.runs.len() && self.runs[i].key == key {
+                    let run = self.runs[i];
+                    let vals = &chunks[run.chunk as usize].vals[idx];
+                    self.pool.extend_from_slice(
+                        &vals[run.start as usize..(run.start + run.len) as usize],
+                    );
                     i += 1;
                 }
                 self.spans.push(ProbeSpan {
@@ -412,9 +493,8 @@ impl ArenaShard {
             }
             self.as_scratch.sort_unstable();
             self.as_scratch.dedup();
-            self.links.stamp(link_local, bin);
             self.entries.push(LinkEntry {
-                link: self.links.key(link_local),
+                local: link_local,
                 spans_start,
                 spans_len: self.spans.len() as u32 - spans_start,
                 as_count: self.as_scratch.len() as u32,
@@ -430,12 +510,13 @@ impl ArenaShard {
     pub(crate) fn link_in<'a>(
         &'a self,
         j: usize,
+        links: &'a [IpLink],
         probe_ids: &'a [ProbeId],
         probe_asns: &'a [Asn],
     ) -> LinkSlice<'a> {
         let e = self.entries[j];
         LinkSlice {
-            link: e.link,
+            link: links[e.local as usize],
             as_count: e.as_count as usize,
             spans: &self.spans[e.spans_start as usize..(e.spans_start + e.spans_len) as usize],
             pool: &self.pool,
@@ -443,25 +524,59 @@ impl ArenaShard {
             probe_asns,
         }
     }
+
+    /// The contiguous pool region holding link `j`'s samples, in the same
+    /// span order [`LinkSlice::probes`] iterates — `finalize` lays every
+    /// link's spans out back to back, which is what makes the zero-copy
+    /// characterization of balanced links possible: the caller may
+    /// permute `pool_mut()[entry_pool_range(j)]` in place instead of
+    /// copying the samples out.
+    pub(crate) fn entry_pool_range(&self, j: usize) -> std::ops::Range<usize> {
+        let e = self.entries[j];
+        debug_assert!(e.spans_len > 0, "a bin entry has at least one span");
+        let first = self.spans[e.spans_start as usize];
+        let last = self.spans[(e.spans_start + e.spans_len - 1) as usize];
+        first.start as usize..(last.start + last.len) as usize
+    }
+
+    /// The sample pool, mutably (quickselect permutation target).
+    pub(crate) fn pool_mut(&mut self) -> &mut [f64] {
+        &mut self.pool
+    }
 }
 
 /// The engine's flat, sharded, bin-reusable sample store, fed by the
 /// chunked parallel ingestion front-end (`crate::ingest`).
 ///
-/// Per bin: scatter jobs stage every differential RTT as a 16-byte
-/// `(link, probe, value)` row in private per-(chunk, shard) buffers,
-/// resolving links and probes through *epoch-persistent* intern tables
+/// Per bin: scatter jobs stage each (record, link) observation as one
+/// run — its differential RTTs pushed onto a per-(chunk, shard) value
+/// pool, indexed by a 16-byte `(key, start, len)` run entry — resolving
+/// links and probes through *epoch-persistent* intern tables
 /// (steady-state bins perform zero insertions); a short sequential merge
 /// assigns dense ids to the bin's new keys in chunk order (= record
-/// order); then [`ArenaShard::gather`] + [`ArenaShard::finalize`] — run
-/// per shard, in parallel — concatenate each shard's rows in chunk order
-/// and group them with one u64-keyed sort. Every buffer and every table
-/// is retained across bins, and a compaction sweep on the shared
-/// `reference_expiry_bins` clock evicts keys that stopped appearing, so
-/// neither allocation nor key churn grows with the epoch.
+/// order); then [`ShardRows::gather`] + [`ShardRows::finalize`] — run
+/// per shard, in parallel — concatenate each shard's runs in chunk order
+/// and group them with one composite-keyed sort over the run index
+/// (equal keys keep gather order, so the grouped pool is exactly the
+/// row-by-row layout at a fraction of the sort cost). Every buffer and
+/// every table is retained across bins, and a compaction sweep on the
+/// shared `reference_expiry_bins` clock evicts keys that stopped
+/// appearing, so neither allocation nor key churn grows with the epoch.
+///
+/// For the cross-bin pipelined executor the arena splits cleanly in two:
+/// epoch state (intern tables, probe ASNs) shared read-only by scatter
+/// jobs, and per-wave state (chunk lanes, shard row workspaces) owned by
+/// exactly one wave — `split_lanes` hands one engine wave the pending
+/// bin's shard parts AND the next bin's scatter parts at once.
 #[derive(Debug)]
 pub struct SampleArena {
-    pub(crate) shards: Vec<ArenaShard>,
+    /// Epoch-persistent per-shard link → shard-local id tables. Kept
+    /// apart from the per-wave [`ShardRows`] so the pipelined executor
+    /// can share them read-only with a scatter wave while a shard wave
+    /// owns the row workspace.
+    links: Vec<Interner<IpLink>>,
+    /// Per-shard per-wave row workspace (consumed within one shard wave).
+    rows: Vec<ShardRows>,
     /// Epoch-persistent probe → slot table.
     probes: Interner<ProbeId>,
     /// Probe slot → ASN, re-pinned each bin to the first ASN the probe
@@ -469,33 +584,44 @@ pub struct SampleArena {
     probe_asns: Vec<Asn>,
     /// Probe slot → scatter session in which `probe_asns` was last pinned.
     probe_pins: Vec<u64>,
-    /// Monotonic scatter-session counter (bumped by [`Self::begin_bin`]).
+    /// Monotonic scatter-session counter (bumped per bin open).
     session: u64,
-    /// The bin's scatter-chunk buffers (reused across bins).
-    chunks: ChunkPool<DelayChunk>,
+    /// Double-buffered scatter-chunk lanes: the depth-2 pipeline scatters
+    /// bin *n+1* into one lane while bin *n*'s shard wave still reads the
+    /// other. The serial path stays in a single lane. Each lane's chunk
+    /// buffers (run indexes, value pools, dedup maps) are retained and
+    /// recycled across its bins — a steady stream allocates nothing here.
+    lanes: [ChunkPool<DelayChunk>; 2],
+    /// Lane of the open scatter session.
+    lane: usize,
     insertions_at_bin_start: u64,
 }
 
 impl Default for SampleArena {
     fn default() -> Self {
         SampleArena {
-            shards: (0..NUM_SHARDS).map(|_| ArenaShard::default()).collect(),
+            links: (0..NUM_SHARDS).map(|_| Interner::default()).collect(),
+            rows: (0..NUM_SHARDS).map(|_| ShardRows::default()).collect(),
             probes: Interner::default(),
             probe_asns: Vec::new(),
             probe_pins: Vec::new(),
             session: 0,
-            chunks: ChunkPool::default(),
+            lanes: [ChunkPool::default(), ChunkPool::default()],
+            lane: 0,
             insertions_at_bin_start: 0,
         }
     }
 }
 
-/// Split borrow of an arena for the shard wave: mutable shards alongside
-/// the bin's chunk outputs and the shared probe tables, so stage
-/// construction can hand shards to workers while chunk rows and probe
-/// id/ASN slices stay readable from every job.
+/// Split borrow of an arena for the shard wave: mutable per-shard row
+/// workspaces alongside the bin's chunk outputs and the shared (read-only)
+/// intern tables, so stage construction can hand shards to workers while
+/// chunk rows, link keys, and probe id/ASN slices stay readable from every
+/// job — and, under the pipelined executor, from the next bin's scatter
+/// jobs at the same time.
 pub(crate) struct SampleArenaParts<'a> {
-    pub(crate) shards: &'a mut [ArenaShard],
+    pub(crate) rows: &'a mut [ShardRows],
+    pub(crate) links: &'a [Interner<IpLink>],
     pub(crate) chunks: &'a [DelayChunk],
     pub(crate) probe_ids: &'a [ProbeId],
     pub(crate) probe_asns: &'a [Asn],
@@ -508,40 +634,49 @@ impl SampleArena {
     }
 
     fn total_insertions(&self) -> u64 {
-        self.probes.insertions()
-            + self
-                .shards
-                .iter()
-                .map(|s| s.links.insertions())
-                .sum::<u64>()
+        self.probes.insertions() + self.links.iter().map(Interner::insertions).sum::<u64>()
     }
 
     /// Interning-epoch counters for this arena (links + probes).
     pub(crate) fn stats(&self) -> crate::ingest::IngestStats {
         crate::ingest::IngestStats {
-            interned: self.probes.len() + self.shards.iter().map(|s| s.links.len()).sum::<usize>(),
+            interned: self.probes.len() + self.links.iter().map(Interner::len).sum::<usize>(),
             bin_insertions: self.total_insertions() - self.insertions_at_bin_start,
             insertions: self.total_insertions(),
             evictions: self.probes.evictions()
-                + self.shards.iter().map(|s| s.links.evictions()).sum::<u64>(),
+                + self.links.iter().map(Interner::evictions).sum::<u64>(),
         }
     }
 
-    /// Start a new scatter session: the next bin's chunks overwrite the
-    /// pool from the beginning and the bin-insertion counter resets.
+    /// Start a new scatter session in the current lane: the next bin's
+    /// chunks overwrite the lane from the beginning and the bin-insertion
+    /// counter resets. The serial path — and the pipelined prologue/drain
+    /// refills — open bins here; an overlapped open goes through
+    /// [`Self::split_lanes`] instead.
     pub(crate) fn begin_bin(&mut self) {
         self.session += 1;
-        self.chunks.begin_bin();
+        self.lanes[self.lane].begin_bin();
         self.insertions_at_bin_start = self.total_insertions();
+    }
+
+    /// Whether any link or probe would be evicted by a [`Self::compact`]
+    /// sweep at `now`. The pipelined executor checks this before
+    /// overlapping a new bin: a sweep renumbers dense ids, so it may only
+    /// run in a drained gap where no bin's rows are in flight.
+    pub(crate) fn needs_compaction(&self, now: BinId, expiry_bins: usize) -> bool {
+        self.probes.any_expired(now, expiry_bins)
+            || self.links.iter().any(|t| t.any_expired(now, expiry_bins))
     }
 
     /// Evict links and probes unseen for more than `expiry_bins` bins and
     /// renumber the survivors. Dense ids never reach reports, so a sweep
-    /// is byte-for-byte invisible downstream. Must run between bins
-    /// (before [`Self::begin_bin`]'s chunks scatter), never mid-bin.
+    /// is byte-for-byte invisible downstream. Must run in the gap between
+    /// epochs: after every in-flight bin's shard wave (and its
+    /// [`Self::stamp_bin`]) and before the next bin's chunks scatter —
+    /// renumbering under in-flight rows would corrupt their packed ids.
     pub(crate) fn compact(&mut self, now: BinId, expiry_bins: usize) {
-        for shard in &mut self.shards {
-            shard.links.compact(now, expiry_bins);
+        for table in &mut self.links {
+            table.compact(now, expiry_bins);
         }
         if let Some(kept) = self.probes.compact(now, expiry_bins) {
             for (new, &old) in kept.iter().enumerate() {
@@ -558,14 +693,66 @@ impl SampleArena {
     /// the session's chunk sequence (incremental feeding appends).
     pub(crate) fn scatter_parts(&mut self, n: usize) -> (&mut [DelayChunk], DelayScatterView<'_>) {
         let SampleArena {
-            chunks,
-            shards,
+            lanes,
+            lane,
+            links,
             probes,
             ..
         } = self;
         (
-            chunks.reserve(n, DelayChunk::clear),
-            DelayScatterView { shards, probes },
+            lanes[*lane].reserve(n, DelayChunk::clear),
+            DelayScatterView { links, probes },
+        )
+    }
+
+    /// Open the next bin's scatter session in the *opposite* lane and
+    /// split the arena into both waves' disjoint parts: the pending bin's
+    /// shard-wave parts (its chunk lane, the row workspaces) and the new
+    /// session's reserved chunk buffers + scatter view. This is the
+    /// depth-2 overlap point — the returned borrows let one engine wave
+    /// run the pending bin's shard jobs concurrently with the new bin's
+    /// scatter jobs, because the shard side owns `rows` mutably while
+    /// both sides share the epoch tables immutably and each side touches
+    /// only its own chunk lane.
+    pub(crate) fn split_lanes(
+        &mut self,
+        n: usize,
+    ) -> (
+        SampleArenaParts<'_>,
+        &mut [DelayChunk],
+        DelayScatterView<'_>,
+    ) {
+        self.lane ^= 1;
+        self.session += 1;
+        self.insertions_at_bin_start = self.total_insertions();
+        let SampleArena {
+            links,
+            rows,
+            probes,
+            probe_asns,
+            lanes,
+            lane,
+            ..
+        } = self;
+        let links: &[Interner<IpLink>] = links;
+        let [lane0, lane1] = lanes;
+        let (pending, next) = if *lane == 0 {
+            (lane1, lane0)
+        } else {
+            (lane0, lane1)
+        };
+        next.begin_bin();
+        let chunks = next.reserve(n, DelayChunk::clear);
+        (
+            SampleArenaParts {
+                rows,
+                links,
+                chunks: pending.active(),
+                probe_ids: probes.keys(),
+                probe_asns,
+            },
+            chunks,
+            DelayScatterView { links, probes },
         )
     }
 
@@ -573,24 +760,26 @@ impl SampleArena {
     /// shard wave: assign dense ids to keys first seen this bin (chunk
     /// order = record order, so the assignment is identical for every
     /// chunk size and thread count), re-pin each touched probe's ASN to
-    /// its first record of the bin, and stamp last-seen clocks.
+    /// its first record of the bin, and stamp probe last-seen clocks.
     pub(crate) fn merge(&mut self, bin: BinId) {
         let SampleArena {
-            chunks,
-            shards,
+            lanes,
+            lane,
+            links,
             probes,
             probe_asns,
             probe_pins,
             session,
             ..
         } = self;
-        for chunk in chunks.active_mut() {
+        let chunks = lanes[*lane].active_mut();
+        for chunk in chunks.iter_mut() {
             chunk.link_patch.clear();
             for &link in &chunk.new_links {
                 let s = shard_of(&link);
-                let local = match shards[s].links.get(&link) {
+                let local = match links[s].get(&link) {
                     Some(local) => local,
-                    None => shards[s].links.insert(link, bin),
+                    None => links[s].insert(link, bin),
                 };
                 chunk.link_patch.push(local);
             }
@@ -622,18 +811,37 @@ impl SampleArena {
         }
     }
 
-    /// Disjoint views for the engine's shard wave (after [`Self::merge`]).
+    /// Stamp every link observed by the just-finished shard wave with
+    /// `bin` — the serial fence closing a bin's epoch bookkeeping. Split
+    /// out of `finalize` so shard jobs never write the epoch tables (the
+    /// pipelined executor shares those tables with a concurrent scatter
+    /// wave); must run after the wave and before any compaction decision
+    /// for a later bin.
+    pub(crate) fn stamp_bin(&mut self, bin: BinId) {
+        for (table, shard) in self.links.iter_mut().zip(&self.rows) {
+            for e in &shard.entries {
+                table.stamp(e.local, bin);
+            }
+        }
+    }
+
+    /// Disjoint views for the engine's shard wave (after [`Self::merge`]),
+    /// reading the current lane — the serial path, and the pipelined
+    /// drain, where the pending bin is the one most recently scattered.
     pub(crate) fn parts_mut(&mut self) -> SampleArenaParts<'_> {
         let SampleArena {
-            shards,
-            chunks,
+            links,
+            rows,
+            lanes,
+            lane,
             probes,
             probe_asns,
             ..
         } = self;
         SampleArenaParts {
-            shards,
-            chunks: chunks.active(),
+            rows,
+            links,
+            chunks: lanes[*lane].active(),
             probe_ids: probes.keys(),
             probe_asns,
         }
@@ -652,30 +860,36 @@ impl SampleArena {
         }
         self.merge(bin);
         let parts = self.parts_mut();
-        for (i, shard) in parts.shards.iter_mut().enumerate() {
+        for (i, shard) in parts.rows.iter_mut().enumerate() {
             shard.gather(i, parts.chunks);
-            shard.finalize(bin, parts.probe_asns);
+            shard.finalize(i, parts.probe_asns, parts.chunks);
         }
+        self.stamp_bin(bin);
     }
 
     /// Number of links with at least one sample in the current bin
     /// (after finalize).
     pub fn link_count(&self) -> usize {
-        self.shards.iter().map(|s| s.link_count()).sum()
+        self.rows.iter().map(ShardRows::link_count).sum()
     }
 
     /// Total differential RTT samples in the current bin (after finalize).
     pub fn total_samples(&self) -> usize {
-        self.shards.iter().map(|s| s.pool.len()).sum()
+        self.rows.iter().map(|s| s.pool.len()).sum()
     }
 
     /// View of the `i`-th link of the current bin, counting across shards
     /// (arbitrary but deterministic order; after finalize).
     pub fn link(&self, i: usize) -> LinkSlice<'_> {
         let mut i = i;
-        for shard in &self.shards {
+        for (s, shard) in self.rows.iter().enumerate() {
             if i < shard.link_count() {
-                return shard.link_in(i, self.probes.keys(), &self.probe_asns);
+                return shard.link_in(
+                    i,
+                    self.links[s].keys(),
+                    self.probes.keys(),
+                    &self.probe_asns,
+                );
             }
             i -= shard.link_count();
         }

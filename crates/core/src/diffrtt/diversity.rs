@@ -95,17 +95,31 @@ pub fn filter(obs: &LinkSamples, cfg: &DetectorConfig, rng: &mut SplitMix64) -> 
     }
 }
 
-/// Reusable buffers for [`filter_slice`]'s balanced-link fast path.
+/// Reusable buffers for the balanced-link fast path of [`decide`].
 #[derive(Debug, Default)]
 pub struct Scratch {
     by_as: Vec<(Asn, u32)>,
     counts: Vec<u32>,
 }
 
-/// Arena-path twin of [`filter`]: appends the surviving samples to `out`
-/// (cleared first) and returns whether the link survives. Uses the same
-/// rebalancing core and RNG stream, so it keeps exactly the multiset of
-/// samples [`filter`] keeps.
+/// The §4.3 verdict for one link, *without* materializing the surviving
+/// samples — so the balanced case (the overwhelming majority) can be
+/// characterized zero-copy, directly on the link's contiguous region of
+/// the shard pool, instead of copying every sample into a scratch buffer
+/// first.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Keep {
+    /// Below the AS-diversity floor: discard the link.
+    Discard,
+    /// Already balanced: every probe's samples survive. No RNG is drawn.
+    All,
+    /// Rebalanced: drop the listed probes' samples, keep the rest.
+    Without(Vec<ProbeId>),
+}
+
+/// Arena-path twin of [`filter`]: decide a link's fate using the same
+/// rebalancing core and RNG stream, so the kept multiset is exactly what
+/// [`filter`] keeps.
 ///
 /// Most links are already balanced, so the common case is handled without
 /// touching the rebalancing core: probe-per-AS counts are accumulated in
@@ -113,16 +127,14 @@ pub struct Scratch {
 /// the entropy value is bit-identical), and if H(A) already clears the
 /// threshold no per-probe lists are ever built and the RNG is never drawn
 /// from — exactly like a rebalancing loop that exits on its first check.
-pub fn filter_slice(
+pub fn decide(
     slice: &LinkSlice<'_>,
     cfg: &DetectorConfig,
     rng: &mut SplitMix64,
-    out: &mut Vec<f64>,
     scratch: &mut Scratch,
-) -> bool {
-    out.clear();
+) -> Keep {
     if slice.as_count < cfg.min_as_diversity {
-        return false;
+        return Keep::Discard;
     }
     // Fast path: probe counts per AS, kept sorted by ASN.
     scratch.by_as.clear();
@@ -139,18 +151,43 @@ pub fn filter_slice(
         None => true, // unreachable post-as_count check; treat as no-op
     };
     if balanced {
-        for (_, _, samples) in slice.probes() {
-            out.extend_from_slice(samples);
-        }
-        return !out.is_empty();
+        return Keep::All;
     }
     // Unbalanced link: defer to the shared core. Its first loop iteration
     // recomputes the entropy just checked — accepted redundancy, so the
     // slow path stays byte-identical to [`filter`] by construction.
-    let removed = rebalance_removals(slice.probes().map(|(p, a, _)| (p, a)), cfg, rng);
-    for (probe, _, samples) in slice.probes() {
-        if !removed.contains(&probe) {
-            out.extend_from_slice(samples);
+    Keep::Without(rebalance_removals(
+        slice.probes().map(|(p, a, _)| (p, a)),
+        cfg,
+        rng,
+    ))
+}
+
+/// Sample-materializing wrapper around [`decide`]: appends the surviving
+/// samples to `out` (cleared first) and returns whether the link
+/// survives. The engine's hot path uses [`decide`] directly (zero-copy
+/// for balanced links); this wrapper serves the equivalence tests.
+pub fn filter_slice(
+    slice: &LinkSlice<'_>,
+    cfg: &DetectorConfig,
+    rng: &mut SplitMix64,
+    out: &mut Vec<f64>,
+    scratch: &mut Scratch,
+) -> bool {
+    out.clear();
+    match decide(slice, cfg, rng, scratch) {
+        Keep::Discard => return false,
+        Keep::All => {
+            for (_, _, samples) in slice.probes() {
+                out.extend_from_slice(samples);
+            }
+        }
+        Keep::Without(removed) => {
+            for (probe, _, samples) in slice.probes() {
+                if !removed.contains(&probe) {
+                    out.extend_from_slice(samples);
+                }
+            }
         }
     }
     !out.is_empty()

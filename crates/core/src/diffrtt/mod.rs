@@ -52,7 +52,7 @@ pub use reference::LinkReference;
 use crate::config::DetectorConfig;
 use crate::engine;
 use crate::ingest;
-use compute::{shard_of, DelayChunk, NUM_SHARDS};
+use compute::{shard_of, DelayChunk, ShardRows, NUM_SHARDS};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
 use pinpoint_stats::rng::{derive_seed, SplitMix64};
@@ -147,23 +147,56 @@ impl DelayDetector {
         records: &[TracerouteRecord],
     ) -> (Vec<DelayAlarm>, HashMap<IpLink, LinkStat>) {
         let threads = self.effective_threads();
-        let chunk = ingest::resolve_chunk(self.cfg.ingest_chunk_records);
-        self.begin_bin(bin);
+        let chunk = ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
+        self.compact_epoch(bin);
+        self.begin_bin();
         engine::run_jobs(self.scatter_jobs(records, chunk), threads);
         self.merge_scatter(bin);
-        let mut stage = self.stage(bin, threads);
-        engine::run_jobs(stage.jobs(), threads);
-        let (alarms, stats, new_links) = stage.finish();
+        let (alarms, stats, new_links) = {
+            let mut stage = self.stage(bin, threads);
+            engine::run_jobs(stage.jobs(), threads);
+            stage.finish()
+        };
+        self.stamp_bin(bin);
         self.links_seen += new_links;
         (alarms, stats)
     }
 
-    /// Open one bin's ingestion: compact the intern epoch on the shared
-    /// expiry clock, then start a fresh scatter session. Must precede any
-    /// [`DelayDetector::scatter_jobs`] call for the bin.
-    pub(crate) fn begin_bin(&mut self, bin: BinId) {
+    /// Compact the intern epoch on the shared expiry clock. Must run in a
+    /// drained gap: no bin's scattered rows in flight (the sweep renumbers
+    /// dense ids). The serial path runs it at every bin open; the
+    /// pipelined executor fences first (see [`DelayDetector::
+    /// needs_compaction`]).
+    pub(crate) fn compact_epoch(&mut self, bin: BinId) {
         self.arena.compact(bin, self.cfg.reference_expiry_bins);
+    }
+
+    /// The pipelined executor's fence predicate: whether any interned key
+    /// is *overdue* — unseen for more than `reference_expiry_bins + 1`
+    /// bins, i.e. expired even if the still-unstamped in-flight bin
+    /// observed it. The +1 matters: this check runs before the pending
+    /// bin's shard wave (and its stamps), so testing the raw expiry would
+    /// cry wolf for every key the pending bin is about to refresh —
+    /// degenerating to a drain per bin at small expiry values. The
+    /// tolerant bound drains only for genuinely dead keys; their eviction
+    /// lands at most one bin later than the serial schedule's, which is
+    /// report-invisible (dense ids never reach reports).
+    pub(crate) fn needs_compaction(&self, bin: BinId) -> bool {
+        self.arena
+            .needs_compaction(bin, self.cfg.reference_expiry_bins + 1)
+    }
+
+    /// Open one bin's scatter session. Must precede any
+    /// [`DelayDetector::scatter_jobs`] call for the bin.
+    pub(crate) fn begin_bin(&mut self) {
         self.arena.begin_bin();
+    }
+
+    /// The serial fence after a bin's shard wave: stamp every observed
+    /// link's epoch entry. Must run before any compaction decision for a
+    /// later bin.
+    pub(crate) fn stamp_bin(&mut self, bin: BinId) {
+        self.arena.stamp_bin(bin);
     }
 
     /// The pre-stage: one boxed scatter job per fixed-size record chunk,
@@ -209,28 +242,34 @@ impl DelayDetector {
         let DelayDetector {
             cfg, shards, arena, ..
         } = self;
-        let compute::SampleArenaParts {
-            shards: arena_shards,
+        build_stage(arena.parts_mut(), shards, cfg, bin, threads)
+    }
+
+    /// The depth-2 overlap point: stage the *pending* bin's shard wave
+    /// AND open the next bin's scatter session (opposite chunk lane, no
+    /// compaction — the caller fences that) in one split borrow, so both
+    /// job sets can run as one two-lane engine wave. Returns the pending
+    /// bin's stage plus the next bin's scatter-chunk jobs.
+    pub(crate) fn overlap<'a>(
+        &'a mut self,
+        pending: BinId,
+        records: &'a [TracerouteRecord],
+        chunk_records: usize,
+        threads: usize,
+    ) -> (DelayStage<'a>, Vec<engine::Job<'a>>) {
+        let DelayDetector {
+            cfg, shards, arena, ..
+        } = self;
+        let n = ingest::chunk_count(records.len(), chunk_records);
+        let (parts, chunks, view) = arena.split_lanes(n);
+        let scatter = ingest::chunk_jobs(
             chunks,
-            probe_ids,
-            probe_asns,
-        } = arena.parts_mut();
-        let bundles = engine::round_robin(
-            arena_shards
-                .iter_mut()
-                .enumerate()
-                .zip(shards.iter_mut())
-                .map(|((idx, arena_shard), shard)| (idx, arena_shard, shard)),
-            threads,
+            records,
+            chunk_records,
+            view,
+            |chunk, records, view| chunk.scatter(records, view),
         );
-        DelayStage {
-            inner: engine::ShardStage::new(bundles),
-            cfg,
-            bin,
-            chunks,
-            probe_ids,
-            probe_asns,
-        }
+        (build_stage(parts, shards, cfg, pending, threads), scatter)
     }
 
     /// The original single-threaded, nested-map, full-sort path — kept as
@@ -295,9 +334,57 @@ impl DelayDetector {
     }
 }
 
-/// One worker's bundle: its share of arena shards (with their index, for
-/// chunk-row gathering) zipped with their detector state.
-type DelayBundle<'a> = Vec<(usize, &'a mut compute::ArenaShard, &'a mut Shard)>;
+/// One shard's slice of a staged wave: its per-wave row workspace, its
+/// epoch link keys (read-only — safe next to a concurrent scatter wave),
+/// and its detector state.
+pub(crate) struct DelayShardTask<'a> {
+    idx: usize,
+    rows: &'a mut ShardRows,
+    links: &'a [IpLink],
+    shard: &'a mut Shard,
+}
+
+/// One worker's bundle: its round-robin share of shard tasks.
+type DelayBundle<'a> = Vec<DelayShardTask<'a>>;
+
+/// Deal a scattered-and-merged arena into a [`DelayStage`] of `threads`
+/// round-robin bundles — shared by the serial [`DelayDetector::stage`]
+/// and the overlapped [`DelayDetector::overlap`].
+fn build_stage<'a>(
+    parts: compute::SampleArenaParts<'a>,
+    shards: &'a mut [Shard],
+    cfg: &'a DetectorConfig,
+    bin: BinId,
+    threads: usize,
+) -> DelayStage<'a> {
+    let compute::SampleArenaParts {
+        rows,
+        links,
+        chunks,
+        probe_ids,
+        probe_asns,
+    } = parts;
+    let bundles = engine::round_robin(
+        rows.iter_mut()
+            .enumerate()
+            .zip(shards.iter_mut())
+            .map(|((idx, rows), shard)| DelayShardTask {
+                idx,
+                rows,
+                links: links[idx].keys(),
+                shard,
+            }),
+        threads,
+    );
+    DelayStage {
+        inner: engine::ShardStage::new(bundles),
+        cfg,
+        bin,
+        chunks,
+        probe_ids,
+        probe_asns,
+    }
+}
 
 /// A bin staged for the shared engine: an [`engine::ShardStage`] of shard
 /// bundles plus the per-bin inputs every job reads. Produce jobs with
@@ -343,13 +430,15 @@ impl<'a> DelayStage<'a> {
     }
 }
 
-/// The per-worker shard pipeline: gather each bundled shard's chunk rows
-/// in chunk order, group them, then run steps 2–5 per link. Shard state
-/// arrives by `&mut` — no locks, no contention — and every per-link
-/// decision depends only on `(cfg, link, bin)`, so the caller's in-order
-/// merge is independent of the thread count.
+/// The per-worker shard pipeline: gather each bundled shard's chunk runs
+/// in chunk order, group them, then run steps 2–5 per link. Shard state arrives by `&mut` — no
+/// locks, no contention — and every per-link decision depends only on
+/// `(cfg, link, bin)`, so the caller's in-order merge is independent of
+/// the thread count. Nothing here writes the epoch tables (stamping is
+/// the caller's post-wave fence), which is what lets the pipelined
+/// executor run this concurrently with the next bin's scatter wave.
 fn run_delay_bundle(
-    bundle: Vec<(usize, &mut compute::ArenaShard, &mut Shard)>,
+    bundle: DelayBundle<'_>,
     cfg: &DetectorConfig,
     bin: BinId,
     chunks: &[DelayChunk],
@@ -360,26 +449,47 @@ fn run_delay_bundle(
     // Reused across links: surviving samples + diversity scratch.
     let mut surviving: Vec<f64> = Vec::new();
     let mut diversity_scratch = diversity::Scratch::default();
-    for (idx, arena_shard, shard) in bundle {
-        arena_shard.gather(idx, chunks);
-        arena_shard.finalize(bin, probe_asns);
-        for j in 0..arena_shard.link_count() {
-            let slice = arena_shard.link_in(j, probe_ids, probe_asns);
+    for DelayShardTask {
+        idx,
+        rows,
+        links,
+        shard,
+    } in bundle
+    {
+        rows.gather(idx, chunks);
+        rows.finalize(idx, probe_asns, chunks);
+        for j in 0..rows.link_count() {
+            let slice = rows.link_in(j, links, probe_ids, probe_asns);
             let link = slice.link;
             // Step 2: probe-diversity filter.
             let mut rng = link_rng(cfg.seed, &link, bin);
-            if !diversity::filter_slice(
-                &slice,
-                cfg,
-                &mut rng,
-                &mut surviving,
-                &mut diversity_scratch,
-            ) {
-                continue;
-            }
-            // Step 3: robust characterization, in place via order-statistic
-            // selection.
-            let Some(stat) = characterize::characterize_in_place(&mut surviving, cfg) else {
+            let decision = diversity::decide(&slice, cfg, &mut rng, &mut diversity_scratch);
+            // Step 3: robust characterization via order-statistic
+            // selection — zero-copy for balanced links (permuting the
+            // link's contiguous pool region in place), copying only the
+            // survivors of a rebalanced link.
+            let stat = match decision {
+                diversity::Keep::Discard => continue,
+                diversity::Keep::All => {
+                    let region = rows.entry_pool_range(j);
+                    characterize::characterize_region(
+                        &mut rows.pool_mut()[region],
+                        &mut surviving,
+                        cfg,
+                    )
+                }
+                diversity::Keep::Without(removed) => {
+                    surviving.clear();
+                    let slice = rows.link_in(j, links, probe_ids, probe_asns);
+                    for (probe, _, samples) in slice.probes() {
+                        if !removed.contains(&probe) {
+                            surviving.extend_from_slice(samples);
+                        }
+                    }
+                    characterize::characterize_in_place(&mut surviving, cfg)
+                }
+            };
+            let Some(stat) = stat else {
                 continue;
             };
             // Steps 4 + 5 against the running reference.

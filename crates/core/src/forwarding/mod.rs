@@ -44,7 +44,7 @@ pub use reference::PatternReference;
 use crate::config::DetectorConfig;
 use crate::engine;
 use crate::ingest;
-use pattern::{shard_of_pattern, PatternArena, PatternArenaShard, PatternChunk};
+use pattern::{shard_of_pattern, PatternArena, PatternChunk, PatternShardRows};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{BinId, FxHashMap};
 
@@ -113,20 +113,46 @@ impl ForwardingDetector {
         records: &[TracerouteRecord],
     ) -> Vec<ForwardingAlarm> {
         let threads = self.effective_threads();
-        let chunk = ingest::resolve_chunk(self.cfg.ingest_chunk_records);
-        self.begin_bin(bin);
+        let chunk = ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
+        self.compact_epoch(bin);
+        self.begin_bin();
         engine::run_jobs(self.scatter_jobs(records, chunk), threads);
         self.merge_scatter(bin);
-        let mut stage = self.stage(bin, threads);
-        engine::run_jobs(stage.jobs(), threads);
-        stage.finish()
+        let alarms = {
+            let mut stage = self.stage(bin, threads);
+            engine::run_jobs(stage.jobs(), threads);
+            stage.finish()
+        };
+        self.stamp_bin(bin);
+        alarms
     }
 
-    /// Open one bin's ingestion: compact the intern epoch on the shared
-    /// expiry clock, then start a fresh scatter session.
-    pub(crate) fn begin_bin(&mut self, bin: BinId) {
+    /// Compact the intern epoch on the shared expiry clock. Must run in a
+    /// drained gap — see [`crate::diffrtt::DelayDetector::compact_epoch`].
+    pub(crate) fn compact_epoch(&mut self, bin: BinId) {
         self.arena.compact(bin, self.cfg.reference_expiry_bins);
+    }
+
+    /// The pipelined executor's fence predicate: whether any interned key
+    /// is *overdue* (unseen beyond `reference_expiry_bins + 1` — see
+    /// [`crate::diffrtt::DelayDetector::needs_compaction`] for why the
+    /// tolerant bound, which accounts for the pending bin's unstamped
+    /// observations, is the right one).
+    pub(crate) fn needs_compaction(&self, bin: BinId) -> bool {
+        self.arena
+            .needs_compaction(bin, self.cfg.reference_expiry_bins + 1)
+    }
+
+    /// Open one bin's scatter session.
+    pub(crate) fn begin_bin(&mut self) {
         self.arena.begin_bin();
+    }
+
+    /// The serial fence after a bin's shard wave: stamp every observed
+    /// pattern's epoch entry. Must run before any compaction decision for
+    /// a later bin.
+    pub(crate) fn stamp_bin(&mut self, bin: BinId) {
+        self.arena.stamp_bin(bin);
     }
 
     /// The pre-stage: one boxed scatter job per fixed-size record chunk
@@ -165,26 +191,31 @@ impl ForwardingDetector {
     /// first.
     pub(crate) fn stage<'a>(&'a mut self, bin: BinId, threads: usize) -> ForwardingStage<'a> {
         let ForwardingDetector { cfg, shards, arena } = self;
-        let pattern::PatternArenaParts {
-            shards: arena_shards,
+        build_stage(arena.parts_mut(), shards, cfg, bin, threads)
+    }
+
+    /// The depth-2 overlap point — the forwarding twin of
+    /// [`crate::diffrtt::DelayDetector::overlap`]: stage the pending
+    /// bin's shard wave and open the next bin's scatter session (opposite
+    /// chunk lane, no compaction) in one split borrow.
+    pub(crate) fn overlap<'a>(
+        &'a mut self,
+        pending: BinId,
+        records: &'a [TracerouteRecord],
+        chunk_records: usize,
+        threads: usize,
+    ) -> (ForwardingStage<'a>, Vec<engine::Job<'a>>) {
+        let ForwardingDetector { cfg, shards, arena } = self;
+        let n = ingest::chunk_count(records.len(), chunk_records);
+        let (parts, chunks, view) = arena.split_lanes(n);
+        let scatter = ingest::chunk_jobs(
             chunks,
-            hops,
-        } = arena.parts_mut();
-        let bundles = engine::round_robin(
-            arena_shards
-                .iter_mut()
-                .enumerate()
-                .zip(shards.iter_mut())
-                .map(|((idx, arena_shard), shard)| (idx, arena_shard, shard)),
-            threads,
+            records,
+            chunk_records,
+            view,
+            |chunk, records, view| chunk.scatter(records, view),
         );
-        ForwardingStage {
-            inner: engine::ShardStage::new(bundles),
-            cfg,
-            bin,
-            chunks,
-            hops,
-        }
+        (build_stage(parts, shards, cfg, pending, threads), scatter)
     }
 
     /// The original single-threaded, nested-map path — kept as the
@@ -243,9 +274,55 @@ impl ForwardingDetector {
     }
 }
 
-/// One worker's bundle: its share of arena shards (with their index, for
-/// chunk-row gathering) zipped with their detector state.
-type ForwardingBundle<'a> = Vec<(usize, &'a mut PatternArenaShard, &'a mut FwdShard)>;
+/// One shard's slice of a staged wave: its per-wave row workspace, its
+/// epoch pattern keys (read-only — safe next to a concurrent scatter
+/// wave), and its detector state.
+pub(crate) struct ForwardingShardTask<'a> {
+    idx: usize,
+    rows: &'a mut PatternShardRows,
+    keys: &'a [PatternKey],
+    shard: &'a mut FwdShard,
+}
+
+/// One worker's bundle: its round-robin share of shard tasks.
+type ForwardingBundle<'a> = Vec<ForwardingShardTask<'a>>;
+
+/// Deal a scattered-and-merged arena into a [`ForwardingStage`] of
+/// `threads` round-robin bundles — shared by the serial stage and the
+/// overlapped one.
+fn build_stage<'a>(
+    parts: pattern::PatternArenaParts<'a>,
+    shards: &'a mut [FwdShard],
+    cfg: &'a DetectorConfig,
+    bin: BinId,
+    threads: usize,
+) -> ForwardingStage<'a> {
+    let pattern::PatternArenaParts {
+        rows,
+        patterns,
+        chunks,
+        hops,
+    } = parts;
+    let bundles = engine::round_robin(
+        rows.iter_mut()
+            .enumerate()
+            .zip(shards.iter_mut())
+            .map(|((idx, rows), shard)| ForwardingShardTask {
+                idx,
+                rows,
+                keys: patterns[idx].keys(),
+                shard,
+            }),
+        threads,
+    );
+    ForwardingStage {
+        inner: engine::ShardStage::new(bundles),
+        cfg,
+        bin,
+        chunks,
+        hops,
+    }
+}
 
 /// A bin staged for the shared engine — the forwarding twin of
 /// [`crate::diffrtt::DelayStage`]: an [`engine::ShardStage`] of shard
@@ -286,7 +363,7 @@ impl<'a> ForwardingStage<'a> {
 /// `(cfg, key, bin)`, so the caller's in-order merge is independent of
 /// the thread count.
 fn run_forwarding_bundle(
-    bundle: Vec<(usize, &mut PatternArenaShard, &mut FwdShard)>,
+    bundle: ForwardingBundle<'_>,
     cfg: &DetectorConfig,
     bin: BinId,
     chunks: &[PatternChunk],
@@ -295,11 +372,17 @@ fn run_forwarding_bundle(
     let mut out = FwdShardOutput::default();
     // Reused across patterns: hop-alignment buffers.
     let mut scratch = detect::AlignScratch::default();
-    for (idx, arena_shard, shard) in bundle {
-        arena_shard.gather(idx, chunks);
-        arena_shard.finalize(bin);
-        for j in 0..arena_shard.pattern_count() {
-            let slice = arena_shard.pattern_in(j, hops);
+    for ForwardingShardTask {
+        idx,
+        rows,
+        keys,
+        shard,
+    } in bundle
+    {
+        rows.gather(idx, chunks);
+        rows.finalize();
+        for j in 0..rows.pattern_count() {
+            let slice = rows.pattern_in(j, keys, hops);
             let entry = shard
                 .references
                 .entry(slice.key)

@@ -187,9 +187,12 @@ pub(crate) struct PatternChunk {
 }
 
 /// The read-only arena state a scatter job shares with every other job.
+/// Holds only the epoch tables (never the per-wave row workspace), so the
+/// pipelined executor can run a scatter wave concurrently with the
+/// previous bin's shard wave — see `crate::diffrtt::compute` for the twin.
 #[derive(Clone, Copy)]
 pub(crate) struct PatternScatterView<'a> {
-    pub(crate) shards: &'a [PatternArenaShard],
+    pub(crate) patterns: &'a [Interner<PatternKey>],
     pub(crate) hops: &'a Interner<NextHop>,
 }
 
@@ -230,7 +233,7 @@ impl PatternChunk {
                     dst: rec.dst,
                 };
                 let s = shard_of_pattern(&key);
-                let local = match view.shards[s].patterns.get(&key) {
+                let local = match view.patterns[s].get(&key) {
                     Some(local) => local,
                     None => match self.new_pattern_ids.get(&key) {
                         Some(&pending) => pending,
@@ -284,25 +287,28 @@ impl PatternChunk {
     }
 }
 
-/// One shard's per-bin pattern rows and grouped layout, plus its slice of
-/// the persistent pattern intern epoch. `gather` concatenates the bin's
-/// chunk buffers in chunk order (patching pending ids); `finalize` (run
-/// by the shard's worker thread) sorts and groups into `pool`/`entries`.
+/// One shard's per-wave row workspace: the bin's pattern rows and their
+/// grouped layout. `gather` concatenates the bin's chunk buffers in chunk
+/// order (patching pending ids); `finalize` (run by the shard's worker
+/// thread) sorts and groups into `pool`/`entries`. Holds NO epoch state —
+/// the shard's pattern intern table lives in [`PatternArena::patterns`] —
+/// for the same reason as the delay side's `ShardRows`: a shard wave owns
+/// this mutably while the next bin's scatter jobs read the epoch tables.
 #[derive(Debug, Default)]
-pub(crate) struct PatternArenaShard {
-    /// Epoch-persistent pattern key → shard-local id table.
-    patterns: Interner<PatternKey>,
+pub(crate) struct PatternShardRows {
     /// `(pattern_local << 32 | hop_slot, packets)` — 16 bytes, sorted by
     /// key at finalize.
     rows: Vec<(u64, f64)>,
     /// Grouped `(hop_slot, packets)` per observed pattern.
     pool: Vec<(u32, f64)>,
     /// `(pattern_local, pool start, pool len)` per observed pattern, in
-    /// local-id order. Presence-only patterns have `len == 0`.
+    /// local-id order. Presence-only patterns have `len == 0`. Doubles as
+    /// the observed-pattern list the post-wave stamp fence
+    /// ([`PatternArena::stamp_bin`]) walks.
     entries: Vec<(u32, u32, u32)>,
 }
 
-impl PatternArenaShard {
+impl PatternShardRows {
     /// Concatenate this shard's rows from every chunk **in chunk order**
     /// (= record order), patching pending ids. Safe to run concurrently
     /// across shards.
@@ -331,13 +337,15 @@ impl PatternArenaShard {
         }
     }
 
-    /// Sort this shard's rows and lay out the grouped pool/entry indexes,
-    /// stamping every observed pattern's epoch entry with `bin`. Every
-    /// pattern with at least one row this bin gets an entry — including
-    /// presence-only ones (a hop whose successor sent no packets), whose
-    /// empty observation must still decay its reference exactly as the
-    /// nested-map path does. Safe to run concurrently across shards.
-    pub(crate) fn finalize(&mut self, bin: BinId) {
+    /// Sort this shard's rows and lay out the grouped pool/entry indexes.
+    /// Every pattern with at least one row this bin gets an entry —
+    /// including presence-only ones (a hop whose successor sent no
+    /// packets), whose empty observation must still decay its reference
+    /// exactly as the nested-map path does. Safe to run concurrently
+    /// across shards — and, in the pipelined executor, concurrently with
+    /// the next bin's scatter wave: observed patterns are stamped by the
+    /// caller's serial fence from the entry list this lays out.
+    pub(crate) fn finalize(&mut self) {
         self.pool.clear();
         self.entries.clear();
         // One u64-keyed sort over a small, cache-resident shard. Equal keys
@@ -361,7 +369,6 @@ impl PatternArenaShard {
                     self.pool.push((slot, packets));
                 }
             }
-            self.patterns.stamp(local, bin);
             self.entries
                 .push((local, start, self.pool.len() as u32 - start));
         }
@@ -372,22 +379,30 @@ impl PatternArenaShard {
         self.entries.len()
     }
 
-    pub(crate) fn pattern_in<'a>(&'a self, j: usize, hops: &'a [NextHop]) -> PatternSlice<'a> {
+    pub(crate) fn pattern_in<'a>(
+        &'a self,
+        j: usize,
+        keys: &'a [PatternKey],
+        hops: &'a [NextHop],
+    ) -> PatternSlice<'a> {
         let (local, start, len) = self.entries[j];
         PatternSlice {
-            key: self.patterns.key(local),
+            key: keys[local as usize],
             counts: &self.pool[start as usize..(start + len) as usize],
             hops,
         }
     }
 }
 
-/// Split borrow of an arena for the shard wave: mutable shards alongside
-/// the bin's chunk outputs and the shared hop intern table, so stage
-/// construction can hand shards to workers while chunk rows and the hop
-/// slice stay readable from every job.
+/// Split borrow of an arena for the shard wave: mutable per-shard row
+/// workspaces alongside the bin's chunk outputs and the shared
+/// (read-only) intern tables, so stage construction can hand shards to
+/// workers while chunk rows, pattern keys, and the hop slice stay
+/// readable from every job — and, under the pipelined executor, from the
+/// next bin's scatter jobs at the same time.
 pub(crate) struct PatternArenaParts<'a> {
-    pub(crate) shards: &'a mut [PatternArenaShard],
+    pub(crate) rows: &'a mut [PatternShardRows],
+    pub(crate) patterns: &'a [Interner<PatternKey>],
     pub(crate) chunks: &'a [PatternChunk],
     pub(crate) hops: &'a [NextHop],
 }
@@ -410,22 +425,33 @@ pub(crate) struct PatternArenaParts<'a> {
 /// the tables under key churn.
 #[derive(Debug)]
 pub struct PatternArena {
-    pub(crate) shards: Vec<PatternArenaShard>,
+    /// Epoch-persistent per-shard pattern key → shard-local id tables,
+    /// kept apart from the per-wave [`PatternShardRows`] so the pipelined
+    /// executor can share them read-only with a concurrent scatter wave.
+    patterns: Vec<Interner<PatternKey>>,
+    /// Per-shard per-wave row workspace (consumed within one shard wave).
+    rows: Vec<PatternShardRows>,
     /// Epoch-persistent next-hop → slot table.
     hops: Interner<NextHop>,
-    /// The bin's scatter-chunk buffers (reused across bins).
-    chunks: ChunkPool<PatternChunk>,
+    /// Double-buffered scatter-chunk lanes (see `SampleArena::lanes`).
+    lanes: [ChunkPool<PatternChunk>; 2],
+    /// Lane of the open scatter session.
+    lane: usize,
     insertions_at_bin_start: u64,
 }
 
 impl Default for PatternArena {
     fn default() -> Self {
         PatternArena {
-            shards: (0..engine::NUM_SHARDS)
-                .map(|_| PatternArenaShard::default())
+            patterns: (0..engine::NUM_SHARDS)
+                .map(|_| Interner::default())
+                .collect(),
+            rows: (0..engine::NUM_SHARDS)
+                .map(|_| PatternShardRows::default())
                 .collect(),
             hops: Interner::default(),
-            chunks: ChunkPool::default(),
+            lanes: [ChunkPool::default(), ChunkPool::default()],
+            lane: 0,
             insertions_at_bin_start: 0,
         }
     }
@@ -438,40 +464,43 @@ impl PatternArena {
     }
 
     fn total_insertions(&self) -> u64 {
-        self.hops.insertions()
-            + self
-                .shards
-                .iter()
-                .map(|s| s.patterns.insertions())
-                .sum::<u64>()
+        self.hops.insertions() + self.patterns.iter().map(Interner::insertions).sum::<u64>()
     }
 
     /// Interning-epoch counters for this arena (patterns + next hops).
     pub(crate) fn stats(&self) -> crate::ingest::IngestStats {
         crate::ingest::IngestStats {
-            interned: self.hops.len() + self.shards.iter().map(|s| s.patterns.len()).sum::<usize>(),
+            interned: self.hops.len() + self.patterns.iter().map(Interner::len).sum::<usize>(),
             bin_insertions: self.total_insertions() - self.insertions_at_bin_start,
             insertions: self.total_insertions(),
             evictions: self.hops.evictions()
-                + self
-                    .shards
-                    .iter()
-                    .map(|s| s.patterns.evictions())
-                    .sum::<u64>(),
+                + self.patterns.iter().map(Interner::evictions).sum::<u64>(),
         }
     }
 
-    /// Start a new scatter session (see [`crate::diffrtt::SampleArena`]).
+    /// Start a new scatter session in the current lane (see
+    /// [`crate::diffrtt::SampleArena::begin_bin`]).
     pub(crate) fn begin_bin(&mut self) {
-        self.chunks.begin_bin();
+        self.lanes[self.lane].begin_bin();
         self.insertions_at_bin_start = self.total_insertions();
     }
 
+    /// Whether a [`Self::compact`] sweep at `now` would evict anything —
+    /// the pipelined executor's fence predicate.
+    pub(crate) fn needs_compaction(&self, now: BinId, expiry_bins: usize) -> bool {
+        self.hops.any_expired(now, expiry_bins)
+            || self
+                .patterns
+                .iter()
+                .any(|t| t.any_expired(now, expiry_bins))
+    }
+
     /// Evict patterns and hops unseen for more than `expiry_bins` bins.
-    /// Byte-for-byte invisible in reports; must run between bins.
+    /// Byte-for-byte invisible in reports; must run in the gap between
+    /// epochs — never while any bin's scattered rows are in flight.
     pub(crate) fn compact(&mut self, now: BinId, expiry_bins: usize) {
-        for shard in &mut self.shards {
-            shard.patterns.compact(now, expiry_bins);
+        for table in &mut self.patterns {
+            table.compact(now, expiry_bins);
         }
         self.hops.compact(now, expiry_bins);
     }
@@ -484,35 +513,82 @@ impl PatternArena {
         n: usize,
     ) -> (&mut [PatternChunk], PatternScatterView<'_>) {
         let PatternArena {
-            chunks,
-            shards,
+            lanes,
+            lane,
+            patterns,
             hops,
             ..
         } = self;
         (
-            chunks.reserve(n, PatternChunk::clear),
-            PatternScatterView { shards, hops },
+            lanes[*lane].reserve(n, PatternChunk::clear),
+            PatternScatterView { patterns, hops },
+        )
+    }
+
+    /// Open the next bin's scatter session in the *opposite* lane and
+    /// split the arena into both waves' disjoint parts — the forwarding
+    /// twin of [`crate::diffrtt::SampleArena::split_lanes`], the depth-2
+    /// overlap point.
+    pub(crate) fn split_lanes(
+        &mut self,
+        n: usize,
+    ) -> (
+        PatternArenaParts<'_>,
+        &mut [PatternChunk],
+        PatternScatterView<'_>,
+    ) {
+        self.lane ^= 1;
+        self.insertions_at_bin_start = self.total_insertions();
+        let PatternArena {
+            patterns,
+            rows,
+            hops,
+            lanes,
+            lane,
+            ..
+        } = self;
+        let patterns: &[Interner<PatternKey>] = patterns;
+        let [lane0, lane1] = lanes;
+        let (pending, next) = if *lane == 0 {
+            (lane1, lane0)
+        } else {
+            (lane0, lane1)
+        };
+        next.begin_bin();
+        let chunks = next.reserve(n, PatternChunk::clear);
+        (
+            PatternArenaParts {
+                rows,
+                patterns,
+                chunks: pending.active(),
+                hops: hops.keys(),
+            },
+            chunks,
+            PatternScatterView { patterns, hops },
         )
     }
 
     /// The sequential chunk-ordered merge between the scatter wave and
     /// the shard wave: assign dense ids to the bin's new pattern keys and
     /// next hops in chunk order (= record order) and stamp touched hops.
-    /// Observed patterns are stamped at finalize, on their own shard.
+    /// Observed patterns are stamped by the post-wave fence
+    /// ([`Self::stamp_bin`]).
     pub(crate) fn merge(&mut self, bin: BinId) {
         let PatternArena {
-            chunks,
-            shards,
+            lanes,
+            lane,
+            patterns,
             hops,
             ..
         } = self;
-        for chunk in chunks.active_mut() {
+        let chunks = lanes[*lane].active_mut();
+        for chunk in chunks.iter_mut() {
             chunk.pattern_patch.clear();
             for &key in &chunk.new_patterns {
                 let s = shard_of_pattern(&key);
-                let local = match shards[s].patterns.get(&key) {
+                let local = match patterns[s].get(&key) {
                     Some(local) => local,
-                    None => shards[s].patterns.insert(key, bin),
+                    None => patterns[s].insert(key, bin),
                 };
                 chunk.pattern_patch.push(local);
             }
@@ -535,6 +611,17 @@ impl PatternArena {
         }
     }
 
+    /// Stamp every pattern observed by the just-finished shard wave with
+    /// `bin` — the forwarding half of the serial epoch fence. Must run
+    /// after the wave and before any compaction decision for a later bin.
+    pub(crate) fn stamp_bin(&mut self, bin: BinId) {
+        for (table, shard) in self.patterns.iter_mut().zip(&self.rows) {
+            for &(local, _, _) in &shard.entries {
+                table.stamp(local, bin);
+            }
+        }
+    }
+
     /// Scatter + merge + gather + finalize inline, as a single chunk (the
     /// single-threaded convenience entry; the engine runs chunks and
     /// shards on its workers).
@@ -547,39 +634,45 @@ impl PatternArena {
         }
         self.merge(bin);
         let parts = self.parts_mut();
-        for (i, shard) in parts.shards.iter_mut().enumerate() {
+        for (i, shard) in parts.rows.iter_mut().enumerate() {
             shard.gather(i, parts.chunks);
-            shard.finalize(bin);
+            shard.finalize();
         }
+        self.stamp_bin(bin);
     }
 
-    /// Disjoint views for the engine's shard wave (after [`Self::merge`]).
+    /// Disjoint views for the engine's shard wave (after [`Self::merge`]),
+    /// reading the current lane.
     pub(crate) fn parts_mut(&mut self) -> PatternArenaParts<'_> {
         let PatternArena {
-            shards,
-            chunks,
+            patterns,
+            rows,
+            lanes,
+            lane,
             hops,
             ..
         } = self;
         PatternArenaParts {
-            shards,
-            chunks: chunks.active(),
+            rows,
+            patterns,
+            chunks: lanes[*lane].active(),
             hops: hops.keys(),
         }
     }
 
     /// Number of patterns observed in the current bin (after finalize).
     pub fn pattern_count(&self) -> usize {
-        self.shards.iter().map(|s| s.pattern_count()).sum()
+        self.rows.iter().map(PatternShardRows::pattern_count).sum()
     }
 
     /// Iterate every pattern of the current bin (after finalize; arbitrary
     /// but deterministic order).
     pub fn patterns(&self) -> impl Iterator<Item = PatternSlice<'_>> {
         let hops = self.hops.keys();
-        self.shards
-            .iter()
-            .flat_map(move |s| (0..s.pattern_count()).map(move |j| s.pattern_in(j, hops)))
+        self.rows.iter().enumerate().flat_map(move |(s, shard)| {
+            (0..shard.pattern_count())
+                .map(move |j| shard.pattern_in(j, self.patterns[s].keys(), hops))
+        })
     }
 }
 

@@ -27,9 +27,11 @@
 //!   invisible — `tests/ingest_parity.rs` proves it.
 //!
 //! The two-wave protocol per bin (scatter-chunk jobs, then shard jobs)
-//! is what `engine::run_jobs` executes; [`IngestWave`] is the pre-stage
-//! job collection that lets one worker herd serve the scatter chunks of
-//! *every* detector — and, in a fleet, every stream — at once.
+//! is what `engine::run_jobs` executes; `engine::Wave` is the two-lane
+//! pre-stage collection that lets one worker herd serve the scatter
+//! chunks of *every* detector — and, in a fleet, every stream — at once,
+//! and, in the cross-bin pipelined executor, serve them *alongside* the
+//! previous bin's shard jobs.
 
 use crate::engine;
 use pinpoint_model::records::TracerouteRecord;
@@ -41,12 +43,37 @@ use std::hash::Hash;
 /// than workers, large enough that per-chunk bookkeeping stays noise.
 pub const DEFAULT_CHUNK_RECORDS: usize = 512;
 
+/// Auto chunk size when the pool has a single worker. With no cores to
+/// spread chunks over, chunking is purely a cache-blocking knob: a
+/// chunk's run/value buffers and dedup maps should stay resident while
+/// the next chunk scatters, and the `ingest_heavy` workload measures
+/// smaller blocks beating [`DEFAULT_CHUNK_RECORDS`] by ~5% on one core
+/// (and the whole-bin single chunk losing ~40% — its per-shard buffers
+/// outgrow the cache).
+pub const SINGLE_WORKER_CHUNK_RECORDS: usize = 128;
+
 /// Resolve the `ingest_chunk_records` knob (0 = auto) into a chunk size.
 pub fn resolve_chunk(chunk_records: usize) -> usize {
     if chunk_records == 0 {
         DEFAULT_CHUNK_RECORDS
     } else {
         chunk_records
+    }
+}
+
+/// Chunk-size resolution with the worker count in hand: when the knob is
+/// auto (`0`) and the pool has a single worker — where `engine::run_jobs`
+/// already takes its no-thread inline path, no scoped workers spawned —
+/// chunks shrink to the cache-blocking size
+/// ([`SINGLE_WORKER_CHUNK_RECORDS`]). An explicitly pinned chunk size is
+/// always honored, so the parity matrix's pathological chunkings still
+/// exercise the same machinery on any machine. Purely a throughput knob:
+/// output is byte-identical for every chunking.
+pub fn resolve_chunk_for(chunk_records: usize, threads: usize) -> usize {
+    if chunk_records == 0 && threads <= 1 {
+        SINGLE_WORKER_CHUNK_RECORDS
+    } else {
+        resolve_chunk(chunk_records)
     }
 }
 
@@ -146,11 +173,6 @@ impl<K: Copy + Eq + Hash> Interner<K> {
         self.last_seen[id as usize] = bin;
     }
 
-    /// The interned key of an id.
-    pub(crate) fn key(&self, id: u32) -> K {
-        self.keys[id as usize]
-    }
-
     /// All interned keys, dense-id order (id `i` is `keys()[i]`).
     pub(crate) fn keys(&self) -> &[K] {
         &self.keys
@@ -171,6 +193,17 @@ impl<K: Copy + Eq + Hash> Interner<K> {
         self.evictions
     }
 
+    /// Whether any key has gone unseen for more than `expiry_bins` bins —
+    /// the same predicate [`Interner::compact`] uses as its fast path.
+    /// The pipelined executor asks this *before* overlapping a new bin:
+    /// a sweep may only run in a drained gap (no bin's rows in flight),
+    /// so a `true` here forces the pipeline to fence first.
+    pub(crate) fn any_expired(&self, now: BinId, expiry_bins: usize) -> bool {
+        self.last_seen
+            .iter()
+            .any(|&seen| engine::reference_expired(now, seen, expiry_bins))
+    }
+
     /// Drop every key unseen for more than `expiry_bins` bins (the
     /// shared [`engine::reference_expired`] clock) and renumber the
     /// survivors in their existing order. Returns the old ids kept, in
@@ -179,11 +212,7 @@ impl<K: Copy + Eq + Hash> Interner<K> {
     /// the table is untouched (the steady-state fast path: one linear
     /// scan of the stamp vector, no moves, no re-hash).
     pub(crate) fn compact(&mut self, now: BinId, expiry_bins: usize) -> Option<Vec<u32>> {
-        if !self
-            .last_seen
-            .iter()
-            .any(|&seen| engine::reference_expired(now, seen, expiry_bins))
-        {
+        if !self.any_expired(now, expiry_bins) {
             return None;
         }
         let mut kept: Vec<u32> = Vec::with_capacity(self.keys.len());
@@ -285,34 +314,6 @@ pub(crate) fn chunk_jobs<'a, C: Send, V: Copy + Send + 'a>(
         .collect()
 }
 
-/// The pre-stage job kind: scatter-chunk jobs collected from one or more
-/// detectors (and, in a fleet, one or more streams) and executed as ONE
-/// wave on the shared engine pool — the same worker herd that runs the
-/// shard jobs afterwards. Sequencing is the caller's contract: every
-/// wave job must finish (`run`) before any table merge, and every merge
-/// before the shard wave.
-pub(crate) struct IngestWave<'a> {
-    jobs: Vec<engine::Job<'a>>,
-}
-
-impl<'a> IngestWave<'a> {
-    /// An empty wave.
-    pub(crate) fn new() -> Self {
-        IngestWave { jobs: Vec::new() }
-    }
-
-    /// Add one detector's scatter-chunk jobs.
-    pub(crate) fn add(&mut self, jobs: Vec<engine::Job<'a>>) {
-        self.jobs.extend(jobs);
-    }
-
-    /// Run every collected chunk job on `threads` pooled workers (dealt
-    /// round-robin, exactly like shard jobs).
-    pub(crate) fn run(self, threads: usize) {
-        engine::run_jobs(self.jobs, threads);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,7 +326,7 @@ mod tests {
         assert_eq!(t.insert(9, BinId(0)), 1);
         assert_eq!(t.get(&7), Some(0));
         assert_eq!(t.get(&9), Some(1));
-        assert_eq!(t.key(1), 9);
+        assert_eq!(t.keys()[1], 9);
         assert_eq!(t.keys(), &[7, 9]);
         assert_eq!(t.len(), 2);
         assert_eq!(t.insertions(), 2);
@@ -365,5 +366,24 @@ mod tests {
     fn chunk_resolution_defaults_on_zero() {
         assert_eq!(resolve_chunk(0), DEFAULT_CHUNK_RECORDS);
         assert_eq!(resolve_chunk(7), 7);
+    }
+
+    #[test]
+    fn single_worker_auto_chunk_shrinks_to_cache_blocks() {
+        // Auto chunking on one worker: the cache-blocking size.
+        assert_eq!(resolve_chunk_for(0, 1), SINGLE_WORKER_CHUNK_RECORDS);
+        // Multi-worker auto keeps the default; pinned sizes are honored
+        // everywhere (the parity matrix depends on it).
+        assert_eq!(resolve_chunk_for(0, 4), DEFAULT_CHUNK_RECORDS);
+        assert_eq!(resolve_chunk_for(7, 1), 7);
+        assert_eq!(resolve_chunk_for(7, 4), 7);
+    }
+
+    #[test]
+    fn any_expired_matches_compact_fast_path() {
+        let mut t: Interner<u64> = Interner::default();
+        t.insert(1, BinId(0));
+        assert!(!t.any_expired(BinId(2), 2));
+        assert!(t.any_expired(BinId(3), 2));
     }
 }

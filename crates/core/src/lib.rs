@@ -60,12 +60,14 @@
 //!   every bench run), and a compaction sweep on the shared
 //!   `reference_expiry_bins` clock keeps the tables bounded under key
 //!   churn — invisibly, since dense ids never reach reports.
-//! * **Flat sample arena** — differential RTTs are staged as 16-byte
-//!   `(link, probe, value)` rows in the owning link's shard
-//!   ([`diffrtt::SampleArena`]), then each shard sorts its rows by one
-//!   u64 key and lays them out contiguously. Every buffer is reused
-//!   across bins: a steady stream settles into zero steady-state
-//!   allocation.
+//! * **Flat sample arena with run-length staging** — each (record, link)
+//!   observation lands as ONE `(key, start, len)` run over a per-shard
+//!   value pool ([`diffrtt::SampleArena`]): its 1–9 differential RTTs
+//!   share a key, so the per-shard grouping sort touches ~an order of
+//!   magnitude fewer elements than row-by-row staging would, and equal
+//!   keys keep record order by a (chunk, offset) tiebreak. Every buffer
+//!   is reused across bins: a steady stream settles into zero
+//!   steady-state allocation.
 //! * **Sharded per-link pipeline** — links (and their smoothed
 //!   references) are assigned to 32 shards by a stable hash; a scoped
 //!   thread pool walks whole shards, so reference mutation needs no
@@ -95,33 +97,51 @@
 //!   streams and normalizes them against a fleet-level baseline. See
 //!   `src/README.md` for the architecture and the full determinism
 //!   contract.
+//! * **Cross-bin pipelining** — the depth-2 pipelined executor
+//!   ([`pipeline::Analyzer::pipelined`] →
+//!   [`pipeline::PipelinedDriver`]; fleet twin
+//!   [`stream::StreamRouter::pipelined`]) overlaps bin *n+1*'s scatter
+//!   chunks with bin *n*'s shard jobs as one two-lane wave on the same
+//!   herd: the arenas double-buffer their chunk lanes, intern epochs
+//!   advance only at the serial merge fence between waves, and
+//!   compaction sweeps are fenced into drained gaps. Reports emerge
+//!   strictly in bin order, byte-identical to the serial schedule.
 //! * **Selection, not sorting** — per-link characterization uses
-//!   `median_ci_select` (three quickselects) instead of a full sort.
+//!   `median_ci_select` (three quickselects) instead of a full sort,
+//!   and balanced links (the overwhelming majority) are characterized
+//!   **zero-copy**: their samples sit contiguously in the shard pool
+//!   after grouping, so selection permutes that region in place instead
+//!   of copying into a scratch buffer.
 //! * **Determinism** — per-link randomness is derived from
 //!   `(seed, link, bin)`, job outputs merge in job order (never
-//!   completion order), alarms get a final total-order sort, and
-//!   ingestion follows the chunk-order rule, so output is byte-for-byte
-//!   identical for any thread count and any scatter chunk size. The
+//!   completion order), alarms get a final total-order sort, ingestion
+//!   follows the chunk-order rule, and pipelining follows the
+//!   merge-fence rule, so output is byte-for-byte identical for any
+//!   thread count, any scatter chunk size, and any pipeline depth. The
 //!   original single-threaded paths are kept behind
 //!   [`pipeline::Analyzer::process_bin_sequential`] /
 //!   [`stream::StreamRouter::process_bin_sequential`], and
 //!   `tests/engine_parity.rs` + `tests/forwarding_parity.rs` +
-//!   `tests/stream_parity.rs` + `tests/ingest_parity.rs` prove
-//!   equivalence across scenarios, seeds, thread counts, and chunk
-//!   sizes (re-run in CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} ×
-//!   `PINPOINT_CHUNK` ∈ {3, default} matrix on a multi-core runner).
+//!   `tests/stream_parity.rs` + `tests/ingest_parity.rs` +
+//!   `tests/pipeline_overlap_parity.rs` prove equivalence across
+//!   scenarios, seeds, thread counts, chunk sizes, and depths (re-run
+//!   in CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} ×
+//!   `PINPOINT_CHUNK` ∈ {3, default} × `PINPOINT_PIPELINE` ∈ {2, 1}
+//!   matrix on a multi-core runner).
 //!
 //! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
 //! includes parallel-vs-sequential engine benches) and
 //! `cargo run --release -p pinpoint-bench --bin pipeline_bench`, which
-//! writes throughput + speedup numbers to `BENCH_pipeline.json` — six
+//! writes throughput + speedup numbers to `BENCH_pipeline.json` — seven
 //! workloads: faithful simulator bin, delay-heavy, forwarding-heavy, a
 //! mixed bin loading both shard pipelines in one combined pass, a
-//! three-stream fleet bin pooled through the `StreamRouter`, and a
+//! three-stream fleet bin pooled through the `StreamRouter`, a
 //! scatter-dominated `ingest_heavy` bin isolating the chunked-ingestion
 //! layer (with its zero-steady-state-insertion guarantee asserted every
-//! run) — so the perf trajectory is tracked PR over PR (`--check` turns
-//! a run into a regression gate against the committed numbers).
+//! run), and a `pipelined_stream` of bins timing the cross-bin executor
+//! at depth 1 vs depth 2 — so the perf trajectory is tracked PR over PR
+//! (`--check` turns a run into a regression gate against the committed
+//! numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -141,5 +161,5 @@ pub use config::DetectorConfig;
 pub use diffrtt::{DelayAlarm, DelayDetector};
 pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
 pub use ingest::IngestStats;
-pub use pipeline::{Analyzer, BinReport};
-pub use stream::{FleetReport, StreamId, StreamRouter};
+pub use pipeline::{Analyzer, BinReport, PipelinedDriver};
+pub use stream::{FleetPipelinedDriver, FleetReport, StreamId, StreamRouter};

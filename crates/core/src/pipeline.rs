@@ -14,6 +14,13 @@
 //! byte-identical to a batch [`Analyzer::process_bin`] over the
 //! concatenated records, no matter how the feed was sliced — see
 //! `examples/chunked_ingest.rs`.
+//!
+//! For continuous streams there is also the cross-bin pipelined executor
+//! ([`Analyzer::pipelined`] → [`PipelinedDriver`]): bin *n+1*'s
+//! ingestion runs overlapped with bin *n*'s analysis on one worker herd,
+//! with reports still emitted strictly in bin order and byte-identical
+//! to the serial schedule — see `examples/pipelined_stream.rs` and the
+//! executor section in `src/README.md`.
 
 use crate::aggregate::{
     delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker,
@@ -123,7 +130,7 @@ impl Analyzer {
             "process_bin called while an incremental bin is open (finish_bin first)"
         );
         let threads = crate::engine::resolve_threads(self.cfg.threads);
-        let jobs = self.scatter_jobs(bin, records);
+        let jobs = self.scatter_jobs(bin, records, threads);
         crate::engine::run_jobs(jobs, threads);
         self.merge_scatter(bin);
         let staged = {
@@ -132,6 +139,7 @@ impl Analyzer {
             crate::engine::run_jobs(jobs, threads);
             stage.finish()
         };
+        self.stamp_bin(bin);
         self.absorb(bin, records.len(), staged)
     }
 
@@ -144,13 +152,83 @@ impl Analyzer {
         &'a mut self,
         bin: BinId,
         records: &'a [TracerouteRecord],
+        threads: usize,
     ) -> Vec<crate::engine::Job<'a>> {
-        let chunk = crate::ingest::resolve_chunk(self.cfg.ingest_chunk_records);
-        self.delay.begin_bin(bin);
-        self.forwarding.begin_bin(bin);
+        self.open_scatter(bin, records, true, threads)
+    }
+
+    /// [`Analyzer::scatter_jobs`] with the compaction sweep optional: the
+    /// pipelined driver opens post-drain bins with `compact: false`
+    /// because it has already swept both epochs at the fence.
+    pub(crate) fn open_scatter<'a>(
+        &'a mut self,
+        bin: BinId,
+        records: &'a [TracerouteRecord],
+        compact: bool,
+        threads: usize,
+    ) -> Vec<crate::engine::Job<'a>> {
+        let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
+        if compact {
+            self.delay.compact_epoch(bin);
+            self.forwarding.compact_epoch(bin);
+        }
+        self.delay.begin_bin();
+        self.forwarding.begin_bin();
         let mut jobs = self.delay.scatter_jobs(records, chunk);
         jobs.extend(self.forwarding.scatter_jobs(records, chunk));
         jobs
+    }
+
+    /// The depth-2 overlap point: stage the *pending* bin's shard jobs
+    /// (both detectors) and open the next bin's scatter session in one
+    /// split borrow, so one two-lane engine wave can run them together.
+    /// No compaction happens here — callers fence with
+    /// [`Analyzer::needs_compaction`] / [`Analyzer::compact_epochs`].
+    pub(crate) fn overlap_wave<'a>(
+        &'a mut self,
+        pending: BinId,
+        records: &'a [TracerouteRecord],
+        threads: usize,
+    ) -> (AnalyzerStage<'a>, Vec<crate::engine::Job<'a>>) {
+        let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
+        let Analyzer {
+            delay, forwarding, ..
+        } = self;
+        let (delay_stage, mut scatter) = delay.overlap(pending, records, chunk, threads);
+        let (forwarding_stage, fwd_scatter) = forwarding.overlap(pending, records, chunk, threads);
+        scatter.extend(fwd_scatter);
+        (
+            AnalyzerStage {
+                delay: delay_stage,
+                forwarding: forwarding_stage,
+            },
+            scatter,
+        )
+    }
+
+    /// The pipelined executor's fence predicate: whether either
+    /// detector's intern epoch holds an *overdue* key (a sweep may only
+    /// run in a drained gap; see
+    /// [`crate::diffrtt::DelayDetector::needs_compaction`] for the
+    /// tolerant bound accounting for the pending bin's unstamped
+    /// observations).
+    pub(crate) fn needs_compaction(&self, bin: BinId) -> bool {
+        self.delay.needs_compaction(bin) || self.forwarding.needs_compaction(bin)
+    }
+
+    /// Compact both detectors' intern epochs at `bin`. Must run in a
+    /// drained gap — no bin's scattered rows in flight.
+    pub(crate) fn compact_epochs(&mut self, bin: BinId) {
+        self.delay.compact_epoch(bin);
+        self.forwarding.compact_epoch(bin);
+    }
+
+    /// The serial fence after a bin's shard wave: stamp every observed
+    /// link and pattern in the epoch tables. Must run before any
+    /// compaction decision for a later bin.
+    pub(crate) fn stamp_bin(&mut self, bin: BinId) {
+        self.delay.stamp_bin(bin);
+        self.forwarding.stamp_bin(bin);
     }
 
     /// The sequential chunk-ordered intern merge between the scatter wave
@@ -172,8 +250,10 @@ impl Analyzer {
             self.session.is_none(),
             "begin_bin called while a bin is already open (finish_bin first)"
         );
-        self.delay.begin_bin(bin);
-        self.forwarding.begin_bin(bin);
+        self.delay.compact_epoch(bin);
+        self.forwarding.compact_epoch(bin);
+        self.delay.begin_bin();
+        self.forwarding.begin_bin();
         self.session = Some(IngestSession { bin, records: 0 });
     }
 
@@ -191,7 +271,7 @@ impl Analyzer {
             session.records += records.len();
         }
         let threads = crate::engine::resolve_threads(self.cfg.threads);
-        let chunk = crate::ingest::resolve_chunk(self.cfg.ingest_chunk_records);
+        let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
         let mut jobs = self.delay.scatter_jobs(records, chunk);
         jobs.extend(self.forwarding.scatter_jobs(records, chunk));
         crate::engine::run_jobs(jobs, threads);
@@ -215,6 +295,7 @@ impl Analyzer {
             crate::engine::run_jobs(jobs, threads);
             stage.finish()
         };
+        self.stamp_bin(bin);
         self.absorb(bin, records, staged)
     }
 
@@ -302,6 +383,37 @@ impl Analyzer {
         }
     }
 
+    /// The cross-bin pipelined executor over this analyzer: feed bins in
+    /// order with [`PipelinedDriver::push_bin`] and reports come back in
+    /// bin order, one bin behind at depth 2 — while bin *n*'s delay and
+    /// forwarding shard jobs run, bin *n+1*'s scatter chunks run on the
+    /// same worker herd. `depth` follows the usual knob convention: `0`
+    /// resolves through [`DetectorConfig::pipeline_depth`] (whose own `0`
+    /// means the engine default, depth 2); `1` is the strictly serial
+    /// schedule; anything deeper clamps to 2. Output is byte-identical to
+    /// [`Analyzer::process_bin`] for every depth — the determinism
+    /// contract's pipelining rule (see `src/README.md`).
+    ///
+    /// # Panics
+    /// When an incremental [`Analyzer::begin_bin`] session is open.
+    pub fn pipelined(&mut self, depth: usize) -> PipelinedDriver<'_> {
+        assert!(
+            self.session.is_none(),
+            "pipelined called while an incremental bin is open (finish_bin first)"
+        );
+        let depth = crate::engine::resolve_depth(if depth == 0 {
+            self.cfg.pipeline_depth
+        } else {
+            depth
+        });
+        PipelinedDriver {
+            analyzer: self,
+            depth,
+            pending: None,
+            last: None,
+        }
+    }
+
     /// Number of links with a learned delay reference.
     pub fn tracked_links(&self) -> usize {
         self.delay.tracked_links()
@@ -360,6 +472,144 @@ pub(crate) struct StagedBin {
     link_stats: HashMap<IpLink, LinkStat>,
     new_links: usize,
     forwarding_alarms: Vec<ForwardingAlarm>,
+}
+
+/// The cross-bin pipelined executor (create with [`Analyzer::pipelined`]).
+///
+/// At depth 2 the driver keeps one bin in flight: a pushed bin is
+/// scattered and merged, and its shard wave runs *inside the next push*,
+/// overlapped with that push's scatter chunks as one two-lane engine
+/// wave. [`PipelinedDriver::push_bin`] therefore returns the report of
+/// the **previous** bin (or `None` for the very first), and
+/// [`PipelinedDriver::finish`] flushes the last one — reports always
+/// emerge strictly in bin order.
+///
+/// Two serial fences keep the overlap byte-identical to the serial
+/// schedule:
+///
+/// * **The merge fence.** Intern epochs only advance in the sequential
+///   merge after each wave, in bin order; shard jobs never write the
+///   epoch tables (observed keys are stamped after the wave). Scatter
+///   output depends only on `(records, tables at bin open)`, and the
+///   tables a bin opens against are identical under either schedule —
+///   so id assignment, and with it every report byte, cannot change.
+/// * **The epoch fence.** A compaction sweep renumbers dense ids, so it
+///   may only run when no bin's rows are in flight: when any interned
+///   key is overdue (unseen past `reference_expiry_bins + 1` — expired
+///   even if the still-unstamped pending bin observed it), the driver
+///   drains the pending bin first, sweeps, and refills the pipeline —
+///   one bubble per sweep, only when something is genuinely dead. The
+///   same keys get evicted as under the serial schedule, at most one
+///   bin later; invisible in reports, since dense ids never reach them.
+///
+/// Dropping the driver without [`PipelinedDriver::finish`] abandons the
+/// in-flight bin: its shard wave never runs, so it produces no report
+/// and never touches the detectors' references (only its keys were
+/// interned — harmless, and compacted away like any unused key).
+pub struct PipelinedDriver<'a> {
+    analyzer: &'a mut Analyzer,
+    depth: usize,
+    pending: Option<IngestSession>,
+    /// Last bin pushed — enforces the increasing-order contract at every
+    /// depth (`pending` alone goes `None` at depth 1 and after a drain).
+    last: Option<BinId>,
+}
+
+impl PipelinedDriver<'_> {
+    /// The resolved pipeline depth (1 or 2).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Feed the next bin. Returns the previous bin's report at depth 2
+    /// (`None` on the first push), or this bin's report at depth 1.
+    ///
+    /// # Panics
+    /// When bins are not fed in strictly increasing order.
+    pub fn push_bin(&mut self, bin: BinId, records: &[TracerouteRecord]) -> Option<BinReport> {
+        if let Some(last) = self.last {
+            assert!(
+                bin.0 > last.0,
+                "pipelined bins must be fed in increasing order ({bin:?} after {last:?})"
+            );
+        }
+        self.last = Some(bin);
+        if self.depth == 1 {
+            return Some(self.analyzer.process_bin(bin, records));
+        }
+        let threads = crate::engine::resolve_threads(self.analyzer.cfg.threads);
+        let Some(pending) = self.pending else {
+            // Prologue: scatter + merge the first bin; its shard wave
+            // rides the next push.
+            self.open_bin(bin, records, true, threads);
+            return None;
+        };
+        if self.analyzer.needs_compaction(bin) {
+            // Epoch fence: drain, sweep, refill (see the type docs).
+            let report = self.drain(pending, threads);
+            self.analyzer.compact_epochs(bin);
+            self.open_bin(bin, records, false, threads);
+            return Some(report);
+        }
+        // Steady state: the pending bin's shard jobs and this bin's
+        // scatter chunks run as one two-lane wave on one worker herd.
+        let staged = {
+            let (mut stage, scatter) = self.analyzer.overlap_wave(pending.bin, records, threads);
+            let mut wave = crate::engine::Wave::new();
+            wave.push_analysis(stage.jobs());
+            wave.push_scatter(scatter);
+            wave.run(threads);
+            stage.finish()
+        };
+        self.analyzer.stamp_bin(pending.bin);
+        let report = self.analyzer.absorb(pending.bin, pending.records, staged);
+        self.analyzer.merge_scatter(bin);
+        self.pending = Some(IngestSession {
+            bin,
+            records: records.len(),
+        });
+        Some(report)
+    }
+
+    /// Flush the in-flight bin, if any: run its shard wave alone and
+    /// return its report. Idempotent — a second call returns `None`.
+    pub fn finish(&mut self) -> Option<BinReport> {
+        let pending = self.pending.take()?;
+        let threads = crate::engine::resolve_threads(self.analyzer.cfg.threads);
+        Some(self.drain(pending, threads))
+    }
+
+    /// Scatter + merge a bin without analyzing it yet, leaving it
+    /// pending — the pipeline refill shared by the prologue and the
+    /// post-sweep epoch fence (which has already compacted).
+    fn open_bin(
+        &mut self,
+        bin: BinId,
+        records: &[TracerouteRecord],
+        compact: bool,
+        threads: usize,
+    ) {
+        let jobs = self.analyzer.open_scatter(bin, records, compact, threads);
+        crate::engine::run_jobs(jobs, threads);
+        self.analyzer.merge_scatter(bin);
+        self.pending = Some(IngestSession {
+            bin,
+            records: records.len(),
+        });
+    }
+
+    /// Shards-only wave for the pending bin + the post-wave fences.
+    fn drain(&mut self, pending: IngestSession, threads: usize) -> BinReport {
+        self.pending = None;
+        let staged = {
+            let mut stage = self.analyzer.stage(pending.bin, threads);
+            let jobs = stage.jobs();
+            crate::engine::run_jobs(jobs, threads);
+            stage.finish()
+        };
+        self.analyzer.stamp_bin(pending.bin);
+        self.analyzer.absorb(pending.bin, pending.records, staged)
+    }
 }
 
 #[cfg(test)]

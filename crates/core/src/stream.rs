@@ -168,9 +168,9 @@ impl StreamRouter {
         let threads = self.effective_threads();
         // Ingestion wave: every stream's scatter chunks on one pool.
         {
-            let mut wave = crate::ingest::IngestWave::new();
+            let mut wave = engine::Wave::new();
             for (stream, records) in self.streams.iter_mut().zip(feeds) {
-                wave.add(stream.analyzer.scatter_jobs(bin, records));
+                wave.push_scatter(stream.analyzer.scatter_jobs(bin, records, threads));
             }
             wave.run(threads);
         }
@@ -198,7 +198,10 @@ impl StreamRouter {
             .iter_mut()
             .zip(feeds)
             .zip(staged)
-            .map(|((stream, records), staged)| stream.analyzer.absorb(bin, records.len(), staged))
+            .map(|((stream, records), staged)| {
+                stream.analyzer.stamp_bin(bin);
+                stream.analyzer.absorb(bin, records.len(), staged)
+            })
             .collect();
         self.merge(bin, reports)
     }
@@ -265,6 +268,208 @@ impl StreamRouter {
             .fold(crate::ingest::IngestStats::default(), |acc, s| {
                 acc.merged(s)
             })
+    }
+
+    /// The cross-bin pipelined executor over the whole fleet — the
+    /// multi-stream twin of [`Analyzer::pipelined`]: at depth 2, every
+    /// stream's shard jobs for the pending bin and every stream's scatter
+    /// chunks for the pushed bin run as ONE two-lane wave on the shared
+    /// herd. Reports come back strictly in bin order, one bin behind.
+    /// `depth` resolves like the analyzer's: `0` falls through to the
+    /// first stream's `DetectorConfig::pipeline_depth` (the streams of a
+    /// fleet share their configuration in practice; an empty fleet takes
+    /// the engine default), whose own `0` means the engine default (2);
+    /// deeper than 2 clamps. Byte-identical to
+    /// [`StreamRouter::process_bin`] for every depth.
+    pub fn pipelined(&mut self, depth: usize) -> FleetPipelinedDriver<'_> {
+        let depth = if depth == 0 {
+            self.streams
+                .first()
+                .map_or(0, |s| s.analyzer.config().pipeline_depth)
+        } else {
+            depth
+        };
+        let depth = engine::resolve_depth(depth);
+        FleetPipelinedDriver {
+            router: self,
+            depth,
+            pending: None,
+            last: None,
+        }
+    }
+}
+
+/// One fleet bin in flight: its id and each stream's record count.
+#[derive(Debug)]
+struct FleetPending {
+    bin: BinId,
+    records: Vec<usize>,
+}
+
+/// The fleet's cross-bin pipelined executor (create with
+/// [`StreamRouter::pipelined`]). Same contract as
+/// [`crate::pipeline::PipelinedDriver`] — in-order [`FleetReport`]s, one
+/// bin behind at depth 2, merge and epoch fences serial — lifted to the
+/// whole fleet: the two-lane wave carries `2 × streams` job sets (every
+/// stream's shard bundles, then every stream's scatter chunks), and the
+/// epoch fence drains when ANY stream's arenas need a compaction sweep,
+/// so no stream ever renumbers ids under in-flight rows.
+pub struct FleetPipelinedDriver<'a> {
+    router: &'a mut StreamRouter,
+    depth: usize,
+    pending: Option<FleetPending>,
+    /// Last bin pushed — enforces the increasing-order contract at every
+    /// depth (`pending` alone goes `None` at depth 1 and after a drain).
+    last: Option<BinId>,
+}
+
+impl FleetPipelinedDriver<'_> {
+    /// The resolved pipeline depth (1 or 2).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Feed the next fleet bin (`feeds[i]` is stream `i`'s records).
+    /// Returns the previous bin's merged report at depth 2 (`None` on
+    /// the first push), or this bin's at depth 1.
+    ///
+    /// # Panics
+    /// When `feeds.len()` differs from the stream count, or bins are not
+    /// fed in strictly increasing order.
+    pub fn push_bin(&mut self, bin: BinId, feeds: &[Vec<TracerouteRecord>]) -> Option<FleetReport> {
+        assert_eq!(
+            feeds.len(),
+            self.router.streams.len(),
+            "one feed per stream (streams: {}, feeds: {})",
+            self.router.streams.len(),
+            feeds.len()
+        );
+        if let Some(last) = self.last {
+            assert!(
+                bin.0 > last.0,
+                "pipelined bins must be fed in increasing order ({bin:?} after {last:?})"
+            );
+        }
+        self.last = Some(bin);
+        if self.depth == 1 {
+            return Some(self.router.process_bin(bin, feeds));
+        }
+        let threads = self.router.effective_threads();
+        let Some(pending) = self.pending.take() else {
+            self.open_bin(bin, feeds, true, threads);
+            return None;
+        };
+        if self
+            .router
+            .streams
+            .iter()
+            .any(|s| s.analyzer.needs_compaction(bin))
+        {
+            // Epoch fence: drain the fleet, sweep every stream, refill.
+            let report = self.drain(pending, threads);
+            for stream in &mut self.router.streams {
+                stream.analyzer.compact_epochs(bin);
+            }
+            self.open_bin(bin, feeds, false, threads);
+            return Some(report);
+        }
+        // Steady state: every stream's pending shard jobs + every
+        // stream's next-bin scatter chunks, one two-lane wave.
+        let staged: Vec<_> = {
+            let mut stages = Vec::with_capacity(self.router.streams.len());
+            let mut wave = engine::Wave::new();
+            for (stream, records) in self.router.streams.iter_mut().zip(feeds) {
+                let (stage, scatter) = stream.analyzer.overlap_wave(pending.bin, records, threads);
+                wave.push_scatter(scatter);
+                stages.push(stage);
+            }
+            for stage in &mut stages {
+                wave.push_analysis(stage.jobs());
+            }
+            wave.run(threads);
+            stages.into_iter().map(|stage| stage.finish()).collect()
+        };
+        let reports: Vec<BinReport> = self
+            .router
+            .streams
+            .iter_mut()
+            .zip(&pending.records)
+            .zip(staged)
+            .map(|((stream, &records), staged)| {
+                stream.analyzer.stamp_bin(pending.bin);
+                stream.analyzer.absorb(pending.bin, records, staged)
+            })
+            .collect();
+        let report = self.router.merge(pending.bin, reports);
+        for stream in &mut self.router.streams {
+            stream.analyzer.merge_scatter(bin);
+        }
+        self.pending = Some(FleetPending {
+            bin,
+            records: feeds.iter().map(Vec::len).collect(),
+        });
+        Some(report)
+    }
+
+    /// Flush the in-flight fleet bin, if any. Idempotent.
+    pub fn finish(&mut self) -> Option<FleetReport> {
+        let pending = self.pending.take()?;
+        let threads = self.router.effective_threads();
+        Some(self.drain(pending, threads))
+    }
+
+    /// Scatter + merge a bin across the fleet without analyzing it yet.
+    fn open_bin(
+        &mut self,
+        bin: BinId,
+        feeds: &[Vec<TracerouteRecord>],
+        compact: bool,
+        threads: usize,
+    ) {
+        {
+            let mut wave = engine::Wave::new();
+            for (stream, records) in self.router.streams.iter_mut().zip(feeds) {
+                wave.push_scatter(stream.analyzer.open_scatter(bin, records, compact, threads));
+            }
+            wave.run(threads);
+        }
+        for stream in &mut self.router.streams {
+            stream.analyzer.merge_scatter(bin);
+        }
+        self.pending = Some(FleetPending {
+            bin,
+            records: feeds.iter().map(Vec::len).collect(),
+        });
+    }
+
+    /// Shards-only wave for the pending fleet bin + the post-wave fences.
+    fn drain(&mut self, pending: FleetPending, threads: usize) -> FleetReport {
+        let staged: Vec<_> = {
+            let mut stages: Vec<_> = self
+                .router
+                .streams
+                .iter_mut()
+                .map(|stream| stream.analyzer.stage(pending.bin, threads))
+                .collect();
+            let mut jobs = Vec::new();
+            for stage in &mut stages {
+                jobs.extend(stage.jobs());
+            }
+            engine::run_jobs(jobs, threads);
+            stages.into_iter().map(|stage| stage.finish()).collect()
+        };
+        let reports: Vec<BinReport> = self
+            .router
+            .streams
+            .iter_mut()
+            .zip(&pending.records)
+            .zip(staged)
+            .map(|((stream, &records), staged)| {
+                stream.analyzer.stamp_bin(pending.bin);
+                stream.analyzer.absorb(pending.bin, records, staged)
+            })
+            .collect();
+        self.router.merge(pending.bin, reports)
     }
 }
 

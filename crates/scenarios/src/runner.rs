@@ -151,6 +151,38 @@ pub fn run_streamed(
     summary
 }
 
+/// Run the full pipeline over the case study's window on the cross-bin
+/// pipelined executor: while bin *n*'s shard jobs run, bin *n+1*'s
+/// scatter chunks run on the same worker herd
+/// (`Analyzer::pipelined` — `depth` 0 = the analyzer's configured
+/// `pipeline_depth`, 1 = serial, 2 = overlapped). `observer` still sees
+/// every report strictly in bin order; the whole run — reports, summary,
+/// tracked state — is byte-identical to [`run`] at every depth, which is
+/// the executor's determinism contract (`tests/pipeline_overlap_parity.rs`).
+pub fn run_pipelined(
+    case: &CaseStudy,
+    analyzer: &mut Analyzer,
+    depth: usize,
+    mut observer: impl FnMut(&BinReport),
+) -> RunSummary {
+    let mut summary = RunSummary::default();
+    {
+        let mut driver = analyzer.pipelined(depth);
+        for (bin, records) in case.platform.stream(case.start_bin, case.end_bin) {
+            if let Some(report) = driver.push_bin(bin, &records) {
+                fold_report(&mut summary, &report);
+                observer(&report);
+            }
+        }
+        if let Some(report) = driver.finish() {
+            fold_report(&mut summary, &report);
+            observer(&report);
+        }
+    }
+    close_summary(&mut summary, analyzer);
+    summary
+}
+
 fn fold_report(summary: &mut RunSummary, report: &BinReport) {
     summary.bins += 1;
     summary.records += report.records;
@@ -205,6 +237,31 @@ mod tests {
             summary.tracked_links
         );
         assert!(summary.tracked_patterns > 10);
+    }
+
+    #[test]
+    fn pipelined_run_matches_batch_run() {
+        // The cross-bin pipelined executor must be invisible in the
+        // summary and in every observed report, at every depth.
+        let case = CaseStudy::assemble(
+            11,
+            Scale::Small,
+            EventSchedule::new(),
+            DetectorConfig::fast_test(),
+            (0, 3),
+            "test-epoch",
+            4,
+        );
+        let mut batch = case.analyzer();
+        let mut want_bins = Vec::new();
+        let want = run(&case, &mut batch, |r| want_bins.push(r.bin));
+        for depth in [0usize, 1, 2] {
+            let mut pipelined = case.analyzer();
+            let mut got_bins = Vec::new();
+            let got = run_pipelined(&case, &mut pipelined, depth, |r| got_bins.push(r.bin));
+            assert_eq!(got, want, "depth={depth}");
+            assert_eq!(got_bins, want_bins, "depth={depth}: bin order");
+        }
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Cross-bin pipelined-executor parity tests: the depth-2 pipeline —
+//! bin *n*'s delay + forwarding shard jobs overlapped with bin *n+1*'s
+//! scatter chunks on one worker herd — must be *byte-for-byte* equivalent
+//! to the serial schedule for any thread count, any scatter chunk size,
+//! and any depth, for a solo [`Analyzer`] and for a multi-stream
+//! [`StreamRouter`] fleet alike. The sweeps here cover alarm-firing event
+//! bins (the AMS-IX outage; a delay surge; a route flip), empty bins, and
+//! an epoch-compaction bin mid-stream (the drain fence).
+//!
+//! Like the other parity suites, the CI matrix re-runs this file under
+//! `PINPOINT_THREADS` × `PINPOINT_CHUNK` × `PINPOINT_PIPELINE`; the tests
+//! additionally sweep depth {1, 2} (and the env-selected depth via
+//! `parity_config`) internally, so every matrix point proves several
+//! schedules.
+
+mod common;
+
+use common::{assert_reports_identical, parity_config};
+use pinpoint::core::aggregate::AsMapper;
+use pinpoint::core::{Analyzer, BinReport, DetectorConfig, FleetReport, StreamRouter};
+use pinpoint::model::records::{Hop, Reply, TracerouteRecord};
+use pinpoint::model::{Asn, BinId, MeasurementId, ProbeId, SimTime};
+use pinpoint::scenarios::{ixp, Scale};
+use std::net::Ipv4Addr;
+
+fn mapper() -> AsMapper {
+    AsMapper::from_prefixes([
+        ("10.0.0.0/8".parse().unwrap(), Asn(64500)),
+        ("198.51.0.0/16".parse().unwrap(), Asn(64501)),
+    ])
+}
+
+/// Drive a bin stream through the pipelined executor and collect the
+/// in-order reports.
+fn drive(
+    analyzer: &mut Analyzer,
+    depth: usize,
+    bins: &[(BinId, Vec<TracerouteRecord>)],
+) -> Vec<BinReport> {
+    let mut out = Vec::new();
+    let mut driver = analyzer.pipelined(depth);
+    for (bin, records) in bins {
+        out.extend(driver.push_bin(*bin, records));
+    }
+    out.extend(driver.finish());
+    out
+}
+
+/// Demand two report streams be byte-for-byte identical, bin by bin.
+fn assert_streams_identical(got: &[BinReport], want: &[BinReport], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: report count");
+    for (a, b) in got.iter().zip(want) {
+        assert_reports_identical(a, b, &format!("{ctx} bin {:?}", a.bin));
+    }
+}
+
+/// Three probes in three ASes traverse one link with a controllable
+/// delay; `surge` fires a delay alarm once references are warm.
+fn delay_records(bin: u64, surge: bool) -> Vec<TracerouteRecord> {
+    let (near, far, dst) = (
+        Ipv4Addr::new(10, 1, 0, 1),
+        Ipv4Addr::new(10, 1, 0, 2),
+        Ipv4Addr::new(198, 51, 100, 1),
+    );
+    let link_delay = if surge { 34.0 } else { 2.0 };
+    let mut out = Vec::new();
+    for (probe, asn, eps) in [(1u32, 100u32, 0.4), (2, 200, -0.8), (3, 300, 1.3)] {
+        for shot in 0..2u64 {
+            let base = 10.0 + eps + 0.05 * shot as f64;
+            out.push(TracerouteRecord {
+                msm_id: MeasurementId(1),
+                probe_id: ProbeId(probe),
+                probe_asn: Asn(asn),
+                dst,
+                timestamp: SimTime(bin * 3600 + shot * 1800),
+                paris_id: 0,
+                hops: vec![
+                    Hop::new(
+                        1,
+                        (0..3)
+                            .map(|k| Reply::new(near, base + 0.01 * f64::from(k)))
+                            .collect(),
+                    ),
+                    Hop::new(
+                        2,
+                        (0..3)
+                            .map(|k| Reply::new(far, base + link_delay + 0.01 * f64::from(k)))
+                            .collect(),
+                    ),
+                    Hop::new(3, vec![Reply::new(dst, base + link_delay + 2.0); 3]),
+                ],
+                destination_reached: true,
+            });
+        }
+    }
+    out
+}
+
+/// One churn traceroute over a link (and router/destination pair) unique
+/// to `bin` — it interns fresh keys every bin and lets the old ones
+/// expire, forcing epoch-compaction sweeps mid-stream.
+fn churn_records(bin: u64) -> Vec<TracerouteRecord> {
+    let near = Ipv4Addr::new(10, 9, (bin % 250) as u8, 1);
+    let far = Ipv4Addr::new(10, 9, (bin % 250) as u8, 2);
+    vec![TracerouteRecord {
+        msm_id: MeasurementId(9),
+        probe_id: ProbeId(9_000 + bin as u32),
+        probe_asn: Asn(64900),
+        dst: Ipv4Addr::new(198, 51, 200, (bin % 250) as u8),
+        timestamp: SimTime(bin * 3600 + 7),
+        paris_id: 0,
+        hops: vec![
+            Hop::new(1, vec![Reply::new(near, 3.0); 3]),
+            Hop::new(2, vec![Reply::new(far, 5.0); 3]),
+        ],
+        destination_reached: true,
+    }]
+}
+
+/// A route flip through a per-stream router (fires a forwarding alarm).
+fn forwarding_records(stream: u8, bin: u64, flipped: bool) -> Vec<TracerouteRecord> {
+    let router = Ipv4Addr::new(10, 2, stream, 1);
+    let next = if flipped {
+        Ipv4Addr::new(10, 2, stream, 99)
+    } else {
+        Ipv4Addr::new(10, 2, stream, 2)
+    };
+    (1u32..=3)
+        .map(|probe| TracerouteRecord {
+            msm_id: MeasurementId(100 + u32::from(stream)),
+            probe_id: ProbeId(probe),
+            probe_asn: Asn(64000 + probe),
+            dst: Ipv4Addr::new(198, 51, 210, stream + 1),
+            timestamp: SimTime(bin * 3600 + u64::from(probe) * 60),
+            paris_id: 0,
+            hops: vec![
+                Hop::new(1, vec![Reply::new(router, 1.0); 4]),
+                Hop::new(2, vec![Reply::new(next, 2.0); 4]),
+            ],
+            destination_reached: true,
+        })
+        .collect()
+}
+
+/// Full-pipeline parity through the AMS-IX outage: the scenario where
+/// real forwarding alarms fire. The pipelined executor at every depth —
+/// including the env-selected one — must reproduce the sequential
+/// reference path byte for byte, report by report, in bin order.
+#[test]
+fn pipelined_analyzer_matches_serial_through_ixp_outage() {
+    let case = ixp::case_study(7, Scale::Small);
+    let (outage_start, outage_end) = ixp::outage_bins();
+    let bins: Vec<(BinId, Vec<TracerouteRecord>)> = (outage_start - 3..outage_end + 2)
+        .map(|b| (BinId(b), case.platform.collect_bin(BinId(b))))
+        .collect();
+
+    let mut sequential = Analyzer::new(DetectorConfig::fast_test(), case.mapper.clone());
+    let want: Vec<BinReport> = bins
+        .iter()
+        .map(|(bin, records)| sequential.process_bin_sequential(*bin, records))
+        .collect();
+    let fired: usize = want.iter().map(|r| r.forwarding_alarms.len()).sum();
+    assert!(
+        fired > 0,
+        "the outage fired no alarms — parity would only be proven on quiet bins"
+    );
+
+    // Depth 0 resolves through the env-selected cfg.pipeline_depth, so
+    // the CI PINPOINT_PIPELINE axis lands exactly here.
+    for depth in [0usize, 1, 2] {
+        let mut pipelined = Analyzer::new(parity_config(), case.mapper.clone());
+        let got = drive(&mut pipelined, depth, &bins);
+        assert_streams_identical(&got, &want, &format!("ixp depth {depth}"));
+        assert_eq!(
+            pipelined.tracked_links(),
+            sequential.tracked_links(),
+            "depth {depth}: tracked links diverged"
+        );
+        assert_eq!(
+            pipelined.tracked_patterns(),
+            sequential.tracked_patterns(),
+            "depth {depth}: tracked patterns diverged"
+        );
+    }
+}
+
+/// The bin schedule of the churn sweep: steady delay traffic + per-bin
+/// unique churn keys, an empty bin, a delay surge, and enough quiet bins
+/// after the churn stops for compaction sweeps to fire mid-stream.
+fn churn_schedule() -> Vec<(BinId, Vec<TracerouteRecord>)> {
+    (0..14u64)
+        .map(|b| {
+            let mut records = if b == 5 {
+                Vec::new() // an empty bin mid-stream is a valid bin
+            } else {
+                delay_records(b, b == 11)
+            };
+            if b < 4 {
+                records.extend(churn_records(b));
+            }
+            (BinId(b), records)
+        })
+        .collect()
+}
+
+/// Epoch-compaction bin mid-stream: with a 2-bin expiry the churn keys of
+/// bins 0–3 die while the stream is still flowing, so the depth-2
+/// pipeline must hit its drain-sweep-refill fence — and stay
+/// byte-identical to both serial paths, including the delay surge fired
+/// *after* the sweeps.
+#[test]
+fn pipelined_compaction_fence_mid_stream_parity() {
+    let mut cfg = parity_config();
+    cfg.reference_expiry_bins = 2;
+    let mut sequential_cfg = DetectorConfig::fast_test();
+    sequential_cfg.reference_expiry_bins = 2;
+    let bins = churn_schedule();
+
+    let mut sequential = Analyzer::new(sequential_cfg, mapper());
+    let want: Vec<BinReport> = bins
+        .iter()
+        .map(|(bin, records)| sequential.process_bin_sequential(*bin, records))
+        .collect();
+    assert!(
+        want.iter().any(|r| !r.delay_alarms.is_empty()),
+        "the surge fired no delay alarm through the fence schedule"
+    );
+
+    for depth in [1usize, 2] {
+        let mut pipelined = Analyzer::new(cfg.clone(), mapper());
+        let got = drive(&mut pipelined, depth, &bins);
+        assert_streams_identical(&got, &want, &format!("churn depth {depth}"));
+        let stats = pipelined.ingest_stats();
+        assert!(
+            stats.evictions > 0,
+            "depth {depth}: no compaction sweep ran — the fence was never exercised"
+        );
+        assert_eq!(
+            pipelined.tracked_links(),
+            sequential.tracked_links(),
+            "depth {depth}"
+        );
+    }
+
+    // The two engine schedules must also agree on the eviction sets —
+    // the fence defers a sweep to a drained gap (an overdue key's
+    // eviction may land one bin later than serial), but the same keys
+    // must die, so with quiet bins at the end of the schedule the
+    // cumulative epoch counters converge to equality.
+    let mut serial_engine = Analyzer::new(cfg.clone(), mapper());
+    for (bin, records) in &bins {
+        serial_engine.process_bin(*bin, records);
+    }
+    let mut overlapped = Analyzer::new(cfg, mapper());
+    drive(&mut overlapped, 2, &bins);
+    assert_eq!(
+        overlapped.ingest_stats(),
+        serial_engine.ingest_stats(),
+        "intern-epoch counters diverged between schedules"
+    );
+}
+
+/// Demand two fleet reports be byte-for-byte identical.
+fn assert_fleets_identical(a: &FleetReport, b: &FleetReport, ctx: &str) {
+    assert_eq!(a.bin, b.bin, "{ctx}: bin");
+    assert_eq!(a.streams.len(), b.streams.len(), "{ctx}: stream count");
+    for (i, (ra, rb)) in a.streams.iter().zip(&b.streams).enumerate() {
+        assert_reports_identical(ra, rb, &format!("{ctx} stream {i}"));
+    }
+    assert_eq!(a.magnitudes, b.magnitudes, "{ctx}: merged magnitudes");
+}
+
+/// Three-stream fleet feeds: a delay stream, a forwarding stream, and a
+/// churn stream whose keys rotate every bin. `bin` 9 is the event bin
+/// (delay surge + route flip).
+fn fleet_feeds(bin: u64) -> Vec<Vec<TracerouteRecord>> {
+    vec![
+        delay_records(bin, bin == 9),
+        forwarding_records(1, bin, bin == 9),
+        if bin == 6 {
+            Vec::new()
+        } else if bin < 4 {
+            churn_records(bin)
+        } else {
+            delay_records(bin, false)
+        },
+    ]
+}
+
+fn fleet(cfg: &DetectorConfig) -> StreamRouter {
+    let mut router = StreamRouter::with_magnitude_window(cfg.magnitude_window_bins);
+    for label in ["delay-stream", "forwarding-stream", "churn-stream"] {
+        router.add_stream(label, Analyzer::new(cfg.clone(), mapper()));
+    }
+    router.set_threads(cfg.threads);
+    router.register_ases([Asn(64500)]);
+    router
+}
+
+/// Fleet parity across depths: a 3-stream [`StreamRouter`] driven through
+/// the fleet pipelined executor — two-lane waves carrying every stream's
+/// shard jobs AND every stream's next-bin scatter chunks — must match the
+/// sequential fleet path byte for byte through an alarm-firing event bin,
+/// an empty bin, and a churn stream whose compaction forces the fleet
+/// drain fence.
+#[test]
+fn pipelined_fleet_matches_serial() {
+    let mut cfg = parity_config();
+    cfg.reference_expiry_bins = 3;
+    let mut sequential_cfg = DetectorConfig::fast_test();
+    sequential_cfg.reference_expiry_bins = 3;
+    let bins: Vec<(BinId, Vec<Vec<TracerouteRecord>>)> =
+        (0..12u64).map(|b| (BinId(b), fleet_feeds(b))).collect();
+
+    let mut sequential = fleet(&sequential_cfg);
+    let want: Vec<FleetReport> = bins
+        .iter()
+        .map(|(bin, feeds)| sequential.process_bin_sequential(*bin, feeds))
+        .collect();
+    assert!(
+        want.iter().any(|r| r.delay_alarms() > 0),
+        "no delay alarm in the fleet schedule"
+    );
+    assert!(
+        want.iter().any(|r| r.forwarding_alarms() > 0),
+        "no forwarding alarm in the fleet schedule"
+    );
+
+    // Depth 0 resolves through the streams' env-selected
+    // cfg.pipeline_depth (parity_config set it from PINPOINT_PIPELINE),
+    // so the CI axis reaches the fleet path through the documented knob.
+    for depth in [0usize, 1, 2] {
+        let mut router = fleet(&cfg);
+        let mut got = Vec::new();
+        {
+            let mut driver = router.pipelined(depth);
+            for (bin, feeds) in &bins {
+                got.extend(driver.push_bin(*bin, feeds));
+            }
+            got.extend(driver.finish());
+        }
+        assert_eq!(got.len(), want.len(), "depth {depth}: report count");
+        for (a, b) in got.iter().zip(&want) {
+            assert_fleets_identical(a, b, &format!("fleet depth {depth} bin {:?}", a.bin));
+        }
+        assert_eq!(router.tracked_links(), sequential.tracked_links());
+        assert_eq!(router.tracked_patterns(), sequential.tracked_patterns());
+        if depth == 2 {
+            assert!(
+                router.ingest_stats().evictions > 0,
+                "the fleet drain fence was never exercised"
+            );
+        }
+    }
+}
+
+/// The pipelined executor must stay byte-identical across *local* thread
+/// and chunk sweeps too — including counts that don't divide the shard
+/// count and a pathological 3-record chunk — so parity holds even on
+/// matrix points the CI grid never visits.
+#[test]
+fn pipelined_parity_across_local_thread_and_chunk_sweep() {
+    let bins = churn_schedule();
+    let mut sequential_cfg = DetectorConfig::fast_test();
+    sequential_cfg.reference_expiry_bins = 2;
+    let mut sequential = Analyzer::new(sequential_cfg, mapper());
+    let want: Vec<BinReport> = bins
+        .iter()
+        .map(|(bin, records)| sequential.process_bin_sequential(*bin, records))
+        .collect();
+
+    for threads in [1usize, 3, 5] {
+        for chunk in [0usize, 3] {
+            for depth in [1usize, 2] {
+                let mut cfg = DetectorConfig::fast_test();
+                cfg.reference_expiry_bins = 2;
+                cfg.threads = threads;
+                cfg.ingest_chunk_records = chunk;
+                let mut pipelined = Analyzer::new(cfg, mapper());
+                let got = drive(&mut pipelined, depth, &bins);
+                assert_streams_identical(
+                    &got,
+                    &want,
+                    &format!("threads {threads} chunk {chunk} depth {depth}"),
+                );
+            }
+        }
+    }
+}
+
+/// The increasing-order contract holds at every depth — including depth
+/// 1, where no bin is ever pending, and after a `finish()` drain: a
+/// regressed bin clock must panic, not silently rewind the references.
+#[test]
+#[should_panic(expected = "increasing order")]
+fn regressed_bin_clock_panics_even_at_depth_1() {
+    let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+    let mut driver = analyzer.pipelined(1);
+    driver.push_bin(BinId(5), &delay_records(5, false));
+    driver.push_bin(BinId(3), &delay_records(3, false));
+}
+
+/// Same contract across a `finish()` flush at depth 2 (`pending` is
+/// empty again, but the clock must not rewind).
+#[test]
+#[should_panic(expected = "increasing order")]
+fn regressed_bin_clock_panics_after_finish() {
+    let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+    let mut driver = analyzer.pipelined(2);
+    driver.push_bin(BinId(5), &delay_records(5, false));
+    driver.finish();
+    driver.push_bin(BinId(4), &delay_records(4, false));
+}
+
+/// The depth knob's contract: unsupported depths must fail loudly in the
+/// harness (the engine would silently clamp them), and supported ones
+/// pass through.
+#[test]
+fn pipeline_depth_validation_is_actionable() {
+    for ok in [0usize, 1, 2] {
+        assert_eq!(common::check_pipeline_depth("PINPOINT_PIPELINE", ok), ok);
+    }
+    let err = std::panic::catch_unwind(|| common::check_pipeline_depth("PINPOINT_PIPELINE", 3))
+        .expect_err("depth 3 must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("PINPOINT_PIPELINE") && msg.contains("deeper pipelines do not exist"),
+        "panic message not actionable: {msg}"
+    );
+}
