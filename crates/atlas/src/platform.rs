@@ -11,7 +11,7 @@ use crate::probe::ProbeDeployment;
 use pinpoint_model::records::{Hop, Reply, TracerouteRecord};
 use pinpoint_model::{BinId, MeasurementId, SimTime};
 use pinpoint_netsim::network::TraceQuery;
-use pinpoint_netsim::Network;
+use pinpoint_netsim::{ArtifactModel, Network};
 use std::net::Ipv4Addr;
 
 /// The emulated measurement platform.
@@ -22,6 +22,9 @@ pub struct Platform {
     measurements: Vec<Measurement>,
     /// Analysis bin length in seconds (1 hour in the paper).
     pub bin_secs: u64,
+    /// Measurement-artifact injection applied to every emitted record
+    /// (`None` = a clean feed).
+    artifacts: Option<ArtifactModel>,
 }
 
 impl Platform {
@@ -33,12 +36,27 @@ impl Platform {
             probes,
             measurements: Vec::new(),
             bin_secs: 3600,
+            artifacts: None,
         }
     }
 
     /// The underlying network engine.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Corrupt every emitted record with the given
+    /// [`ArtifactModel`] (`None` restores a clean feed). Corruption is a
+    /// pure function of the record's identity, so batch, chunked, and
+    /// streamed collection of the same bin keep emitting identical
+    /// records — only *dirtier* ones.
+    pub fn set_artifact_model(&mut self, model: Option<ArtifactModel>) {
+        self.artifacts = model;
+    }
+
+    /// The artifact model in effect, if any.
+    pub fn artifact_model(&self) -> Option<&ArtifactModel> {
+        self.artifacts.as_ref()
     }
 
     /// The probe deployment.
@@ -136,7 +154,11 @@ impl Platform {
                         flow,
                         packets_per_hop: 3,
                     });
-                    records.push(outcome_to_record(m.id, probe, m.target, t, paris, outcome));
+                    let mut record = outcome_to_record(m.id, probe, m.target, t, paris, outcome);
+                    if let Some(model) = &self.artifacts {
+                        model.corrupt(&mut record);
+                    }
+                    records.push(record);
                 }
             }
         }
@@ -385,6 +407,36 @@ mod tests {
             })
             .collect();
         assert_eq!(bins, vec![BinId(2), BinId(3)]);
+    }
+
+    #[test]
+    fn artifact_model_corrupts_deterministically() {
+        use pinpoint_netsim::ArtifactModel;
+        let clean = platform().collect_bin(BinId(2));
+
+        let mut p = platform();
+        p.set_artifact_model(Some(ArtifactModel::hostile(0xA11)));
+        let dirty = p.collect_bin(BinId(2));
+        let again = p.collect_bin(BinId(2));
+
+        // Same record count and identities (corruption never drops records),
+        // byte-identical across repeated collections, and actually dirty.
+        assert_eq!(dirty.len(), clean.len());
+        assert_eq!(dirty, again);
+        assert_ne!(dirty, clean);
+        let changed = clean
+            .iter()
+            .zip(&dirty)
+            .filter(|(c, d)| c.hops != d.hops)
+            .count();
+        assert!(
+            changed > clean.len() / 4,
+            "only {changed} records corrupted"
+        );
+
+        // Clearing the model restores the clean feed.
+        p.set_artifact_model(None);
+        assert_eq!(p.collect_bin(BinId(2)), clean);
     }
 
     #[test]

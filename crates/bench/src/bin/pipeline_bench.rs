@@ -7,7 +7,7 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Seven workloads run: the steady scenario's Small bin (faithful
+//! Eight workloads run: the steady scenario's Small bin (faithful
 //! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
 //! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
@@ -15,9 +15,13 @@
 //! through one `StreamRouter` pool (every stream's §4 and §5 shards on the
 //! same workers), a scatter-dominated `ingest_heavy` bin (long responsive
 //! paths, ~200k samples, almost no per-key analysis) that isolates the
-//! chunked-ingestion layer, and a `pipelined_stream` of mixed bins timing
+//! chunked-ingestion layer, a `pipelined_stream` of mixed bins timing
 //! the cross-bin pipelined executor at depth 1 vs depth 2 (ingestion of
-//! bin *n+1* overlapped with analysis of bin *n*). Each is timed over
+//! bin *n+1* overlapped with analysis of bin *n*), and an
+//! `artifact_heavy` bin — the mixed workload corrupted by a hostile
+//! `ArtifactModel` — that times the record sanitizer's front-door pass in
+//! isolation (`sanitize_ms`) and records how many records it quarantined
+//! (`quarantined`, asserted non-zero). Each is timed over
 //! `reps` repetitions on warmed analyzers and summarized by the median
 //! wall time; alarm/stat outputs of both paths are cross-checked for
 //! equality before any number is reported — so a run doubles as an
@@ -37,9 +41,11 @@ use pinpoint_bench::workload::{
     ForwardingSpec, IngestSpec, WorkloadSpec,
 };
 use pinpoint_core::aggregate::AsMapper;
+use pinpoint_core::sanitize::sanitize_records;
 use pinpoint_core::{Analyzer, DetectorConfig, FleetReport, StreamRouter};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::BinId;
+use pinpoint_netsim::ArtifactModel;
 use pinpoint_scenarios::{steady, Scale};
 use std::io::Write as _;
 use std::time::Instant;
@@ -53,6 +59,11 @@ struct WorkloadResult {
     /// Intern-table insertions during the (warmed) work bin — 0 when the
     /// warm bin already interned the whole key universe.
     intern_inserts: u64,
+    /// Median wall milliseconds of a standalone sanitizer pass over the
+    /// work bin (0 for workloads that do not time it separately).
+    sanitize_ms: f64,
+    /// Records the sanitizer quarantined in the work bin.
+    quarantined: u64,
 }
 
 impl WorkloadResult {
@@ -121,6 +132,7 @@ fn run_workload(
     assert_eq!(ra.link_stats, rb.link_stats, "{name}: engine parity broke");
     let links = ra.link_stats.len();
     let intern_inserts = a.ingest_stats().bin_insertions;
+    let quarantined = a.sanitize_stats().bin_quarantined;
 
     let sequential_ms = time_path(mapper, warm, work, reps, true);
     let parallel_ms = time_path(mapper, warm, work, reps, false);
@@ -131,7 +143,22 @@ fn run_workload(
         sequential_ms,
         parallel_ms,
         intern_inserts,
+        sanitize_ms: 0.0,
+        quarantined,
     }
+}
+
+/// Median wall milliseconds of a pure [`sanitize_records`] pass over one
+/// bin — the sanitizer's isolated overhead, outside any detector work.
+fn time_sanitize(work: &[TracerouteRecord], reps: usize) -> f64 {
+    let cfg = DetectorConfig::default();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(sanitize_records(work, &cfg));
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    pinpoint_stats::median(&samples).expect("reps >= 1")
 }
 
 /// Time a stream of bins through the cross-bin pipelined executor at
@@ -221,6 +248,8 @@ fn run_pipelined_workload(
         sequential_ms,
         parallel_ms,
         intern_inserts,
+        sanitize_ms: 0.0,
+        quarantined: 0,
     }
 }
 
@@ -314,6 +343,8 @@ fn run_multi_workload(
         sequential_ms,
         parallel_ms,
         intern_inserts,
+        sanitize_ms: 0.0,
+        quarantined: 0,
     }
 }
 
@@ -450,6 +481,31 @@ fn main() {
         "pipelined_stream steady-state bin performed intern insertions"
     );
 
+    // Workload 8: the mixed bin mangled by a hostile artifact model —
+    // loops, false links, swapped replies, duplicated hops. The engine
+    // parity gate now also proves both paths sanitize identically; the
+    // standalone sanitizer pass is timed separately so its overhead is
+    // tracked PR over PR, along with how much the pass quarantined.
+    let artifact_model = ArtifactModel::hostile(seed);
+    let corrupt_bin = |b: u64| {
+        // Mixed (both detectors) plus the long ingest paths: loops and
+        // false links need middle hops to land on.
+        let mut records = mixed_bin(&spec, &fwd_spec, seed, b);
+        records.extend(ingest_bin(&ingest_spec, seed, b));
+        for rec in &mut records {
+            artifact_model.corrupt(rec);
+        }
+        records
+    };
+    let warm = corrupt_bin(0);
+    let work = corrupt_bin(1);
+    let mut artifact_result = run_workload("artifact_heavy", &mapper, &warm, &work, reps);
+    artifact_result.sanitize_ms = time_sanitize(&work, reps);
+    assert!(
+        artifact_result.quarantined > 0,
+        "artifact_heavy work bin quarantined nothing — the workload is not exercising the sanitizer"
+    );
+
     let results = [
         steady_result,
         large_result,
@@ -458,10 +514,11 @@ fn main() {
         multi_result,
         ingest_result,
         pipelined_result,
+        artifact_result,
     ];
     for r in &results {
         println!(
-            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts",
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined",
             r.name,
             r.records,
             r.links,
@@ -470,6 +527,8 @@ fn main() {
             r.speedup(),
             r.records_per_sec_parallel(),
             r.intern_inserts,
+            r.sanitize_ms,
+            r.quarantined,
         );
     }
 
@@ -482,7 +541,7 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}}}{}\n",
             r.name,
             r.records,
             r.links,
@@ -491,6 +550,8 @@ fn main() {
             r.speedup(),
             r.records_per_sec_parallel(),
             r.intern_inserts,
+            r.sanitize_ms,
+            r.quarantined,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

@@ -61,6 +61,28 @@ pub struct DetectorConfig {
     /// serial merge fences every bin, so deeper pipelines buy nothing.
     /// Purely a throughput knob; output is byte-identical for any value.
     pub pipeline_depth: usize,
+    /// Run the record sanitizer in front of ingestion (default `true`).
+    /// Disabling it feeds raw records — including structurally broken
+    /// ones — straight to the detectors; useful only for measuring the
+    /// sanitizer's own effect.
+    pub sanitize: bool,
+    /// Largest RTT the sanitizer accepts as physically possible, in
+    /// milliseconds. Anything above (or non-finite, or negative)
+    /// quarantines the record. 10 s is far beyond any real path RTT yet
+    /// below the garbage values broken firmware emits.
+    pub sanitize_max_rtt_ms: f64,
+    /// Largest *decrease* in adjacent min-RTTs the sanitizer tolerates,
+    /// in milliseconds. Mild inversions are legitimate — return paths
+    /// differ per hop (the paper's Challenge 1), ICMP generation on the
+    /// near router can be slow, and a noise spike on the near hop's min
+    /// shifts the difference — so this is a gross-error bound, not a
+    /// monotonicity requirement. 100 ms sits above anything those benign
+    /// causes produce while catching wrong-hop reply attribution that
+    /// swaps RTTs across a long-haul link.
+    pub sanitize_max_inversion_ms: f64,
+    /// Most hops a record may carry before it is quarantined as
+    /// structurally bogus (real traceroutes stop at a TTL of 32–64).
+    pub sanitize_max_hops: usize,
 }
 
 impl Default for DetectorConfig {
@@ -81,6 +103,10 @@ impl Default for DetectorConfig {
             ingest_chunk_records: 0,
             threads: 0,
             pipeline_depth: 0,
+            sanitize: true,
+            sanitize_max_rtt_ms: 10_000.0,
+            sanitize_max_inversion_ms: 100.0,
+            sanitize_max_hops: 64,
         }
     }
 }
@@ -105,6 +131,95 @@ impl DetectorConfig {
             ..Default::default()
         }
     }
+
+    /// Reject degenerate knob values with an actionable message.
+    ///
+    /// Every error names the offending knob, the value it carried, and
+    /// the accepted range, so a sweep harness that fat-fingers one
+    /// parameter fails loudly at construction instead of silently
+    /// producing garbage (a `reference_expiry_bins` of 0 would evict
+    /// every reference every bin; a NaN threshold never fires). The
+    /// throughput knobs (`threads`, `ingest_chunk_records`,
+    /// `pipeline_depth`) accept 0 — that is their documented "auto"
+    /// value. Called by `Analyzer::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        fn finite_in(name: &str, v: f64, lo: f64, hi: f64) -> Result<(), String> {
+            if !v.is_finite() || v < lo || v > hi {
+                return Err(format!(
+                    "DetectorConfig::{name} is {v}, expected a finite value in [{lo}, {hi}]"
+                ));
+            }
+            Ok(())
+        }
+        fn at_least(name: &str, v: usize, lo: usize, why: &str) -> Result<(), String> {
+            if v < lo {
+                return Err(format!(
+                    "DetectorConfig::{name} is {v}, expected >= {lo}: {why}"
+                ));
+            }
+            Ok(())
+        }
+        at_least(
+            "bin_secs",
+            self.bin_secs as usize,
+            1,
+            "a bin must span time",
+        )?;
+        finite_in("wilson_z", self.wilson_z, f64::MIN_POSITIVE, 100.0)?;
+        at_least(
+            "min_as_diversity",
+            self.min_as_diversity,
+            1,
+            "at least one probe AS must witness a link",
+        )?;
+        finite_in("entropy_threshold", self.entropy_threshold, 0.0, 1.0)?;
+        finite_in("min_median_gap_ms", self.min_median_gap_ms, 0.0, f64::MAX)?;
+        finite_in("alpha", self.alpha, f64::MIN_POSITIVE, 1.0)?;
+        at_least(
+            "warmup_bins",
+            self.warmup_bins,
+            1,
+            "the first reference needs at least one observed median",
+        )?;
+        finite_in("forwarding_tau", self.forwarding_tau, -1.0, 1.0)?;
+        finite_in(
+            "min_pattern_packets",
+            self.min_pattern_packets,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        )?;
+        at_least(
+            "reference_expiry_bins",
+            self.reference_expiry_bins,
+            1,
+            "0 would evict every reference on every bin",
+        )?;
+        at_least(
+            "magnitude_window_bins",
+            self.magnitude_window_bins,
+            1,
+            "the magnitude metric needs a window",
+        )?;
+        finite_in(
+            "sanitize_max_rtt_ms",
+            self.sanitize_max_rtt_ms,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        )?;
+        finite_in(
+            "sanitize_max_inversion_ms",
+            self.sanitize_max_inversion_ms,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        )?;
+        at_least(
+            "sanitize_max_hops",
+            self.sanitize_max_hops,
+            1,
+            "every record with hops would be quarantined",
+        )?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +241,133 @@ mod tests {
         assert_eq!(c.threads, 0, "default engine uses every core");
         assert_eq!(c.ingest_chunk_records, 0, "default chunk size is auto");
         assert_eq!(c.pipeline_depth, 0, "default pipeline depth is auto");
+        assert!(c.sanitize, "sanitizer on by default");
+        assert_eq!(c.sanitize_max_hops, 64);
+    }
+
+    #[test]
+    fn default_and_fast_test_configs_validate() {
+        DetectorConfig::default().validate().unwrap();
+        DetectorConfig::fast_test().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected_with_the_knob_named() {
+        let cases: Vec<(&str, DetectorConfig)> = vec![
+            (
+                "reference_expiry_bins",
+                DetectorConfig {
+                    reference_expiry_bins: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "alpha",
+                DetectorConfig {
+                    alpha: f64::NAN,
+                    ..Default::default()
+                },
+            ),
+            (
+                "alpha",
+                DetectorConfig {
+                    alpha: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "wilson_z",
+                DetectorConfig {
+                    wilson_z: -1.96,
+                    ..Default::default()
+                },
+            ),
+            (
+                "entropy_threshold",
+                DetectorConfig {
+                    entropy_threshold: 1.5,
+                    ..Default::default()
+                },
+            ),
+            (
+                "forwarding_tau",
+                DetectorConfig {
+                    forwarding_tau: f64::INFINITY,
+                    ..Default::default()
+                },
+            ),
+            (
+                "warmup_bins",
+                DetectorConfig {
+                    warmup_bins: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "bin_secs",
+                DetectorConfig {
+                    bin_secs: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "min_pattern_packets",
+                DetectorConfig {
+                    min_pattern_packets: f64::NAN,
+                    ..Default::default()
+                },
+            ),
+            (
+                "magnitude_window_bins",
+                DetectorConfig {
+                    magnitude_window_bins: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "sanitize_max_rtt_ms",
+                DetectorConfig {
+                    sanitize_max_rtt_ms: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "sanitize_max_inversion_ms",
+                DetectorConfig {
+                    sanitize_max_inversion_ms: f64::NAN,
+                    ..Default::default()
+                },
+            ),
+            (
+                "sanitize_max_hops",
+                DetectorConfig {
+                    sanitize_max_hops: 0,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (knob, cfg) in cases {
+            let err = cfg.validate().expect_err(knob);
+            assert!(
+                err.contains(knob),
+                "error for {knob} must name the knob, got: {err}"
+            );
+            assert!(
+                err.contains("expected"),
+                "error for {knob} must state the accepted range, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_throughput_knobs_are_accepted() {
+        // 0 is the documented "auto" for every throughput knob.
+        let cfg = DetectorConfig {
+            threads: 0,
+            ingest_chunk_records: 0,
+            pipeline_depth: 0,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
     }
 }

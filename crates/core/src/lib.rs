@@ -33,6 +33,15 @@
 //!                               around an address (Fig. 8 / Fig. 12)
 //! ```
 //!
+//! In front of it all sits the record [`sanitize`]r: real traceroute
+//! feeds carry measurement artifacts (loops and false links from
+//! per-flow load balancing, wrong-hop ICMP attribution, impossible
+//! RTTs), and structurally broken records are quarantined — with
+//! repairable ones fixed in place — before any detector sees them,
+//! counted per bin in [`sanitize::SanitizeStats`]
+//! ([`pipeline::Analyzer::sanitize_stats`] /
+//! [`stream::StreamRouter::sanitize_stats`]).
+//!
 //! [`pipeline::Analyzer`] wires the stages together for both offline batch
 //! runs and the §8 streaming ("Internet Health Report") mode;
 //! [`stream::StreamRouter`] scales that to a fleet of analyzers — one per
@@ -155,6 +164,7 @@ pub mod forwarding;
 pub mod graph;
 pub mod ingest;
 pub mod pipeline;
+pub mod sanitize;
 pub mod stream;
 
 pub use config::DetectorConfig;
@@ -162,4 +172,5 @@ pub use diffrtt::{DelayAlarm, DelayDetector};
 pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
 pub use ingest::IngestStats;
 pub use pipeline::{Analyzer, BinReport, PipelinedDriver};
+pub use sanitize::SanitizeStats;
 pub use stream::{FleetPipelinedDriver, FleetReport, StreamId, StreamRouter};

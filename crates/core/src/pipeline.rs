@@ -29,6 +29,7 @@ use crate::config::DetectorConfig;
 use crate::diffrtt::{DelayAlarm, DelayDetector, LinkStat};
 use crate::forwarding::{ForwardingAlarm, ForwardingDetector};
 use crate::graph::AlarmGraph;
+use crate::sanitize::{SanitizeStats, Sanitizer};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId, IpLink};
 use std::collections::{BTreeMap, HashMap};
@@ -78,6 +79,7 @@ pub struct Analyzer {
     cfg: DetectorConfig,
     delay: DelayDetector,
     forwarding: ForwardingDetector,
+    sanitizer: Sanitizer,
     mapper: AsMapper,
     magnitudes: MagnitudeTracker,
     session: Option<IngestSession>,
@@ -86,10 +88,19 @@ pub struct Analyzer {
 impl Analyzer {
     /// Create an analyzer. The `mapper` provides the §6 IP→AS grouping
     /// (from a RIB dump in production; from simulator ground truth here).
+    ///
+    /// # Panics
+    /// When the configuration fails [`DetectorConfig::validate`] — a
+    /// degenerate knob (zero expiry, NaN threshold, …) would silently
+    /// produce garbage, so construction fails loudly with the knob named.
     pub fn new(cfg: DetectorConfig, mapper: AsMapper) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid DetectorConfig: {msg}");
+        }
         Analyzer {
             delay: DelayDetector::new(&cfg),
             forwarding: ForwardingDetector::new(&cfg),
+            sanitizer: Sanitizer::default(),
             magnitudes: MagnitudeTracker::new(cfg.magnitude_window_bins),
             cfg,
             mapper,
@@ -168,14 +179,23 @@ impl Analyzer {
         threads: usize,
     ) -> Vec<crate::engine::Job<'a>> {
         let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
+        let Analyzer {
+            delay,
+            forwarding,
+            sanitizer,
+            cfg,
+            ..
+        } = self;
         if compact {
-            self.delay.compact_epoch(bin);
-            self.forwarding.compact_epoch(bin);
+            delay.compact_epoch(bin);
+            forwarding.compact_epoch(bin);
         }
-        self.delay.begin_bin();
-        self.forwarding.begin_bin();
-        let mut jobs = self.delay.scatter_jobs(records, chunk);
-        jobs.extend(self.forwarding.scatter_jobs(records, chunk));
+        delay.begin_bin();
+        forwarding.begin_bin();
+        sanitizer.begin_bin();
+        let clean = sanitizer.sanitize(records, cfg);
+        let mut jobs = delay.scatter_jobs(clean, chunk);
+        jobs.extend(forwarding.scatter_jobs(clean, chunk));
         jobs
     }
 
@@ -192,10 +212,18 @@ impl Analyzer {
     ) -> (AnalyzerStage<'a>, Vec<crate::engine::Job<'a>>) {
         let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
         let Analyzer {
-            delay, forwarding, ..
+            delay,
+            forwarding,
+            sanitizer,
+            cfg,
+            ..
         } = self;
-        let (delay_stage, mut scatter) = delay.overlap(pending, records, chunk, threads);
-        let (forwarding_stage, fwd_scatter) = forwarding.overlap(pending, records, chunk, threads);
+        // The pending bin's rows are already scattered into the arenas,
+        // so reusing the sanitizer's buffer for the next bin is safe.
+        sanitizer.begin_bin();
+        let clean = sanitizer.sanitize(records, cfg);
+        let (delay_stage, mut scatter) = delay.overlap(pending, clean, chunk, threads);
+        let (forwarding_stage, fwd_scatter) = forwarding.overlap(pending, clean, chunk, threads);
         scatter.extend(fwd_scatter);
         (
             AnalyzerStage {
@@ -254,6 +282,7 @@ impl Analyzer {
         self.forwarding.compact_epoch(bin);
         self.delay.begin_bin();
         self.forwarding.begin_bin();
+        self.sanitizer.begin_bin();
         self.session = Some(IngestSession { bin, records: 0 });
     }
 
@@ -272,8 +301,16 @@ impl Analyzer {
         }
         let threads = crate::engine::resolve_threads(self.cfg.threads);
         let chunk = crate::ingest::resolve_chunk_for(self.cfg.ingest_chunk_records, threads);
-        let mut jobs = self.delay.scatter_jobs(records, chunk);
-        jobs.extend(self.forwarding.scatter_jobs(records, chunk));
+        let Analyzer {
+            delay,
+            forwarding,
+            sanitizer,
+            cfg,
+            ..
+        } = self;
+        let clean = sanitizer.sanitize(records, cfg);
+        let mut jobs = delay.scatter_jobs(clean, chunk);
+        jobs.extend(forwarding.scatter_jobs(clean, chunk));
         crate::engine::run_jobs(jobs, threads);
     }
 
@@ -306,6 +343,15 @@ impl Analyzer {
         self.delay
             .ingest_stats()
             .merged(self.forwarding.ingest_stats())
+    }
+
+    /// Sanitizer counters: records inspected, quarantined (by reason),
+    /// and repaired. The `bin_*` fields describe the most recently
+    /// *opened* bin — under the depth-2 pipelined executor that is the
+    /// in-flight bin, one ahead of the last report; the cumulative
+    /// fields are schedule-independent.
+    pub fn sanitize_stats(&self) -> SanitizeStats {
+        self.sanitizer.stats()
     }
 
     /// Stage one bin's shard work for the shared engine without running
@@ -351,8 +397,20 @@ impl Analyzer {
             self.session.is_none(),
             "process_bin_sequential called while an incremental bin is open (finish_bin first)"
         );
-        let (delay_alarms, link_stats) = self.delay.process_bin_sequential(bin, records);
-        let forwarding_alarms = self.forwarding.process_bin_sequential(bin, records);
+        let (delay_alarms, link_stats, forwarding_alarms) = {
+            let Analyzer {
+                delay,
+                forwarding,
+                sanitizer,
+                cfg,
+                ..
+            } = &mut *self;
+            sanitizer.begin_bin();
+            let clean = sanitizer.sanitize(records, cfg);
+            let (delay_alarms, link_stats) = delay.process_bin_sequential(bin, clean);
+            let forwarding_alarms = forwarding.process_bin_sequential(bin, clean);
+            (delay_alarms, link_stats, forwarding_alarms)
+        };
         self.aggregate(
             bin,
             records.len(),
@@ -754,5 +812,66 @@ mod tests {
         assert_eq!(report.records, 6);
         assert!(analyzer.tracked_links() >= 1);
         assert!(analyzer.tracked_patterns() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference_expiry_bins")]
+    fn degenerate_config_panics_at_construction() {
+        let cfg = DetectorConfig {
+            reference_expiry_bins: 0,
+            ..DetectorConfig::default()
+        };
+        let _ = Analyzer::new(cfg, mapper());
+    }
+
+    #[test]
+    fn quarantined_records_never_reach_the_detectors() {
+        let mut analyzer = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        // A looped record traversing a link the clean records never use.
+        let mut looped = records(0, 2.0, false);
+        looped.truncate(1);
+        let bad_link = (ip("10.0.9.1"), ip("10.0.9.2"));
+        looped[0].hops = vec![
+            Hop::new(1, vec![Reply::new(bad_link.0, 1.0); 3]),
+            Hop::new(2, vec![Reply::new(bad_link.1, 5.0); 3]),
+            Hop::new(3, vec![Reply::new(bad_link.0, 9.0); 3]),
+        ];
+        let mut batch = records(0, 2.0, false);
+        batch.extend(looped);
+        let report = analyzer.process_bin(BinId(0), &batch);
+        // The raw count is reported, but the loop's link was never built.
+        assert_eq!(report.records, 7);
+        assert!(!report
+            .link_stats
+            .contains_key(&IpLink::new(bad_link.0, bad_link.1)));
+        let stats = analyzer.sanitize_stats();
+        assert_eq!(stats.bin_records, 7);
+        assert_eq!(stats.quarantined_loops, 1);
+        assert_eq!(stats.bin_quarantined, 1);
+    }
+
+    #[test]
+    fn sanitize_stats_agree_across_batch_and_incremental_paths() {
+        let mut looped = records(0, 2.0, false)[0].clone();
+        looped.hops = vec![
+            Hop::new(1, vec![Reply::new(ip("10.0.9.1"), 1.0); 3]),
+            Hop::new(2, vec![Reply::new(ip("10.0.9.2"), 5.0); 3]),
+            Hop::new(3, vec![Reply::new(ip("10.0.9.1"), 9.0); 3]),
+        ];
+        let mut batch = records(0, 2.0, false);
+        batch.push(looped);
+
+        let mut a = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        a.process_bin(BinId(0), &batch);
+
+        let mut b = Analyzer::new(DetectorConfig::fast_test(), mapper());
+        b.begin_bin(BinId(0));
+        for chunk in batch.chunks(2) {
+            b.ingest(chunk);
+        }
+        b.finish_bin();
+
+        assert_eq!(a.sanitize_stats(), b.sanitize_stats());
+        assert_eq!(a.sanitize_stats().quarantined(), 1);
     }
 }

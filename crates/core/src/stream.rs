@@ -270,6 +270,18 @@ impl StreamRouter {
             })
     }
 
+    /// Sanitizer counters summed over every stream: records inspected,
+    /// quarantined (by reason), and repaired — the fleet twin of
+    /// [`Analyzer::sanitize_stats`].
+    pub fn sanitize_stats(&self) -> crate::sanitize::SanitizeStats {
+        self.streams
+            .iter()
+            .map(|s| s.analyzer.sanitize_stats())
+            .fold(crate::sanitize::SanitizeStats::default(), |acc, s| {
+                acc.merged(s)
+            })
+    }
+
     /// The cross-bin pipelined executor over the whole fleet — the
     /// multi-stream twin of [`Analyzer::pipelined`]: at depth 2, every
     /// stream's shard jobs for the pending bin and every stream's scatter

@@ -41,6 +41,7 @@ pub mod network;
 pub mod routing;
 pub mod topology;
 
+pub use dynamics::ArtifactModel;
 pub use events::{EventSchedule, NetworkEvent};
 pub use ids::{AsId, LinkId, RouterId};
 pub use network::{Network, TraceHop, TraceOutcome};

@@ -12,6 +12,7 @@
 //! | [`leak`] | §7.2, Fig. 9–12 | a customer route leak through a tier-1 |
 //! | [`ixp`] | §7.3, Fig. 13 | an IXP fabric outage blackholing its LAN |
 //! | [`multi`] | §7.3 + §8 | the same outage split over a three-stream analyzer fleet |
+//! | [`artifacts`] | §3 (data) | the IXP outage under graded measurement-artifact noise, with recall / false-alarm gates |
 //! | [`full`] | Fig. 5, Table A | all of the above over two months |
 //!
 //! All scenarios share the [`world`] topology so addresses and ASNs are
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod ddos;
 pub mod full;
 pub mod ixp;

@@ -1,11 +1,18 @@
 //! Failure-injection and adversarial-input integration tests: the detector
 //! must never panic on malformed, hostile, or degenerate measurement data —
-//! real Atlas feeds contain all of it.
+//! real Atlas feeds contain all of it — and every ingestion path (batch,
+//! chunked incremental, pipelined at any depth) must sanitize it
+//! identically: the CI matrix re-runs this file under `PINPOINT_THREADS`
+//! × `PINPOINT_CHUNK` × `PINPOINT_PIPELINE` like the parity suites.
 
+mod common;
+
+use common::{assert_reports_identical, parity_config};
 use pinpoint::core::aggregate::AsMapper;
-use pinpoint::core::{Analyzer, DetectorConfig};
+use pinpoint::core::{Analyzer, BinReport, DetectorConfig, SanitizeStats};
 use pinpoint::model::records::{Hop, Reply, TracerouteRecord};
 use pinpoint::model::{Asn, BinId, MeasurementId, ProbeId, SimTime};
+use pinpoint::netsim::ArtifactModel;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -14,6 +21,127 @@ fn analyzer() -> Analyzer {
         DetectorConfig::fast_test(),
         AsMapper::from_prefixes([("10.0.0.0/8".parse().unwrap(), Asn(64500))]),
     )
+}
+
+fn analyzer_with(cfg: &DetectorConfig) -> Analyzer {
+    Analyzer::new(
+        cfg.clone(),
+        AsMapper::from_prefixes([("10.0.0.0/8".parse().unwrap(), Asn(64500))]),
+    )
+}
+
+/// Feed a bin stream through `process_bin` — the reference schedule.
+fn run_batch(
+    cfg: &DetectorConfig,
+    bins: &[Vec<TracerouteRecord>],
+) -> (Vec<BinReport>, SanitizeStats) {
+    let mut a = analyzer_with(cfg);
+    let reports = bins
+        .iter()
+        .enumerate()
+        .map(|(i, records)| a.process_bin(BinId(i as u64), records))
+        .collect();
+    (reports, a.sanitize_stats())
+}
+
+/// Feed the same stream incrementally, `chunk` records per `ingest` call.
+fn run_chunked(
+    cfg: &DetectorConfig,
+    bins: &[Vec<TracerouteRecord>],
+    chunk: usize,
+) -> (Vec<BinReport>, SanitizeStats) {
+    let mut a = analyzer_with(cfg);
+    let mut reports = Vec::new();
+    for (i, records) in bins.iter().enumerate() {
+        a.begin_bin(BinId(i as u64));
+        for slice in records.chunks(chunk.max(1)) {
+            a.ingest(slice);
+        }
+        reports.push(a.finish_bin());
+    }
+    (reports, a.sanitize_stats())
+}
+
+/// Feed the same stream through the cross-bin pipelined executor.
+fn run_pipelined(
+    cfg: &DetectorConfig,
+    bins: &[Vec<TracerouteRecord>],
+    depth: usize,
+) -> (Vec<BinReport>, SanitizeStats) {
+    let mut a = analyzer_with(cfg);
+    let mut reports = Vec::new();
+    {
+        let mut driver = a.pipelined(depth);
+        for (i, records) in bins.iter().enumerate() {
+            reports.extend(driver.push_bin(BinId(i as u64), records));
+        }
+        reports.extend(driver.finish());
+    }
+    (reports, a.sanitize_stats())
+}
+
+/// Every ingestion path must produce byte-identical reports AND identical
+/// cumulative sanitizer counters for the same record stream.
+fn assert_all_paths_agree(cfg: &DetectorConfig, bins: &[Vec<TracerouteRecord>], ctx: &str) {
+    let (want, want_stats) = run_batch(cfg, bins);
+    for (label, (got, got_stats)) in [
+        ("chunked(1)", run_chunked(cfg, bins, 1)),
+        ("chunked(7)", run_chunked(cfg, bins, 7)),
+        ("pipelined(1)", run_pipelined(cfg, bins, 1)),
+        ("pipelined(2)", run_pipelined(cfg, bins, 2)),
+    ] {
+        assert_eq!(got.len(), want.len(), "{ctx}/{label}: report count");
+        for (a, b) in got.iter().zip(&want) {
+            assert_reports_identical(a, b, &format!("{ctx}/{label} bin {:?}", a.bin));
+        }
+        assert_eq!(got_stats, want_stats, "{ctx}/{label}: sanitize stats");
+    }
+}
+
+/// A bin of well-formed multi-hop traceroutes from a few probes — the
+/// clean substrate the artifact model then corrupts.
+fn clean_bin(bin: u64, records: usize) -> Vec<TracerouteRecord> {
+    let mut out = Vec::with_capacity(records);
+    for r in 0..records {
+        let mut rec = base_record();
+        rec.probe_id = ProbeId(r as u32 % 6);
+        rec.probe_asn = Asn(64500);
+        rec.timestamp = SimTime(bin * 3600 + (r as u64 % 6) * 540);
+        rec.paris_id = (r % 4) as u16;
+        rec.hops = (0..8u8)
+            .map(|h| {
+                let addr = Ipv4Addr::new(10, 0, h + 1, 1 + (r as u8 % 2) * (h % 2));
+                let rtt = 3.0 * f64::from(h) + 2.0 + 0.1 * (r % 5) as f64;
+                Hop::new(h + 1, vec![Reply::new(addr, rtt); 3])
+            })
+            .collect();
+        out.push(rec);
+    }
+    out
+}
+
+#[test]
+fn hostile_artifacts_sanitize_identically_on_every_path() {
+    let model = ArtifactModel::hostile(0x5EED);
+    let bins: Vec<Vec<TracerouteRecord>> = (0..6u64)
+        .map(|b| {
+            let mut records = clean_bin(b, 48);
+            for rec in &mut records {
+                model.corrupt(rec);
+            }
+            records
+        })
+        .collect();
+    let cfg = parity_config();
+    assert_all_paths_agree(&cfg, &bins, "hostile artifacts");
+
+    // The corruption must actually have exercised the sanitizer — a
+    // parity proof over a no-op pass would be vacuous.
+    let (_, stats) = run_batch(&cfg, &bins);
+    assert!(
+        stats.quarantined() > 0 && stats.repaired > 0,
+        "hostile feed neither quarantined nor repaired: {stats:?}"
+    );
 }
 
 fn base_record() -> TracerouteRecord {
@@ -144,6 +272,35 @@ fn enormous_single_bin_is_handled() {
     assert_eq!(report.link_stats.len(), 1);
 }
 
+/// Generate an arbitrary (structurally valid, content-hostile) record set
+/// from a seed: random hop counts, timeouts, and RTTs.
+fn arbitrary_records(seed: u64, n_hops: usize, n_records: usize) -> Vec<TracerouteRecord> {
+    let mut rng = pinpoint::stats::SplitMix64::new(seed);
+    let mut records = Vec::new();
+    for r in 0..n_records {
+        let mut rec = base_record();
+        rec.probe_id = ProbeId(r as u32 % 5);
+        rec.probe_asn = Asn(100 + (r as u32 % 4) * 100);
+        rec.hops = (0..n_hops)
+            .map(|ttl| {
+                let replies = (0..3)
+                    .map(|_| {
+                        if rng.next_bool(0.25) {
+                            Reply::TIMEOUT
+                        } else {
+                            let octet = (rng.next_below(5) + 1) as u8;
+                            Reply::new(Ipv4Addr::new(10, 0, 0, octet), rng.next_f64() * 100.0)
+                        }
+                    })
+                    .collect();
+                Hop::new(ttl as u8 + 1, replies)
+            })
+            .collect();
+        records.push(rec);
+    }
+    records
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -154,32 +311,7 @@ proptest! {
         n_hops in 0usize..12,
         n_records in 0usize..20,
     ) {
-        let mut rng = pinpoint::stats::SplitMix64::new(seed);
-        let mut records = Vec::new();
-        for r in 0..n_records {
-            let mut rec = base_record();
-            rec.probe_id = ProbeId(r as u32 % 5);
-            rec.probe_asn = Asn(100 + (r as u32 % 4) * 100);
-            rec.hops = (0..n_hops)
-                .map(|ttl| {
-                    let replies = (0..3)
-                        .map(|_| {
-                            if rng.next_bool(0.25) {
-                                Reply::TIMEOUT
-                            } else {
-                                let octet = (rng.next_below(5) + 1) as u8;
-                                Reply::new(
-                                    Ipv4Addr::new(10, 0, 0, octet),
-                                    rng.next_f64() * 100.0,
-                                )
-                            }
-                        })
-                        .collect();
-                    Hop::new(ttl as u8 + 1, replies)
-                })
-                .collect();
-            records.push(rec);
-        }
+        let records = arbitrary_records(seed, n_hops, n_records);
         let mut a = analyzer();
         for bin in 0..3 {
             let report = a.process_bin(BinId(bin), &records);
@@ -189,5 +321,30 @@ proptest! {
                 .iter()
                 .all(|al| al.rho.is_finite() && (-1.0..=1.0).contains(&al.rho)));
         }
+    }
+
+    /// Arbitrary records — further mangled by the artifact model — reach
+    /// the same verdicts and reports on every ingestion path: batch,
+    /// chunked incremental, and pipelined at depths 1 and 2.
+    #[test]
+    fn prop_ingestion_paths_agree_on_arbitrary_artifacts(
+        seed in 0u64..500,
+        n_hops in 0usize..12,
+        n_records in 0usize..16,
+        corrupt in 0u8..2,
+    ) {
+        let model = ArtifactModel::hostile(seed ^ 0xA17F);
+        let bins: Vec<Vec<TracerouteRecord>> = (0..3u64)
+            .map(|b| {
+                let mut records = arbitrary_records(seed ^ b, n_hops, n_records);
+                if corrupt == 1 {
+                    for rec in &mut records {
+                        model.corrupt(rec);
+                    }
+                }
+                records
+            })
+            .collect();
+        assert_all_paths_agree(&parity_config(), &bins, "prop artifacts");
     }
 }
