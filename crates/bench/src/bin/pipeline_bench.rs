@@ -7,7 +7,7 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Eight workloads run: the steady scenario's Small bin (faithful
+//! Nine workloads run: the steady scenario's Small bin (faithful
 //! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
 //! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
@@ -21,7 +21,12 @@
 //! `artifact_heavy` bin — the mixed workload corrupted by a hostile
 //! `ArtifactModel` — that times the record sanitizer's front-door pass in
 //! isolation (`sanitize_ms`) and records how many records it quarantined
-//! (`quarantined`, asserted non-zero). Each is timed over
+//! (`quarantined`, asserted non-zero), and a `service_e2e` workload that
+//! pushes the mixed stream through an in-process live daemon (collector →
+//! executor → reporter over bounded queues), parity-gates its cached
+//! renders byte-for-byte against the offline path, and records the mean
+//! collect→report latency (`e2e_latency_ms`) plus the queue high-water
+//! mark (`queue_peak`, asserted ≤ capacity). Each is timed over
 //! `reps` repetitions on warmed analyzers and summarized by the median
 //! wall time; alarm/stat outputs of both paths are cross-checked for
 //! equality before any number is reported — so a run doubles as an
@@ -42,11 +47,12 @@ use pinpoint_bench::workload::{
 };
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::sanitize::sanitize_records;
-use pinpoint_core::{Analyzer, DetectorConfig, FleetReport, StreamRouter};
+use pinpoint_core::{render, AnalysisSession, Analyzer, DetectorConfig, FleetReport, StreamRouter};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::BinId;
 use pinpoint_netsim::ArtifactModel;
 use pinpoint_scenarios::{steady, Scale};
+use pinpoint_service::{Daemon, ServiceConfig};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -64,6 +70,12 @@ struct WorkloadResult {
     sanitize_ms: f64,
     /// Records the sanitizer quarantined in the work bin.
     quarantined: u64,
+    /// Mean collect→report latency per bin through the live daemon
+    /// (0 for workloads that don't run the service).
+    e2e_latency_ms: f64,
+    /// High-water mark across the daemon's two bounded queues (must
+    /// never exceed the configured capacity; 0 for offline workloads).
+    queue_peak: u64,
 }
 
 impl WorkloadResult {
@@ -145,6 +157,8 @@ fn run_workload(
         intern_inserts,
         sanitize_ms: 0.0,
         quarantined,
+        e2e_latency_ms: 0.0,
+        queue_peak: 0,
     }
 }
 
@@ -178,11 +192,11 @@ fn time_pipelined(
     for rep in 0..reps {
         let base = 1 + rep as u64 * work.len() as u64;
         let t = Instant::now();
-        let mut driver = analyzer.pipelined(depth);
+        let mut session = analyzer.session(depth);
         for (i, records) in work.iter().enumerate() {
-            std::hint::black_box(driver.push_bin(BinId(base + i as u64), records));
+            std::hint::black_box(session.push_bin(BinId(base + i as u64), records));
         }
-        std::hint::black_box(driver.finish());
+        std::hint::black_box(session.flush());
         samples.push(t.elapsed().as_secs_f64() * 1e3 / work.len() as f64);
     }
     pinpoint_stats::median(&samples).expect("reps >= 1")
@@ -214,11 +228,11 @@ fn run_pipelined_workload(
         analyzer.process_bin(BinId(0), &bins[0]);
         let mut got = Vec::new();
         {
-            let mut driver = analyzer.pipelined(depth);
+            let mut session = analyzer.session(depth);
             for (i, records) in work.iter().enumerate() {
-                got.extend(driver.push_bin(BinId(1 + i as u64), records));
+                got.extend(session.push_bin(BinId(1 + i as u64), records));
             }
-            got.extend(driver.finish());
+            got.extend(session.flush());
         }
         assert_eq!(got.len(), want.len(), "{name}: depth {depth} lost reports");
         for (a, b) in got.iter().zip(&want) {
@@ -250,6 +264,8 @@ fn run_pipelined_workload(
         intern_inserts,
         sanitize_ms: 0.0,
         quarantined: 0,
+        e2e_latency_ms: 0.0,
+        queue_peak: 0,
     }
 }
 
@@ -345,6 +361,108 @@ fn run_multi_workload(
         intern_inserts,
         sanitize_ms: 0.0,
         quarantined: 0,
+        e2e_latency_ms: 0.0,
+        queue_peak: 0,
+    }
+}
+
+/// The live-service workload: the same mixed-bin stream pushed through
+/// an in-process [`Daemon`] (collector → executor → reporter over the
+/// bounded queues) instead of a bare session. `sequential_ms` is the
+/// in-process session wall per bin, `parallel_ms` the daemon wall per
+/// bin (spawn → drained), so `speedup` reads as service overhead (≈1.0
+/// when the pipeline hides the queue hops). Additionally records the
+/// mean collect→report latency (`e2e_latency_ms`) and the high-water
+/// mark across both queues (`queue_peak`, asserted ≤ capacity). Parity
+/// gate: every report the daemon caches must be byte-identical to the
+/// offline `render::bin_report` of the same stream.
+fn run_service_workload(
+    name: &str,
+    mapper: &AsMapper,
+    bins: &[Vec<TracerouteRecord>],
+    reps: usize,
+) -> WorkloadResult {
+    // Offline reference: one session over the whole stream, rendered.
+    let mut offline = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    let mut reports = Vec::new();
+    {
+        let mut session = offline.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            reports.extend(session.push_bin(BinId(i as u64), records));
+        }
+        reports.extend(session.flush());
+    }
+    let links = reports.last().map_or(0, |r| r.link_stats.len());
+    let want: Vec<String> = reports
+        .iter()
+        .map(|r| render::bin_report(r).to_string())
+        .collect();
+
+    // Offline wall per bin: fresh analyzer, same cold stream.
+    let mut offline_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+        let t = Instant::now();
+        let mut session = analyzer.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            std::hint::black_box(session.push_bin(BinId(i as u64), records));
+        }
+        std::hint::black_box(session.flush());
+        offline_samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+    }
+
+    // Live daemon over the identical feed, parity-gated every rep.
+    let mut wall_samples = Vec::with_capacity(reps);
+    let mut latency_samples = Vec::with_capacity(reps);
+    let mut queue_peak = 0usize;
+    for _ in 0..reps {
+        let feed: Vec<(BinId, Vec<TracerouteRecord>)> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, records)| (BinId(i as u64), records.clone()))
+            .collect();
+        let cfg = ServiceConfig {
+            http_workers: 2,
+            ..ServiceConfig::default()
+        };
+        let analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+        let t = Instant::now();
+        let daemon = Daemon::spawn(cfg, analyzer, feed.into_iter()).expect("daemon spawns");
+        daemon.state().wait_done();
+        wall_samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+        let (_, mean, _) = daemon.state().latency_ms();
+        latency_samples.push(mean);
+        let (collect_q, report_q) = daemon.queue_gauges();
+        assert!(
+            collect_q.peak <= collect_q.capacity && report_q.peak <= report_q.capacity,
+            "{name}: a bounded queue exceeded its capacity"
+        );
+        queue_peak = queue_peak.max(collect_q.peak).max(report_q.peak);
+        for (i, want) in want.iter().enumerate() {
+            let got = daemon
+                .state()
+                .report(i as u64)
+                .unwrap_or_else(|| panic!("{name}: daemon never reported bin {i}"));
+            assert_eq!(
+                got.as_str(),
+                want,
+                "{name}: daemon diverged from the offline render on bin {i}"
+            );
+        }
+        daemon.join().expect("clean daemon exit");
+    }
+
+    WorkloadResult {
+        name: name.to_string(),
+        records: bins.iter().map(Vec::len).sum::<usize>() / bins.len(),
+        links,
+        sequential_ms: pinpoint_stats::median(&offline_samples).expect("reps >= 1"),
+        parallel_ms: pinpoint_stats::median(&wall_samples).expect("reps >= 1"),
+        intern_inserts: 0,
+        sanitize_ms: 0.0,
+        quarantined: 0,
+        e2e_latency_ms: pinpoint_stats::median(&latency_samples).expect("reps >= 1"),
+        queue_peak: queue_peak as u64,
     }
 }
 
@@ -506,6 +624,13 @@ fn main() {
         "artifact_heavy work bin quarantined nothing — the workload is not exercising the sanitizer"
     );
 
+    // Workload 9: the same mixed stream served end-to-end by the live
+    // daemon — the collector/executor/reporter pipeline over bounded
+    // queues, parity-gated byte-for-byte against the offline render,
+    // with the collect→report latency and the queue high-water mark
+    // recorded in the trajectory file.
+    let service_result = run_service_workload("service_e2e", &mapper, &stream_bins, reps);
+
     let results = [
         steady_result,
         large_result,
@@ -515,10 +640,11 @@ fn main() {
         ingest_result,
         pipelined_result,
         artifact_result,
+        service_result,
     ];
     for r in &results {
         println!(
-            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined",
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined | e2e {:>7.3} ms | q-peak {}",
             r.name,
             r.records,
             r.links,
@@ -529,6 +655,8 @@ fn main() {
             r.intern_inserts,
             r.sanitize_ms,
             r.quarantined,
+            r.e2e_latency_ms,
+            r.queue_peak,
         );
     }
 
@@ -541,7 +669,7 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}, \"e2e_latency_ms\": {:.3}, \"queue_peak\": {}}}{}\n",
             r.name,
             r.records,
             r.links,
@@ -552,6 +680,8 @@ fn main() {
             r.intern_inserts,
             r.sanitize_ms,
             r.quarantined,
+            r.e2e_latency_ms,
+            r.queue_peak,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

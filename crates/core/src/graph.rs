@@ -134,6 +134,19 @@ impl AlarmGraph {
         self.edges.len()
     }
 
+    /// Every delay edge (duplicate pairs already collapsed to the
+    /// strongest alarm), in first-seen order.
+    pub fn edges(&self) -> &[AlarmEdge] {
+        &self.edges
+    }
+
+    /// Every forwarding-flagged router — including ones that touch no
+    /// delay edge and therefore appear in no [`AlarmGraph::components`]
+    /// entry.
+    pub fn forwarding_flagged(&self) -> &BTreeSet<Ipv4Addr> {
+        &self.forwarding_flagged
+    }
+
     /// All connected components, largest first.
     pub fn components(&self) -> Vec<Component> {
         let mut uf = UnionFind::default();

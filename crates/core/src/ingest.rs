@@ -90,7 +90,7 @@ pub(crate) const SENTINEL: u32 = u32::MAX;
 /// of an arena's tables (links + probes, or patterns + next hops) by
 /// `DelayDetector::ingest_stats` / `ForwardingDetector::ingest_stats`,
 /// and over both arenas by `Analyzer::ingest_stats`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IngestStats {
     /// Keys currently interned (live table size).
     pub interned: usize,

@@ -164,7 +164,9 @@ pub mod forwarding;
 pub mod graph;
 pub mod ingest;
 pub mod pipeline;
+pub mod render;
 pub mod sanitize;
+pub mod session;
 pub mod stream;
 
 pub use config::DetectorConfig;
@@ -173,4 +175,5 @@ pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};
 pub use ingest::IngestStats;
 pub use pipeline::{Analyzer, BinReport, PipelinedDriver};
 pub use sanitize::SanitizeStats;
+pub use session::{AnalysisSession, AnalyzerSession, BinSource, FleetSession};
 pub use stream::{FleetPipelinedDriver, FleetReport, StreamId, StreamRouter};

@@ -35,7 +35,11 @@ use pinpoint_model::{Asn, BinId, IpLink};
 use std::collections::{BTreeMap, HashMap};
 
 /// Everything the pipeline learned from one bin.
-#[derive(Debug)]
+///
+/// Every field is public data (the serde derives come through the
+/// workspace's offline shim; the canonical wire format is
+/// [`crate::render::bin_report`]).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct BinReport {
     /// The bin analyzed.
     pub bin: BinId,
@@ -472,6 +476,19 @@ impl Analyzer {
         }
     }
 
+    /// The unified [`crate::session::AnalysisSession`] over this
+    /// analyzer — the one entry path behind batch, incremental, and
+    /// pipelined use (see the [`crate::session`] docs). `depth` resolves
+    /// like [`Analyzer::pipelined`]: `0` falls through to
+    /// [`DetectorConfig::pipeline_depth`] (whose own `0` means the
+    /// engine default, 2); `1` is the strictly serial schedule.
+    ///
+    /// # Panics
+    /// When an incremental [`Analyzer::begin_bin`] session is open.
+    pub fn session(&mut self, depth: usize) -> crate::session::AnalyzerSession<'_> {
+        crate::session::AnalyzerSession::new(self, depth)
+    }
+
     /// Number of links with a learned delay reference.
     pub fn tracked_links(&self) -> usize {
         self.delay.tracked_links()
@@ -577,6 +594,13 @@ impl PipelinedDriver<'_> {
     /// The resolved pipeline depth (1 or 2).
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// The underlying analyzer — its cumulative counters
+    /// ([`Analyzer::ingest_stats`] / [`Analyzer::sanitize_stats`]) stay
+    /// readable while bins are in flight.
+    pub fn analyzer(&self) -> &Analyzer {
+        self.analyzer
     }
 
     /// Feed the next bin. Returns the previous bin's report at depth 2

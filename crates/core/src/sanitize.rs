@@ -77,7 +77,7 @@ pub(crate) enum Verdict {
 /// `bin_*` fields reset at every `begin_bin`, the rest accumulate over
 /// the analyzer's lifetime. Fleet totals fold with
 /// [`SanitizeStats::merged`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SanitizeStats {
     /// Records inspected in the most recent bin.
     pub bin_records: u64,

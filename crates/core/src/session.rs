@@ -1,0 +1,492 @@
+//! The unified bin-analysis session API.
+//!
+//! Four entry paths grew onto the pipeline over time — batch
+//! ([`Analyzer::process_bin`]), incremental ([`Analyzer::begin_bin`] /
+//! [`Analyzer::ingest`] / [`Analyzer::finish_bin`]), cross-bin pipelined
+//! ([`Analyzer::pipelined`]), and the fleet twins on
+//! [`StreamRouter`] — each with its own calling convention and its own
+//! report cadence. Every consumer (scenario runners, benches, the live
+//! service) had to pick one and hard-code its shape.
+//!
+//! This module folds them behind two small traits:
+//!
+//! * [`AnalysisSession`] — one open-ended run over consecutive bins.
+//!   `begin_bin` / `ingest` / `finish_bin` feed a bin in slices as they
+//!   arrive; [`AnalysisSession::push_bin`] feeds a whole bin at once
+//!   (zero-copy — no staging buffer is touched); [`AnalysisSession::flush`]
+//!   drains whatever the executor still holds. Reports come back from
+//!   `finish_bin` / `push_bin` / `flush` **strictly in bin order**, but
+//!   possibly delayed: at pipeline depth 2 each push returns the
+//!   *previous* bin's report and `flush` returns the last one, exactly
+//!   like the raw [`PipelinedDriver`]. Depth-1 sessions return every
+//!   report immediately and `flush` returns `None`. Consumers that
+//!   handle the `Option` uniformly are automatically correct at every
+//!   depth — that is the point of the trait.
+//! * [`BinSource`] — anything that yields `(BinId, feed)` pairs in
+//!   increasing bin order. Every `Iterator<Item = (BinId, F)>` is a
+//!   `BinSource` for free, so `platform.stream(..)`, a `Vec` of
+//!   pre-collected bins, or a channel-draining adapter all plug in
+//!   unchanged.
+//!
+//! [`drive`] connects the two: it exhausts a source through a session
+//! and hands every report to an observer, which is the whole run loop of
+//! `scenarios::run_pipelined` and of the live service's executor thread.
+//!
+//! The concrete sessions are [`AnalyzerSession`] (solo pipeline, created
+//! by [`Analyzer::session`]) and [`FleetSession`] (stream fleet, created
+//! by [`StreamRouter::session`]). Both resolve `depth` with the usual
+//! knob convention (`0` → `DetectorConfig::pipeline_depth` → engine
+//! default 2; `1` = strictly serial) and both inherit the determinism
+//! contract: for a fixed record sequence the emitted reports are
+//! byte-identical across every depth, thread count, and chunk size.
+
+use crate::pipeline::{Analyzer, BinReport, PipelinedDriver};
+use crate::stream::{FleetPipelinedDriver, FleetReport, StreamRouter};
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::BinId;
+use std::borrow::Borrow;
+
+/// A supplier of consecutive bins: yields `(bin, feed)` pairs in strictly
+/// increasing bin order, `None` when the feed is exhausted.
+///
+/// Every `Iterator<Item = (BinId, F)>` is a `BinSource` via the blanket
+/// impl, so platform streams, vectors of pre-collected bins, and ad-hoc
+/// adapters need no wrapper type.
+pub trait BinSource {
+    /// What one bin's records look like (e.g. `Vec<TracerouteRecord>` for
+    /// a solo analyzer, `Vec<Vec<TracerouteRecord>>` for a fleet).
+    type Feed;
+
+    /// The next bin, or `None` when the feed is exhausted.
+    fn next_bin(&mut self) -> Option<(BinId, Self::Feed)>;
+}
+
+impl<I, F> BinSource for I
+where
+    I: Iterator<Item = (BinId, F)>,
+{
+    type Feed = F;
+
+    fn next_bin(&mut self) -> Option<(BinId, F)> {
+        self.next()
+    }
+}
+
+/// One open-ended analysis run over consecutive bins — the single
+/// interface behind the batch, incremental, pipelined, and fleet entry
+/// paths (see the [module docs](self)).
+pub trait AnalysisSession {
+    /// One bin's worth of input, borrowed (`[TracerouteRecord]` for a
+    /// solo analyzer, `[Vec<TracerouteRecord>]` — one slot per stream —
+    /// for a fleet).
+    type Input: ?Sized;
+    /// What a finished bin produces.
+    type Report;
+
+    /// Open the next bin for incremental ingestion.
+    ///
+    /// # Panics
+    /// When a bin is already open, or `bin` does not increase.
+    fn begin_bin(&mut self, bin: BinId);
+
+    /// Feed one slice of the open bin's records, in arrival order.
+    ///
+    /// # Panics
+    /// Without an open bin.
+    fn ingest(&mut self, input: &Self::Input);
+
+    /// Close the open bin. Returns the next in-order report — the closed
+    /// bin's at depth 1, the *previous* bin's at depth 2 (`None` until
+    /// the pipeline has filled).
+    ///
+    /// # Panics
+    /// Without an open bin.
+    fn finish_bin(&mut self) -> Option<Self::Report>;
+
+    /// Feed one whole bin at once. Equivalent to `begin_bin` + `ingest` +
+    /// `finish_bin` but zero-copy: the input slice goes straight to the
+    /// executor without touching the session's staging buffer.
+    ///
+    /// # Panics
+    /// When a bin is open, or `bin` does not increase.
+    fn push_bin(&mut self, bin: BinId, input: &Self::Input) -> Option<Self::Report> {
+        self.begin_bin(bin);
+        self.ingest(input);
+        self.finish_bin()
+    }
+
+    /// Drain the executor: the in-flight bin's report at depth 2, `None`
+    /// at depth 1 (every report was already returned). Idempotent.
+    ///
+    /// # Panics
+    /// When a bin is still open.
+    fn flush(&mut self) -> Option<Self::Report>;
+
+    /// The resolved pipeline depth (1 or 2): how many bins may be in
+    /// flight, and therefore how far reports trail pushes.
+    fn depth(&self) -> usize;
+}
+
+/// Exhaust a [`BinSource`] through an [`AnalysisSession`], handing every
+/// report to `observer` strictly in bin order (including the flushed
+/// tail). This is the canonical run loop — `scenarios::run_pipelined`
+/// and the service's executor thread are both this shape.
+pub fn drive<S, B>(session: &mut S, mut source: B, mut observer: impl FnMut(S::Report))
+where
+    S: AnalysisSession + ?Sized,
+    B: BinSource,
+    B::Feed: Borrow<S::Input>,
+{
+    while let Some((bin, feed)) = source.next_bin() {
+        if let Some(report) = session.push_bin(bin, feed.borrow()) {
+            observer(report);
+        }
+    }
+    if let Some(report) = session.flush() {
+        observer(report);
+    }
+}
+
+/// Which executor a solo session runs on.
+enum Lanes<'a> {
+    /// Depth 1: the strictly serial schedule, delegating to the
+    /// analyzer's native batch / incremental paths.
+    Serial(&'a mut Analyzer),
+    /// Depth 2: the cross-bin pipelined executor.
+    Pipelined(PipelinedDriver<'a>),
+}
+
+/// A solo-analyzer [`AnalysisSession`] (create with
+/// [`Analyzer::session`]). At depth 1 it delegates straight to the
+/// analyzer's batch and incremental paths; at depth 2 it drives the
+/// cross-bin [`PipelinedDriver`], staging incrementally-ingested slices
+/// in a reused buffer until `finish_bin` (while [`AnalyzerSession::push_bin`]
+/// bypasses the buffer entirely). Reports are byte-identical across
+/// depths.
+pub struct AnalyzerSession<'a> {
+    lanes: Lanes<'a>,
+    /// The incrementally-open bin, if any (pipelined lane only — the
+    /// serial lane reuses the analyzer's own open-bin bookkeeping).
+    open: Option<BinId>,
+    /// Staging buffer for incrementally-ingested slices at depth 2
+    /// (reused across bins; empty in steady push_bin use).
+    buffer: Vec<TracerouteRecord>,
+}
+
+impl<'a> AnalyzerSession<'a> {
+    pub(crate) fn new(analyzer: &'a mut Analyzer, depth: usize) -> Self {
+        let depth = crate::engine::resolve_depth(if depth == 0 {
+            analyzer.config().pipeline_depth
+        } else {
+            depth
+        });
+        let lanes = if depth == 1 {
+            Lanes::Serial(analyzer)
+        } else {
+            Lanes::Pipelined(analyzer.pipelined(depth))
+        };
+        AnalyzerSession {
+            lanes,
+            open: None,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The underlying analyzer — intern-epoch and sanitizer counters
+    /// ([`Analyzer::ingest_stats`] / [`Analyzer::sanitize_stats`]) keep
+    /// working mid-session, which is how the live service's `/stats`
+    /// endpoint reads them.
+    pub fn analyzer(&self) -> &Analyzer {
+        match &self.lanes {
+            Lanes::Serial(a) => a,
+            Lanes::Pipelined(d) => d.analyzer(),
+        }
+    }
+}
+
+impl AnalysisSession for AnalyzerSession<'_> {
+    type Input = [TracerouteRecord];
+    type Report = BinReport;
+
+    fn begin_bin(&mut self, bin: BinId) {
+        match &mut self.lanes {
+            Lanes::Serial(a) => a.begin_bin(bin),
+            Lanes::Pipelined(_) => {
+                assert!(
+                    self.open.is_none(),
+                    "begin_bin called while a bin is already open (finish_bin first)"
+                );
+                self.open = Some(bin);
+                self.buffer.clear();
+            }
+        }
+    }
+
+    fn ingest(&mut self, input: &[TracerouteRecord]) {
+        match &mut self.lanes {
+            Lanes::Serial(a) => a.ingest(input),
+            Lanes::Pipelined(_) => {
+                assert!(self.open.is_some(), "ingest called without begin_bin");
+                self.buffer.extend_from_slice(input);
+            }
+        }
+    }
+
+    fn finish_bin(&mut self) -> Option<BinReport> {
+        match &mut self.lanes {
+            Lanes::Serial(a) => Some(a.finish_bin()),
+            Lanes::Pipelined(d) => {
+                let bin = self
+                    .open
+                    .take()
+                    .expect("finish_bin called without begin_bin");
+                let report = d.push_bin(bin, &self.buffer);
+                self.buffer.clear();
+                report
+            }
+        }
+    }
+
+    fn push_bin(&mut self, bin: BinId, input: &[TracerouteRecord]) -> Option<BinReport> {
+        assert!(
+            self.open.is_none(),
+            "push_bin called while a bin is open (finish_bin first)"
+        );
+        match &mut self.lanes {
+            Lanes::Serial(a) => Some(a.process_bin(bin, input)),
+            Lanes::Pipelined(d) => d.push_bin(bin, input),
+        }
+    }
+
+    fn flush(&mut self) -> Option<BinReport> {
+        assert!(
+            self.open.is_none(),
+            "flush called while a bin is open (finish_bin first)"
+        );
+        match &mut self.lanes {
+            Lanes::Serial(_) => None,
+            Lanes::Pipelined(d) => d.finish(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match &self.lanes {
+            Lanes::Serial(_) => 1,
+            Lanes::Pipelined(d) => d.depth(),
+        }
+    }
+}
+
+/// Which executor a fleet session runs on.
+enum FleetLanes<'a> {
+    Serial(&'a mut StreamRouter),
+    Pipelined(FleetPipelinedDriver<'a>),
+}
+
+/// A fleet [`AnalysisSession`] over a [`StreamRouter`] (create with
+/// [`StreamRouter::session`]). Input is one feed per stream
+/// (`[Vec<TracerouteRecord>]`, index = [`crate::stream::StreamId`]);
+/// reports are merged [`FleetReport`]s. The router has no native
+/// incremental path, so both depths stage incrementally-ingested slices
+/// in reused per-stream buffers — [`FleetSession::push_bin`] bypasses
+/// them.
+pub struct FleetSession<'a> {
+    lanes: FleetLanes<'a>,
+    open: Option<BinId>,
+    /// Per-stream staging buffers for incremental ingestion (reused
+    /// across bins; empty in steady push_bin use).
+    buffers: Vec<Vec<TracerouteRecord>>,
+}
+
+impl<'a> FleetSession<'a> {
+    pub(crate) fn new(router: &'a mut StreamRouter, depth: usize) -> Self {
+        let depth = crate::engine::resolve_depth(if depth == 0 {
+            router.default_pipeline_depth()
+        } else {
+            depth
+        });
+        let streams = router.len();
+        let lanes = if depth == 1 {
+            FleetLanes::Serial(router)
+        } else {
+            FleetLanes::Pipelined(router.pipelined(depth))
+        };
+        FleetSession {
+            lanes,
+            open: None,
+            buffers: vec![Vec::new(); streams],
+        }
+    }
+
+    /// The underlying router — fleet-summed [`StreamRouter::ingest_stats`]
+    /// / [`StreamRouter::sanitize_stats`] keep working mid-session.
+    pub fn router(&self) -> &StreamRouter {
+        match &self.lanes {
+            FleetLanes::Serial(r) => r,
+            FleetLanes::Pipelined(d) => d.router(),
+        }
+    }
+}
+
+impl AnalysisSession for FleetSession<'_> {
+    type Input = [Vec<TracerouteRecord>];
+    type Report = FleetReport;
+
+    fn begin_bin(&mut self, bin: BinId) {
+        assert!(
+            self.open.is_none(),
+            "begin_bin called while a bin is already open (finish_bin first)"
+        );
+        self.open = Some(bin);
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+    }
+
+    fn ingest(&mut self, input: &[Vec<TracerouteRecord>]) {
+        assert!(self.open.is_some(), "ingest called without begin_bin");
+        assert_eq!(
+            input.len(),
+            self.buffers.len(),
+            "one feed per stream (streams: {}, feeds: {})",
+            self.buffers.len(),
+            input.len()
+        );
+        for (buffer, feed) in self.buffers.iter_mut().zip(input) {
+            buffer.extend_from_slice(feed);
+        }
+    }
+
+    fn finish_bin(&mut self) -> Option<FleetReport> {
+        let bin = self
+            .open
+            .take()
+            .expect("finish_bin called without begin_bin");
+        let report = match &mut self.lanes {
+            FleetLanes::Serial(r) => Some(r.process_bin(bin, &self.buffers)),
+            FleetLanes::Pipelined(d) => d.push_bin(bin, &self.buffers),
+        };
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+        report
+    }
+
+    fn push_bin(&mut self, bin: BinId, input: &[Vec<TracerouteRecord>]) -> Option<FleetReport> {
+        assert!(
+            self.open.is_none(),
+            "push_bin called while a bin is open (finish_bin first)"
+        );
+        match &mut self.lanes {
+            FleetLanes::Serial(r) => Some(r.process_bin(bin, input)),
+            FleetLanes::Pipelined(d) => d.push_bin(bin, input),
+        }
+    }
+
+    fn flush(&mut self) -> Option<FleetReport> {
+        assert!(
+            self.open.is_none(),
+            "flush called while a bin is open (finish_bin first)"
+        );
+        match &mut self.lanes {
+            FleetLanes::Serial(_) => None,
+            FleetLanes::Pipelined(d) => d.finish(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match &self.lanes {
+            FleetLanes::Serial(_) => 1,
+            FleetLanes::Pipelined(d) => d.depth(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AsMapper;
+    use crate::config::DetectorConfig;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new(DetectorConfig::fast_test(), AsMapper::new())
+    }
+
+    #[test]
+    fn depth_resolution_matches_driver_convention() {
+        let mut a = analyzer();
+        assert_eq!(a.session(1).depth(), 1);
+        let mut a = analyzer();
+        assert_eq!(a.session(2).depth(), 2);
+        let mut a = analyzer();
+        assert_eq!(a.session(7).depth(), 2, "deeper than 2 clamps");
+        let mut a = analyzer();
+        assert_eq!(a.session(0).depth(), 2, "0 falls through to the default");
+    }
+
+    #[test]
+    fn serial_session_reports_every_bin_immediately() {
+        let mut a = analyzer();
+        let mut session = a.session(1);
+        for bin in 0..3u64 {
+            let report = session
+                .push_bin(BinId(bin), &[])
+                .expect("depth 1 is immediate");
+            assert_eq!(report.bin, BinId(bin));
+        }
+        assert!(session.flush().is_none());
+    }
+
+    #[test]
+    fn pipelined_session_trails_one_bin_and_flushes_the_tail() {
+        let mut a = analyzer();
+        let mut session = a.session(2);
+        assert!(session.push_bin(BinId(0), &[]).is_none());
+        assert_eq!(session.push_bin(BinId(1), &[]).unwrap().bin, BinId(0));
+        assert_eq!(session.flush().unwrap().bin, BinId(1));
+        assert!(session.flush().is_none(), "flush is idempotent");
+    }
+
+    #[test]
+    fn incremental_slices_and_drive_agree_on_report_order() {
+        let mut a = analyzer();
+        let mut session = a.session(2);
+        session.begin_bin(BinId(0));
+        session.ingest(&[]);
+        session.ingest(&[]);
+        assert!(session.finish_bin().is_none());
+        assert_eq!(session.push_bin(BinId(1), &[]).unwrap().bin, BinId(0));
+    }
+
+    #[test]
+    fn drive_exhausts_a_source_in_order() {
+        let mut a = analyzer();
+        let bins: Vec<(BinId, Vec<TracerouteRecord>)> =
+            (0..4u64).map(|b| (BinId(b), Vec::new())).collect();
+        let mut seen = Vec::new();
+        let mut session = a.session(2);
+        drive(&mut session, bins.into_iter(), |r| seen.push(r.bin));
+        assert_eq!(seen, vec![BinId(0), BinId(1), BinId(2), BinId(3)]);
+    }
+
+    #[test]
+    fn fleet_session_round_trips() {
+        let mut router = StreamRouter::new();
+        router.add_stream("a", analyzer());
+        router.add_stream("b", analyzer());
+        let mut session = router.session(2);
+        let feeds = vec![Vec::new(), Vec::new()];
+        assert!(session.push_bin(BinId(0), &feeds).is_none());
+        assert_eq!(session.push_bin(BinId(1), &feeds).unwrap().bin, BinId(0));
+        assert_eq!(session.flush().unwrap().bin, BinId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "flush called while a bin is open")]
+    fn flush_with_open_bin_panics() {
+        let mut a = analyzer();
+        let mut session = a.session(2);
+        session.begin_bin(BinId(0));
+        session.flush();
+    }
+}

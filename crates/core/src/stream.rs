@@ -309,6 +309,22 @@ impl StreamRouter {
             last: None,
         }
     }
+
+    /// The unified [`crate::session::AnalysisSession`] over the fleet —
+    /// the multi-stream twin of [`Analyzer::session`]. `depth` resolves
+    /// like [`StreamRouter::pipelined`].
+    pub fn session(&mut self, depth: usize) -> crate::session::FleetSession<'_> {
+        crate::session::FleetSession::new(self, depth)
+    }
+
+    /// The depth knob a `0` falls through to: the first stream's
+    /// configured `pipeline_depth` (a fleet shares its configuration in
+    /// practice; an empty fleet takes the engine default).
+    pub(crate) fn default_pipeline_depth(&self) -> usize {
+        self.streams
+            .first()
+            .map_or(0, |s| s.analyzer.config().pipeline_depth)
+    }
 }
 
 /// One fleet bin in flight: its id and each stream's record count.
@@ -339,6 +355,13 @@ impl FleetPipelinedDriver<'_> {
     /// The resolved pipeline depth (1 or 2).
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// The underlying router — its fleet-summed counters
+    /// ([`StreamRouter::ingest_stats`] / [`StreamRouter::sanitize_stats`])
+    /// stay readable while bins are in flight.
+    pub fn router(&self) -> &StreamRouter {
+        self.router
     }
 
     /// Feed the next fleet bin (`feeds[i]` is stream `i`'s records).
@@ -487,7 +510,10 @@ impl FleetPipelinedDriver<'_> {
 
 /// Everything the fleet learned from one bin: the per-stream reports plus
 /// the merged cross-stream magnitude view.
-#[derive(Debug)]
+///
+/// Serde derives come through the workspace's offline shim; the
+/// canonical wire format is [`crate::render::fleet_report`].
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
     /// The bin analyzed.
     pub bin: BinId,

@@ -158,6 +158,7 @@ pub fn case_study(seed: u64, scale: Scale) -> MultiStreamCase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinpoint_core::AnalysisSession;
 
     #[test]
     fn streams_partition_the_measurement_set() {
@@ -195,9 +196,12 @@ mod tests {
 
         let mut merged_min = f64::INFINITY;
         let mut stream_min = vec![f64::INFINITY; case.streams.len()];
+        let mut session = router.session(1);
         for bin in outage_start - 4..outage_end + 2 {
             let feeds = case.collect_bin(BinId(bin));
-            let report = router.process_bin(BinId(bin), &feeds);
+            let report = session
+                .push_bin(BinId(bin), &feeds)
+                .expect("depth 1 reports immediately");
             if bin < outage_start {
                 continue;
             }

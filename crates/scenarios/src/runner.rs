@@ -9,6 +9,7 @@ use crate::world::{Landmarks, Scale, World};
 use pinpoint_atlas::{deploy_probes, Platform};
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::pipeline::{Analyzer, BinReport};
+use pinpoint_core::session::{drive, AnalysisSession};
 use pinpoint_core::DetectorConfig;
 use pinpoint_model::{Asn, BinId};
 use pinpoint_netsim::{EventSchedule, Network};
@@ -110,11 +111,19 @@ pub fn run(
     analyzer: &mut Analyzer,
     mut observer: impl FnMut(&BinReport),
 ) -> RunSummary {
+    // A depth-1 session is the strictly serial schedule: every push is
+    // the historical `process_bin` batch path and reports immediately.
     let mut summary = RunSummary::default();
-    for (bin, records) in case.platform.stream(case.start_bin, case.end_bin) {
-        let report = analyzer.process_bin(bin, &records);
-        fold_report(&mut summary, &report);
-        observer(&report);
+    {
+        let mut session = analyzer.session(1);
+        drive(
+            &mut session,
+            case.platform.stream(case.start_bin, case.end_bin),
+            |report| {
+                fold_report(&mut summary, &report);
+                observer(&report);
+            },
+        );
     }
     close_summary(&mut summary, analyzer);
     summary
@@ -135,17 +144,25 @@ pub fn run_streamed(
     mut observer: impl FnMut(&BinReport),
 ) -> RunSummary {
     let mut summary = RunSummary::default();
-    for (bin, chunks) in case
-        .platform
-        .stream_chunked(case.start_bin, case.end_bin, chunk_records)
     {
-        analyzer.begin_bin(bin);
-        for chunk in &chunks {
-            analyzer.ingest(chunk);
+        let mut session = analyzer.session(1);
+        for (bin, chunks) in
+            case.platform
+                .stream_chunked(case.start_bin, case.end_bin, chunk_records)
+        {
+            session.begin_bin(bin);
+            for chunk in &chunks {
+                session.ingest(chunk);
+            }
+            if let Some(report) = session.finish_bin() {
+                fold_report(&mut summary, &report);
+                observer(&report);
+            }
         }
-        let report = analyzer.finish_bin();
-        fold_report(&mut summary, &report);
-        observer(&report);
+        if let Some(report) = session.flush() {
+            fold_report(&mut summary, &report);
+            observer(&report);
+        }
     }
     close_summary(&mut summary, analyzer);
     summary
@@ -154,7 +171,7 @@ pub fn run_streamed(
 /// Run the full pipeline over the case study's window on the cross-bin
 /// pipelined executor: while bin *n*'s shard jobs run, bin *n+1*'s
 /// scatter chunks run on the same worker herd
-/// (`Analyzer::pipelined` — `depth` 0 = the analyzer's configured
+/// (`Analyzer::session` — `depth` 0 = the analyzer's configured
 /// `pipeline_depth`, 1 = serial, 2 = overlapped). `observer` still sees
 /// every report strictly in bin order; the whole run — reports, summary,
 /// tracked state — is byte-identical to [`run`] at every depth, which is
@@ -167,17 +184,15 @@ pub fn run_pipelined(
 ) -> RunSummary {
     let mut summary = RunSummary::default();
     {
-        let mut driver = analyzer.pipelined(depth);
-        for (bin, records) in case.platform.stream(case.start_bin, case.end_bin) {
-            if let Some(report) = driver.push_bin(bin, &records) {
+        let mut session = analyzer.session(depth);
+        drive(
+            &mut session,
+            case.platform.stream(case.start_bin, case.end_bin),
+            |report| {
                 fold_report(&mut summary, &report);
                 observer(&report);
-            }
-        }
-        if let Some(report) = driver.finish() {
-            fold_report(&mut summary, &report);
-            observer(&report);
-        }
+            },
+        );
     }
     close_summary(&mut summary, analyzer);
     summary

@@ -1,0 +1,496 @@
+//! The collector → executor → reporter pipeline.
+//!
+//! Three threads, two bounded queues:
+//!
+//! ```text
+//!   feed (BinSource)                         ┌───────────────┐
+//!        │ next_bin()                 ┌─────▶│ HTTP workers  │
+//!        ▼                            │      │ (cached JSON) │
+//!   ┌───────────┐  collect queue  ┌───┴─────┐└───────────────┘
+//!   │ collector │ ───(bounded)──▶ │executor │  report queue   ┌──────────┐
+//!   │  thread   │                 │ session │ ───(bounded)──▶ │ reporter │
+//!   └───────────┘                 └─────────┘                 │  thread  │
+//!                                                             └──────────┘
+//! ```
+//!
+//! The collector pulls bin *n+1* from the feed while the depth-2
+//! pipelined session churns bin *n*; the reporter renders each emitted
+//! report **once** into the immutable cache. Both queues block their
+//! producer when full (see [`crate::queue`]), so a stalled consumer
+//! stalls the stage above it — backpressure all the way to the feed,
+//! never unbounded growth. Graceful shutdown stops only the collector;
+//! everything already collected drains through the executor and
+//! reporter before the phase flips to `done`, so no collected bin goes
+//! unreported.
+
+use crate::http::{HttpServer, Router};
+use crate::queue::BoundedQueue;
+use crate::state::{Phase, PublishedBin, QueueGauge, ServiceState, TimelinePoint};
+use pinpoint_core::render;
+use pinpoint_core::session::{AnalysisSession, BinSource};
+use pinpoint_core::{Analyzer, BinReport, FleetReport, IngestStats, SanitizeStats, StreamRouter};
+use pinpoint_model::json::Value;
+use pinpoint_model::records::TracerouteRecord;
+use pinpoint_model::{Asn, BinId};
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon knobs. `Default` binds an ephemeral localhost port with small
+/// queues — the shape the tests and the example use.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address (`127.0.0.1:0` = ephemeral port).
+    pub addr: String,
+    /// Bound of the collector → executor queue.
+    pub collect_capacity: usize,
+    /// Bound of the executor → reporter queue.
+    pub report_capacity: usize,
+    /// HTTP worker threads (concurrent clients served in parallel).
+    pub http_workers: usize,
+    /// Pipeline depth for the executor's session (`0` = the analyzer's
+    /// configured `pipeline_depth`, `1` = serial, `2` = cross-bin
+    /// overlapped).
+    pub depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            collect_capacity: 4,
+            report_capacity: 4,
+            http_workers: 8,
+            depth: 0,
+        }
+    }
+}
+
+/// One collected bin riding the collect queue, stamped for end-to-end
+/// latency accounting.
+struct Collected<F> {
+    bin: BinId,
+    feed: F,
+    at: Instant,
+}
+
+/// One analyzed bin riding the report queue (not yet rendered — the
+/// reporter owns rendering).
+struct Emitted {
+    report: ReportKind,
+    ingest: IngestStats,
+    sanitize: SanitizeStats,
+    collected_at: Instant,
+}
+
+enum ReportKind {
+    Solo(BinReport),
+    Fleet(FleetReport),
+}
+
+impl ReportKind {
+    fn bin(&self) -> u64 {
+        match self {
+            ReportKind::Solo(r) => r.bin.0,
+            ReportKind::Fleet(r) => r.bin.0,
+        }
+    }
+
+    /// Render once (report + alarm graph) and extract the headline
+    /// counters and per-AS timeline points.
+    fn render(
+        &self,
+        ingest: IngestStats,
+        sanitize: SanitizeStats,
+        latency_ms: f64,
+    ) -> PublishedBin {
+        let (bin, report, graph, records, delay, forwarding, magnitudes) = match self {
+            ReportKind::Solo(r) => (
+                r.bin.0,
+                render::bin_report(r),
+                render::alarm_graph(&r.alarm_graph()),
+                r.records,
+                r.delay_alarms.len(),
+                r.forwarding_alarms.len(),
+                &r.magnitudes,
+            ),
+            ReportKind::Fleet(r) => (
+                r.bin.0,
+                render::fleet_report(r),
+                render::alarm_graph(&r.alarm_graph()),
+                r.records(),
+                r.delay_alarms(),
+                r.forwarding_alarms(),
+                &r.magnitudes,
+            ),
+        };
+        PublishedBin {
+            bin,
+            report: report.to_string(),
+            graph: graph_with_bin(bin, graph),
+            records,
+            delay_alarms: delay,
+            forwarding_alarms: forwarding,
+            timeline: timeline_points(bin, magnitudes),
+            ingest,
+            sanitize,
+            latency_ms,
+        }
+    }
+}
+
+/// Wrap a rendered alarm graph with the bin it belongs to.
+fn graph_with_bin(bin: u64, graph: Value) -> String {
+    Value::object(vec![("bin", Value::Number(bin as f64)), ("graph", graph)]).to_string()
+}
+
+fn timeline_points(
+    bin: u64,
+    magnitudes: &BTreeMap<Asn, pinpoint_core::aggregate::AsMagnitude>,
+) -> Vec<(u32, TimelinePoint)> {
+    magnitudes
+        .iter()
+        .map(|(asn, m)| {
+            (
+                asn.0,
+                TimelinePoint {
+                    bin,
+                    delay_severity: m.delay_severity,
+                    forwarding_severity: m.forwarding_severity,
+                    delay_magnitude: m.delay_magnitude,
+                    forwarding_magnitude: m.forwarding_magnitude,
+                },
+            )
+        })
+        .collect()
+}
+
+/// What the executor thread runs: it owns its analyzer (or fleet) and
+/// creates the session inside the thread, because a session borrows its
+/// analyzer and cannot cross the spawn boundary itself.
+trait Engine: Send + 'static {
+    type Feed: Send + 'static;
+
+    fn drive(
+        self: Box<Self>,
+        depth: usize,
+        bins: &BoundedQueue<Collected<Self::Feed>>,
+        emit: &mut dyn FnMut(Emitted),
+    );
+}
+
+/// Run one session over the collect queue until it closes, pairing each
+/// in-order report with the collect timestamp of its bin.
+fn drive_session<S>(
+    session: &mut S,
+    bins: &BoundedQueue<Collected<<S::Input as ToOwned>::Owned>>,
+    stats: impl Fn(&S) -> (IngestStats, SanitizeStats),
+    wrap: impl Fn(S::Report) -> ReportKind,
+    emit: &mut dyn FnMut(Emitted),
+) where
+    S: AnalysisSession,
+    S::Input: ToOwned,
+    <S::Input as ToOwned>::Owned: Send + 'static,
+{
+    let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
+    let mut forward = |report: ReportKind, at: Instant, s: (IngestStats, SanitizeStats)| {
+        emit(Emitted {
+            report,
+            ingest: s.0,
+            sanitize: s.1,
+            collected_at: at,
+        })
+    };
+    while let Some(c) = bins.pop() {
+        inflight.push_back((c.bin.0, c.at));
+        if let Some(report) = session.push_bin(c.bin, c.feed.borrow()) {
+            let (bin, at) = inflight.pop_front().expect("report without in-flight bin");
+            let report = wrap(report);
+            debug_assert_eq!(bin, report.bin(), "reports must emerge in collect order");
+            forward(report, at, stats(session));
+        }
+    }
+    if let Some(report) = session.flush() {
+        let (bin, at) = inflight.pop_front().expect("report without in-flight bin");
+        let report = wrap(report);
+        debug_assert_eq!(bin, report.bin(), "flush must return the pending bin");
+        forward(report, at, stats(session));
+    }
+    debug_assert!(inflight.is_empty(), "drain left a collected bin unreported");
+}
+
+struct SoloEngine {
+    analyzer: Analyzer,
+}
+
+impl Engine for SoloEngine {
+    type Feed = Vec<TracerouteRecord>;
+
+    fn drive(
+        mut self: Box<Self>,
+        depth: usize,
+        bins: &BoundedQueue<Collected<Vec<TracerouteRecord>>>,
+        emit: &mut dyn FnMut(Emitted),
+    ) {
+        let mut session = self.analyzer.session(depth);
+        drive_session(
+            &mut session,
+            bins,
+            |s| (s.analyzer().ingest_stats(), s.analyzer().sanitize_stats()),
+            ReportKind::Solo,
+            emit,
+        );
+    }
+}
+
+struct FleetEngine {
+    router: StreamRouter,
+}
+
+impl Engine for FleetEngine {
+    type Feed = Vec<Vec<TracerouteRecord>>;
+
+    fn drive(
+        mut self: Box<Self>,
+        depth: usize,
+        bins: &BoundedQueue<Collected<Vec<Vec<TracerouteRecord>>>>,
+        emit: &mut dyn FnMut(Emitted),
+    ) {
+        let mut session = self.router.session(depth);
+        drive_session(
+            &mut session,
+            bins,
+            |s| (s.router().ingest_stats(), s.router().sanitize_stats()),
+            ReportKind::Fleet,
+            emit,
+        );
+    }
+}
+
+/// Called by the reporter thread just before publishing each bin —
+/// tests install a slow hook here to prove the backpressure chain.
+pub type ReportHook = Box<dyn FnMut(u64) + Send>;
+
+/// A running pinpoint daemon (see the [module docs](self) for the
+/// thread/queue topology). Dropping the daemon stops the HTTP server
+/// but detaches the pipeline threads — call [`Daemon::join`] for an
+/// orderly exit.
+pub struct Daemon {
+    state: Arc<ServiceState>,
+    stop_collect: Arc<AtomicBool>,
+    gauges: Arc<dyn Fn() -> (QueueGauge, QueueGauge) + Send + Sync>,
+    http: HttpServer,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Spawn the daemon over a solo analyzer. `feed` yields each bin's
+    /// records in increasing bin order (any
+    /// `Iterator<Item = (BinId, Vec<TracerouteRecord>)>` works).
+    pub fn spawn<F>(cfg: ServiceConfig, analyzer: Analyzer, feed: F) -> std::io::Result<Daemon>
+    where
+        F: BinSource<Feed = Vec<TracerouteRecord>> + Send + 'static,
+    {
+        Self::spawn_engine(cfg, SoloEngine { analyzer }, feed, None)
+    }
+
+    /// [`Daemon::spawn`] with a reporter-side hook, called with each bin
+    /// id before its report is published (used by the backpressure
+    /// tests to deliberately stall the reporter).
+    pub fn spawn_with_report_hook<F>(
+        cfg: ServiceConfig,
+        analyzer: Analyzer,
+        feed: F,
+        hook: ReportHook,
+    ) -> std::io::Result<Daemon>
+    where
+        F: BinSource<Feed = Vec<TracerouteRecord>> + Send + 'static,
+    {
+        Self::spawn_engine(cfg, SoloEngine { analyzer }, feed, Some(hook))
+    }
+
+    /// Spawn the daemon over a stream fleet. `feed` yields one
+    /// `Vec<TracerouteRecord>` per stream per bin.
+    pub fn spawn_fleet<F>(
+        cfg: ServiceConfig,
+        router: StreamRouter,
+        feed: F,
+    ) -> std::io::Result<Daemon>
+    where
+        F: BinSource<Feed = Vec<Vec<TracerouteRecord>>> + Send + 'static,
+    {
+        Self::spawn_engine(cfg, FleetEngine { router }, feed, None)
+    }
+
+    fn spawn_engine<E, F>(
+        cfg: ServiceConfig,
+        engine: E,
+        feed: F,
+        hook: Option<ReportHook>,
+    ) -> std::io::Result<Daemon>
+    where
+        E: Engine,
+        F: BinSource<Feed = E::Feed> + Send + 'static,
+    {
+        let state = ServiceState::new();
+        let collect_q = Arc::new(BoundedQueue::<Collected<E::Feed>>::new(
+            cfg.collect_capacity,
+        ));
+        let report_q = Arc::new(BoundedQueue::<Emitted>::new(cfg.report_capacity));
+        let stop_collect = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(3);
+
+        // Collector: pull bins from the feed until it runs dry or a
+        // shutdown stops it, then close the queue so the executor
+        // drains. A blocked push IS the backpressure edge: the feed is
+        // simply not asked for bin n+2 until the executor frees a slot.
+        {
+            let collect_q = Arc::clone(&collect_q);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop_collect);
+            let mut feed = feed;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pinpointd-collector".to_string())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            let Some((bin, records)) = feed.next_bin() else {
+                                break;
+                            };
+                            state.record_collected();
+                            if collect_q
+                                .push(Collected {
+                                    bin,
+                                    feed: records,
+                                    at: Instant::now(),
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        collect_q.close();
+                    })?,
+            );
+        }
+
+        // Executor: one session over the whole queue; closes the report
+        // queue when the collect queue is drained and flushed.
+        {
+            let collect_q = Arc::clone(&collect_q);
+            let report_q = Arc::clone(&report_q);
+            let depth = cfg.depth;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pinpointd-executor".to_string())
+                    .spawn(move || {
+                        Box::new(engine).drive(depth, &collect_q, &mut |emitted| {
+                            let _ = report_q.push(emitted);
+                        });
+                        report_q.close();
+                    })?,
+            );
+        }
+
+        // Reporter: render once, publish to the immutable cache, flip
+        // the phase to Done when everything drained.
+        {
+            let report_q = Arc::clone(&report_q);
+            let state = Arc::clone(&state);
+            let mut hook = hook;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pinpointd-reporter".to_string())
+                    .spawn(move || {
+                        while let Some(e) = report_q.pop() {
+                            if let Some(hook) = hook.as_mut() {
+                                hook(e.report.bin());
+                            }
+                            let latency_ms = e.collected_at.elapsed().as_secs_f64() * 1e3;
+                            state.publish(e.report.render(e.ingest, e.sanitize, latency_ms));
+                        }
+                        state.set_phase(Phase::Done);
+                    })?,
+            );
+        }
+
+        let gauges: Arc<dyn Fn() -> (QueueGauge, QueueGauge) + Send + Sync> = {
+            let collect_q = Arc::clone(&collect_q);
+            let report_q = Arc::clone(&report_q);
+            Arc::new(move || (gauge(&collect_q), gauge(&report_q)))
+        };
+
+        let http = HttpServer::spawn(&cfg.addr, cfg.http_workers, {
+            let state = Arc::clone(&state);
+            let shutdown_state = Arc::clone(&state);
+            let stop = Arc::clone(&stop_collect);
+            let gauges = Arc::clone(&gauges);
+            Router {
+                state,
+                gauges: Box::new(move || gauges()),
+                on_shutdown: Box::new(move || {
+                    shutdown_state.request_shutdown();
+                    shutdown_state.set_phase(Phase::Draining);
+                    stop.store(true, Ordering::SeqCst);
+                }),
+            }
+        })?;
+
+        state.set_phase(Phase::Running);
+        Ok(Daemon {
+            state,
+            stop_collect,
+            gauges,
+            http,
+            threads,
+        })
+    }
+
+    /// The bound address (resolve the ephemeral port here).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// The shared state (phase, counters, cached reports).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Live `(collect, report)` queue gauges.
+    pub fn queue_gauges(&self) -> (QueueGauge, QueueGauge) {
+        (self.gauges)()
+    }
+
+    /// Request a graceful drain: the collector stops pulling new bins;
+    /// every bin already collected still flows through the executor and
+    /// reporter, after which the phase flips to [`Phase::Done`].
+    /// Idempotent, non-blocking — follow with [`Daemon::join`] or
+    /// [`ServiceState::wait_done`].
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+        self.state.set_phase(Phase::Draining);
+        self.stop_collect.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful exit: [`Daemon::shutdown`], drain the pipeline, join
+    /// every thread, stop the HTTP server.
+    pub fn join(mut self) -> std::thread::Result<()> {
+        self.shutdown();
+        for thread in self.threads.drain(..) {
+            thread.join()?;
+        }
+        self.http.stop();
+        Ok(())
+    }
+}
+
+fn gauge<T>(q: &BoundedQueue<T>) -> QueueGauge {
+    QueueGauge {
+        len: q.len(),
+        capacity: q.capacity(),
+        peak: q.peak_depth(),
+    }
+}

@@ -1,0 +1,173 @@
+//! A bounded MPMC queue with blocking backpressure.
+//!
+//! The daemon's stages (collector → executor → reporter) hand bins to
+//! each other through these queues. The contract that keeps the service
+//! memory-bounded: [`BoundedQueue::push`] **blocks** while the queue is
+//! full, so a slow consumer stalls its producer instead of letting the
+//! backlog grow — at a full stop the whole pipeline holds at most
+//! `collect_capacity + report_capacity + depth` bins, ever
+//! (`tests/service_parity.rs` asserts the bound under a deliberately
+//! stalled reporter). Closing the queue wakes everyone: pushes fail fast
+//! and pops drain the residue before reporting end-of-stream.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of `items.len()` over the queue's lifetime.
+    peak: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue (see the [module
+/// docs](self) for the backpressure contract).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                peak: 0,
+            }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one item, **blocking while the queue is full** — this is
+    /// the backpressure edge. Returns the item back as `Err` if the
+    /// queue was closed (before or while waiting).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        inner.peak = inner.peak.max(inner.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue one item, blocking while the queue is empty and open.
+    /// `None` means closed **and** fully drained — residual items are
+    /// always delivered first, which is what makes shutdown a drain
+    /// rather than a drop.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: subsequent (and blocked) pushes fail, pops drain
+    /// the residue then return `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of the queue depth — never exceeds
+    /// [`BoundedQueue::capacity`], which is the provable-boundedness
+    /// claim the service tests pin down.
+    pub fn peak_depth(&self) -> usize {
+        self.inner.lock().unwrap().peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_peak_tracking() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_depth(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.pop(), Some(2), "residue drains after close");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peak_depth(), 3);
+    }
+
+    #[test]
+    fn push_blocks_until_a_slot_frees() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(0u32).unwrap();
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        // The producer must be parked: the queue is at capacity.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.len(), 2, "bounded: the blocked push must not land");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.peak_depth() <= q.capacity());
+    }
+
+    #[test]
+    fn close_unblocks_a_full_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(8))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(8),
+            "closed push hands the item back"
+        );
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,392 @@
+//! The daemon's shared, HTTP-visible state.
+//!
+//! The reporter thread is the **only writer of report content**: it
+//! renders each emitted report once (through `pinpoint_core::render`)
+//! and publishes the strings here behind `Arc`s — the immutable-report
+//! cache. HTTP workers clone the `Arc` and serve the exact bytes, so a
+//! report is never re-rendered, never mutated, and every concurrent
+//! client sees the identical byte sequence (the determinism contract's
+//! service extension).
+
+use pinpoint_core::render;
+use pinpoint_core::{IngestStats, SanitizeStats};
+use pinpoint_model::json::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where the pipeline is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Threads are starting; nothing collected yet.
+    Starting,
+    /// Collector, executor, and reporter are live.
+    Running,
+    /// Shutdown requested; the pipeline is draining queued bins.
+    Draining,
+    /// Every collected bin has been reported.
+    Done,
+}
+
+impl Phase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::Starting => "starting",
+            Phase::Running => "running",
+            Phase::Draining => "draining",
+            Phase::Done => "done",
+        }
+    }
+}
+
+/// One published bin: the cached render plus its headline counters.
+struct BinEntry {
+    /// The full `render::bin_report` / `render::fleet_report` string.
+    report: Arc<String>,
+    /// The `render::alarm_graph` string.
+    graph: Arc<String>,
+    records: usize,
+    delay_alarms: usize,
+    forwarding_alarms: usize,
+    /// Collect→report latency of this bin.
+    latency_ms: f64,
+}
+
+/// One `(bin, magnitude)` sample of an AS's timeline.
+pub(crate) struct TimelinePoint {
+    pub bin: u64,
+    pub delay_severity: f64,
+    pub forwarding_severity: f64,
+    pub delay_magnitude: f64,
+    pub forwarding_magnitude: f64,
+}
+
+#[derive(Default)]
+struct Counters {
+    collected: u64,
+    reported: u64,
+    latency_last_ms: f64,
+    latency_peak_ms: f64,
+    latency_sum_ms: f64,
+}
+
+struct Inner {
+    phase: Phase,
+    shutdown_requested: bool,
+    entries: BTreeMap<u64, BinEntry>,
+    timelines: BTreeMap<u32, Vec<TimelinePoint>>,
+    ingest: IngestStats,
+    sanitize: SanitizeStats,
+    counters: Counters,
+}
+
+/// Live queue-depth reading of one pipeline edge (for `/stats`).
+#[derive(Debug, Clone, Copy)]
+pub struct QueueGauge {
+    /// Items queued right now.
+    pub len: usize,
+    /// The bound.
+    pub capacity: usize,
+    /// High-water mark.
+    pub peak: usize,
+}
+
+impl QueueGauge {
+    fn json(&self) -> Value {
+        Value::object(vec![
+            ("len", Value::Number(self.len as f64)),
+            ("capacity", Value::Number(self.capacity as f64)),
+            ("peak", Value::Number(self.peak as f64)),
+        ])
+    }
+}
+
+/// What the reporter publishes for one bin (already rendered).
+pub(crate) struct PublishedBin {
+    pub bin: u64,
+    pub report: String,
+    pub graph: String,
+    pub records: usize,
+    pub delay_alarms: usize,
+    pub forwarding_alarms: usize,
+    pub timeline: Vec<(u32, TimelinePoint)>,
+    pub ingest: IngestStats,
+    pub sanitize: SanitizeStats,
+    pub latency_ms: f64,
+}
+
+/// The daemon's shared state: phase, counters, and the immutable-report
+/// cache (see the [module docs](self)).
+pub struct ServiceState {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+impl Default for ServiceState {
+    fn default() -> Self {
+        ServiceState {
+            inner: Mutex::new(Inner {
+                phase: Phase::Starting,
+                shutdown_requested: false,
+                entries: BTreeMap::new(),
+                timelines: BTreeMap::new(),
+                ingest: IngestStats::default(),
+                sanitize: SanitizeStats::default(),
+                counters: Counters::default(),
+            }),
+            changed: Condvar::new(),
+        }
+    }
+}
+
+impl ServiceState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn set_phase(&self, phase: Phase) {
+        let mut inner = self.inner.lock().unwrap();
+        // Never regress out of Done: a shutdown() arriving after the
+        // feed already drained must not flip the phase back to Draining.
+        if inner.phase != Phase::Done || phase == Phase::Done {
+            inner.phase = phase;
+        }
+        self.changed.notify_all();
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        self.inner.lock().unwrap().phase
+    }
+
+    /// Block until the pipeline reaches [`Phase::Done`].
+    pub fn wait_done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.phase != Phase::Done {
+            inner = self.changed.wait(inner).unwrap();
+        }
+    }
+
+    pub(crate) fn request_shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shutdown_requested = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether a shutdown was requested (via [`crate::Daemon::shutdown`]
+    /// or `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.lock().unwrap().shutdown_requested
+    }
+
+    /// Block until a shutdown is requested.
+    pub fn wait_shutdown_requested(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.shutdown_requested {
+            inner = self.changed.wait(inner).unwrap();
+        }
+    }
+
+    pub(crate) fn record_collected(&self) {
+        self.inner.lock().unwrap().counters.collected += 1;
+    }
+
+    /// Bins the collector has pulled from the feed so far.
+    pub fn bins_collected(&self) -> u64 {
+        self.inner.lock().unwrap().counters.collected
+    }
+
+    /// Bins with a published report.
+    pub fn bins_reported(&self) -> u64 {
+        self.inner.lock().unwrap().counters.reported
+    }
+
+    pub(crate) fn publish(&self, p: PublishedBin) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.insert(
+            p.bin,
+            BinEntry {
+                report: Arc::new(p.report),
+                graph: Arc::new(p.graph),
+                records: p.records,
+                delay_alarms: p.delay_alarms,
+                forwarding_alarms: p.forwarding_alarms,
+                latency_ms: p.latency_ms,
+            },
+        );
+        for (asn, point) in p.timeline {
+            inner.timelines.entry(asn).or_default().push(point);
+        }
+        inner.ingest = p.ingest;
+        inner.sanitize = p.sanitize;
+        inner.counters.reported += 1;
+        inner.counters.latency_last_ms = p.latency_ms;
+        inner.counters.latency_peak_ms = inner.counters.latency_peak_ms.max(p.latency_ms);
+        inner.counters.latency_sum_ms += p.latency_ms;
+        self.changed.notify_all();
+    }
+
+    /// The cached report of one bin — the exact bytes every client gets.
+    pub fn report(&self, bin: u64) -> Option<Arc<String>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .entries
+            .get(&bin)
+            .map(|e| Arc::clone(&e.report))
+    }
+
+    /// The cached alarm graph of one bin (`None` = latest reported).
+    pub fn graph(&self, bin: Option<u64>) -> Option<Arc<String>> {
+        let inner = self.inner.lock().unwrap();
+        match bin {
+            Some(b) => inner.entries.get(&b).map(|e| Arc::clone(&e.graph)),
+            None => inner
+                .entries
+                .values()
+                .next_back()
+                .map(|e| Arc::clone(&e.graph)),
+        }
+    }
+
+    /// Ids of every reported bin, ascending.
+    pub fn bin_ids(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().entries.keys().copied().collect()
+    }
+
+    /// `/health` body.
+    pub fn health_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let latest = inner.entries.keys().next_back().copied();
+        Value::object(vec![
+            ("service", Value::String("pinpointd".to_string())),
+            ("phase", Value::String(inner.phase.as_str().to_string())),
+            ("ready", Value::Bool(!inner.entries.is_empty())),
+            (
+                "bins_collected",
+                Value::Number(inner.counters.collected as f64),
+            ),
+            (
+                "bins_reported",
+                Value::Number(inner.counters.reported as f64),
+            ),
+            (
+                "latest_bin",
+                latest.map_or(Value::Null, |b| Value::Number(b as f64)),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// `/bins` body: every reported bin with its headline counters.
+    pub fn bins_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let rows = inner
+            .entries
+            .iter()
+            .map(|(bin, e)| {
+                Value::object(vec![
+                    ("bin", Value::Number(*bin as f64)),
+                    ("records", Value::Number(e.records as f64)),
+                    ("delay_alarms", Value::Number(e.delay_alarms as f64)),
+                    (
+                        "forwarding_alarms",
+                        Value::Number(e.forwarding_alarms as f64),
+                    ),
+                    ("latency_ms", Value::Number(e.latency_ms)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("bins", Value::Array(rows)),
+            (
+                "latest",
+                inner
+                    .entries
+                    .keys()
+                    .next_back()
+                    .map_or(Value::Null, |b| Value::Number(*b as f64)),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// `/asn/{id}/timeline` body, `None` when the AS was never scored.
+    pub fn timeline_json(&self, asn: u32) -> Option<String> {
+        let inner = self.inner.lock().unwrap();
+        let points = inner.timelines.get(&asn)?;
+        let rows = points
+            .iter()
+            .map(|p| {
+                Value::object(vec![
+                    ("bin", Value::Number(p.bin as f64)),
+                    ("delay_severity", Value::Number(p.delay_severity)),
+                    ("forwarding_severity", Value::Number(p.forwarding_severity)),
+                    ("delay_magnitude", Value::Number(p.delay_magnitude)),
+                    (
+                        "forwarding_magnitude",
+                        Value::Number(p.forwarding_magnitude),
+                    ),
+                ])
+            })
+            .collect();
+        Some(
+            Value::object(vec![
+                ("asn", Value::Number(f64::from(asn))),
+                ("points", Value::Array(rows)),
+            ])
+            .to_string(),
+        )
+    }
+
+    /// `(last, mean, peak)` collect→report latency over every reported
+    /// bin, in wall milliseconds — the number the `service_e2e` bench
+    /// workload tracks PR over PR.
+    pub fn latency_ms(&self) -> (f64, f64, f64) {
+        let inner = self.inner.lock().unwrap();
+        (
+            inner.counters.latency_last_ms,
+            mean_latency(&inner.counters),
+            inner.counters.latency_peak_ms,
+        )
+    }
+
+    /// `/stats` body; queue gauges are read live by the caller.
+    pub fn stats_json(&self, collect: QueueGauge, report: QueueGauge) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mean = mean_latency(&inner.counters);
+        Value::object(vec![
+            ("phase", Value::String(inner.phase.as_str().to_string())),
+            (
+                "bins_collected",
+                Value::Number(inner.counters.collected as f64),
+            ),
+            (
+                "bins_reported",
+                Value::Number(inner.counters.reported as f64),
+            ),
+            ("ingest", render::ingest_stats(&inner.ingest)),
+            ("sanitize", render::sanitize_stats(&inner.sanitize)),
+            (
+                "queues",
+                Value::object(vec![("collect", collect.json()), ("report", report.json())]),
+            ),
+            (
+                "latency_ms",
+                Value::object(vec![
+                    ("last", Value::Number(inner.counters.latency_last_ms)),
+                    ("mean", Value::Number(mean)),
+                    ("peak", Value::Number(inner.counters.latency_peak_ms)),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+fn mean_latency(counters: &Counters) -> f64 {
+    if counters.reported > 0 {
+        counters.latency_sum_ms / counters.reported as f64
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,204 @@
+//! `pinpointd` — the live pinpoint daemon over a simulated Atlas feed.
+//!
+//! Builds one of the reproducible case studies (`steady` or the AMS-IX
+//! `ixp` outage), then serves it live: a collector thread pulls each
+//! hourly bin from the platform while the pipelined executor churns the
+//! previous one, and the rendered reports are exposed over the HTTP
+//! surface (`/health`, `/bins`, `/bins/{id}/report`, `/asn/{id}/timeline`,
+//! `/alarms/graph`, `/stats`). `POST /shutdown` drains gracefully.
+//!
+//! `--offline` runs the identical window through the offline
+//! `scenarios::run_pipelined` path instead and prints one bin's rendered
+//! report to stdout (no trailing newline) — the CI smoke test diffs that
+//! byte-for-byte against the daemon's `/bins/{id}/report` body.
+
+use pinpoint::core::render;
+use pinpoint::core::DetectorConfig;
+use pinpoint::model::records::TracerouteRecord;
+use pinpoint::model::BinId;
+use pinpoint::netsim::ArtifactModel;
+use pinpoint::scenarios::{ixp, runner, steady, CaseStudy, Scale};
+use pinpoint::service::{Daemon, ServiceConfig};
+
+/// An owning bin feed: `Platform::stream` borrows the platform, but the
+/// collector thread needs an iterator it can take with it.
+struct PlatformFeed {
+    platform: pinpoint::atlas::Platform,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for PlatformFeed {
+    type Item = (BinId, Vec<TracerouteRecord>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let bin = BinId(self.next);
+        self.next += 1;
+        Some((bin, self.platform.collect_bin(bin)))
+    }
+}
+
+struct Args {
+    scenario: String,
+    seed: u64,
+    bins: Option<u64>,
+    depth: usize,
+    addr: String,
+    artifacts: String,
+    fast: bool,
+    offline: bool,
+    bin: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pinpointd [--scenario=steady|ixp] [--seed=N] [--bins=N] \
+         [--depth=N] [--addr=HOST:PORT] [--artifacts=none|mild|hostile] \
+         [--fast] [--offline [--bin=N]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: "ixp".to_string(),
+        seed: 42,
+        bins: None,
+        depth: 0,
+        addr: "127.0.0.1:7411".to_string(),
+        artifacts: "none".to_string(),
+        fast: false,
+        offline: false,
+        bin: None,
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        match (key, value) {
+            ("--scenario", Some(v)) => args.scenario = v.to_string(),
+            ("--seed", Some(v)) => args.seed = v.parse().unwrap_or_else(|_| usage()),
+            ("--bins", Some(v)) => args.bins = Some(v.parse().unwrap_or_else(|_| usage())),
+            ("--depth", Some(v)) => args.depth = v.parse().unwrap_or_else(|_| usage()),
+            ("--addr", Some(v)) => args.addr = v.to_string(),
+            ("--artifacts", Some(v)) => args.artifacts = v.to_string(),
+            ("--fast", None) => args.fast = true,
+            ("--offline", None) => args.offline = true,
+            ("--bin", Some(v)) => args.bin = Some(v.parse().unwrap_or_else(|_| usage())),
+            ("--help" | "-h", None) => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Assemble the requested case study with the window / config overrides
+/// applied — shared by the live and offline paths so both see the exact
+/// same feed.
+fn build_case(args: &Args) -> CaseStudy {
+    let mut case = match args.scenario.as_str() {
+        "steady" => steady::case_study(args.seed, Scale::Small),
+        "ixp" => ixp::case_study(args.seed, Scale::Small),
+        _ => usage(),
+    };
+    if args.fast {
+        case.cfg = DetectorConfig::fast_test();
+    }
+    if let Some(bins) = args.bins {
+        case.end_bin = BinId(case.end_bin.0.min(case.start_bin.0 + bins));
+    }
+    let model = match args.artifacts.as_str() {
+        "none" => None,
+        "mild" => Some(ArtifactModel::mild(args.seed)),
+        "hostile" => Some(ArtifactModel::hostile(args.seed)),
+        _ => usage(),
+    };
+    case.platform.set_artifact_model(model);
+    case
+}
+
+/// Offline reference: run the window through `scenarios::run_pipelined`
+/// and print the target bin's rendered report — the exact bytes the
+/// daemon serves for `/bins/{id}/report`.
+fn run_offline(args: &Args, case: CaseStudy) -> i32 {
+    let target = args.bin.unwrap_or(case.end_bin.0.saturating_sub(1));
+    let mut analyzer = case.analyzer();
+    let mut body = None;
+    runner::run_pipelined(&case, &mut analyzer, args.depth, |report| {
+        if report.bin.0 == target {
+            body = Some(render::bin_report(report).to_string());
+        }
+    });
+    match body {
+        Some(body) => {
+            // No trailing newline: stdout must equal the HTTP body.
+            print!("{body}");
+            0
+        }
+        None => {
+            eprintln!(
+                "pinpointd: bin {target} outside the window [{}, {})",
+                case.start_bin.0, case.end_bin.0
+            );
+            1
+        }
+    }
+}
+
+fn run_live(args: &Args, case: CaseStudy) -> i32 {
+    let analyzer = case.analyzer();
+    let window = case.end_bin.0 - case.start_bin.0;
+    let feed = PlatformFeed {
+        next: case.start_bin.0,
+        end: case.end_bin.0,
+        platform: case.platform,
+    };
+    let cfg = ServiceConfig {
+        addr: args.addr.clone(),
+        depth: args.depth,
+        ..ServiceConfig::default()
+    };
+    let daemon = match Daemon::spawn(cfg, analyzer, feed) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pinpointd: failed to start: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "pinpointd: serving {} ({window} bins) on http://{}",
+        args.scenario,
+        daemon.local_addr()
+    );
+    // The feed is finite: wait until every bin is reported, then keep
+    // serving the cached reports until someone POSTs /shutdown.
+    let state = std::sync::Arc::clone(daemon.state());
+    state.wait_done();
+    eprintln!("pinpointd: feed drained; serving cached reports (POST /shutdown to exit)");
+    state.wait_shutdown_requested();
+    match daemon.join() {
+        Ok(()) => {
+            eprintln!("pinpointd: drained and stopped");
+            0
+        }
+        Err(_) => {
+            eprintln!("pinpointd: a pipeline thread panicked");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let case = build_case(&args);
+    let code = if args.offline {
+        run_offline(&args, case)
+    } else {
+        run_live(&args, case)
+    };
+    std::process::exit(code);
+}

@@ -21,6 +21,8 @@
 //! * [`core`] — the paper's detection pipeline (see its crate docs for the
 //!   parallel bin-engine architecture and how to run the benches)
 //! * [`scenarios`] — reproducible case-study scenarios
+//! * [`service`] — the live daemon (`pinpointd`): collector → executor →
+//!   reporter pipeline behind bounded queues, with an HTTP health API
 
 #![forbid(unsafe_code)]
 
@@ -29,4 +31,5 @@ pub use pinpoint_core as core;
 pub use pinpoint_model as model;
 pub use pinpoint_netsim as netsim;
 pub use pinpoint_scenarios as scenarios;
+pub use pinpoint_service as service;
 pub use pinpoint_stats as stats;

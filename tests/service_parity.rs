@@ -1,0 +1,248 @@
+//! Live-service parity: the daemon (collector → executor → reporter with
+//! bounded queues and the HTTP surface) is the *same pipeline* as the
+//! offline `scenarios::run_pipelined` — so its cached, HTTP-served
+//! reports must be byte-for-byte identical to the offline render, its
+//! queues must stay bounded under a stalled consumer, and a graceful
+//! shutdown must drain every collected bin. The CI matrix re-runs this
+//! file under `PINPOINT_THREADS` × `PINPOINT_CHUNK` × `PINPOINT_PIPELINE`
+//! via `common::parity_config`.
+
+#[allow(dead_code)]
+mod common;
+
+use common::parity_config;
+use pinpoint::core::render;
+use pinpoint::model::records::TracerouteRecord;
+use pinpoint::model::BinId;
+use pinpoint::scenarios::{ixp, runner, Scale};
+use pinpoint::service::{Daemon, Phase, ServiceConfig};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Issue one HTTP/1.1 request and return `(status, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .write_all(format!("{method} {path} HTTP/1.1\r\nHost: pinpointd\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, "GET", path)
+}
+
+/// The daemon serving the AMS-IX outage window must publish, for every
+/// bin, the exact bytes the offline `run_pipelined` + `render` path
+/// produces — over the HTTP surface and the in-process cache alike.
+#[test]
+fn daemon_replay_is_byte_identical_to_offline_pipelined() {
+    let mut case = ixp::case_study(7, Scale::Small);
+    case.cfg = parity_config();
+    let (outage_start, outage_end) = ixp::outage_bins();
+    case.start_bin = BinId(outage_start - 3);
+    case.end_bin = BinId(outage_end + 2);
+
+    // Offline reference: the unified session API over the same window.
+    let mut offline: BTreeMap<u64, String> = BTreeMap::new();
+    let mut analyzer = case.analyzer();
+    runner::run_pipelined(&case, &mut analyzer, 0, |report| {
+        offline.insert(report.bin.0, render::bin_report(report).to_string());
+    });
+    assert!(
+        offline.values().any(|r| r.contains("\"router\"")),
+        "the outage fired no forwarding alarms — parity would only be proven on quiet bins"
+    );
+
+    // Live replay of the identical feed.
+    let feed = case.platform.collect_bins(case.start_bin, case.end_bin);
+    let daemon = Daemon::spawn(ServiceConfig::default(), case.analyzer(), feed.into_iter())
+        .expect("daemon spawns");
+    let addr = daemon.local_addr();
+    daemon.state().wait_done();
+
+    assert_eq!(
+        daemon.state().bin_ids(),
+        offline.keys().copied().collect::<Vec<_>>(),
+        "daemon reported a different set of bins"
+    );
+    for (bin, want) in &offline {
+        let cached = daemon.state().report(*bin).expect("bin cached");
+        assert_eq!(cached.as_str(), want, "cache diverged on bin {bin}");
+        let (status, body) = get(addr, &format!("/bins/{bin}/report"));
+        assert_eq!(status, 200);
+        assert_eq!(&body, want, "HTTP body diverged on bin {bin}");
+    }
+    let (status, graph) = get(addr, "/alarms/graph");
+    assert_eq!(status, 200);
+    assert!(graph.starts_with(&format!("{{\"bin\":{}", case.end_bin.0 - 1)));
+    daemon.join().expect("clean join");
+}
+
+/// A deliberately stalled reporter must stall the whole pipeline through
+/// the bounded queues: while the first report is held, the collector can
+/// run at most `collect + report capacity + in-flight slack` bins ahead,
+/// and no queue ever exceeds its bound — on a 64-bin feed.
+#[test]
+fn stalled_reporter_backpressures_the_collector() {
+    let total = 64u64;
+    let feed = (0..total).map(|b| (BinId(b), Vec::<TracerouteRecord>::new()));
+    let cfg = ServiceConfig {
+        collect_capacity: 2,
+        report_capacity: 1,
+        depth: 1,
+        ..ServiceConfig::default()
+    };
+    // A gate the reporter blocks on before publishing each bin.
+    let gate = Arc::new((Mutex::new(true), Condvar::new()));
+    let hook = {
+        let gate = Arc::clone(&gate);
+        Box::new(move |_bin: u64| {
+            let (closed, open) = &*gate;
+            let mut closed = closed.lock().unwrap();
+            while *closed {
+                closed = open.wait(closed).unwrap();
+            }
+        })
+    };
+    let mut analyzer =
+        pinpoint::core::Analyzer::new(parity_config(), pinpoint::core::aggregate::AsMapper::new());
+    analyzer.register_ases([pinpoint::model::Asn(64500)]);
+    let daemon = Daemon::spawn_with_report_hook(cfg, analyzer, feed, hook).expect("daemon spawns");
+
+    // Let the pipeline saturate against the closed gate.
+    let mut last = 0;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = daemon.state().bins_collected();
+        if now == last && now > 0 {
+            break;
+        }
+        last = now;
+    }
+    let collected = daemon.state().bins_collected();
+    assert_eq!(
+        daemon.state().bins_reported(),
+        0,
+        "gate held no report back"
+    );
+    // 2 queued + 1 in the collector's blocked push + 1 in the executor +
+    // 1 queued report + 1 in the reporter's hook + 1 session in-flight.
+    assert!(
+        collected <= 8,
+        "collector ran {collected} bins ahead of a stalled reporter — \
+         backpressure is broken"
+    );
+    let (collect_q, report_q) = daemon.queue_gauges();
+    assert!(
+        collect_q.peak <= collect_q.capacity,
+        "collect queue grew past its bound"
+    );
+    assert!(
+        report_q.peak <= report_q.capacity,
+        "report queue grew past its bound"
+    );
+
+    // Open the gate: everything drains, the bounds still hold.
+    {
+        let (closed, open) = &*gate;
+        *closed.lock().unwrap() = false;
+        open.notify_all();
+    }
+    daemon.state().wait_done();
+    assert_eq!(daemon.state().bins_reported(), total);
+    let (collect_q, report_q) = daemon.queue_gauges();
+    assert!(collect_q.peak <= collect_q.capacity);
+    assert!(report_q.peak <= report_q.capacity);
+    daemon.join().expect("clean join");
+}
+
+/// An endless, slow feed: `POST /shutdown` must stop the collector only,
+/// and every bin collected before the stop must still be reported before
+/// the phase flips to done.
+#[test]
+fn graceful_shutdown_drains_every_collected_bin() {
+    struct SlowFeed {
+        next: u64,
+    }
+    impl Iterator for SlowFeed {
+        type Item = (BinId, Vec<TracerouteRecord>);
+        fn next(&mut self) -> Option<Self::Item> {
+            std::thread::sleep(Duration::from_millis(2));
+            let bin = BinId(self.next);
+            self.next += 1;
+            Some((bin, Vec::new()))
+        }
+    }
+
+    let analyzer =
+        pinpoint::core::Analyzer::new(parity_config(), pinpoint::core::aggregate::AsMapper::new());
+    let daemon = Daemon::spawn(ServiceConfig::default(), analyzer, SlowFeed { next: 0 })
+        .expect("daemon spawns");
+    let addr = daemon.local_addr();
+
+    while daemon.state().bins_reported() < 3 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, body) = http(addr, "POST", "/shutdown");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\""));
+    daemon.state().wait_done();
+
+    let collected = daemon.state().bins_collected();
+    let reported = daemon.state().bins_reported();
+    assert_eq!(
+        collected,
+        reported,
+        "graceful shutdown left {} collected bin(s) unreported",
+        collected - reported
+    );
+    assert!(reported >= 3);
+    assert_eq!(daemon.state().phase(), Phase::Done);
+    let (_, health) = get(addr, "/health");
+    assert!(health.contains("\"phase\":\"done\""));
+    daemon.join().expect("clean join");
+}
+
+/// Twelve concurrent clients hammering the cached report must each get
+/// the identical bytes (the immutable-cache contract), and the daemon
+/// must still shut down cleanly afterwards.
+#[test]
+fn concurrent_clients_get_identical_bytes() {
+    let feed = (0..4u64).map(|b| (BinId(b), Vec::<TracerouteRecord>::new()));
+    let analyzer =
+        pinpoint::core::Analyzer::new(parity_config(), pinpoint::core::aggregate::AsMapper::new());
+    let daemon = Daemon::spawn(ServiceConfig::default(), analyzer, feed).expect("daemon spawns");
+    let addr = daemon.local_addr();
+    daemon.state().wait_done();
+    let want = daemon.state().report(3).expect("bin 3 cached");
+
+    let clients: Vec<_> = (0..12)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, body) = get(addr, "/bins/3/report");
+                assert_eq!(status, 200);
+                body
+            })
+        })
+        .collect();
+    for client in clients {
+        let body = client.join().expect("client thread");
+        assert_eq!(&body, want.as_str(), "a client saw different bytes");
+    }
+    daemon.join().expect("clean join");
+}
