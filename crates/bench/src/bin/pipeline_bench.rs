@@ -7,7 +7,7 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Nine workloads run: the steady scenario's Small bin (faithful
+//! Ten workloads run: the steady scenario's Small bin (faithful
 //! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
 //! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
@@ -26,7 +26,11 @@
 //! executor → reporter over bounded queues), parity-gates its cached
 //! renders byte-for-byte against the offline path, and records the mean
 //! collect→report latency (`e2e_latency_ms`) plus the queue high-water
-//! mark (`queue_peak`, asserted ≤ capacity). Each is timed over
+//! mark (`queue_peak`, asserted ≤ capacity), and an `event_extraction`
+//! workload that replays the three-stream AMS-IX outage with the empathy
+//! extractor live in the merge funnel, parity-gates the incremental
+//! event deltas byte-for-byte across pipeline depths, and records the
+//! events and deltas the channel carried. Each is timed over
 //! `reps` repetitions on warmed analyzers and summarized by the median
 //! wall time; alarm/stat outputs of both paths are cross-checked for
 //! equality before any number is reported — so a run doubles as an
@@ -47,11 +51,13 @@ use pinpoint_bench::workload::{
 };
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::sanitize::sanitize_records;
-use pinpoint_core::{render, AnalysisSession, Analyzer, DetectorConfig, FleetReport, StreamRouter};
+use pinpoint_core::{
+    render, AnalysisSession, Analyzer, DetectorConfig, EventTable, FleetReport, StreamRouter,
+};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::BinId;
 use pinpoint_netsim::ArtifactModel;
-use pinpoint_scenarios::{steady, Scale};
+use pinpoint_scenarios::{ixp, multi, steady, Scale};
 use pinpoint_service::{Daemon, ServiceConfig};
 use std::io::Write as _;
 use std::time::Instant;
@@ -76,6 +82,12 @@ struct WorkloadResult {
     /// High-water mark across the daemon's two bounded queues (must
     /// never exceed the configured capacity; 0 for offline workloads).
     queue_peak: u64,
+    /// Distinct fleet events extracted over the workload's window (0 for
+    /// workloads that do not run the empathy extractor).
+    events: u64,
+    /// Incremental event deltas emitted over the window — the volume the
+    /// event channel actually carries.
+    event_deltas: u64,
 }
 
 impl WorkloadResult {
@@ -159,6 +171,8 @@ fn run_workload(
         quarantined,
         e2e_latency_ms: 0.0,
         queue_peak: 0,
+        events: 0,
+        event_deltas: 0,
     }
 }
 
@@ -266,6 +280,8 @@ fn run_pipelined_workload(
         quarantined: 0,
         e2e_latency_ms: 0.0,
         queue_peak: 0,
+        events: 0,
+        event_deltas: 0,
     }
 }
 
@@ -363,6 +379,8 @@ fn run_multi_workload(
         quarantined: 0,
         e2e_latency_ms: 0.0,
         queue_peak: 0,
+        events: 0,
+        event_deltas: 0,
     }
 }
 
@@ -463,6 +481,97 @@ fn run_service_workload(
         quarantined: 0,
         e2e_latency_ms: pinpoint_stats::median(&latency_samples).expect("reps >= 1"),
         queue_peak: queue_peak as u64,
+        events: 0,
+        event_deltas: 0,
+    }
+}
+
+/// The event-extraction workload: the three-stream AMS-IX outage driven
+/// through a fleet session with the empathy extractor live. Parity gate:
+/// the per-bin event deltas (rendered exactly as `pinpointd` serves
+/// them) at pipeline depth 2 must be byte-for-byte identical to the
+/// serial depth-1 schedule, the delta folds must agree, and the window
+/// must yield at least one event. `sequential_ms` is the depth-1 fleet
+/// wall per bin, `parallel_ms` the depth-2 wall, so `speedup` is the
+/// cross-bin overlap win with event extraction in the merge funnel;
+/// `events` / `event_deltas` record what the channel carried.
+fn run_event_workload(name: &str, seed: u64, reps: usize) -> WorkloadResult {
+    let mut case = multi::case_study(seed, Scale::Small);
+    case.cfg = DetectorConfig::fast_test();
+    let (outage_start, outage_end) = ixp::outage_bins();
+    let bins: Vec<(BinId, Vec<Vec<TracerouteRecord>>)> = (outage_start - 4..outage_end + 2)
+        .map(|b| (BinId(b), case.collect_bin(BinId(b))))
+        .collect();
+
+    let drive = |depth: usize| {
+        let mut router = case.router();
+        let mut session = router.session(depth);
+        let mut deltas: Vec<String> = Vec::new();
+        let mut table = EventTable::new();
+        let mut absorb = |report: &FleetReport, table: &mut EventTable| {
+            table.absorb(&report.events);
+            deltas.extend(report.events.iter().map(|e| render::event(e).to_string()));
+        };
+        for (bin, feeds) in &bins {
+            if let Some(report) = session.push_bin(*bin, feeds) {
+                absorb(&report, &mut table);
+            }
+        }
+        if let Some(report) = session.flush() {
+            absorb(&report, &mut table);
+        }
+        (deltas, table)
+    };
+    let (want, table) = drive(1);
+    assert!(
+        !table.is_empty(),
+        "{name}: the outage window extracted no fleet events"
+    );
+    let (got, got_table) = drive(2);
+    assert_eq!(
+        got, want,
+        "{name}: event-delta parity broke across pipeline depths"
+    );
+    assert_eq!(
+        got_table.ranked(),
+        table.ranked(),
+        "{name}: the delta folds diverged across pipeline depths"
+    );
+
+    let time_depth = |depth: usize| {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut router = case.router();
+            let t = Instant::now();
+            let mut session = router.session(depth);
+            for (bin, feeds) in &bins {
+                std::hint::black_box(session.push_bin(*bin, feeds));
+            }
+            std::hint::black_box(session.flush());
+            samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+        }
+        pinpoint_stats::median(&samples).expect("reps >= 1")
+    };
+    let sequential_ms = time_depth(1);
+    let parallel_ms = time_depth(2);
+
+    WorkloadResult {
+        name: name.to_string(),
+        records: bins
+            .iter()
+            .map(|(_, feeds)| feeds.iter().map(Vec::len).sum::<usize>())
+            .sum::<usize>()
+            / bins.len(),
+        links: 0,
+        sequential_ms,
+        parallel_ms,
+        intern_inserts: 0,
+        sanitize_ms: 0.0,
+        quarantined: 0,
+        e2e_latency_ms: 0.0,
+        queue_peak: 0,
+        events: table.len() as u64,
+        event_deltas: want.len() as u64,
     }
 }
 
@@ -631,6 +740,11 @@ fn main() {
     // recorded in the trajectory file.
     let service_result = run_service_workload("service_e2e", &mapper, &stream_bins, reps);
 
+    // Workload 10: the three-stream AMS-IX outage with the empathy
+    // extractor live in the merge funnel — the incremental event channel
+    // parity-gated across pipeline depths and timed end to end.
+    let event_result = run_event_workload("event_extraction", seed, reps);
+
     let results = [
         steady_result,
         large_result,
@@ -641,10 +755,11 @@ fn main() {
         pipelined_result,
         artifact_result,
         service_result,
+        event_result,
     ];
     for r in &results {
         println!(
-            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined | e2e {:>7.3} ms | q-peak {}",
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined | e2e {:>7.3} ms | q-peak {} | {} event(s) / {} delta(s)",
             r.name,
             r.records,
             r.links,
@@ -657,6 +772,8 @@ fn main() {
             r.quarantined,
             r.e2e_latency_ms,
             r.queue_peak,
+            r.events,
+            r.event_deltas,
         );
     }
 
@@ -669,7 +786,7 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}, \"e2e_latency_ms\": {:.3}, \"queue_peak\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}, \"e2e_latency_ms\": {:.3}, \"queue_peak\": {}, \"events\": {}, \"event_deltas\": {}}}{}\n",
             r.name,
             r.records,
             r.links,
@@ -682,6 +799,8 @@ fn main() {
             r.quarantined,
             r.e2e_latency_ms,
             r.queue_peak,
+            r.events,
+            r.event_deltas,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

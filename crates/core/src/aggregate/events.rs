@@ -9,9 +9,38 @@
 //! reads (§8).
 
 use super::magnitude::AsMagnitude;
+use crate::config::DetectorConfig;
 use pinpoint_model::{Asn, BinId};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The reporting criterion shared by post-hoc extraction and the
+/// incremental empathy extractor: either magnitude series peaking past
+/// the configured threshold (§6: "identifying peaks in either of the two
+/// time series").
+pub(crate) fn over_threshold(m: &AsMagnitude, threshold: f64) -> bool {
+    m.delay_magnitude.abs() > threshold || m.forwarding_magnitude.abs() > threshold
+}
+
+/// The gap bridge shared by both extractors: evidence at `bin` extends
+/// an event whose last evidence was at `prev_end`, bridging up to
+/// `gap_bins` quiet bins in between.
+pub(crate) fn bridges_gap(prev_end: BinId, bin: BinId, gap_bins: u64) -> bool {
+    bin.0 <= prev_end.0 + gap_bins + 1
+}
+
+/// Classify an event by its signed peaks: delay dominates when its
+/// absolute peak is at least the forwarding one, otherwise the
+/// forwarding sign decides loss vs attraction.
+pub(crate) fn classify(peak_delay: f64, peak_forwarding: f64) -> EventKind {
+    if peak_delay.abs() >= peak_forwarding.abs() {
+        EventKind::DelayChange
+    } else if peak_forwarding < 0.0 {
+        EventKind::ForwardingLoss
+    } else {
+        EventKind::ForwardingGain
+    }
+}
 
 /// Which detector dominated an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,21 +121,30 @@ impl EventExtractor {
         }
     }
 
-    /// Extract events: maximal runs of bins where |delay mag| or
-    /// |forwarding mag| exceeds `threshold`, ranked by peak score.
-    pub fn events(&self, threshold: f64) -> Vec<Event> {
+    /// Extract events with the configured
+    /// [`event_threshold`](DetectorConfig::event_threshold) and
+    /// [`event_gap_bins`](DetectorConfig::event_gap_bins): maximal runs
+    /// of bins where |delay mag| or |forwarding mag| exceeds the
+    /// threshold, ranked by peak score.
+    pub fn events(&self, cfg: &DetectorConfig) -> Vec<Event> {
+        self.events_with(cfg.event_threshold, cfg.event_gap_bins)
+    }
+
+    /// [`EventExtractor::events`] with explicit knobs (the historical
+    /// signature, kept for sweeps that vary the threshold without
+    /// cloning a config).
+    pub fn events_with(&self, threshold: f64, gap_bins: u64) -> Vec<Event> {
         let mut out = Vec::new();
         for (asn, series) in &self.history {
             let mut current: Option<Event> = None;
             for (bin, m) in series {
-                let over =
-                    m.delay_magnitude.abs() > threshold || m.forwarding_magnitude.abs() > threshold;
-                // A gap of one bin is bridged (events often dip between
-                // attack hours, cf. Fig. 6's two-peak structure is two
+                let over = over_threshold(m, threshold);
+                // Short gaps are bridged (events often dip between
+                // attack hours; Fig. 6's two-peak structure is two
                 // events because the gap is hours long).
                 let contiguous = current
                     .as_ref()
-                    .map(|e| bin.0 <= e.end.0 + 2)
+                    .map(|e| bridges_gap(e.end, *bin, gap_bins))
                     .unwrap_or(false);
                 match (over, &mut current) {
                     (true, Some(e)) if contiguous => {
@@ -139,13 +177,7 @@ impl EventExtractor {
             }
         }
         for e in &mut out {
-            e.kind = if e.peak_delay.abs() >= e.peak_forwarding.abs() {
-                EventKind::DelayChange
-            } else if e.peak_forwarding < 0.0 {
-                EventKind::ForwardingLoss
-            } else {
-                EventKind::ForwardingGain
-            };
+            e.kind = classify(e.peak_delay, e.peak_forwarding);
         }
         out.sort_by(|a, b| {
             b.score()
@@ -160,6 +192,13 @@ impl EventExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn cfg(threshold: f64) -> DetectorConfig {
+        DetectorConfig {
+            event_threshold: threshold,
+            ..Default::default()
+        }
+    }
 
     fn mag(d: f64, f: f64) -> AsMagnitude {
         AsMagnitude {
@@ -186,7 +225,7 @@ mod tests {
             Asn(1),
             &(0..48).map(|b| (b, 0.3, -0.2)).collect::<Vec<_>>(),
         );
-        assert!(ex.events(3.0).is_empty());
+        assert!(ex.events(&cfg(3.0)).is_empty());
     }
 
     #[test]
@@ -196,7 +235,7 @@ mod tests {
         series.extend([(10, 40.0, -0.5), (11, 90.0, -1.0), (12, 25.0, -0.2)]);
         series.extend((13..20).map(|b| (b, 0.0, 0.0)));
         push_series(&mut ex, Asn(25152), &series);
-        let events = ex.events(3.0);
+        let events = ex.events(&cfg(3.0));
         assert_eq!(events.len(), 1);
         let e = &events[0];
         assert_eq!((e.start, e.end), (BinId(10), BinId(12)));
@@ -221,7 +260,7 @@ mod tests {
             series.push((b, d, 0.0));
         }
         push_series(&mut ex, Asn(25152), &series);
-        let events = ex.events(5.0);
+        let events = ex.events(&cfg(5.0));
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].peak_delay, 100.0); // ranked by score
         assert_eq!(events[1].peak_delay, 80.0);
@@ -235,7 +274,7 @@ mod tests {
             Asn(1200),
             &[(0, 0.0, 0.0), (1, 0.2, -11.0), (2, 0.1, -0.4)],
         );
-        let events = ex.events(3.0);
+        let events = ex.events(&cfg(3.0));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::ForwardingLoss);
         assert!(events[0].to_string().contains("packet loss"));
@@ -249,9 +288,29 @@ mod tests {
             Asn(7),
             &[(0, 10.0, 0.0), (1, 0.1, 0.0), (2, 12.0, 0.0)],
         );
-        let events = ex.events(3.0);
+        let events = ex.events(&cfg(3.0));
         assert_eq!(events.len(), 1, "gap not bridged: {events:?}");
         assert_eq!(events[0].end, BinId(2));
+    }
+
+    #[test]
+    fn gap_knob_controls_bridging() {
+        // Two quiet bins split the run under the default gap of 1 but
+        // merge under a gap of 2 — the promoted knob is live.
+        let mut ex = EventExtractor::new();
+        push_series(
+            &mut ex,
+            Asn(7),
+            &[(0, 10.0, 0.0), (1, 0.1, 0.0), (2, 0.1, 0.0), (3, 12.0, 0.0)],
+        );
+        assert_eq!(ex.events_with(3.0, 1).len(), 2);
+        assert_eq!(ex.events_with(3.0, 2).len(), 1);
+        let wide = DetectorConfig {
+            event_threshold: 3.0,
+            event_gap_bins: 2,
+            ..Default::default()
+        };
+        assert_eq!(ex.events(&wide), ex.events_with(3.0, 2));
     }
 
     #[test]
@@ -259,7 +318,7 @@ mod tests {
         let mut ex = EventExtractor::new();
         push_series(&mut ex, Asn(1), &[(0, 5.0, 0.0)]);
         push_series(&mut ex, Asn(2), &[(0, 0.0, -50.0)]);
-        let events = ex.events(3.0);
+        let events = ex.events(&cfg(3.0));
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].asn, Asn(2));
         assert!(events[0].score() > events[1].score());

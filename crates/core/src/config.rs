@@ -83,6 +83,23 @@ pub struct DetectorConfig {
     /// Most hops a record may carry before it is quarantined as
     /// structurally bogus (real traceroutes stop at a TTL of 32–64).
     pub sanitize_max_hops: usize,
+    /// Magnitude threshold for event extraction: an AS enters an event
+    /// when |delay magnitude| or |forwarding magnitude| crosses this
+    /// value. Shared by the post-hoc `EventExtractor` and the
+    /// incremental empathy extractor; 4.0 keeps the historical reporting
+    /// default (well past the ±3σ-equivalent band of the magnitude
+    /// deviation score).
+    pub event_threshold: f64,
+    /// Most consecutive quiet bins an open event bridges before it is
+    /// closed. `1` (the default) keeps the extractor's historical
+    /// one-bin gap bridge: evidence at bin *b* extends an event whose
+    /// last evidence was at bin *b − gap − 1* or later.
+    pub event_gap_bins: u64,
+    /// Minimum number of shared elements (interfaces or ASes) for two
+    /// simultaneous alarms to be considered empathic and clustered into
+    /// one event. `1` is the plain connected-component relation; higher
+    /// values demand stronger overlap before merging.
+    pub empathy_min_shared: usize,
 }
 
 impl Default for DetectorConfig {
@@ -107,6 +124,9 @@ impl Default for DetectorConfig {
             sanitize_max_rtt_ms: 10_000.0,
             sanitize_max_inversion_ms: 100.0,
             sanitize_max_hops: 64,
+            event_threshold: 4.0,
+            event_gap_bins: 1,
+            empathy_min_shared: 1,
         }
     }
 }
@@ -218,6 +238,26 @@ impl DetectorConfig {
             1,
             "every record with hops would be quarantined",
         )?;
+        finite_in(
+            "event_threshold",
+            self.event_threshold,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        )?;
+        if self.event_gap_bins as usize > self.magnitude_window_bins {
+            return Err(format!(
+                "DetectorConfig::event_gap_bins is {}, expected <= magnitude_window_bins ({}): \
+                 bridging a gap longer than the scoring window would glue unrelated incidents \
+                 into one event",
+                self.event_gap_bins, self.magnitude_window_bins
+            ));
+        }
+        at_least(
+            "empathy_min_shared",
+            self.empathy_min_shared,
+            1,
+            "alarms sharing no element are never empathic",
+        )?;
         Ok(())
     }
 }
@@ -243,6 +283,9 @@ mod tests {
         assert_eq!(c.pipeline_depth, 0, "default pipeline depth is auto");
         assert!(c.sanitize, "sanitizer on by default");
         assert_eq!(c.sanitize_max_hops, 64);
+        assert_eq!(c.event_threshold, 4.0);
+        assert_eq!(c.event_gap_bins, 1, "historical one-bin gap bridge");
+        assert_eq!(c.empathy_min_shared, 1, "plain connected components");
     }
 
     #[test]
@@ -342,6 +385,35 @@ mod tests {
                 "sanitize_max_hops",
                 DetectorConfig {
                     sanitize_max_hops: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "event_threshold",
+                DetectorConfig {
+                    event_threshold: f64::NAN,
+                    ..Default::default()
+                },
+            ),
+            (
+                "event_threshold",
+                DetectorConfig {
+                    event_threshold: 0.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "event_gap_bins",
+                DetectorConfig {
+                    event_gap_bins: 1000,
+                    magnitude_window_bins: 24,
+                    ..Default::default()
+                },
+            ),
+            (
+                "empathy_min_shared",
+                DetectorConfig {
+                    empathy_min_shared: 0,
                     ..Default::default()
                 },
             ),

@@ -25,6 +25,12 @@ pub struct AlarmEdge {
     pub median_shift_ms: f64,
     /// The deviation d(Δ) of the strongest alarm on this pair.
     pub deviation: f64,
+    /// Streams whose alarms contributed to this edge. A union graph
+    /// merges duplicate cross-stream pairs into one edge but must not
+    /// lose *who saw it* — the set accumulates across duplicates even
+    /// when the weaker alarm's deviation is discarded. Solo graphs
+    /// carry `{0}`.
+    pub streams: BTreeSet<usize>,
 }
 
 /// A connected component of alarms.
@@ -36,6 +42,8 @@ pub struct Component {
     pub edges: Vec<AlarmEdge>,
     /// Addresses also implicated in forwarding anomalies (Fig. 12's red).
     pub forwarding_flagged: BTreeSet<Ipv4Addr>,
+    /// Streams whose alarms contributed to any member edge or flag.
+    pub streams: BTreeSet<usize>,
 }
 
 impl Component {
@@ -83,6 +91,9 @@ impl UnionFind {
 pub struct AlarmGraph {
     edges: Vec<AlarmEdge>,
     forwarding_flagged: BTreeSet<Ipv4Addr>,
+    /// Per-address stream provenance of forwarding flags (edge
+    /// provenance lives on the edges themselves).
+    flag_streams: BTreeMap<Ipv4Addr, BTreeSet<usize>>,
 }
 
 impl AlarmGraph {
@@ -91,8 +102,17 @@ impl AlarmGraph {
         Self::default()
     }
 
-    /// Add delay alarms as edges. Duplicate pairs keep the strongest alarm.
+    /// Add delay alarms as edges with stream provenance `0` — the solo
+    /// (single-stream) graph.
     pub fn add_delay_alarms(&mut self, alarms: &[DelayAlarm]) {
+        self.add_stream_delay_alarms(0, alarms);
+    }
+
+    /// Add one stream's delay alarms as edges. Duplicate pairs keep the
+    /// strongest alarm's deviation but accumulate every contributing
+    /// stream, so a union graph never silently collapses cross-stream
+    /// evidence.
+    pub fn add_stream_delay_alarms(&mut self, stream: usize, alarms: &[DelayAlarm]) {
         for alarm in alarms {
             let canon = alarm.link.canonical();
             let shift = alarm.median_shift_ms();
@@ -101,32 +121,52 @@ impl AlarmGraph {
                 .iter_mut()
                 .find(|e| e.a == canon.near && e.b == canon.far)
             {
-                Some(existing) if existing.deviation >= alarm.deviation => {}
                 Some(existing) => {
-                    existing.deviation = alarm.deviation;
-                    existing.median_shift_ms = shift;
+                    existing.streams.insert(stream);
+                    if existing.deviation < alarm.deviation {
+                        existing.deviation = alarm.deviation;
+                        existing.median_shift_ms = shift;
+                    }
                 }
                 None => self.edges.push(AlarmEdge {
                     a: canon.near,
                     b: canon.far,
                     median_shift_ms: shift,
                     deviation: alarm.deviation,
+                    streams: BTreeSet::from([stream]),
                 }),
             }
         }
     }
 
-    /// Flag addresses implicated in forwarding anomalies: the modeled
-    /// router and every reported (responsive) next hop.
+    /// Flag addresses implicated in forwarding anomalies with stream
+    /// provenance `0` — the solo (single-stream) graph.
     pub fn add_forwarding_alarms(&mut self, alarms: &[ForwardingAlarm]) {
+        self.add_stream_forwarding_alarms(0, alarms);
+    }
+
+    /// Flag one stream's forwarding anomalies: the modeled router and
+    /// every reported (responsive) next hop, each tagged with the
+    /// contributing stream.
+    pub fn add_stream_forwarding_alarms(&mut self, stream: usize, alarms: &[ForwardingAlarm]) {
+        let mut flag = |addr: Ipv4Addr| {
+            self.forwarding_flagged.insert(addr);
+            self.flag_streams.entry(addr).or_default().insert(stream);
+        };
         for alarm in alarms {
-            self.forwarding_flagged.insert(alarm.router);
+            flag(alarm.router);
             for (hop, _) in &alarm.responsibilities {
                 if let NextHop::Ip(addr) = hop {
-                    self.forwarding_flagged.insert(*addr);
+                    flag(*addr);
                 }
             }
         }
+    }
+
+    /// Streams that forwarding-flagged an address (empty set = never
+    /// flagged).
+    pub fn flag_streams(&self, addr: Ipv4Addr) -> BTreeSet<usize> {
+        self.flag_streams.get(&addr).cloned().unwrap_or_default()
     }
 
     /// Number of edges.
@@ -159,6 +199,7 @@ impl AlarmGraph {
             let comp = by_root.entry(root).or_default();
             comp.nodes.insert(e.a);
             comp.nodes.insert(e.b);
+            comp.streams.extend(e.streams.iter().copied());
             comp.edges.push(e.clone());
         }
         let mut comps: Vec<Component> = by_root.into_values().collect();
@@ -168,6 +209,11 @@ impl AlarmGraph {
                 .intersection(&self.forwarding_flagged)
                 .copied()
                 .collect();
+            for addr in &c.forwarding_flagged {
+                if let Some(streams) = self.flag_streams.get(addr) {
+                    c.streams.extend(streams.iter().copied());
+                }
+            }
         }
         comps.sort_by_key(|c| std::cmp::Reverse(c.nodes.len()));
         comps
@@ -268,6 +314,44 @@ mod tests {
         // outside the delay component.
         assert!(comp.forwarding_flagged.contains(&ip("10.0.0.2")));
         assert!(!comp.forwarding_flagged.contains(&ip("10.0.0.3")));
+    }
+
+    #[test]
+    fn duplicate_cross_stream_edges_keep_per_stream_provenance() {
+        // Regression: the union graph used to collapse the same link
+        // alarmed by two streams into one edge with no record of who saw
+        // it — "affecting whom" membership was silently lossy.
+        let mut g = AlarmGraph::new();
+        g.add_stream_delay_alarms(0, &[alarm("10.0.0.1", "10.0.0.2", 2.0, 5.0)]);
+        g.add_stream_delay_alarms(1, &[alarm("10.0.0.2", "10.0.0.1", 7.0, 20.0)]);
+        g.add_stream_delay_alarms(2, &[alarm("10.0.0.1", "10.0.0.2", 1.0, 2.0)]);
+        assert_eq!(g.edge_count(), 1);
+        let edge = &g.edges()[0];
+        // Strongest alarm still wins the metrics…
+        assert_eq!(edge.deviation, 7.0);
+        assert_eq!(edge.median_shift_ms, 20.0);
+        // …but every contributing stream is retained, including the one
+        // whose weaker alarm lost the dedup.
+        assert_eq!(edge.streams, BTreeSet::from([0, 1, 2]));
+        let comps = g.components();
+        assert_eq!(comps[0].streams, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn forwarding_flags_carry_stream_provenance() {
+        let mut g = AlarmGraph::new();
+        let fwd = |router: &str| ForwardingAlarm {
+            router: ip(router),
+            dst: ip("198.51.100.1"),
+            bin: BinId(0),
+            rho: -0.5,
+            responsibilities: vec![(crate::forwarding::NextHop::Ip(ip("10.0.0.3")), -0.4)],
+        };
+        g.add_stream_forwarding_alarms(0, &[fwd("10.0.0.2")]);
+        g.add_stream_forwarding_alarms(1, &[fwd("10.0.0.2")]);
+        assert_eq!(g.flag_streams(ip("10.0.0.2")), BTreeSet::from([0, 1]));
+        assert_eq!(g.flag_streams(ip("10.0.0.3")), BTreeSet::from([0, 1]));
+        assert!(g.flag_streams(ip("9.9.9.9")).is_empty());
     }
 
     #[test]

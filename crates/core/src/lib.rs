@@ -169,6 +169,7 @@ pub mod sanitize;
 pub mod session;
 pub mod stream;
 
+pub use aggregate::{EmpathyExtractor, EventTable, FleetEvent};
 pub use config::DetectorConfig;
 pub use diffrtt::{DelayAlarm, DelayDetector};
 pub use forwarding::{ForwardingAlarm, ForwardingDetector, NextHop};

@@ -23,7 +23,8 @@
 //! executor section in `src/README.md`.
 
 use crate::aggregate::{
-    delay_severity, forwarding_severity, AsMagnitude, AsMapper, MagnitudeTracker,
+    delay_severity, forwarding_severity, AsMagnitude, AsMapper, EmpathyExtractor, FleetEvent,
+    MagnitudeTracker, StreamEvidence,
 };
 use crate::config::DetectorConfig;
 use crate::diffrtt::{DelayAlarm, DelayDetector, LinkStat};
@@ -53,6 +54,10 @@ pub struct BinReport {
     pub magnitudes: BTreeMap<Asn, AsMagnitude>,
     /// Number of traceroutes consumed.
     pub records: usize,
+    /// This bin's event deltas from the incremental empathy extractor
+    /// (events opened, updated, or closed by this bin, ascending id) —
+    /// the per-bin slice of the event channel.
+    pub events: Vec<FleetEvent>,
 }
 
 impl BinReport {
@@ -86,6 +91,7 @@ pub struct Analyzer {
     sanitizer: Sanitizer,
     mapper: AsMapper,
     magnitudes: MagnitudeTracker,
+    events: EmpathyExtractor,
     session: Option<IngestSession>,
 }
 
@@ -106,6 +112,7 @@ impl Analyzer {
             forwarding: ForwardingDetector::new(&cfg),
             sanitizer: Sanitizer::default(),
             magnitudes: MagnitudeTracker::new(cfg.magnitude_window_bins),
+            events: EmpathyExtractor::new(&cfg),
             cfg,
             mapper,
             session: None,
@@ -435,6 +442,18 @@ impl Analyzer {
         let dsev = delay_severity(&delay_alarms, &self.mapper);
         let fsev = forwarding_severity(&forwarding_alarms, &self.mapper);
         let magnitudes = self.magnitudes.score_bin(&dsev, &fsev);
+        // The event channel updates here — the single funnel every
+        // execution path (batch, incremental, pipelined) flows through,
+        // so the deltas are deterministic by construction.
+        let events = self.events.observe(
+            bin,
+            &[StreamEvidence {
+                delay: &delay_alarms,
+                forwarding: &forwarding_alarms,
+                mapper: &self.mapper,
+            }],
+            &magnitudes,
+        );
         BinReport {
             bin,
             delay_alarms,
@@ -442,6 +461,7 @@ impl Analyzer {
             link_stats,
             magnitudes,
             records,
+            events,
         }
     }
 
@@ -507,6 +527,18 @@ impl Analyzer {
     /// The IP→AS mapper.
     pub fn mapper(&self) -> &AsMapper {
         &self.mapper
+    }
+
+    /// The event channel's cumulative view: every event extracted so
+    /// far (open and closed), ranked by severity. The per-bin deltas
+    /// ride on [`BinReport::events`].
+    pub fn events(&self) -> Vec<FleetEvent> {
+        self.events.events()
+    }
+
+    /// Events currently open.
+    pub fn open_events(&self) -> usize {
+        self.events.open_count()
     }
 }
 

@@ -17,7 +17,7 @@
 //! across platforms and thread counts); non-finite values render as
 //! `null` like most JSON encoders.
 
-use crate::aggregate::AsMagnitude;
+use crate::aggregate::{AsMagnitude, Element, EventKind, FleetEvent};
 use crate::diffrtt::{DelayAlarm, Direction, LinkStat};
 use crate::forwarding::ForwardingAlarm;
 use crate::graph::{AlarmGraph, Component};
@@ -119,6 +119,10 @@ pub fn magnitudes(map: &BTreeMap<Asn, AsMagnitude>) -> Value {
     )
 }
 
+fn streams(set: &std::collections::BTreeSet<usize>) -> Value {
+    Value::Array(set.iter().map(|s| count(*s)).collect())
+}
+
 fn component(c: &Component) -> Value {
     Value::object(vec![
         (
@@ -130,6 +134,7 @@ fn component(c: &Component) -> Value {
             "forwarding_flagged",
             Value::Array(c.forwarding_flagged.iter().map(|a| ip(*a)).collect()),
         ),
+        ("streams", streams(&c.streams)),
     ])
 }
 
@@ -148,6 +153,7 @@ pub fn alarm_graph(g: &AlarmGraph) -> Value {
                             ("b", ip(e.b)),
                             ("median_shift_ms", num(e.median_shift_ms)),
                             ("deviation", num(e.deviation)),
+                            ("streams", streams(&e.streams)),
                         ])
                     })
                     .collect(),
@@ -161,6 +167,64 @@ pub fn alarm_graph(g: &AlarmGraph) -> Value {
             "components",
             Value::Array(g.components().iter().map(component).collect()),
         ),
+    ])
+}
+
+/// One fleet-level event (empathy cluster) — the `/events/{id}` body.
+pub fn event(e: &FleetEvent) -> Value {
+    let kind = match e.kind {
+        EventKind::DelayChange => "delay_change",
+        EventKind::ForwardingLoss => "forwarding_loss",
+        EventKind::ForwardingGain => "forwarding_gain",
+    };
+    let (blamed_kind, blamed_value) = match e.blamed {
+        Element::As(asn) => ("as", Value::Number(f64::from(asn.0))),
+        Element::Interface(addr) => ("interface", ip(addr)),
+    };
+    Value::object(vec![
+        ("id", num(e.id as f64)),
+        ("start", num(e.start.0 as f64)),
+        ("end", num(e.end.0 as f64)),
+        ("duration_bins", num(e.duration() as f64)),
+        ("status", Value::String(e.status.as_str().to_string())),
+        (
+            "blamed",
+            Value::object(vec![
+                ("kind", Value::String(blamed_kind.to_string())),
+                ("value", blamed_value),
+                ("shares", count(e.blamed_shares)),
+            ]),
+        ),
+        (
+            "asns",
+            Value::Array(e.asns.iter().map(|a| num(f64::from(a.0))).collect()),
+        ),
+        (
+            "interfaces",
+            Value::Array(e.interfaces.iter().map(|a| ip(*a)).collect()),
+        ),
+        ("streams", streams(&e.streams)),
+        ("delay_alarms", count(e.delay_alarms)),
+        ("forwarding_alarms", count(e.forwarding_alarms)),
+        ("peak_delay", num(e.peak_delay)),
+        ("peak_forwarding", num(e.peak_forwarding)),
+        ("severity", num(e.severity)),
+        ("kind", Value::String(kind.to_string())),
+        (
+            "merged_into",
+            e.merged_into.map_or(Value::Null, |id| num(id as f64)),
+        ),
+    ])
+}
+
+/// The `/events` listing: ranked events plus open/closed counts.
+pub fn events(list: &[FleetEvent]) -> Value {
+    let open = list.iter().filter(|e| e.is_open()).count();
+    Value::object(vec![
+        ("events", Value::Array(list.iter().map(event).collect())),
+        ("open", count(open)),
+        ("closed", count(list.len() - open)),
+        ("total", count(list.len())),
     ])
 }
 
@@ -195,6 +259,7 @@ pub fn bin_report(r: &BinReport) -> Value {
             "forwarding_alarms",
             Value::Array(r.forwarding_alarms.iter().map(forwarding_alarm).collect()),
         ),
+        ("events", Value::Array(r.events.iter().map(event).collect())),
         ("link_stats", link_stats(&r.link_stats)),
         ("magnitudes", magnitudes(&r.magnitudes)),
     ])
@@ -209,6 +274,7 @@ pub fn fleet_report(r: &FleetReport) -> Value {
         ("records", count(r.records())),
         ("delay_alarm_total", count(r.delay_alarms())),
         ("forwarding_alarm_total", count(r.forwarding_alarms())),
+        ("events", Value::Array(r.events.iter().map(event).collect())),
         (
             "streams",
             Value::Array(r.streams.iter().map(bin_report).collect()),
@@ -284,11 +350,13 @@ mod tests {
             forwarding_alarms: Vec::new(),
             link_stats: HashMap::new(),
             magnitudes: BTreeMap::new(),
+            events: Vec::new(),
             records: 0,
         };
         assert_eq!(
             bin_report(&report).to_string(),
-            "{\"bin\":7,\"delay_alarms\":[],\"forwarding_alarms\":[],\
+            "{\"bin\":7,\"delay_alarms\":[],\"events\":[],\
+             \"forwarding_alarms\":[],\
              \"link_stats\":[],\"magnitudes\":[],\"records\":0}"
         );
     }

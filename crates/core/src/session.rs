@@ -125,6 +125,16 @@ pub trait AnalysisSession {
     /// The resolved pipeline depth (1 or 2): how many bins may be in
     /// flight, and therefore how far reports trail pushes.
     fn depth(&self) -> usize;
+
+    /// The event channel's cumulative view: every event the run has
+    /// extracted so far (open and closed), ranked by merged severity.
+    /// Per-bin deltas ride on the reports
+    /// ([`BinReport::events`](crate::pipeline::BinReport::events) /
+    /// [`FleetReport::events`](crate::stream::FleetReport::events));
+    /// this reads the same state between bins, e.g. for a final
+    /// listing. Reflects only *reported* bins — with pipelined lanes, a
+    /// pushed-but-unreported bin is not yet visible.
+    fn events(&self) -> Vec<crate::aggregate::FleetEvent>;
 }
 
 /// Exhaust a [`BinSource`] through an [`AnalysisSession`], handing every
@@ -275,6 +285,10 @@ impl AnalysisSession for AnalyzerSession<'_> {
             Lanes::Pipelined(d) => d.depth(),
         }
     }
+
+    fn events(&self) -> Vec<crate::aggregate::FleetEvent> {
+        self.analyzer().events()
+    }
 }
 
 /// Which executor a fleet session runs on.
@@ -399,6 +413,10 @@ impl AnalysisSession for FleetSession<'_> {
             FleetLanes::Serial(_) => 1,
             FleetLanes::Pipelined(d) => d.depth(),
         }
+    }
+
+    fn events(&self) -> Vec<crate::aggregate::FleetEvent> {
+        self.router().events()
     }
 }
 

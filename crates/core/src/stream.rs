@@ -38,7 +38,9 @@
 //! threshold in the merged view while every individual stream stays below
 //! it.
 
-use crate::aggregate::{merge_severities, AsMagnitude, MagnitudeTracker};
+use crate::aggregate::{
+    merge_severities, AsMagnitude, EmpathyExtractor, FleetEvent, MagnitudeTracker, StreamEvidence,
+};
 use crate::config::DetectorConfig;
 use crate::engine;
 use crate::graph::AlarmGraph;
@@ -64,6 +66,10 @@ struct Stream {
 pub struct StreamRouter {
     streams: Vec<Stream>,
     fleet_magnitudes: MagnitudeTracker,
+    /// The fleet event channel, created lazily from the first stream's
+    /// config at the first merge (a router is assembled before its
+    /// streams exist).
+    fleet_events: Option<EmpathyExtractor>,
     threads: usize,
 }
 
@@ -85,6 +91,7 @@ impl StreamRouter {
         StreamRouter {
             streams: Vec::new(),
             fleet_magnitudes: MagnitudeTracker::new(window_bins),
+            fleet_events: None,
             threads: 0,
         }
     }
@@ -232,15 +239,57 @@ impl StreamRouter {
     }
 
     /// Fleet-level aggregation: sum per-AS severities across the streams'
-    /// reports and score them against the fleet magnitude baseline.
+    /// reports, score them against the fleet magnitude baseline, and run
+    /// the merged view through the fleet event channel — this is the
+    /// single funnel every fleet execution path (pooled, sequential,
+    /// pipelined) flows through, so the event deltas are deterministic
+    /// by construction.
     fn merge(&mut self, bin: BinId, reports: Vec<BinReport>) -> FleetReport {
         let (dsev, fsev) = merge_severities(reports.iter().map(|r| &r.magnitudes));
         let magnitudes = self.fleet_magnitudes.score_bin(&dsev, &fsev);
+        if self.fleet_events.is_none() {
+            if let Some(s) = self.streams.first() {
+                self.fleet_events = Some(EmpathyExtractor::new(s.analyzer.config()));
+            }
+        }
+        let events = match &mut self.fleet_events {
+            Some(extractor) => {
+                let evidence: Vec<StreamEvidence<'_>> = reports
+                    .iter()
+                    .zip(&self.streams)
+                    .map(|(r, s)| StreamEvidence {
+                        delay: &r.delay_alarms,
+                        forwarding: &r.forwarding_alarms,
+                        mapper: s.analyzer.mapper(),
+                    })
+                    .collect();
+                extractor.observe(bin, &evidence, &magnitudes)
+            }
+            None => Vec::new(),
+        };
         FleetReport {
             bin,
             streams: reports,
             magnitudes,
+            events,
         }
+    }
+
+    /// The fleet event channel's cumulative view: every event extracted
+    /// so far (open and closed), ranked by merged cross-stream severity.
+    /// The per-bin deltas ride on [`FleetReport::events`].
+    pub fn events(&self) -> Vec<FleetEvent> {
+        self.fleet_events
+            .as_ref()
+            .map(EmpathyExtractor::events)
+            .unwrap_or_default()
+    }
+
+    /// Fleet events currently open.
+    pub fn open_events(&self) -> usize {
+        self.fleet_events
+            .as_ref()
+            .map_or(0, EmpathyExtractor::open_count)
     }
 
     /// Links with a learned delay reference, summed over the fleet.
@@ -522,6 +571,10 @@ pub struct FleetReport {
     /// Fleet-level per-AS magnitudes: severities summed across streams,
     /// normalized against the fleet's own sliding baseline.
     pub magnitudes: BTreeMap<Asn, AsMagnitude>,
+    /// This bin's fleet event deltas from the incremental empathy
+    /// extractor (events opened, updated, or closed by this bin,
+    /// ascending id) — the per-bin slice of the fleet event channel.
+    pub events: Vec<FleetEvent>,
 }
 
 impl FleetReport {
@@ -552,12 +605,14 @@ impl FleetReport {
 
     /// The union alarm graph of the bin: every stream's delay edges and
     /// forwarding flags in one graph, so a component fragmented across
-    /// vantages connects (Fig. 8 / Fig. 12, fleet-wide).
+    /// vantages connects (Fig. 8 / Fig. 12, fleet-wide). Duplicate
+    /// cross-stream edges merge into one edge that keeps per-stream
+    /// provenance ([`crate::graph::AlarmEdge::streams`]).
     pub fn alarm_graph(&self) -> AlarmGraph {
         let mut g = AlarmGraph::new();
-        for report in &self.streams {
-            g.add_delay_alarms(&report.delay_alarms);
-            g.add_forwarding_alarms(&report.forwarding_alarms);
+        for (idx, report) in self.streams.iter().enumerate() {
+            g.add_stream_delay_alarms(idx, &report.delay_alarms);
+            g.add_stream_forwarding_alarms(idx, &report.forwarding_alarms);
         }
         g
     }

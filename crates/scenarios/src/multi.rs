@@ -158,7 +158,8 @@ pub fn case_study(seed: u64, scale: Scale) -> MultiStreamCase {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinpoint_core::AnalysisSession;
+    use pinpoint_core::aggregate::Element;
+    use pinpoint_core::{AnalysisSession, EventTable};
 
     #[test]
     fn streams_partition_the_measurement_set() {
@@ -232,5 +233,57 @@ mod tests {
                 case.streams[i].label
             );
         }
+    }
+
+    #[test]
+    fn outage_becomes_one_fleet_event_blaming_the_ixp() {
+        // The tentpole acceptance: the three partial views of the AMS-IX
+        // outage collapse into exactly ONE fleet event, blamed on the
+        // IXP's AS, emitted incrementally while the outage is live.
+        let mut case = case_study(2015, Scale::Small);
+        case.cfg = DetectorConfig::fast_test();
+        let amsix = case.landmarks.amsix_asn;
+        let mut router = case.router();
+        let (outage_start, outage_end) = ixp::outage_bins();
+
+        let mut table = EventTable::new();
+        let mut first_emission = None;
+        let mut session = router.session(1);
+        for bin in outage_start - 4..outage_end + 2 {
+            let feeds = case.collect_bin(BinId(bin));
+            let report = session
+                .push_bin(BinId(bin), &feeds)
+                .expect("depth 1 reports immediately");
+            if !report.events.is_empty() && first_emission.is_none() {
+                first_emission = Some(bin);
+            }
+            table.absorb(&report.events);
+        }
+
+        let events = table.ranked();
+        assert_eq!(
+            events.len(),
+            1,
+            "the outage must collapse into exactly one fleet event: {events:#?}"
+        );
+        let event = &events[0];
+        assert_eq!(
+            event.blamed,
+            Element::As(amsix),
+            "the IXP must be the blamed element: {event}"
+        );
+        assert!(event.asns.contains(&amsix));
+        assert!(
+            event.streams.len() >= 2,
+            "the event must be corroborated across streams: {:?}",
+            event.streams
+        );
+        let first = first_emission.expect("the event must be emitted incrementally");
+        assert!(
+            (outage_start..=outage_end).contains(&first),
+            "first emission at bin {first}, outage is {outage_start}..={outage_end}"
+        );
+        // The session's post-hoc view is the same ranked table.
+        assert_eq!(session.events(), events);
     }
 }

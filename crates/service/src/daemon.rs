@@ -28,7 +28,10 @@ use crate::queue::BoundedQueue;
 use crate::state::{Phase, PublishedBin, QueueGauge, ServiceState, TimelinePoint};
 use pinpoint_core::render;
 use pinpoint_core::session::{AnalysisSession, BinSource};
-use pinpoint_core::{Analyzer, BinReport, FleetReport, IngestStats, SanitizeStats, StreamRouter};
+use pinpoint_core::{
+    Analyzer, BinReport, EventTable, FleetEvent, FleetReport, IngestStats, SanitizeStats,
+    StreamRouter,
+};
 use pinpoint_model::json::Value;
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId};
@@ -99,10 +102,21 @@ impl ReportKind {
         }
     }
 
-    /// Render once (report + alarm graph) and extract the headline
-    /// counters and per-AS timeline points.
+    /// This bin's event deltas (ascending id).
+    fn events(&self) -> &[FleetEvent] {
+        match self {
+            ReportKind::Solo(r) => &r.events,
+            ReportKind::Fleet(r) => &r.events,
+        }
+    }
+
+    /// Render once (report + alarm graph + event channel) and extract
+    /// the headline counters and per-AS timeline points. `events` is
+    /// the reporter's running fold of every delta so far — this bin's
+    /// deltas must already be absorbed.
     fn render(
         &self,
+        events: &EventTable,
         ingest: IngestStats,
         sanitize: SanitizeStats,
         latency_ms: f64,
@@ -127,10 +141,20 @@ impl ReportKind {
                 &r.magnitudes,
             ),
         };
+        let deltas = self.events();
         PublishedBin {
             bin,
             report: report.to_string(),
             graph: graph_with_bin(bin, graph),
+            events: events_with_bin(bin, deltas),
+            events_listing: render::events(&events.ranked()).to_string(),
+            // Each delta carries the event's full state and the table
+            // absorbed it already, so the delta IS the current body.
+            event_bodies: deltas
+                .iter()
+                .map(|e| (e.id, render::event(e).to_string()))
+                .collect(),
+            events_open: events.open_count(),
             records,
             delay_alarms: delay,
             forwarding_alarms: forwarding,
@@ -145,6 +169,18 @@ impl ReportKind {
 /// Wrap a rendered alarm graph with the bin it belongs to.
 fn graph_with_bin(bin: u64, graph: Value) -> String {
     Value::object(vec![("bin", Value::Number(bin as f64)), ("graph", graph)]).to_string()
+}
+
+/// Wrap one bin's event deltas with the bin they belong to.
+fn events_with_bin(bin: u64, deltas: &[FleetEvent]) -> String {
+    Value::object(vec![
+        ("bin", Value::Number(bin as f64)),
+        (
+            "events",
+            Value::Array(deltas.iter().map(render::event).collect()),
+        ),
+    ])
+    .to_string()
 }
 
 fn timeline_points(
@@ -405,12 +441,20 @@ impl Daemon {
                 std::thread::Builder::new()
                     .name("pinpointd-reporter".to_string())
                     .spawn(move || {
+                        // The reporter's fold of the incremental event
+                        // channel: absorbing every bin's deltas in
+                        // emission order reconstructs the extractor's
+                        // table byte-for-byte.
+                        let mut events = EventTable::new();
                         while let Some(e) = report_q.pop() {
                             if let Some(hook) = hook.as_mut() {
                                 hook(e.report.bin());
                             }
+                            events.absorb(e.report.events());
                             let latency_ms = e.collected_at.elapsed().as_secs_f64() * 1e3;
-                            state.publish(e.report.render(e.ingest, e.sanitize, latency_ms));
+                            state.publish(
+                                e.report.render(&events, e.ingest, e.sanitize, latency_ms),
+                            );
                         }
                         state.set_phase(Phase::Done);
                     })?,

@@ -16,6 +16,9 @@
 //! | `GET /health` | phase, readiness, bin counters |
 //! | `GET /bins` | reported bins with headline counters |
 //! | `GET /bins/{id}/report` | the cached full report of one bin |
+//! | `GET /bins/{id}/events` | the cached event deltas of one bin |
+//! | `GET /events` | ranked fleet events as of the latest bin |
+//! | `GET /events/{id}` | current state of one event |
 //! | `GET /asn/{id}/timeline` | per-bin severity/magnitude series of one AS |
 //! | `GET /alarms/graph[?bin=N]` | the cached alarm graph (default: latest bin) |
 //! | `GET /stats` | ingest + sanitize counters, queue gauges, latencies |
@@ -155,7 +158,8 @@ fn route(router: &Router, method: &str, path: &str, query: Option<&str>) -> (u16
             200,
             concat!(
                 "{\"service\":\"pinpointd\",\"endpoints\":[\"/health\",\"/bins\",",
-                "\"/bins/{id}/report\",\"/asn/{id}/timeline\",\"/alarms/graph\",",
+                "\"/bins/{id}/report\",\"/bins/{id}/events\",\"/events\",",
+                "\"/events/{id}\",\"/asn/{id}/timeline\",\"/alarms/graph\",",
                 "\"/stats\",\"POST /shutdown\"]}"
             )
             .to_string(),
@@ -168,6 +172,24 @@ fn route(router: &Router, method: &str, path: &str, query: Option<&str>) -> (u16
                 None => (404, format!("{{\"error\":\"bin {bin} not reported\"}}")),
             },
             Err(_) => (400, "{\"error\":\"bin id must be an integer\"}".to_string()),
+        },
+        ("GET", ["bins", id, "events"]) => match id.parse::<u64>() {
+            Ok(bin) => match router.state.bin_events(bin) {
+                Some(events) => (200, events.as_ref().clone()),
+                None => (404, format!("{{\"error\":\"bin {bin} not reported\"}}")),
+            },
+            Err(_) => (400, "{\"error\":\"bin id must be an integer\"}".to_string()),
+        },
+        ("GET", ["events"]) => (200, router.state.events_json().as_ref().clone()),
+        ("GET", ["events", id]) => match id.parse::<u64>() {
+            Ok(event) => match router.state.event_json(event) {
+                Some(body) => (200, body.as_ref().clone()),
+                None => (404, format!("{{\"error\":\"event {event} not reported\"}}")),
+            },
+            Err(_) => (
+                400,
+                "{\"error\":\"event id must be an integer\"}".to_string(),
+            ),
         },
         ("GET", ["asn", id, "timeline"]) => match id.parse::<u32>() {
             Ok(asn) => match router.state.timeline_json(asn) {

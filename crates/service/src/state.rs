@@ -44,6 +44,8 @@ struct BinEntry {
     report: Arc<String>,
     /// The `render::alarm_graph` string.
     graph: Arc<String>,
+    /// The bin's event deltas (`/bins/{id}/events` body).
+    events: Arc<String>,
     records: usize,
     delay_alarms: usize,
     forwarding_alarms: usize,
@@ -74,6 +76,12 @@ struct Inner {
     shutdown_requested: bool,
     entries: BTreeMap<u64, BinEntry>,
     timelines: BTreeMap<u32, Vec<TimelinePoint>>,
+    /// The ranked `/events` listing as of the latest reported bin.
+    events_listing: Arc<String>,
+    /// Current state of every event ever reported (`/events/{id}`).
+    event_bodies: BTreeMap<u64, Arc<String>>,
+    /// Events still open as of the latest reported bin.
+    events_open: usize,
     ingest: IngestStats,
     sanitize: SanitizeStats,
     counters: Counters,
@@ -105,6 +113,14 @@ pub(crate) struct PublishedBin {
     pub bin: u64,
     pub report: String,
     pub graph: String,
+    /// The bin's event deltas, wrapped with the bin id.
+    pub events: String,
+    /// The full ranked listing as of this bin.
+    pub events_listing: String,
+    /// `(id, body)` for every event this bin touched.
+    pub event_bodies: Vec<(u64, String)>,
+    /// Open events as of this bin.
+    pub events_open: usize,
     pub records: usize,
     pub delay_alarms: usize,
     pub forwarding_alarms: usize,
@@ -129,6 +145,9 @@ impl Default for ServiceState {
                 shutdown_requested: false,
                 entries: BTreeMap::new(),
                 timelines: BTreeMap::new(),
+                events_listing: Arc::new(render::events(&[]).to_string()),
+                event_bodies: BTreeMap::new(),
+                events_open: 0,
                 ingest: IngestStats::default(),
                 sanitize: SanitizeStats::default(),
                 counters: Counters::default(),
@@ -207,12 +226,18 @@ impl ServiceState {
             BinEntry {
                 report: Arc::new(p.report),
                 graph: Arc::new(p.graph),
+                events: Arc::new(p.events),
                 records: p.records,
                 delay_alarms: p.delay_alarms,
                 forwarding_alarms: p.forwarding_alarms,
                 latency_ms: p.latency_ms,
             },
         );
+        inner.events_listing = Arc::new(p.events_listing);
+        for (id, body) in p.event_bodies {
+            inner.event_bodies.insert(id, Arc::new(body));
+        }
+        inner.events_open = p.events_open;
         for (asn, point) in p.timeline {
             inner.timelines.entry(asn).or_default().push(point);
         }
@@ -253,6 +278,37 @@ impl ServiceState {
         self.inner.lock().unwrap().entries.keys().copied().collect()
     }
 
+    /// The cached `/events` listing — ranked fleet events as of the
+    /// latest reported bin (an empty listing before the first bin).
+    pub fn events_json(&self) -> Arc<String> {
+        Arc::clone(&self.inner.lock().unwrap().events_listing)
+    }
+
+    /// The cached current state of one event (`/events/{id}`).
+    pub fn event_json(&self, id: u64) -> Option<Arc<String>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .event_bodies
+            .get(&id)
+            .map(Arc::clone)
+    }
+
+    /// The cached event deltas of one bin (`/bins/{id}/events`).
+    pub fn bin_events(&self, bin: u64) -> Option<Arc<String>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .entries
+            .get(&bin)
+            .map(|e| Arc::clone(&e.events))
+    }
+
+    /// Events still open as of the latest reported bin.
+    pub fn events_open(&self) -> usize {
+        self.inner.lock().unwrap().events_open
+    }
+
     /// `/health` body.
     pub fn health_json(&self) -> String {
         let inner = self.inner.lock().unwrap();
@@ -273,6 +329,7 @@ impl ServiceState {
                 "latest_bin",
                 latest.map_or(Value::Null, |b| Value::Number(b as f64)),
             ),
+            ("events_open", Value::Number(inner.events_open as f64)),
         ])
         .to_string()
     }

@@ -17,6 +17,9 @@ use pinpoint::scenarios::Scale;
 /// Report an AS when |magnitude| crosses this threshold.
 const REPORT_THRESHOLD: f64 = 3.0;
 
+/// Bridge up to this many quiet bins inside one incident.
+const GAP_BINS: u64 = 1;
+
 fn main() {
     let case = full::case_study(2015, Scale::Small);
     let watched = figure_ases(&case.landmarks);
@@ -75,7 +78,11 @@ fn main() {
     // Consolidated incident report: maximal over-threshold runs per AS,
     // ranked by peak magnitude (the operator triage list).
     println!("\n=== consolidated incidents (threshold {REPORT_THRESHOLD}) ===");
-    for event in extractor.events(REPORT_THRESHOLD).iter().take(10) {
+    for event in extractor
+        .events_with(REPORT_THRESHOLD, GAP_BINS)
+        .iter()
+        .take(10)
+    {
         println!("  {event}");
     }
 }

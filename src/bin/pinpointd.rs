@@ -4,13 +4,16 @@
 //! `ixp` outage), then serves it live: a collector thread pulls each
 //! hourly bin from the platform while the pipelined executor churns the
 //! previous one, and the rendered reports are exposed over the HTTP
-//! surface (`/health`, `/bins`, `/bins/{id}/report`, `/asn/{id}/timeline`,
-//! `/alarms/graph`, `/stats`). `POST /shutdown` drains gracefully.
+//! surface (`/health`, `/bins`, `/bins/{id}/report`, `/bins/{id}/events`,
+//! `/events`, `/events/{id}`, `/asn/{id}/timeline`, `/alarms/graph`,
+//! `/stats`). `POST /shutdown` drains gracefully.
 //!
 //! `--offline` runs the identical window through the offline
 //! `scenarios::run_pipelined` path instead and prints one bin's rendered
 //! report to stdout (no trailing newline) — the CI smoke test diffs that
 //! byte-for-byte against the daemon's `/bins/{id}/report` body.
+//! `--offline --events` prints the final ranked event listing instead —
+//! the exact bytes the daemon serves for `/events` once the feed drains.
 
 use pinpoint::core::render;
 use pinpoint::core::DetectorConfig;
@@ -51,13 +54,14 @@ struct Args {
     fast: bool,
     offline: bool,
     bin: Option<u64>,
+    events: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pinpointd [--scenario=steady|ixp] [--seed=N] [--bins=N] \
          [--depth=N] [--addr=HOST:PORT] [--artifacts=none|mild|hostile] \
-         [--fast] [--offline [--bin=N]]"
+         [--fast] [--offline [--bin=N] [--events]]"
     );
     std::process::exit(2);
 }
@@ -73,6 +77,7 @@ fn parse_args() -> Args {
         fast: false,
         offline: false,
         bin: None,
+        events: false,
     };
     for arg in std::env::args().skip(1) {
         let (key, value) = match arg.split_once('=') {
@@ -89,6 +94,7 @@ fn parse_args() -> Args {
             ("--fast", None) => args.fast = true,
             ("--offline", None) => args.offline = true,
             ("--bin", Some(v)) => args.bin = Some(v.parse().unwrap_or_else(|_| usage())),
+            ("--events", None) => args.events = true,
             ("--help" | "-h", None) => usage(),
             _ => usage(),
         }
@@ -127,6 +133,17 @@ fn build_case(args: &Args) -> CaseStudy {
 fn run_offline(args: &Args, case: CaseStudy) -> i32 {
     let target = args.bin.unwrap_or(case.end_bin.0.saturating_sub(1));
     let mut analyzer = case.analyzer();
+    if args.events {
+        // Fold the incremental event channel exactly as the daemon's
+        // reporter does: the final listing must equal the live /events.
+        let mut table = pinpoint::core::EventTable::new();
+        runner::run_pipelined(&case, &mut analyzer, args.depth, |report| {
+            table.absorb(&report.events);
+        });
+        // No trailing newline: stdout must equal the HTTP body.
+        print!("{}", render::events(&table.ranked()));
+        return 0;
+    }
     let mut body = None;
     runner::run_pipelined(&case, &mut analyzer, args.depth, |report| {
         if report.bin.0 == target {

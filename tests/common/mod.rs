@@ -100,4 +100,5 @@ pub fn assert_reports_identical(a: &BinReport, b: &BinReport, ctx: &str) {
     );
     assert_eq!(a.link_stats, b.link_stats, "{ctx}: link stats");
     assert_eq!(a.magnitudes, b.magnitudes, "{ctx}: magnitudes");
+    assert_eq!(a.events, b.events, "{ctx}: event deltas");
 }

@@ -57,10 +57,13 @@ fn daemon_replay_is_byte_identical_to_offline_pipelined() {
     case.start_bin = BinId(outage_start - 3);
     case.end_bin = BinId(outage_end + 2);
 
-    // Offline reference: the unified session API over the same window.
+    // Offline reference: the unified session API over the same window,
+    // folding the incremental event channel as the reporter does.
     let mut offline: BTreeMap<u64, String> = BTreeMap::new();
+    let mut table = pinpoint::core::EventTable::new();
     let mut analyzer = case.analyzer();
     runner::run_pipelined(&case, &mut analyzer, 0, |report| {
+        table.absorb(&report.events);
         offline.insert(report.bin.0, render::bin_report(report).to_string());
     });
     assert!(
@@ -90,6 +93,30 @@ fn daemon_replay_is_byte_identical_to_offline_pipelined() {
     let (status, graph) = get(addr, "/alarms/graph");
     assert_eq!(status, 200);
     assert!(graph.starts_with(&format!("{{\"bin\":{}", case.end_bin.0 - 1)));
+
+    // The event channel: the live /events listing is the same fold.
+    let (status, events_body) = get(addr, "/events");
+    assert_eq!(status, 200);
+    assert_eq!(
+        events_body,
+        render::events(&table.ranked()).to_string(),
+        "live /events diverged from the offline event fold"
+    );
+    for event in table.ranked() {
+        let (status, body) = get(addr, &format!("/events/{}", event.id));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            render::event(&event).to_string(),
+            "live /events/{} diverged",
+            event.id
+        );
+    }
+    for bin in offline.keys() {
+        let (status, body) = get(addr, &format!("/bins/{bin}/events"));
+        assert_eq!(status, 200);
+        assert!(body.starts_with(&format!("{{\"bin\":{bin},\"events\":[")));
+    }
     daemon.join().expect("clean join");
 }
 
