@@ -7,7 +7,7 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Ten workloads run: the steady scenario's Small bin (faithful
+//! Twelve workloads run: the steady scenario's Small bin (faithful
 //! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
 //! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
@@ -30,10 +30,17 @@
 //! workload that replays the three-stream AMS-IX outage with the empathy
 //! extractor live in the merge funnel, parity-gates the incremental
 //! event deltas byte-for-byte across pipeline depths, and records the
-//! events and deltas the channel carried. Each is timed over
+//! events and deltas the channel carried, a grouping-bound
+//! `grouping_heavy` bin (a horde of single-sample probes, so the
+//! per-shard `(link, probe)` key sort — the LSD radix grouping path —
+//! is the bill), and a characterization-bound `characterize_heavy` bin
+//! (few links, ~1.1k samples each, so the batched shard-level rank
+//! selection + cached Wilson bounds dominate). Each is timed over
 //! `reps` repetitions on warmed analyzers and summarized by the median
-//! wall time; alarm/stat outputs of both paths are cross-checked for
-//! equality before any number is reported — so a run doubles as an
+//! wall time, with the two timed arms of every workload interleaved
+//! rep by rep so clock drift and allocator growth cannot bias whichever
+//! arm runs second; alarm/stat outputs of both paths are cross-checked
+//! for equality before any number is reported — so a run doubles as an
 //! engine-parity gate. Per workload, the work bin's intern-table
 //! insertions are recorded too: a steady bin (same key universe as the
 //! warm bin) must report 0 — the persistent interning epoch at work.
@@ -46,8 +53,8 @@
 //! parity is law.
 
 use pinpoint_bench::workload::{
-    forwarding_bin, ingest_bin, mixed_bin, multi_stream_feeds, synthetic_bin, synthetic_mapper,
-    ForwardingSpec, IngestSpec, WorkloadSpec,
+    forwarding_bin, grouping_bin, ingest_bin, mixed_bin, multi_stream_feeds, synthetic_bin,
+    synthetic_mapper, ForwardingSpec, GroupingSpec, IngestSpec, WorkloadSpec,
 };
 use pinpoint_core::aggregate::AsMapper;
 use pinpoint_core::sanitize::sanitize_records;
@@ -100,34 +107,36 @@ impl WorkloadResult {
     }
 }
 
-/// Time `reps` runs of one engine path on a warmed analyzer; returns the
-/// median wall milliseconds per bin.
-fn time_path(
+/// Time `reps` bins of both engine paths on warmed analyzers with the
+/// passes interleaved (sequential, parallel, sequential, parallel, …):
+/// both arms see the same clock drift, allocator state, and cache
+/// pressure, so their ratio is not biased by whichever arm happens to
+/// run second. Returns `(sequential_ms, parallel_ms)` medians per bin.
+fn time_paths(
     mapper: &AsMapper,
     warm: &[TracerouteRecord],
     work: &[TracerouteRecord],
     reps: usize,
-    sequential: bool,
-) -> f64 {
-    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
-    if sequential {
-        analyzer.process_bin_sequential(BinId(0), warm);
-    } else {
-        analyzer.process_bin(BinId(0), warm);
-    }
-    let mut samples = Vec::with_capacity(reps);
+) -> (f64, f64) {
+    let mut seq = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    seq.process_bin_sequential(BinId(0), warm);
+    let mut par = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    par.process_bin(BinId(0), warm);
+    let mut seq_samples = Vec::with_capacity(reps);
+    let mut par_samples = Vec::with_capacity(reps);
     for rep in 0..reps {
         let bin = BinId(1 + rep as u64);
         let t = Instant::now();
-        let report = if sequential {
-            analyzer.process_bin_sequential(bin, work)
-        } else {
-            analyzer.process_bin(bin, work)
-        };
-        samples.push(t.elapsed().as_secs_f64() * 1e3);
-        std::hint::black_box(report);
+        std::hint::black_box(seq.process_bin_sequential(bin, work));
+        seq_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        std::hint::black_box(par.process_bin(bin, work));
+        par_samples.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    pinpoint_stats::median(&samples).expect("reps >= 1")
+    (
+        pinpoint_stats::median(&seq_samples).expect("reps >= 1"),
+        pinpoint_stats::median(&par_samples).expect("reps >= 1"),
+    )
 }
 
 fn run_workload(
@@ -158,8 +167,7 @@ fn run_workload(
     let intern_inserts = a.ingest_stats().bin_insertions;
     let quarantined = a.sanitize_stats().bin_quarantined;
 
-    let sequential_ms = time_path(mapper, warm, work, reps, true);
-    let parallel_ms = time_path(mapper, warm, work, reps, false);
+    let (sequential_ms, parallel_ms) = time_paths(mapper, warm, work, reps);
     WorkloadResult {
         name: name.to_string(),
         records: work.len(),
@@ -190,30 +198,40 @@ fn time_sanitize(work: &[TracerouteRecord], reps: usize) -> f64 {
 }
 
 /// Time a stream of bins through the cross-bin pipelined executor at
-/// `depth`; median wall ms per bin over `reps` passes of the whole
-/// stream on a warmed analyzer (each pass advances the bin clock, like
-/// the deployment's endless feed).
-fn time_pipelined(
+/// depths 1 and 2, with the whole-stream passes interleaved (d1, d2,
+/// d1, d2, …) so environmental drift cannot bias one depth's numbers.
+/// Each depth keeps its own warmed analyzer whose bin clock advances
+/// across passes, like the deployment's endless feed. Returns
+/// `(depth1_ms, depth2_ms)` medians per bin.
+fn time_pipelined_pair(
     mapper: &AsMapper,
     bins: &[Vec<TracerouteRecord>],
     reps: usize,
-    depth: usize,
-) -> f64 {
-    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
-    analyzer.process_bin(BinId(0), &bins[0]);
+) -> (f64, f64) {
     let work = &bins[1..];
-    let mut samples = Vec::with_capacity(reps);
+    let mut arms: Vec<(usize, Analyzer, Vec<f64>)> = [1usize, 2]
+        .into_iter()
+        .map(|depth| {
+            let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+            analyzer.process_bin(BinId(0), &bins[0]);
+            (depth, analyzer, Vec::with_capacity(reps))
+        })
+        .collect();
     for rep in 0..reps {
         let base = 1 + rep as u64 * work.len() as u64;
-        let t = Instant::now();
-        let mut session = analyzer.session(depth);
-        for (i, records) in work.iter().enumerate() {
-            std::hint::black_box(session.push_bin(BinId(base + i as u64), records));
+        for (depth, analyzer, samples) in &mut arms {
+            let t = Instant::now();
+            let mut session = analyzer.session(*depth);
+            for (i, records) in work.iter().enumerate() {
+                std::hint::black_box(session.push_bin(BinId(base + i as u64), records));
+            }
+            std::hint::black_box(session.flush());
+            samples.push(t.elapsed().as_secs_f64() * 1e3 / work.len() as f64);
         }
-        std::hint::black_box(session.flush());
-        samples.push(t.elapsed().as_secs_f64() * 1e3 / work.len() as f64);
     }
-    pinpoint_stats::median(&samples).expect("reps >= 1")
+    let median =
+        |arm: &(usize, Analyzer, Vec<f64>)| pinpoint_stats::median(&arm.2).expect("reps >= 1");
+    (median(&arms[0]), median(&arms[1]))
 }
 
 /// The pipelined-executor workload: parity-gate depth 2 against depth 1
@@ -267,8 +285,7 @@ fn run_pipelined_workload(
         intern_inserts = analyzer.ingest_stats().bin_insertions;
     }
 
-    let sequential_ms = time_pipelined(mapper, bins, reps, 1);
-    let parallel_ms = time_pipelined(mapper, bins, reps, 2);
+    let (sequential_ms, parallel_ms) = time_pipelined_pair(mapper, bins, reps);
     WorkloadResult {
         name: name.to_string(),
         records: work.iter().map(Vec::len).sum::<usize>() / work.len(),
@@ -318,33 +335,34 @@ fn assert_fleet_parity(name: &str, a: &FleetReport, b: &FleetReport) {
     assert_eq!(a.magnitudes, b.magnitudes, "{name}: fleet parity broke");
 }
 
-/// Time `reps` fleet bins on a warmed router; median wall ms per bin.
-fn time_fleet(
+/// Time `reps` fleet bins of both router paths on warmed routers with
+/// the passes interleaved, like [`time_paths`]. Returns
+/// `(sequential_ms, parallel_ms)` medians per bin.
+fn time_fleets(
     mapper: &AsMapper,
     warm: &[Vec<TracerouteRecord>],
     work: &[Vec<TracerouteRecord>],
     reps: usize,
-    sequential: bool,
-) -> f64 {
-    let mut router = fleet(mapper, warm.len());
-    if sequential {
-        router.process_bin_sequential(BinId(0), warm);
-    } else {
-        router.process_bin(BinId(0), warm);
-    }
-    let mut samples = Vec::with_capacity(reps);
+) -> (f64, f64) {
+    let mut seq = fleet(mapper, warm.len());
+    seq.process_bin_sequential(BinId(0), warm);
+    let mut par = fleet(mapper, warm.len());
+    par.process_bin(BinId(0), warm);
+    let mut seq_samples = Vec::with_capacity(reps);
+    let mut par_samples = Vec::with_capacity(reps);
     for rep in 0..reps {
         let bin = BinId(1 + rep as u64);
         let t = Instant::now();
-        let report = if sequential {
-            router.process_bin_sequential(bin, work)
-        } else {
-            router.process_bin(bin, work)
-        };
-        samples.push(t.elapsed().as_secs_f64() * 1e3);
-        std::hint::black_box(report);
+        std::hint::black_box(seq.process_bin_sequential(bin, work));
+        seq_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        std::hint::black_box(par.process_bin(bin, work));
+        par_samples.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    pinpoint_stats::median(&samples).expect("reps >= 1")
+    (
+        pinpoint_stats::median(&seq_samples).expect("reps >= 1"),
+        pinpoint_stats::median(&par_samples).expect("reps >= 1"),
+    )
 }
 
 /// The fleet workload: parity-gate the pooled router against the
@@ -366,8 +384,7 @@ fn run_multi_workload(
     let links: usize = ra.streams.iter().map(|r| r.link_stats.len()).sum();
     let intern_inserts = a.ingest_stats().bin_insertions;
 
-    let sequential_ms = time_fleet(mapper, warm, work, reps, true);
-    let parallel_ms = time_fleet(mapper, warm, work, reps, false);
+    let (sequential_ms, parallel_ms) = time_fleets(mapper, warm, work, reps);
     WorkloadResult {
         name: name.to_string(),
         records: work.iter().map(Vec::len).sum(),
@@ -416,9 +433,15 @@ fn run_service_workload(
         .map(|r| render::bin_report(r).to_string())
         .collect();
 
-    // Offline wall per bin: fresh analyzer, same cold stream.
+    // Offline session and live daemon over the identical feed, with the
+    // arms interleaved (offline, daemon, offline, daemon, …) so drift
+    // cannot bias either median; the daemon is parity-gated every rep.
     let mut offline_samples = Vec::with_capacity(reps);
+    let mut wall_samples = Vec::with_capacity(reps);
+    let mut latency_samples = Vec::with_capacity(reps);
+    let mut queue_peak = 0usize;
     for _ in 0..reps {
+        // Offline wall per bin: fresh analyzer, same cold stream.
         let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
         let t = Instant::now();
         let mut session = analyzer.session(0);
@@ -427,13 +450,7 @@ fn run_service_workload(
         }
         std::hint::black_box(session.flush());
         offline_samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
-    }
 
-    // Live daemon over the identical feed, parity-gated every rep.
-    let mut wall_samples = Vec::with_capacity(reps);
-    let mut latency_samples = Vec::with_capacity(reps);
-    let mut queue_peak = 0usize;
-    for _ in 0..reps {
         let feed: Vec<(BinId, Vec<TracerouteRecord>)> = bins
             .iter()
             .enumerate()
@@ -538,9 +555,11 @@ fn run_event_workload(name: &str, seed: u64, reps: usize) -> WorkloadResult {
         "{name}: the delta folds diverged across pipeline depths"
     );
 
-    let time_depth = |depth: usize| {
-        let mut samples = Vec::with_capacity(reps);
-        for _ in 0..reps {
+    // Interleave the depth passes (d1, d2, d1, d2, …) so environmental
+    // drift cannot bias one depth's median.
+    let mut samples = [Vec::with_capacity(reps), Vec::with_capacity(reps)];
+    for _ in 0..reps {
+        for (arm, depth) in [1usize, 2].into_iter().enumerate() {
             let mut router = case.router();
             let t = Instant::now();
             let mut session = router.session(depth);
@@ -548,12 +567,11 @@ fn run_event_workload(name: &str, seed: u64, reps: usize) -> WorkloadResult {
                 std::hint::black_box(session.push_bin(*bin, feeds));
             }
             std::hint::black_box(session.flush());
-            samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+            samples[arm].push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
         }
-        pinpoint_stats::median(&samples).expect("reps >= 1")
-    };
-    let sequential_ms = time_depth(1);
-    let parallel_ms = time_depth(2);
+    }
+    let sequential_ms = pinpoint_stats::median(&samples[0]).expect("reps >= 1");
+    let parallel_ms = pinpoint_stats::median(&samples[1]).expect("reps >= 1");
 
     WorkloadResult {
         name: name.to_string(),
@@ -745,6 +763,27 @@ fn main() {
     // parity-gated across pipeline depths and timed end to end.
     let event_result = run_event_workload("event_extraction", seed, reps);
 
+    // Workload 11: grouping-bound bin — a horde of probes, one sample
+    // each, so the per-shard (link, probe) key sort in `finalize` is the
+    // bill. Exercises the LSD radix grouping path end to end; the key
+    // universe is steady across bins (asserted zero insertions).
+    let grouping_spec = GroupingSpec::large();
+    let warm = grouping_bin(&grouping_spec, seed, 0);
+    let work = grouping_bin(&grouping_spec, seed, 1);
+    let grouping_result = run_workload("grouping_heavy", &mapper, &warm, &work, reps);
+    assert_eq!(
+        grouping_result.intern_inserts, 0,
+        "grouping_heavy steady-state bin performed intern insertions"
+    );
+
+    // Workload 12: characterization-bound bin — few links, ~1.1k samples
+    // each across five ASes, so the shard-level batched math (rank
+    // selection + cached Wilson bounds + diversity verdicts) dominates.
+    let char_spec = WorkloadSpec::characterize_heavy();
+    let warm = synthetic_bin(&char_spec, seed, 0);
+    let work = synthetic_bin(&char_spec, seed, 1);
+    let characterize_result = run_workload("characterize_heavy", &mapper, &warm, &work, reps);
+
     let results = [
         steady_result,
         large_result,
@@ -756,6 +795,8 @@ fn main() {
         artifact_result,
         service_result,
         event_result,
+        grouping_result,
+        characterize_result,
     ];
     for r in &results {
         println!(

@@ -48,6 +48,20 @@ impl WorkloadSpec {
     pub fn records(&self) -> usize {
         self.links * self.probes_per_link * self.shots
     }
+
+    /// A characterization-bound bin: few links, each sampled densely by
+    /// probes across all five ASes — grouping is tiny (hundreds of runs
+    /// per shard) but every link carries ~1.1k differential-RTT samples,
+    /// so the per-link math (median/CI rank selection + Wilson bounds +
+    /// the diversity verdict) is the bill. Exercises the batched
+    /// shard-level characterization pass.
+    pub fn characterize_heavy() -> Self {
+        WorkloadSpec {
+            links: 48,
+            probes_per_link: 32,
+            shots: 4,
+        }
+    }
 }
 
 fn link_ips(i: usize) -> (Ipv4Addr, Ipv4Addr, Ipv4Addr) {
@@ -102,6 +116,86 @@ pub fn synthetic_bin(spec: &WorkloadSpec, seed: u64, bin: u64) -> Vec<Traceroute
                     destination_reached: true,
                 });
             }
+        }
+    }
+    out
+}
+
+/// Shape of a grouping-bound bin.
+///
+/// The inverse of [`WorkloadSpec::characterize_heavy`]: a horde of probes
+/// each contributes a *single* RTT sample per link (one shot, one reply
+/// per hop), so the per-shard run buffers are long — hundreds to
+/// thousands of `(link, probe)` sort keys — while every run carries one
+/// sample and the per-link math stays shallow. The cost center is
+/// `finalize`'s key sort: exactly the path the LSD radix sort replaces.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupingSpec {
+    /// Number of distinct IP links.
+    pub links: usize,
+    /// Probes tracing each link once per bin (spread over 5 ASes).
+    pub probes_per_link: usize,
+}
+
+impl GroupingSpec {
+    /// A large grouping-bound bin (~900 sort keys per shard).
+    pub fn large() -> Self {
+        GroupingSpec {
+            links: 64,
+            probes_per_link: 220,
+        }
+    }
+
+    /// A small smoke-test bin.
+    pub fn small() -> Self {
+        GroupingSpec {
+            links: 8,
+            probes_per_link: 24,
+        }
+    }
+
+    /// Total records this spec produces.
+    pub fn records(&self) -> usize {
+        self.links * self.probes_per_link
+    }
+}
+
+/// Build one grouping-bound bin (see [`GroupingSpec`]).
+///
+/// One record per (link, probe): three responsive hops with a single
+/// reply each, so every record contributes exactly one differential-RTT
+/// sample to each of its two links. ASNs cycle over five values so the
+/// links survive the §4.3 diversity floor and the grouped rows flow all
+/// the way through characterization. The key universe is identical
+/// across bins (steady state for the intern epoch).
+pub fn grouping_bin(spec: &GroupingSpec, seed: u64, bin: u64) -> Vec<TracerouteRecord> {
+    let mut rng = SplitMix64::new(seed ^ 0x6E0F ^ (bin.wrapping_mul(0x9E37_79B9)));
+    let mut out = Vec::with_capacity(spec.records());
+    // Probe-major emission: consecutive records cycle through every link,
+    // so each shard's gathered run keys arrive thoroughly out of order —
+    // the shape that actually exercises the radix grouping path (a
+    // link-major sweep would hand the sorter already-ascending keys).
+    for p in 0..spec.probes_per_link {
+        for li in 0..spec.links {
+            let (near, far, dst) = link_ips(li);
+            let link_base = 4.0 + (li % 13) as f64;
+            let probe = ProbeId(9_000_000 + (li * spec.probes_per_link + p) as u32);
+            let base = 9.0 + rng.next_range_f64(-1.0, 1.0);
+            let one = |addr: Ipv4Addr, rtt: f64| Hop::new(0, vec![Reply::new(addr, rtt)]);
+            out.push(TracerouteRecord {
+                msm_id: MeasurementId(21_000 + li as u32),
+                probe_id: probe,
+                probe_asn: Asn(64000 + (p % 5) as u32),
+                dst,
+                timestamp: SimTime(bin * 3600 + (p as u64 % 1800)),
+                paris_id: 0,
+                hops: vec![
+                    one(near, base),
+                    one(far, base + link_base),
+                    one(dst, base + link_base + 2.0),
+                ],
+                destination_reached: true,
+            });
         }
     }
     out
@@ -448,6 +542,41 @@ mod tests {
         assert_eq!(report.records(), feeds.iter().map(Vec::len).sum::<usize>());
         assert!(report.streams.iter().all(|r| !r.link_stats.is_empty()));
         assert!(router.tracked_patterns() > 0);
+    }
+
+    #[test]
+    fn grouping_bin_is_sort_bound_but_fully_characterized() {
+        let spec = GroupingSpec::small();
+        let records = grouping_bin(&spec, 7, 0);
+        assert_eq!(records.len(), spec.records());
+        // Deterministic per seed; bins jitter but share one key universe.
+        assert_eq!(records, grouping_bin(&spec, 7, 0));
+        assert_ne!(records, grouping_bin(&spec, 8, 0));
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+        let report = analyzer.process_bin(BinId(0), &records);
+        // Five ASes per link: everything survives the diversity floor, so
+        // the sorted runs flow all the way through characterization.
+        assert_eq!(report.link_stats.len(), 2 * spec.links);
+        // Steady state: bin 1 replays the same keys, zero insertions.
+        analyzer.process_bin(BinId(1), &grouping_bin(&spec, 7, 1));
+        assert_eq!(analyzer.ingest_stats().bin_insertions, 0);
+    }
+
+    #[test]
+    fn characterize_heavy_spec_carries_dense_per_link_pools() {
+        let spec = WorkloadSpec::characterize_heavy();
+        let records = synthetic_bin(&spec, 7, 0);
+        assert_eq!(records.len(), spec.records());
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), synthetic_mapper());
+        let report = analyzer.process_bin(BinId(0), &records);
+        assert_eq!(report.link_stats.len(), 2 * spec.links);
+        // The point of the spec: every link's sample pool is deep enough
+        // that rank selection, not grouping, is the dominant cost.
+        let samples_per_link = spec.probes_per_link * spec.shots * 9;
+        assert!(
+            samples_per_link > 1000,
+            "characterize_heavy pools are too shallow ({samples_per_link})"
+        );
     }
 
     #[test]

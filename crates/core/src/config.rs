@@ -61,6 +61,15 @@ pub struct DetectorConfig {
     /// serial merge fences every bin, so deeper pipelines buy nothing.
     /// Purely a throughput knob; output is byte-identical for any value.
     pub pipeline_depth: usize,
+    /// Smallest per-shard element count at which the grouping paths use
+    /// the stable LSD radix sort instead of the comparison sort: `0`
+    /// (the default) picks the engine default
+    /// (`pinpoint_stats::RADIX_MIN_KEYS`), `1` forces radix for every
+    /// non-trivial shard, `usize::MAX` disables radix entirely. Because
+    /// the radix sort is stable and the gathered runs arrive in record
+    /// order, grouped output — and with it every report byte — is
+    /// identical for every value; purely a throughput knob.
+    pub radix_min_keys: usize,
     /// Run the record sanitizer in front of ingestion (default `true`).
     /// Disabling it feeds raw records — including structurally broken
     /// ones — straight to the detectors; useful only for measuring the
@@ -120,6 +129,7 @@ impl Default for DetectorConfig {
             ingest_chunk_records: 0,
             threads: 0,
             pipeline_depth: 0,
+            radix_min_keys: 0,
             sanitize: true,
             sanitize_max_rtt_ms: 10_000.0,
             sanitize_max_inversion_ms: 100.0,
@@ -281,6 +291,7 @@ mod tests {
         assert_eq!(c.threads, 0, "default engine uses every core");
         assert_eq!(c.ingest_chunk_records, 0, "default chunk size is auto");
         assert_eq!(c.pipeline_depth, 0, "default pipeline depth is auto");
+        assert_eq!(c.radix_min_keys, 0, "default radix threshold is auto");
         assert!(c.sanitize, "sanitizer on by default");
         assert_eq!(c.sanitize_max_hops, 64);
         assert_eq!(c.event_threshold, 4.0);
@@ -438,8 +449,20 @@ mod tests {
             threads: 0,
             ingest_chunk_records: 0,
             pipeline_depth: 0,
+            radix_min_keys: 0,
             ..Default::default()
         };
         cfg.validate().unwrap();
+        // And the radix extremes — always-radix and never-radix — are
+        // both legal: the knob only moves work between two sorts that
+        // produce identical output.
+        for radix_min_keys in [1, usize::MAX] {
+            DetectorConfig {
+                radix_min_keys,
+                ..Default::default()
+            }
+            .validate()
+            .unwrap();
+        }
     }
 }

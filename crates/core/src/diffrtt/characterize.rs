@@ -6,7 +6,10 @@
 //! destroyed by outliers (Fig. 3).
 
 use crate::config::DetectorConfig;
-use pinpoint_stats::wilson::{median_ci_select, median_ci_sorted, ConfidenceInterval};
+use pinpoint_stats::wilson::{
+    median_ci_select, median_ci_select_ranks, median_ci_sorted, wilson_rank_bounds,
+    ConfidenceInterval,
+};
 
 /// Robust summary of one link in one bin.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +23,88 @@ impl LinkStat {
     pub fn median(&self) -> f64 {
         self.ci.median
     }
+}
+
+/// Memo of the Wilson CI rank bounds per distinct sample count.
+///
+/// [`wilson_rank_bounds`] depends only on `(n, z)`, and a bin's links
+/// cluster around a handful of sample counts (probes × replies), so the
+/// engine's batched shard pass computes each count's ranks once and
+/// replays them from this table — the transcendental work (sqrt inside
+/// the Wilson score) drops out of the per-link loop. `z` is a config
+/// constant in practice; the cache resets if it ever changes.
+#[derive(Debug, Default)]
+pub struct RankCache {
+    z: f64,
+    by_n: Vec<Option<(u32, u32)>>,
+}
+
+impl RankCache {
+    /// `(li, ui)` for `n` samples at critical value `z` — identical to
+    /// `wilson_rank_bounds(n, z)`, computed once per distinct `n`.
+    fn ranks(&mut self, n: usize, z: f64) -> (usize, usize) {
+        if self.z != z {
+            self.z = z;
+            self.by_n.clear();
+        }
+        if n >= self.by_n.len() {
+            self.by_n.resize(n + 1, None);
+        }
+        let (li, ui) = *self.by_n[n].get_or_insert_with(|| {
+            let (li, ui) = wilson_rank_bounds(n, z);
+            (li as u32, ui as u32)
+        });
+        (li as usize, ui as usize)
+    }
+}
+
+/// Shared tail of the cached paths: filter already done, `buf` holds the
+/// finite samples. Bit-identical to `median_ci_select(buf, cfg.wilson_z)`.
+fn finish_cached(buf: &mut [f64], cfg: &DetectorConfig, cache: &mut RankCache) -> Option<LinkStat> {
+    if buf.is_empty() {
+        return None;
+    }
+    let (li, ui) = cache.ranks(buf.len(), cfg.wilson_z);
+    let ci = median_ci_select_ranks(buf, li, ui)?;
+    Some(LinkStat { ci })
+}
+
+/// [`characterize_into`] with the Wilson ranks memoized in `cache`.
+pub fn characterize_into_cached(
+    samples: &[f64],
+    scratch: &mut Vec<f64>,
+    cfg: &DetectorConfig,
+    cache: &mut RankCache,
+) -> Option<LinkStat> {
+    scratch.clear();
+    scratch.extend(samples.iter().copied().filter(|x| x.is_finite()));
+    finish_cached(scratch, cfg, cache)
+}
+
+/// [`characterize_in_place`] with the Wilson ranks memoized in `cache`.
+pub fn characterize_in_place_cached(
+    buf: &mut Vec<f64>,
+    cfg: &DetectorConfig,
+    cache: &mut RankCache,
+) -> Option<LinkStat> {
+    buf.retain(|x| x.is_finite());
+    finish_cached(buf, cfg, cache)
+}
+
+/// [`characterize_region`] with the Wilson ranks memoized in `cache`:
+/// the engine's hot path for balanced links. Non-finite samples still
+/// fall back to the copying path (dropping them in place would disturb
+/// the pool layout).
+pub fn characterize_region_cached(
+    region: &mut [f64],
+    scratch: &mut Vec<f64>,
+    cfg: &DetectorConfig,
+    cache: &mut RankCache,
+) -> Option<LinkStat> {
+    if region.iter().any(|x| !x.is_finite()) {
+        return characterize_into_cached(region, scratch, cfg, cache);
+    }
+    finish_cached(region, cfg, cache)
 }
 
 /// Characterize filtered samples; `None` when empty or non-finite.
@@ -170,6 +255,63 @@ mod tests {
             characterize_full_sort(&weird, &cfg)
         );
         assert!(characterize_region(&mut [], &mut scratch, &cfg).is_none());
+    }
+
+    #[test]
+    fn cached_paths_match_uncached_and_full_sort() {
+        // One shared cache across links of many sizes — including repeat
+        // sizes (the memo-hit case) and non-finite injections (the
+        // region fallback case) — must stay bit-identical to the direct
+        // and full-sort paths.
+        let cfg = DetectorConfig::default();
+        let mut rng = SplitMix64::new(4242);
+        let mut cache = RankCache::default();
+        let mut scratch = Vec::new();
+        for n in [1usize, 2, 3, 7, 24, 24, 100, 7, 313, 100] {
+            let mut samples: Vec<f64> = (0..n).map(|_| rng.next_f64() * 60.0 - 20.0).collect();
+            // Every third round poisons a sample to force the fallback.
+            if n > 2 && n % 3 == 1 {
+                let k = (rng.next_raw() as usize) % n;
+                samples[k] = if n % 2 == 0 { f64::NAN } else { f64::INFINITY };
+            }
+            let want = characterize_full_sort(&samples, &cfg);
+            let mut region = samples.clone();
+            assert_eq!(
+                characterize_region_cached(&mut region, &mut scratch, &cfg, &mut cache),
+                want,
+                "region n={n}"
+            );
+            assert_eq!(
+                characterize_into_cached(&samples, &mut scratch, &cfg, &mut cache),
+                want,
+                "into n={n}"
+            );
+            let mut buf = samples.clone();
+            assert_eq!(
+                characterize_in_place_cached(&mut buf, &cfg, &mut cache),
+                want,
+                "in_place n={n}"
+            );
+        }
+        // All-non-finite and empty inputs yield None through the cache too.
+        assert!(characterize_into_cached(&[f64::NAN; 4], &mut scratch, &cfg, &mut cache).is_none());
+        assert!(characterize_region_cached(&mut [], &mut scratch, &cfg, &mut cache).is_none());
+    }
+
+    #[test]
+    fn rank_cache_survives_z_change() {
+        let mut a = DetectorConfig::default();
+        let mut cache = RankCache::default();
+        let mut scratch = Vec::new();
+        let samples: Vec<f64> = (0..50).map(|i| f64::from(i) * 0.3).collect();
+        for z in [1.96, 0.0, 3.0, 1.96] {
+            a.wilson_z = z;
+            assert_eq!(
+                characterize_into_cached(&samples, &mut scratch, &a, &mut cache),
+                characterize_full_sort(&samples, &a),
+                "z={z}"
+            );
+        }
     }
 
     #[test]

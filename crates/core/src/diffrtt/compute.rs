@@ -288,11 +288,12 @@ impl DelayChunk {
         }
         self.new_links.clear();
         self.new_link_ids.clear();
-        self.link_patch.clear();
         self.new_probes.clear();
         self.probe_seen.clear();
         self.touched_probes.clear();
-        self.probe_patch.clear();
+        // `link_patch` / `probe_patch` are NOT cleared here: the merge
+        // owns their lifecycle — it clears and refills both before any
+        // `gather` reads them, so wiping them per wave is wasted work.
     }
 
     /// Scatter one record chunk into this chunk's per-shard row buffers,
@@ -408,6 +409,9 @@ pub(crate) struct ShardRows {
     spans: Vec<ProbeSpan>,
     entries: Vec<LinkEntry>,
     as_scratch: Vec<Asn>,
+    /// Radix ping-pong buffer, recycled across bins so steady-state
+    /// finalize passes allocate nothing.
+    sort_scratch: Vec<SampleRun>,
 }
 
 impl ShardRows {
@@ -457,16 +461,28 @@ impl ShardRows {
     /// touches the epoch tables (observed links are stamped by the
     /// caller's serial fence, [`SampleArena::stamp_bin`], from the entry
     /// list this lays out).
-    pub(crate) fn finalize(&mut self, idx: usize, probe_asns: &[Asn], chunks: &[DelayChunk]) {
+    pub(crate) fn finalize(
+        &mut self,
+        idx: usize,
+        probe_asns: &[Asn],
+        chunks: &[DelayChunk],
+        radix_min_keys: usize,
+    ) {
         self.pool.clear();
         self.spans.clear();
         self.entries.clear();
-        // One composite-keyed sort over a small, cache-resident run
-        // index. The (chunk, start) tiebreak keeps equal keys in gather
-        // order — a stable sort by key, without a stable sort's
-        // allocation.
-        self.runs
-            .sort_unstable_by_key(|r| (r.key, r.chunk, r.start));
+        // One sort over a small, cache-resident run index. `gather`
+        // appends runs in (chunk, start) order, so the stable radix sort
+        // by key alone reproduces the comparison sort's explicit
+        // (chunk, start) tiebreak — same pool layout, O(n · live_digits)
+        // instead of O(n log n). Below `radix_min_keys` runs, the
+        // histogram pre-pass costs more than it saves.
+        if self.runs.len() >= radix_min_keys {
+            pinpoint_stats::sort_by_u64_key(&mut self.runs, &mut self.sort_scratch, |r| r.key);
+        } else {
+            self.runs
+                .sort_unstable_by_key(|r| (r.key, r.chunk, r.start));
+        }
         let mut i = 0;
         while i < self.runs.len() {
             let link_local = (self.runs[i].key >> 32) as u32;
@@ -862,7 +878,12 @@ impl SampleArena {
         let parts = self.parts_mut();
         for (i, shard) in parts.rows.iter_mut().enumerate() {
             shard.gather(i, parts.chunks);
-            shard.finalize(i, parts.probe_asns, parts.chunks);
+            shard.finalize(
+                i,
+                parts.probe_asns,
+                parts.chunks,
+                pinpoint_stats::RADIX_MIN_KEYS,
+            );
         }
         self.stamp_bin(bin);
     }

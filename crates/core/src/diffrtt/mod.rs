@@ -430,13 +430,28 @@ impl<'a> DelayStage<'a> {
     }
 }
 
+/// Per-worker buffers reused across a bundle's shards (and, since the
+/// executor reuses jobs per wave, across bins): surviving samples,
+/// diversity scratch, the batched passes' decision/stat rows, and the
+/// Wilson rank memo.
+#[derive(Default)]
+struct BundleScratch {
+    surviving: Vec<f64>,
+    diversity: diversity::Scratch,
+    decisions: Vec<diversity::Keep>,
+    stats: Vec<Option<LinkStat>>,
+    ranks: characterize::RankCache,
+}
+
 /// The per-worker shard pipeline: gather each bundled shard's chunk runs
-/// in chunk order, group them, then run steps 2–5 per link. Shard state arrives by `&mut` — no
-/// locks, no contention — and every per-link decision depends only on
-/// `(cfg, link, bin)`, so the caller's in-order merge is independent of
-/// the thread count. Nothing here writes the epoch tables (stamping is
-/// the caller's post-wave fence), which is what lets the pipelined
-/// executor run this concurrently with the next bin's scatter wave.
+/// in chunk order, group them, then run steps 2–5 over the shard's links
+/// as three batched passes ([`characterize_shard`]). Shard state arrives
+/// by `&mut` — no locks, no contention — and every per-link decision
+/// depends only on `(cfg, link, bin)`, so the caller's in-order merge is
+/// independent of the thread count. Nothing here writes the epoch tables
+/// (stamping is the caller's post-wave fence), which is what lets the
+/// pipelined executor run this concurrently with the next bin's scatter
+/// wave.
 fn run_delay_bundle(
     bundle: DelayBundle<'_>,
     cfg: &DetectorConfig,
@@ -446,9 +461,8 @@ fn run_delay_bundle(
     probe_asns: &[Asn],
 ) -> ShardOutput {
     let mut out = ShardOutput::default();
-    // Reused across links: surviving samples + diversity scratch.
-    let mut surviving: Vec<f64> = Vec::new();
-    let mut diversity_scratch = diversity::Scratch::default();
+    let mut scratch = BundleScratch::default();
+    let radix_min_keys = engine::resolve_radix(cfg.radix_min_keys);
     for DelayShardTask {
         idx,
         rows,
@@ -457,59 +471,113 @@ fn run_delay_bundle(
     } in bundle
     {
         rows.gather(idx, chunks);
-        rows.finalize(idx, probe_asns, chunks);
-        for j in 0..rows.link_count() {
-            let slice = rows.link_in(j, links, probe_ids, probe_asns);
-            let link = slice.link;
-            // Step 2: probe-diversity filter.
-            let mut rng = link_rng(cfg.seed, &link, bin);
-            let decision = diversity::decide(&slice, cfg, &mut rng, &mut diversity_scratch);
-            // Step 3: robust characterization via order-statistic
-            // selection — zero-copy for balanced links (permuting the
-            // link's contiguous pool region in place), copying only the
-            // survivors of a rebalanced link.
-            let stat = match decision {
-                diversity::Keep::Discard => continue,
-                diversity::Keep::All => {
-                    let region = rows.entry_pool_range(j);
-                    characterize::characterize_region(
-                        &mut rows.pool_mut()[region],
-                        &mut surviving,
-                        cfg,
-                    )
-                }
-                diversity::Keep::Without(removed) => {
-                    surviving.clear();
-                    let slice = rows.link_in(j, links, probe_ids, probe_asns);
-                    for (probe, _, samples) in slice.probes() {
-                        if !removed.contains(&probe) {
-                            surviving.extend_from_slice(samples);
-                        }
-                    }
-                    characterize::characterize_in_place(&mut surviving, cfg)
-                }
-            };
-            let Some(stat) = stat else {
-                continue;
-            };
-            // Steps 4 + 5 against the running reference.
-            let entry = shard.references.entry(link).or_insert_with(|| {
-                out.new_links += 1;
-                ReferenceEntry {
-                    reference: LinkReference::new(cfg),
-                    last_seen: bin,
-                }
-            });
-            if let Some(alarm) = detect::check(link, bin, &stat, &entry.reference, cfg) {
-                out.alarms.push(alarm);
-            }
-            entry.reference.update(&stat);
-            entry.last_seen = bin;
-            out.stats.push((link, stat));
-        }
+        rows.finalize(idx, probe_asns, chunks, radix_min_keys);
+        characterize_shard(
+            rows,
+            links,
+            shard,
+            cfg,
+            bin,
+            probe_ids,
+            probe_asns,
+            &mut scratch,
+            &mut out,
+        );
         shard.evict(bin, cfg);
     }
     out
+}
+
+/// Steps 2–5 for one finalized shard, batched into three link-order
+/// passes instead of one interleaved per-link loop:
+///
+/// * **pass A** draws every link's §4.3 diversity verdict;
+/// * **pass B** characterizes the survivors, walking the contiguous
+///   entry pool in layout order with the Wilson rank bounds memoized per
+///   distinct sample count ([`characterize::RankCache`]) — the
+///   selection-heavy inner loop runs back to back, with no reference
+///   hash-map traffic between links;
+/// * **pass C** runs detection and the reference update.
+///
+/// Bit-identical to the interleaved loop: each link's RNG is derived
+/// independently from `(cfg.seed, link, bin)` (pass A consumes no shared
+/// stream), characterization depends only on the link's samples and
+/// `cfg`, and pass C touches the references in the same entry order the
+/// single loop did.
+#[allow(clippy::too_many_arguments)]
+fn characterize_shard(
+    rows: &mut ShardRows,
+    links: &[IpLink],
+    shard: &mut Shard,
+    cfg: &DetectorConfig,
+    bin: BinId,
+    probe_ids: &[ProbeId],
+    probe_asns: &[Asn],
+    scratch: &mut BundleScratch,
+    out: &mut ShardOutput,
+) {
+    let n = rows.link_count();
+    // Pass A: probe-diversity verdicts (step 2).
+    scratch.decisions.clear();
+    for j in 0..n {
+        let slice = rows.link_in(j, links, probe_ids, probe_asns);
+        let mut rng = link_rng(cfg.seed, &slice.link, bin);
+        let decision = diversity::decide(&slice, cfg, &mut rng, &mut scratch.diversity);
+        scratch.decisions.push(decision);
+    }
+    // Pass B: robust characterization (step 3) — zero-copy for balanced
+    // links (permuting the link's contiguous pool region in place),
+    // copying only the survivors of a rebalanced link.
+    scratch.stats.clear();
+    for j in 0..n {
+        let stat = match &scratch.decisions[j] {
+            diversity::Keep::Discard => None,
+            diversity::Keep::All => {
+                let region = rows.entry_pool_range(j);
+                characterize::characterize_region_cached(
+                    &mut rows.pool_mut()[region],
+                    &mut scratch.surviving,
+                    cfg,
+                    &mut scratch.ranks,
+                )
+            }
+            diversity::Keep::Without(removed) => {
+                scratch.surviving.clear();
+                let slice = rows.link_in(j, links, probe_ids, probe_asns);
+                for (probe, _, samples) in slice.probes() {
+                    if !removed.contains(&probe) {
+                        scratch.surviving.extend_from_slice(samples);
+                    }
+                }
+                characterize::characterize_in_place_cached(
+                    &mut scratch.surviving,
+                    cfg,
+                    &mut scratch.ranks,
+                )
+            }
+        };
+        scratch.stats.push(stat);
+    }
+    // Pass C: detection + reference update (steps 4 + 5), in entry order.
+    for j in 0..n {
+        let Some(stat) = scratch.stats[j] else {
+            continue;
+        };
+        let link = rows.link_in(j, links, probe_ids, probe_asns).link;
+        let entry = shard.references.entry(link).or_insert_with(|| {
+            out.new_links += 1;
+            ReferenceEntry {
+                reference: LinkReference::new(cfg),
+                last_seen: bin,
+            }
+        });
+        if let Some(alarm) = detect::check(link, bin, &stat, &entry.reference, cfg) {
+            out.alarms.push(alarm);
+        }
+        entry.reference.update(&stat);
+        entry.last_seen = bin;
+        out.stats.push((link, stat));
+    }
 }
 
 /// Strongest first; ties broken totally so output order is deterministic

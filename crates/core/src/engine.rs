@@ -65,6 +65,41 @@ pub(crate) fn resolve_depth(depth: usize) -> usize {
     }
 }
 
+/// Resolve the *effective* schedule for a `(depth, threads)` knob pair.
+/// The overlapped depth-2 executor exists to run bin *n+1*'s scatter
+/// chunks while other workers grind bin *n*'s shard jobs; a resolved
+/// single-worker herd has nothing to overlap, so the two-lane schedule
+/// can only pay its own costs (the chunk lanes ping-pong, leaving each
+/// lane's buffers cache-cold every other bin) and measures strictly
+/// slower than running serially. Collapse it to the serial schedule
+/// there. Reports stay byte-identical — the only visible difference is
+/// cadence: the serial schedule returns each bin's report on its own
+/// push instead of one push later, and `depth()` reports `1`.
+pub(crate) fn resolve_schedule(depth: usize, threads: usize) -> usize {
+    if resolve_threads(threads) == 1 {
+        1
+    } else {
+        resolve_depth(depth)
+    }
+}
+
+/// Resolve the `radix_min_keys` knob (`0` = engine default) into the
+/// smallest per-shard element count at which the grouping paths switch
+/// from the comparison sort to the stable LSD radix sort. The default is
+/// [`pinpoint_stats::radix::RADIX_MIN_KEYS`] — below it the histogram
+/// pre-pass costs more than the comparison sort saves. `1` forces radix
+/// everywhere, `usize::MAX` disables it. Purely a throughput knob:
+/// radix is stable and the gathered input is in record order, so the
+/// grouped output is identical either way (`tests/engine_parity.rs`
+/// sweeps `PINPOINT_RADIX` through the CI matrix to prove it).
+pub(crate) fn resolve_radix(radix_min_keys: usize) -> usize {
+    if radix_min_keys == 0 {
+        pinpoint_stats::radix::RADIX_MIN_KEYS
+    } else {
+        radix_min_keys
+    }
+}
+
 /// Stable shard assignment for word-packable keys: one SplitMix64 round.
 /// Must not involve `RandomState` or anything process-seeded — determinism
 /// across runs and thread counts depends on it.
@@ -261,6 +296,30 @@ mod tests {
         assert_eq!(resolve_depth(1), 1);
         assert_eq!(resolve_depth(2), 2);
         assert_eq!(resolve_depth(9), 2, "deeper than 2 buys nothing");
+    }
+
+    #[test]
+    fn schedule_collapses_to_serial_on_one_worker() {
+        assert_eq!(
+            resolve_schedule(2, 1),
+            1,
+            "one worker has nothing to overlap"
+        );
+        assert_eq!(resolve_schedule(0, 1), 1);
+        assert_eq!(resolve_schedule(2, 2), 2);
+        assert_eq!(resolve_schedule(0, 2), 2, "auto stays overlapped");
+        assert_eq!(resolve_schedule(1, 8), 1, "explicit serial is honored");
+    }
+
+    #[test]
+    fn radix_resolution_defaults_and_extremes() {
+        assert_eq!(
+            resolve_radix(0),
+            pinpoint_stats::radix::RADIX_MIN_KEYS,
+            "auto is the stats-crate fallback boundary"
+        );
+        assert_eq!(resolve_radix(1), 1, "1 forces radix everywhere");
+        assert_eq!(resolve_radix(usize::MAX), usize::MAX, "MAX disables radix");
     }
 
     #[test]

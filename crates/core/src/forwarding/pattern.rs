@@ -206,11 +206,12 @@ impl PatternChunk {
         }
         self.new_patterns.clear();
         self.new_pattern_ids.clear();
-        self.pattern_patch.clear();
         self.new_hops.clear();
         self.hop_seen.clear();
         self.touched_hops.clear();
-        self.hop_patch.clear();
+        // `pattern_patch` / `hop_patch` are NOT cleared here: the merge
+        // owns their lifecycle — it clears and refills both before any
+        // `gather` reads them, so wiping them per wave is wasted work.
     }
 
     /// Scatter one record chunk into this chunk's per-shard row buffers.
@@ -306,6 +307,9 @@ pub(crate) struct PatternShardRows {
     /// the observed-pattern list the post-wave stamp fence
     /// ([`PatternArena::stamp_bin`]) walks.
     entries: Vec<(u32, u32, u32)>,
+    /// Radix ping-pong buffer, recycled across bins so steady-state
+    /// finalize passes allocate nothing.
+    sort_scratch: Vec<(u64, f64)>,
 }
 
 impl PatternShardRows {
@@ -345,14 +349,20 @@ impl PatternShardRows {
     /// across shards — and, in the pipelined executor, concurrently with
     /// the next bin's scatter wave: observed patterns are stamped by the
     /// caller's serial fence from the entry list this lays out.
-    pub(crate) fn finalize(&mut self) {
+    pub(crate) fn finalize(&mut self, radix_min_keys: usize) {
         self.pool.clear();
         self.entries.clear();
         // One u64-keyed sort over a small, cache-resident shard. Equal keys
         // are summed; the addends are whole packets, so the sum is exact
-        // and independent of row order. SENTINEL sorts after every real
-        // hop slot, so presence rows are consumed at the end of a group.
-        self.rows.sort_unstable_by_key(|r| r.0);
+        // and independent of row order — which is also why the stable
+        // radix path and the unstable comparison path yield identical
+        // pools. SENTINEL sorts after every real hop slot, so presence
+        // rows are consumed at the end of a group.
+        if self.rows.len() >= radix_min_keys {
+            pinpoint_stats::sort_by_u64_key(&mut self.rows, &mut self.sort_scratch, |r| r.0);
+        } else {
+            self.rows.sort_unstable_by_key(|r| r.0);
+        }
         let mut i = 0;
         while i < self.rows.len() {
             let local = (self.rows[i].0 >> 32) as u32;
@@ -636,7 +646,7 @@ impl PatternArena {
         let parts = self.parts_mut();
         for (i, shard) in parts.rows.iter_mut().enumerate() {
             shard.gather(i, parts.chunks);
-            shard.finalize();
+            shard.finalize(pinpoint_stats::RADIX_MIN_KEYS);
         }
         self.stamp_bin(bin);
     }

@@ -115,12 +115,31 @@
 //!   advance only at the serial merge fence between waves, and
 //!   compaction sweeps are fenced into drained gaps. Reports emerge
 //!   strictly in bin order, byte-identical to the serial schedule.
-//! * **Selection, not sorting** — per-link characterization uses
-//!   `median_ci_select` (three quickselects) instead of a full sort,
-//!   and balanced links (the overwhelming majority) are characterized
-//!   **zero-copy**: their samples sit contiguously in the shard pool
-//!   after grouping, so selection permutes that region in place instead
-//!   of copying into a scratch buffer.
+//! * **Radix grouping** — the per-shard grouping sort runs a stable
+//!   LSD radix sort over the packed `u64` run keys
+//!   (`pinpoint_stats::sort_by_u64_key`): an XOR-diff pre-pass skips
+//!   the constant byte digits packed ids leave dead, bails out on
+//!   already-sorted shards, and hands nearly-sorted shards (the
+//!   k-ascending-runs shape a chunked gather produces) to the standard
+//!   library's run-adaptive stable merge — so only genuinely shuffled
+//!   shards pay counting passes, where radix beats the comparison sort
+//!   2–4×. Stability replaces the explicit gather-order tiebreak, and
+//!   `DetectorConfig::radix_min_keys` keeps every path selectable
+//!   (0 = auto, 1 = always, `usize::MAX` = never).
+//! * **Selection, not sorting** — per-link characterization fetches
+//!   the median and both Wilson-rank CI bounds with ONE partition-based
+//!   multiselect (`median_ci_select_ranks`) instead of a full sort or
+//!   three independent quickselects; the Wilson rank bounds (a pure
+//!   function of pool size) are memoized per shard, and balanced links
+//!   (the overwhelming majority) are characterized **zero-copy**: their
+//!   samples sit contiguously in the shard pool after grouping, so
+//!   selection permutes that region in place instead of copying into a
+//!   scratch buffer.
+//! * **Serial schedule on serial hardware** — `engine::resolve_schedule`
+//!   collapses pipeline depth 2 to 1 when the worker herd has one
+//!   thread: there is nothing to overlap, and the two-lane schedule
+//!   would only pay its lane ping-pong. Byte-identical output; only the
+//!   report cadence changes.
 //! * **Determinism** — per-link randomness is derived from
 //!   `(seed, link, bin)`, job outputs merge in job order (never
 //!   completion order), alarms get a final total-order sort, ingestion
@@ -135,8 +154,8 @@
 //!   `tests/pipeline_overlap_parity.rs` prove equivalence across
 //!   scenarios, seeds, thread counts, chunk sizes, and depths (re-run
 //!   in CI under a `PINPOINT_THREADS` ∈ {1, 2, 4, 8} ×
-//!   `PINPOINT_CHUNK` ∈ {3, default} × `PINPOINT_PIPELINE` ∈ {2, 1}
-//!   matrix on a multi-core runner).
+//!   `PINPOINT_CHUNK` ∈ {3, default} × `PINPOINT_PIPELINE` ∈ {2, 1} ×
+//!   `PINPOINT_RADIX` ∈ {on, off} matrix on a multi-core runner).
 //!
 //! Benchmarks: `cargo bench -p pinpoint-bench` (criterion-style suite,
 //! includes parallel-vs-sequential engine benches) and

@@ -472,7 +472,9 @@ impl Analyzer {
     /// same worker herd. `depth` follows the usual knob convention: `0`
     /// resolves through [`DetectorConfig::pipeline_depth`] (whose own `0`
     /// means the engine default, depth 2); `1` is the strictly serial
-    /// schedule; anything deeper clamps to 2. Output is byte-identical to
+    /// schedule; anything deeper clamps to 2; and a resolved one-worker
+    /// herd always collapses to the serial schedule (nothing to overlap —
+    /// see `engine::resolve_schedule`). Output is byte-identical to
     /// [`Analyzer::process_bin`] for every depth — the determinism
     /// contract's pipelining rule (see `src/README.md`).
     ///
@@ -483,11 +485,14 @@ impl Analyzer {
             self.session.is_none(),
             "pipelined called while an incremental bin is open (finish_bin first)"
         );
-        let depth = crate::engine::resolve_depth(if depth == 0 {
-            self.cfg.pipeline_depth
-        } else {
-            depth
-        });
+        let depth = crate::engine::resolve_schedule(
+            if depth == 0 {
+                self.cfg.pipeline_depth
+            } else {
+                depth
+            },
+            self.cfg.threads,
+        );
         PipelinedDriver {
             analyzer: self,
             depth,

@@ -185,11 +185,14 @@ pub struct AnalyzerSession<'a> {
 
 impl<'a> AnalyzerSession<'a> {
     pub(crate) fn new(analyzer: &'a mut Analyzer, depth: usize) -> Self {
-        let depth = crate::engine::resolve_depth(if depth == 0 {
-            analyzer.config().pipeline_depth
-        } else {
-            depth
-        });
+        let depth = crate::engine::resolve_schedule(
+            if depth == 0 {
+                analyzer.config().pipeline_depth
+            } else {
+                depth
+            },
+            analyzer.config().threads,
+        );
         let lanes = if depth == 1 {
             Lanes::Serial(analyzer)
         } else {
@@ -314,11 +317,14 @@ pub struct FleetSession<'a> {
 
 impl<'a> FleetSession<'a> {
     pub(crate) fn new(router: &'a mut StreamRouter, depth: usize) -> Self {
-        let depth = crate::engine::resolve_depth(if depth == 0 {
-            router.default_pipeline_depth()
-        } else {
-            depth
-        });
+        let depth = crate::engine::resolve_schedule(
+            if depth == 0 {
+                router.default_pipeline_depth()
+            } else {
+                depth
+            },
+            router.configured_threads(),
+        );
         let streams = router.len();
         let lanes = if depth == 1 {
             FleetLanes::Serial(router)
@@ -430,16 +436,41 @@ mod tests {
         Analyzer::new(DetectorConfig::fast_test(), AsMapper::new())
     }
 
+    /// An analyzer whose herd has two workers — required by every test
+    /// that exercises depth-2 cadence, because a one-worker herd
+    /// collapses the overlapped schedule to serial
+    /// (`engine::resolve_schedule`), regardless of the host's core count.
+    fn pipelined_analyzer() -> Analyzer {
+        let mut cfg = DetectorConfig::fast_test();
+        cfg.threads = 2;
+        Analyzer::new(cfg, AsMapper::new())
+    }
+
     #[test]
     fn depth_resolution_matches_driver_convention() {
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         assert_eq!(a.session(1).depth(), 1);
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         assert_eq!(a.session(2).depth(), 2);
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         assert_eq!(a.session(7).depth(), 2, "deeper than 2 clamps");
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         assert_eq!(a.session(0).depth(), 2, "0 falls through to the default");
+    }
+
+    #[test]
+    fn one_worker_session_collapses_to_serial() {
+        let mut cfg = DetectorConfig::fast_test();
+        cfg.threads = 1;
+        let mut a = Analyzer::new(cfg, AsMapper::new());
+        let mut session = a.session(2);
+        assert_eq!(session.depth(), 1, "one worker has nothing to overlap");
+        // Serial cadence: every push reports its own bin immediately.
+        let report = session
+            .push_bin(BinId(0), &[])
+            .expect("serial schedule reports immediately");
+        assert_eq!(report.bin, BinId(0));
+        assert!(session.flush().is_none());
     }
 
     #[test]
@@ -457,7 +488,7 @@ mod tests {
 
     #[test]
     fn pipelined_session_trails_one_bin_and_flushes_the_tail() {
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         let mut session = a.session(2);
         assert!(session.push_bin(BinId(0), &[]).is_none());
         assert_eq!(session.push_bin(BinId(1), &[]).unwrap().bin, BinId(0));
@@ -467,7 +498,7 @@ mod tests {
 
     #[test]
     fn incremental_slices_and_drive_agree_on_report_order() {
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         let mut session = a.session(2);
         session.begin_bin(BinId(0));
         session.ingest(&[]);
@@ -478,7 +509,7 @@ mod tests {
 
     #[test]
     fn drive_exhausts_a_source_in_order() {
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         let bins: Vec<(BinId, Vec<TracerouteRecord>)> =
             (0..4u64).map(|b| (BinId(b), Vec::new())).collect();
         let mut seen = Vec::new();
@@ -490,8 +521,9 @@ mod tests {
     #[test]
     fn fleet_session_round_trips() {
         let mut router = StreamRouter::new();
-        router.add_stream("a", analyzer());
-        router.add_stream("b", analyzer());
+        router.add_stream("a", pipelined_analyzer());
+        router.add_stream("b", pipelined_analyzer());
+        router.set_threads(2);
         let mut session = router.session(2);
         let feeds = vec![Vec::new(), Vec::new()];
         assert!(session.push_bin(BinId(0), &feeds).is_none());
@@ -502,7 +534,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "flush called while a bin is open")]
     fn flush_with_open_bin_panics() {
-        let mut a = analyzer();
+        let mut a = pipelined_analyzer();
         let mut session = a.session(2);
         session.begin_bin(BinId(0));
         session.flush();

@@ -151,6 +151,12 @@ impl StreamRouter {
         engine::resolve_threads(self.threads)
     }
 
+    /// The raw `set_threads` knob, for schedule resolution (the fleet's
+    /// twin of `DetectorConfig::threads`).
+    pub(crate) fn configured_threads(&self) -> usize {
+        self.threads
+    }
+
     /// Run one bin of the whole fleet through one shared worker pool.
     ///
     /// `feeds[i]` is the record feed of stream `i` (one slot per stream,
@@ -340,8 +346,9 @@ impl StreamRouter {
     /// first stream's `DetectorConfig::pipeline_depth` (the streams of a
     /// fleet share their configuration in practice; an empty fleet takes
     /// the engine default), whose own `0` means the engine default (2);
-    /// deeper than 2 clamps. Byte-identical to
-    /// [`StreamRouter::process_bin`] for every depth.
+    /// deeper than 2 clamps; and a one-worker herd ([`Self::set_threads`])
+    /// collapses to the serial schedule (see `engine::resolve_schedule`).
+    /// Byte-identical to [`StreamRouter::process_bin`] for every depth.
     pub fn pipelined(&mut self, depth: usize) -> FleetPipelinedDriver<'_> {
         let depth = if depth == 0 {
             self.streams
@@ -350,7 +357,7 @@ impl StreamRouter {
         } else {
             depth
         };
-        let depth = engine::resolve_depth(depth);
+        let depth = engine::resolve_schedule(depth, self.threads);
         FleetPipelinedDriver {
             router: self,
             depth,

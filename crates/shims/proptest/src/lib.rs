@@ -168,6 +168,26 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+// Tuple strategies: each component generates independently, like
+// proptest's tuple composition — `(0u64..50, 0u32..8)` yields pairs.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
 /// Collection strategies (`prop::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};

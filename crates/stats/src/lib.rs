@@ -22,6 +22,9 @@
 //! * [`normal`] — standard normal CDF/quantile functions and Q-Q utilities
 //!   (Fig. 3 normality checks);
 //! * [`ecdf`] — empirical CDF/CCDF and histograms (Fig. 5);
+//! * [`radix`] — stable LSD radix sort over `u64` composite keys, the
+//!   engine's grouping kernel (stability preserves gather order, so the
+//!   parallel engine's byte-for-byte parity holds by construction);
 //! * [`descriptive`] — mean/variance/skewness for the comparisons against
 //!   non-robust estimators;
 //! * [`rng`] and [`distributions`] — a deterministic, seedable RNG and the
@@ -43,6 +46,7 @@ pub mod entropy;
 pub mod mad;
 pub mod normal;
 pub mod quantile;
+pub mod radix;
 pub mod rng;
 pub mod sliding;
 pub mod smoothing;
@@ -53,8 +57,11 @@ pub use descriptive::Summary;
 pub use ecdf::Ecdf;
 pub use entropy::normalized_entropy;
 pub use mad::{mad, magnitude};
-pub use quantile::{median, quantile};
+pub use quantile::{median, quantile, select_multi};
+pub use radix::{sort_by_u64_key, RADIX_MIN_KEYS};
 pub use rng::SplitMix64;
 pub use sliding::SlidingRobust;
 pub use smoothing::Ewma;
-pub use wilson::{median_ci, median_ci_select, wilson_bounds, ConfidenceInterval};
+pub use wilson::{
+    median_ci, median_ci_select, wilson_bounds, wilson_rank_bounds, ConfidenceInterval,
+};

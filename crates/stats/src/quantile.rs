@@ -38,6 +38,60 @@ pub fn select_kth(data: &mut [f64], k: usize) -> f64 {
     data[k]
 }
 
+/// Select (in place) **several** order statistics in one pass.
+///
+/// `ks` must be sorted ascending, deduplicated, and in bounds. After the
+/// call `data[k]` holds the `k`-th order statistic for every `k` in
+/// `ks`. Each Hoare partition serves every rank at once: the sorted rank
+/// list splits at the partition point and each side is resolved inside
+/// the sub-range that partition already produced — the partition work a
+/// rank-by-rank [`select_kth`] sequence would redo is shared instead.
+/// With the same pivot rule ([`median_of_three`]) and partition scheme
+/// as [`select_kth`], every pinned value is the exact order statistic a
+/// full sort would place there.
+///
+/// # Panics
+/// Panics if `ks` is non-empty and `data` is empty, or any rank is out
+/// of bounds.
+pub fn select_multi(data: &mut [f64], ks: &[usize]) {
+    if ks.is_empty() {
+        return;
+    }
+    assert!(!data.is_empty(), "select_multi on empty slice");
+    debug_assert!(ks.windows(2).all(|w| w[0] < w[1]), "ranks must ascend");
+    assert!(
+        *ks.last().expect("non-empty") < data.len(),
+        "rank {} out of bounds {}",
+        ks.last().expect("non-empty"),
+        data.len()
+    );
+    select_multi_in(data, 0, data.len() - 1, ks);
+}
+
+/// The recursive core of [`select_multi`]: resolve `ks` within
+/// `data[lo..=hi]`. Iterates while the ranks stay on one side of the
+/// partition (exactly [`select_kth`]'s narrowing loop); recurses only
+/// when they straddle it, so the depth is bounded by `ks.len()`.
+fn select_multi_in(data: &mut [f64], mut lo: usize, mut hi: usize, mut ks: &[usize]) {
+    while !ks.is_empty() && lo < hi {
+        let pivot = median_of_three(data, lo, hi);
+        let p = partition(data, lo, hi, pivot);
+        let split = ks.partition_point(|&k| k <= p);
+        let (left, right) = ks.split_at(split);
+        if left.is_empty() {
+            lo = p + 1;
+            ks = right;
+        } else if right.is_empty() {
+            hi = p;
+            ks = left;
+        } else {
+            select_multi_in(data, lo, p, left);
+            lo = p + 1;
+            ks = right;
+        }
+    }
+}
+
 fn median_of_three(data: &mut [f64], lo: usize, hi: usize) -> f64 {
     let mid = lo + (hi - lo) / 2;
     // Order data[lo] <= data[mid] <= data[hi].
@@ -196,6 +250,37 @@ mod tests {
     }
 
     #[test]
+    fn select_multi_pins_every_rank() {
+        let data = [9.0, -3.0, 7.0, 0.5, 7.0, 2.0, 11.0, -8.0, 4.0];
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut buf = data.to_vec();
+        let ks = [0usize, 2, 4, 8];
+        select_multi(&mut buf, &ks);
+        for &k in &ks {
+            assert_eq!(buf[k], sorted[k], "k={k}");
+        }
+        // And the buffer is still a permutation of the input.
+        let mut perm = buf;
+        perm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(perm, sorted);
+    }
+
+    #[test]
+    fn select_multi_empty_ranks_is_noop() {
+        let mut buf = vec![3.0, 1.0, 2.0];
+        select_multi(&mut buf, &[]);
+        assert_eq!(buf, vec![3.0, 1.0, 2.0]);
+        select_multi(&mut [], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn select_multi_rank_out_of_bounds_panics() {
+        select_multi(&mut [1.0, 2.0], &[2]);
+    }
+
+    #[test]
     fn quantile_interpolation() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(quantile_sorted(&sorted, 0.0), Some(1.0));
@@ -241,6 +326,26 @@ mod tests {
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut buf = data.clone();
             prop_assert_eq!(select_kth(&mut buf, k), sorted[k]);
+        }
+
+        #[test]
+        fn prop_select_multi_matches_sort(
+            data in prop::collection::vec(-1e3f64..1e3, 1..80),
+            fracs in prop::collection::vec(0.0f64..1.0, 1..5),
+        ) {
+            let mut ks: Vec<usize> = fracs
+                .iter()
+                .map(|f| ((data.len() - 1) as f64 * f) as usize)
+                .collect();
+            ks.sort_unstable();
+            ks.dedup();
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut buf = data.clone();
+            select_multi(&mut buf, &ks);
+            for &k in &ks {
+                prop_assert_eq!(buf[k], sorted[k]);
+            }
         }
 
         #[test]

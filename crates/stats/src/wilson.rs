@@ -16,7 +16,7 @@
 //! asymmetry falls out naturally because the bounding order statistics of a
 //! skewed sample are asymmetric around the median.
 
-use crate::quantile::{median_sorted, select_kth};
+use crate::quantile::{median_sorted, select_kth, select_multi};
 
 /// The z value for a 95 % confidence level, used throughout the paper.
 pub const Z_95: f64 = 1.96;
@@ -40,6 +40,26 @@ pub fn wilson_bounds(n: usize, p: f64, z: f64) -> (f64, f64) {
     let wl = ((center - spread) / denom).clamp(0.0, 1.0);
     let wu = ((center + spread) / denom).clamp(0.0, 1.0);
     (wl, wu)
+}
+
+/// The 0-based order-statistic indices `(li, ui)` bounding the Wilson
+/// median CI for `n` samples at critical value `z`.
+///
+/// This is the canonical rank mapping shared by every CI path (sorted,
+/// three-select, and single-partition): `l = n·w_l` floored, `u = n·w_u`
+/// ceiled, both clamped into `[1, n]` and converted to 0-based indices so
+/// small samples yield conservative (wide) intervals. The result depends
+/// only on `(n, z)` — callers characterizing many same-sized sample sets
+/// can compute it once per distinct `n` (see the engine's per-shard rank
+/// cache).
+///
+/// # Panics
+/// Panics if `n == 0` or `z < 0` (via [`wilson_bounds`]).
+pub fn wilson_rank_bounds(n: usize, z: f64) -> (usize, usize) {
+    let (wl, wu) = wilson_bounds(n, 0.5, z);
+    let li = ((n as f64 * wl).floor() as usize).min(n - 1);
+    let ui = ((n as f64 * wu).ceil() as usize).clamp(1, n) - 1;
+    (li.min(ui), ui.max(li))
 }
 
 /// A median with its confidence interval.
@@ -97,10 +117,7 @@ pub fn median_ci_sorted(sorted: &[f64], z: f64) -> Option<ConfidenceInterval> {
     }
     let n = sorted.len();
     let med = median_sorted(sorted)?;
-    let (wl, wu) = wilson_bounds(n, 0.5, z);
-    let li = ((n as f64 * wl).floor() as usize).min(n - 1);
-    let ui = ((n as f64 * wu).ceil() as usize).clamp(1, n) - 1;
-    let (li, ui) = (li.min(ui), ui.max(li));
+    let (li, ui) = wilson_rank_bounds(n, z);
     Some(ConfidenceInterval {
         lower: sorted[li].min(med),
         median: med,
@@ -126,19 +143,87 @@ fn order_stat_around_pivot(data: &mut [f64], m_idx: usize, k: usize) -> f64 {
     }
 }
 
-/// Median and Wilson-score CI via order-statistic selection — no full sort.
+/// Median and Wilson-score CI via a **single-partition multiselect** — no
+/// full sort, no repeated partitioning.
 ///
-/// Produces results bit-identical to [`median_ci`], but in expected O(n)
-/// instead of O(n log n): one quickselect pins the median, and the two CI
-/// bounds are selected inside the partitions that first select leaves
-/// behind (at most three `select_kth` calls in total). The buffer is
-/// permuted in place, which is exactly what the bin engine wants — it hands
-/// in a scratch buffer it reuses across links.
+/// Produces results bit-identical to [`median_ci`] in expected O(n): the
+/// median rank(s) and both Wilson ranks are pinned by one
+/// [`select_multi`] pass, whose every Hoare partition serves all of them
+/// at once (the top-level partition in particular is shared, where the
+/// three-quickselect formulation re-partitions the region per rank — see
+/// [`median_ci_select3`]). The buffer is permuted in place, which is
+/// exactly what the bin engine wants — it hands in a scratch buffer it
+/// reuses across links.
 ///
 /// Non-finite values must be filtered by the caller (as with
 /// [`median_ci`], they would poison comparisons). Returns `None` on an
 /// empty slice.
 pub fn median_ci_select(data: &mut [f64], z: f64) -> Option<ConfidenceInterval> {
+    if data.is_empty() {
+        return None;
+    }
+    let (li, ui) = wilson_rank_bounds(data.len(), z);
+    median_ci_select_ranks(data, li, ui)
+}
+
+/// [`median_ci_select`] with the Wilson ranks precomputed — the engine's
+/// per-shard characterization pass caches [`wilson_rank_bounds`] per
+/// distinct sample count and calls this directly.
+///
+/// `(li, ui)` must come from `wilson_rank_bounds(data.len(), z)`; results
+/// are then bit-identical to [`median_ci_select`].
+pub fn median_ci_select_ranks(
+    data: &mut [f64],
+    li: usize,
+    ui: usize,
+) -> Option<ConfidenceInterval> {
+    if data.is_empty() {
+        return None;
+    }
+    let n = data.len();
+    let m_idx = n / 2;
+    // The full rank set, sorted and deduplicated: both Wilson bounds,
+    // the upper central element, and for even n the lower central one
+    // (li ≤ m_idx always; ui may sit at m_idx − 1, e.g. z = 0 on even n).
+    let mut ks = [0usize; 4];
+    let mut len = 0;
+    for k in [
+        li,
+        m_idx.wrapping_sub(usize::from(n.is_multiple_of(2))),
+        m_idx,
+        ui,
+    ] {
+        if len == 0 || ks[len - 1] < k {
+            ks[len] = k;
+            len += 1;
+        }
+    }
+    // `ui < m_idx - 1` cannot happen (wu ≥ 0.5 pins ui ≥ m_idx − 1), and
+    // li ≤ ui, so the insertion order above is already ascending.
+    debug_assert!(ks[..len].windows(2).all(|w| w[0] < w[1]));
+    select_multi(data, &ks[..len]);
+    let med = if n % 2 == 1 {
+        data[m_idx]
+    } else {
+        // Both central order statistics are pinned; the mean matches the
+        // fold-max recipe of `quantile::median` bit for bit (same two
+        // order-statistic values, same operation order).
+        (data[m_idx - 1] + data[m_idx]) / 2.0
+    };
+    Some(ConfidenceInterval {
+        lower: data[li].min(med),
+        median: med,
+        upper: data[ui].max(med),
+        n,
+    })
+}
+
+/// The retained three-quickselect CI formulation: one select pins the
+/// median, then each Wilson bound is selected inside the partition the
+/// first select left behind. Kept as the proof bridge between the
+/// full-sort path and the single-partition [`median_ci_select`] — the
+/// property tests demand all three agree bit-for-bit.
+pub fn median_ci_select3(data: &mut [f64], z: f64) -> Option<ConfidenceInterval> {
     if data.is_empty() {
         return None;
     }
@@ -157,10 +242,7 @@ pub fn median_ci_select(data: &mut [f64], z: f64) -> Option<ConfidenceInterval> 
         (lo + hi) / 2.0
     };
     // Identical rank mapping to `median_ci_sorted`.
-    let (wl, wu) = wilson_bounds(n, 0.5, z);
-    let li = ((n as f64 * wl).floor() as usize).min(n - 1);
-    let ui = ((n as f64 * wu).ceil() as usize).clamp(1, n) - 1;
-    let (li, ui) = (li.min(ui), ui.max(li));
+    let (li, ui) = wilson_rank_bounds(n, z);
     let lower = order_stat_around_pivot(data, m_idx, li);
     let upper = order_stat_around_pivot(data, m_idx, ui);
     Some(ConfidenceInterval {
@@ -306,18 +388,39 @@ mod tests {
             data in prop::collection::vec(-1e5f64..1e5, 1..300),
             z in 0.0f64..4.0,
         ) {
-            // The selection-based CI must be bit-identical to the
-            // sort-based one — the engine-parity guarantee rests on it.
+            // The three CI formulations — single-partition multiselect,
+            // three confined quickselects, full sort — must be
+            // bit-identical; the engine-parity guarantee rests on it.
             let mut buf = data.clone();
             let fast = median_ci_select(&mut buf, z).unwrap();
+            let mut buf3 = data.clone();
+            let three = median_ci_select3(&mut buf3, z).unwrap();
             let slow = median_ci(&data, z).unwrap();
             prop_assert_eq!(fast, slow);
-            // And the buffer is a permutation of the input.
-            let mut a = buf;
+            prop_assert_eq!(three, slow);
+            // And both buffers are permutations of the input.
             let mut b = data;
-            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
             b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            prop_assert_eq!(a, b);
+            for mut a in [buf, buf3] {
+                a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                prop_assert_eq!(&a, &b);
+            }
+        }
+
+        #[test]
+        fn prop_cached_ranks_match_direct_select(
+            data in prop::collection::vec(-1e4f64..1e4, 1..200),
+            z in 0.0f64..4.0,
+        ) {
+            // The engine's rank-cache path: precomputed ranks must give
+            // the identical interval.
+            let (li, ui) = wilson_rank_bounds(data.len(), z);
+            let mut a = data.clone();
+            let mut b = data;
+            prop_assert_eq!(
+                median_ci_select_ranks(&mut a, li, ui),
+                median_ci_select(&mut b, z)
+            );
         }
     }
 
@@ -331,11 +434,38 @@ mod tests {
                 median_ci(&data, Z_95),
                 "n={n}"
             );
+            let mut buf3 = data.clone();
+            assert_eq!(
+                median_ci_select3(&mut buf3, Z_95),
+                median_ci(&data, Z_95),
+                "select3 n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_zero_even_n_pins_both_central_ranks() {
+        // z = 0 on even n drives the Wilson upper rank *below* the median
+        // index (ui = m_idx − 1) — the corner the rank-set construction
+        // must survive.
+        for data in [vec![4.0, 1.0], vec![7.0, 3.0, 9.0, 1.0, 5.0, 2.0]] {
+            let mut buf = data.clone();
+            assert_eq!(median_ci_select(&mut buf, 0.0), median_ci(&data, 0.0));
+        }
+    }
+
+    #[test]
+    fn rank_bounds_are_ordered_and_in_range() {
+        for n in 1..200usize {
+            let (li, ui) = wilson_rank_bounds(n, Z_95);
+            assert!(li <= ui && ui < n, "n={n}: ({li}, {ui})");
         }
     }
 
     #[test]
     fn select_ci_empty_is_none() {
         assert_eq!(median_ci_select(&mut [], Z_95), None);
+        assert_eq!(median_ci_select3(&mut [], Z_95), None);
+        assert_eq!(median_ci_select_ranks(&mut [], 0, 0), None);
     }
 }

@@ -313,3 +313,33 @@ fn matrix_env_misconfiguration_panics_with_contract() {
     assert_eq!(common::parse_matrix_var("PINPOINT_THREADS", " 4 ", "x"), 4);
     assert_eq!(common::parse_matrix_var("PINPOINT_CHUNK", "0", "x"), 0);
 }
+
+/// `PINPOINT_RADIX` speaks modes as well as numbers; both the word map
+/// and the misconfiguration contract must hold.
+#[test]
+fn radix_env_modes_parse_and_garbage_panics_with_contract() {
+    assert_eq!(common::parse_radix_mode("PINPOINT_RADIX", "on"), 1);
+    assert_eq!(
+        common::parse_radix_mode("PINPOINT_RADIX", "off"),
+        usize::MAX
+    );
+    assert_eq!(common::parse_radix_mode("PINPOINT_RADIX", "auto"), 0);
+    assert_eq!(common::parse_radix_mode("PINPOINT_RADIX", ""), 0);
+    assert_eq!(common::parse_radix_mode("PINPOINT_RADIX", " 128 "), 128);
+    for garbage in ["fast", "On", "-1", "yes"] {
+        let result =
+            std::panic::catch_unwind(|| common::parse_radix_mode("PINPOINT_RADIX", garbage));
+        let err = result.expect_err("garbage radix mode must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("PINPOINT_RADIX")
+                && msg.contains(garbage)
+                && msg.contains("`off`")
+                && msg.contains("cargo test"),
+            "panic message not actionable: {msg:?}"
+        );
+    }
+}
