@@ -7,7 +7,7 @@
 //! usage: pipeline_bench [--seed=N] [--reps=N] [--out=PATH] [--check=PATH]
 //! ```
 //!
-//! Twelve workloads run: the steady scenario's Small bin (faithful
+//! Thirteen workloads run: the steady scenario's Small bin (faithful
 //! simulator output), a synthetic Atlas-scale delay-heavy bin (hundreds
 //! of diversity-passing links), a forwarding-heavy bin (~1200 next-hop
 //! patterns, links below the diversity floor), a mixed bin driving both
@@ -33,9 +33,14 @@
 //! events and deltas the channel carried, a grouping-bound
 //! `grouping_heavy` bin (a horde of single-sample probes, so the
 //! per-shard `(link, probe)` key sort — the LSD radix grouping path —
-//! is the bill), and a characterization-bound `characterize_heavy` bin
+//! is the bill), a characterization-bound `characterize_heavy` bin
 //! (few links, ~1.1k samples each, so the batched shard-level rank
-//! selection + cached Wilson bounds dominate). Each is timed over
+//! selection + cached Wilson bounds dominate), and a `checkpoint_heavy`
+//! stream that re-runs the mixed bins with a durable state snapshot
+//! taken after every bin — the crash-safety tax at its most aggressive
+//! cadence — recording the isolated `Analyzer::snapshot()` wall
+//! (`snapshot_ms`) and the snapshot size (`snapshot_bytes`), gated on
+//! checkpoint/restore/resume byte parity. Each is timed over
 //! `reps` repetitions on warmed analyzers and summarized by the median
 //! wall time, with the two timed arms of every workload interleaved
 //! rep by rep so clock drift and allocator growth cannot bias whichever
@@ -95,6 +100,12 @@ struct WorkloadResult {
     /// Incremental event deltas emitted over the window — the volume the
     /// event channel actually carries.
     event_deltas: u64,
+    /// Median wall milliseconds of one `Analyzer::snapshot()` call on the
+    /// warmed analyzer (0 for workloads that do not checkpoint).
+    snapshot_ms: f64,
+    /// Size of the final snapshot in bytes (0 for workloads that do not
+    /// checkpoint).
+    snapshot_bytes: u64,
 }
 
 impl WorkloadResult {
@@ -181,6 +192,8 @@ fn run_workload(
         queue_peak: 0,
         events: 0,
         event_deltas: 0,
+        snapshot_ms: 0.0,
+        snapshot_bytes: 0,
     }
 }
 
@@ -299,6 +312,8 @@ fn run_pipelined_workload(
         queue_peak: 0,
         events: 0,
         event_deltas: 0,
+        snapshot_ms: 0.0,
+        snapshot_bytes: 0,
     }
 }
 
@@ -398,6 +413,8 @@ fn run_multi_workload(
         queue_peak: 0,
         events: 0,
         event_deltas: 0,
+        snapshot_ms: 0.0,
+        snapshot_bytes: 0,
     }
 }
 
@@ -500,6 +517,8 @@ fn run_service_workload(
         queue_peak: queue_peak as u64,
         events: 0,
         event_deltas: 0,
+        snapshot_ms: 0.0,
+        snapshot_bytes: 0,
     }
 }
 
@@ -590,6 +609,163 @@ fn run_event_workload(name: &str, seed: u64, reps: usize) -> WorkloadResult {
         queue_peak: 0,
         events: table.len() as u64,
         event_deltas: want.len() as u64,
+        snapshot_ms: 0.0,
+        snapshot_bytes: 0,
+    }
+}
+
+/// The checkpoint-cadence workload: the mixed-bin stream driven once as
+/// a plain session (`sequential_ms` per bin) and once checkpointing
+/// after **every** bin — drain + `Analyzer::snapshot()` per push
+/// (`parallel_ms` per bin), so `speedup` reads as checkpoint overhead
+/// (≤ 1.0; the gap is the price of crash-safety at its most aggressive
+/// cadence). The isolated `snapshot()` call is also timed on the warmed
+/// analyzer (`snapshot_ms`) and the final snapshot size recorded
+/// (`snapshot_bytes`). Parity gates: the checkpointing session's reports
+/// byte-match the plain session's; a mid-stream snapshot restored into a
+/// fresh analyzer replays the tail byte-identically; and restore →
+/// re-snapshot reproduces the exact snapshot bytes.
+fn run_checkpoint_workload(
+    name: &str,
+    mapper: &AsMapper,
+    bins: &[Vec<TracerouteRecord>],
+    reps: usize,
+) -> WorkloadResult {
+    // Uninterrupted reference.
+    let mut reference = Vec::new();
+    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    {
+        let mut session = analyzer.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            reference.extend(session.push_bin(BinId(i as u64), records));
+        }
+        reference.extend(session.flush());
+    }
+    let want: Vec<String> = reference
+        .iter()
+        .map(|r| render::bin_report(r).to_string())
+        .collect();
+    let links = reference.last().map_or(0, |r| r.link_stats.len());
+
+    // Gate 1: checkpointing after every bin changes no report bytes.
+    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    let mut got = Vec::new();
+    let mut last_snapshot = Vec::new();
+    {
+        let mut session = analyzer.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            got.extend(session.push_bin(BinId(i as u64), records));
+            let (flushed, snapshot) = session.checkpoint();
+            got.extend(flushed);
+            last_snapshot = snapshot;
+        }
+        got.extend(session.flush());
+    }
+    assert_eq!(got.len(), want.len(), "{name}: checkpointing lost reports");
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(
+            &render::bin_report(g).to_string(),
+            w,
+            "{name}: checkpointing changed report bytes on bin {}",
+            g.bin.0
+        );
+    }
+
+    // Gate 2: restore → re-snapshot is byte-identical (the codec is a
+    // pure function of the analysis state).
+    let resnapshot = Analyzer::restore(&last_snapshot)
+        .unwrap_or_else(|e| panic!("{name}: snapshot failed to restore: {e:?}"))
+        .snapshot();
+    assert_eq!(
+        resnapshot, last_snapshot,
+        "{name}: restore → snapshot did not reproduce the bytes"
+    );
+
+    // Gate 3: a mid-stream snapshot resumes byte-identically.
+    let cut = bins.len() / 2;
+    let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+    let mid_snapshot = {
+        let mut session = analyzer.session(0);
+        for (i, records) in bins[..cut].iter().enumerate() {
+            let _ = session.push_bin(BinId(i as u64), records);
+        }
+        session.checkpoint().1
+    };
+    let knobs = DetectorConfig::default();
+    let mut resumed = Analyzer::restore_with(&mid_snapshot, |c| {
+        c.threads = knobs.threads;
+        c.ingest_chunk_records = knobs.ingest_chunk_records;
+        c.pipeline_depth = knobs.pipeline_depth;
+        c.radix_min_keys = knobs.radix_min_keys;
+    })
+    .unwrap_or_else(|e| panic!("{name}: mid-stream snapshot failed to restore: {e:?}"));
+    let mut tail = Vec::new();
+    {
+        let mut session = resumed.session(0);
+        for (i, records) in bins[cut..].iter().enumerate() {
+            tail.extend(session.push_bin(BinId((cut + i) as u64), records));
+        }
+        tail.extend(session.flush());
+    }
+    assert_eq!(tail.len(), want.len() - cut, "{name}: resume lost reports");
+    for (g, w) in tail.iter().zip(&want[cut..]) {
+        assert_eq!(
+            &render::bin_report(g).to_string(),
+            w,
+            "{name}: resume diverged on bin {}",
+            g.bin.0
+        );
+    }
+
+    // Timing: plain and checkpoint-every-bin arms interleaved, plus the
+    // isolated snapshot() call on the warmed analyzer.
+    let mut plain_samples = Vec::with_capacity(reps);
+    let mut ckpt_samples = Vec::with_capacity(reps);
+    let mut snap_samples = Vec::with_capacity(reps);
+    let mut snapshot_bytes = 0usize;
+    for _ in 0..reps {
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+        let t = Instant::now();
+        let mut session = analyzer.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            std::hint::black_box(session.push_bin(BinId(i as u64), records));
+        }
+        std::hint::black_box(session.flush());
+        drop(session);
+        plain_samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+
+        let mut analyzer = Analyzer::new(DetectorConfig::default(), mapper.clone());
+        let t = Instant::now();
+        let mut session = analyzer.session(0);
+        for (i, records) in bins.iter().enumerate() {
+            std::hint::black_box(session.push_bin(BinId(i as u64), records));
+            std::hint::black_box(session.checkpoint());
+        }
+        std::hint::black_box(session.flush());
+        drop(session);
+        ckpt_samples.push(t.elapsed().as_secs_f64() * 1e3 / bins.len() as f64);
+
+        let t = Instant::now();
+        let snapshot = std::hint::black_box(analyzer.snapshot());
+        snap_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        snapshot_bytes = snapshot.len();
+    }
+
+    WorkloadResult {
+        name: name.to_string(),
+        records: bins.iter().map(Vec::len).sum::<usize>() / bins.len(),
+        links,
+        sequential_ms: pinpoint_stats::median(&plain_samples).expect("reps >= 1"),
+        parallel_ms: pinpoint_stats::median(&ckpt_samples).expect("reps >= 1"),
+        intern_inserts: 0,
+        sanitize_ms: 0.0,
+        quarantined: 0,
+        e2e_latency_ms: 0.0,
+        queue_peak: 0,
+        events: 0,
+        event_deltas: 0,
+        snapshot_ms: pinpoint_stats::median(&snap_samples).expect("reps >= 1"),
+        snapshot_bytes: snapshot_bytes as u64,
     }
 }
 
@@ -784,6 +960,13 @@ fn main() {
     let work = synthetic_bin(&char_spec, seed, 1);
     let characterize_result = run_workload("characterize_heavy", &mapper, &warm, &work, reps);
 
+    // Workload 13: the mixed stream with a durable checkpoint after
+    // every bin — the crash-safety tax at its most aggressive cadence,
+    // with the isolated snapshot() wall and the snapshot size recorded,
+    // and the snapshot/restore/resume byte-parity gates run every time.
+    let checkpoint_result =
+        run_checkpoint_workload("checkpoint_heavy", &mapper, &stream_bins, reps);
+
     let results = [
         steady_result,
         large_result,
@@ -797,10 +980,11 @@ fn main() {
         event_result,
         grouping_result,
         characterize_result,
+        checkpoint_result,
     ];
     for r in &results {
         println!(
-            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined | e2e {:>7.3} ms | q-peak {} | {} event(s) / {} delta(s)",
+            "{:<16} {:>6} records {:>5} links | sequential {:>9.3} ms | parallel {:>9.3} ms | speedup {:>5.2}x | {:>10.0} rec/s | {:>4} intern inserts | sanitize {:>7.3} ms | {:>5} quarantined | e2e {:>7.3} ms | q-peak {} | {} event(s) / {} delta(s) | snapshot {:>7.3} ms / {} B",
             r.name,
             r.records,
             r.links,
@@ -815,6 +999,8 @@ fn main() {
             r.queue_peak,
             r.events,
             r.event_deltas,
+            r.snapshot_ms,
+            r.snapshot_bytes,
         );
     }
 
@@ -827,7 +1013,7 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}, \"e2e_latency_ms\": {:.3}, \"queue_peak\": {}, \"events\": {}, \"event_deltas\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"records\": {}, \"links\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"records_per_sec_parallel\": {:.0}, \"intern_inserts\": {}, \"sanitize_ms\": {:.3}, \"quarantined\": {}, \"e2e_latency_ms\": {:.3}, \"queue_peak\": {}, \"events\": {}, \"event_deltas\": {}, \"snapshot_ms\": {:.3}, \"snapshot_bytes\": {}}}{}\n",
             r.name,
             r.records,
             r.links,
@@ -842,6 +1028,8 @@ fn main() {
             r.queue_peak,
             r.events,
             r.event_deltas,
+            r.snapshot_ms,
+            r.snapshot_bytes,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

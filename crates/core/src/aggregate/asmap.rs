@@ -49,6 +49,17 @@ impl AsMapper {
         out
     }
 
+    /// All `(prefix, ASN)` pairs in deterministic trie order — the
+    /// snapshot path (and a debugging aid). Rebuilding via
+    /// [`AsMapper::from_prefixes`] reproduces an equivalent table.
+    pub fn prefixes(&self) -> Vec<(Prefix, Asn)> {
+        self.table
+            .iter()
+            .into_iter()
+            .map(|(p, a)| (p, *a))
+            .collect()
+    }
+
     /// Number of registered prefixes.
     pub fn len(&self) -> usize {
         self.table.len()

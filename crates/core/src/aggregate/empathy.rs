@@ -40,6 +40,7 @@ use super::magnitude::AsMagnitude;
 use crate::config::DetectorConfig;
 use crate::diffrtt::DelayAlarm;
 use crate::forwarding::{ForwardingAlarm, NextHop};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_model::{Asn, BinId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -237,6 +238,125 @@ impl EventTable {
     }
 }
 
+fn write_element(w: &mut Writer, e: &Element) {
+    match e {
+        Element::As(asn) => {
+            w.u8(0);
+            w.u32(asn.0);
+        }
+        Element::Interface(addr) => {
+            w.u8(1);
+            w.ip(*addr);
+        }
+    }
+}
+
+fn read_element(r: &mut Reader<'_>) -> Result<Element, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(Element::As(Asn(r.u32()?))),
+        1 => Ok(Element::Interface(r.ip()?)),
+        _ => Err(SnapshotError::Corrupt("element tag")),
+    }
+}
+
+fn write_event(w: &mut Writer, e: &FleetEvent) {
+    w.u64(e.id);
+    w.u64(e.start.0);
+    w.u64(e.end.0);
+    w.u8(match e.status {
+        EventStatus::Open => 0,
+        EventStatus::Updated => 1,
+        EventStatus::Closed => 2,
+    });
+    write_element(w, &e.blamed);
+    w.usize(e.blamed_shares);
+    w.seq(e.asns.len());
+    for asn in &e.asns {
+        w.u32(asn.0);
+    }
+    w.seq(e.interfaces.len());
+    for addr in &e.interfaces {
+        w.ip(*addr);
+    }
+    w.seq(e.streams.len());
+    for s in &e.streams {
+        w.usize(*s);
+    }
+    w.usize(e.delay_alarms);
+    w.usize(e.forwarding_alarms);
+    w.f64(e.peak_delay);
+    w.f64(e.peak_forwarding);
+    w.f64(e.severity);
+    w.u8(match e.kind {
+        EventKind::DelayChange => 0,
+        EventKind::ForwardingLoss => 1,
+        EventKind::ForwardingGain => 2,
+    });
+    match e.merged_into {
+        Some(id) => {
+            w.bool(true);
+            w.u64(id);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<FleetEvent, SnapshotError> {
+    let id = r.u64()?;
+    let start = BinId(r.u64()?);
+    let end = BinId(r.u64()?);
+    let status = match r.u8()? {
+        0 => EventStatus::Open,
+        1 => EventStatus::Updated,
+        2 => EventStatus::Closed,
+        _ => return Err(SnapshotError::Corrupt("event status tag")),
+    };
+    let blamed = read_element(r)?;
+    let blamed_shares = r.usize()?;
+    let mut asns = BTreeSet::new();
+    for _ in 0..r.seq()? {
+        asns.insert(Asn(r.u32()?));
+    }
+    let mut interfaces = BTreeSet::new();
+    for _ in 0..r.seq()? {
+        interfaces.insert(r.ip()?);
+    }
+    let mut streams = BTreeSet::new();
+    for _ in 0..r.seq()? {
+        streams.insert(r.usize()?);
+    }
+    let delay_alarms = r.usize()?;
+    let forwarding_alarms = r.usize()?;
+    let peak_delay = r.f64()?;
+    let peak_forwarding = r.f64()?;
+    let severity = r.f64()?;
+    let kind = match r.u8()? {
+        0 => EventKind::DelayChange,
+        1 => EventKind::ForwardingLoss,
+        2 => EventKind::ForwardingGain,
+        _ => return Err(SnapshotError::Corrupt("event kind tag")),
+    };
+    let merged_into = if r.bool()? { Some(r.u64()?) } else { None };
+    Ok(FleetEvent {
+        id,
+        start,
+        end,
+        status,
+        blamed,
+        blamed_shares,
+        asns,
+        interfaces,
+        streams,
+        delay_alarms,
+        forwarding_alarms,
+        peak_delay,
+        peak_forwarding,
+        severity,
+        kind,
+        merged_into,
+    })
+}
+
 /// Cumulative per-element share counts of one open event (kept out of
 /// the public [`FleetEvent`]; only the winner and its count surface).
 #[derive(Debug, Default)]
@@ -292,6 +412,67 @@ impl EmpathyExtractor {
             table: EventTable::new(),
             open: BTreeMap::new(),
         }
+    }
+
+    /// Serialize the full extractor: knobs, id counter, the event table
+    /// (already id-ordered), and the per-open-event share counts. All
+    /// containers are B-trees, so the bytes are stable by construction.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        w.f64(self.threshold);
+        w.u64(self.gap_bins);
+        w.usize(self.min_shared);
+        w.u64(self.next_id);
+        w.seq(self.table.events.len());
+        for event in self.table.events.values() {
+            write_event(w, event);
+        }
+        w.seq(self.open.len());
+        for (id, state) in &self.open {
+            w.u64(*id);
+            w.seq(state.shares.len());
+            for (element, count) in &state.shares {
+                write_element(w, element);
+                w.usize(*count);
+            }
+        }
+    }
+
+    /// Rebuild an extractor from [`EmpathyExtractor::snapshot_into`]
+    /// bytes. The knobs come from the snapshot itself (they were captured
+    /// from the config at construction), so a restored extractor behaves
+    /// identically even mid-event.
+    pub(crate) fn restore_from(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let threshold = r.f64()?;
+        let gap_bins = r.u64()?;
+        let min_shared = r.usize()?;
+        let next_id = r.u64()?;
+        let mut table = EventTable::new();
+        for _ in 0..r.seq()? {
+            let event = read_event(r)?;
+            table.events.insert(event.id, event);
+        }
+        let mut open = BTreeMap::new();
+        for _ in 0..r.seq()? {
+            let id = r.u64()?;
+            let mut state = OpenState::default();
+            for _ in 0..r.seq()? {
+                let element = read_element(r)?;
+                let count = r.usize()?;
+                state.shares.insert(element, count);
+            }
+            if !table.events.contains_key(&id) {
+                return Err(SnapshotError::Corrupt("open state without event"));
+            }
+            open.insert(id, state);
+        }
+        Ok(EmpathyExtractor {
+            threshold,
+            gap_bins,
+            min_shared,
+            next_id,
+            table,
+            open,
+        })
     }
 
     /// Consume one bin's merged evidence and return the event deltas.

@@ -6,6 +6,7 @@
 //! alarm-free ones, where severity is 0 — otherwise the sliding baseline
 //! would be biased toward busy hours.
 
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_model::Asn;
 use pinpoint_stats::sliding::SlidingRobust;
 use std::collections::{BTreeMap, HashMap};
@@ -90,6 +91,60 @@ impl MagnitudeTracker {
     /// Number of ASes currently tracked.
     pub fn tracked_ases(&self) -> usize {
         self.known.len()
+    }
+
+    /// Serialize the window length, the known-AS set, and both per-AS
+    /// sliding windows (sorted by AS — hash maps iterate unstably) with
+    /// their contents oldest-first.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        w.usize(self.window_bins);
+        w.seq(self.known.len());
+        for asn in &self.known {
+            w.u32(asn.0);
+        }
+        for windows in [&self.delay, &self.forwarding] {
+            let mut entries: Vec<(&Asn, &SlidingRobust)> = windows.iter().collect();
+            entries.sort_by_key(|(asn, _)| **asn);
+            w.seq(entries.len());
+            for (asn, window) in entries {
+                w.u32(asn.0);
+                w.seq(window.len());
+                for x in window.values() {
+                    w.f64(x);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a tracker from [`MagnitudeTracker::snapshot_into`] bytes.
+    pub(crate) fn restore_from(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let window_bins = r.usize()?;
+        if window_bins == 0 {
+            return Err(SnapshotError::Corrupt("zero magnitude window"));
+        }
+        let mut tracker = MagnitudeTracker::new(window_bins);
+        let n = r.seq()?;
+        for _ in 0..n {
+            tracker.known.insert(Asn(r.u32()?));
+        }
+        for side in 0..2 {
+            let n = r.seq()?;
+            for _ in 0..n {
+                let asn = Asn(r.u32()?);
+                let len = r.seq()?;
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(r.f64()?);
+                }
+                let window = SlidingRobust::from_values(window_bins, values);
+                if side == 0 {
+                    tracker.delay.insert(asn, window);
+                } else {
+                    tracker.forwarding.insert(asn, window);
+                }
+            }
+        }
+        Ok(tracker)
     }
 }
 

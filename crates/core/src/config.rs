@@ -1,5 +1,7 @@
 //! Detector parameters, with the paper's defaults.
 
+use crate::snapshot::{Reader, SnapshotError, Writer};
+
 /// All tunable parameters of the detection pipeline.
 ///
 /// Defaults reproduce the paper's configuration (see DESIGN.md §6 for the
@@ -160,6 +162,68 @@ impl DetectorConfig {
             magnitude_window_bins: 24,
             ..Default::default()
         }
+    }
+
+    /// Serialize every field in declaration order — with one exception:
+    /// the four throughput knobs (`threads`, `ingest_chunk_records`,
+    /// `pipeline_depth`, `radix_min_keys`) are written as `0` ("auto").
+    /// They never affect output bytes, only scheduling, so normalizing
+    /// them is what makes snapshots byte-identical across the whole
+    /// thread × chunk × depth × radix matrix. Callers who want pinned
+    /// knobs after a restore set them on the restored config.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        w.u64(self.bin_secs);
+        w.f64(self.wilson_z);
+        w.usize(self.min_as_diversity);
+        w.f64(self.entropy_threshold);
+        w.f64(self.min_median_gap_ms);
+        w.f64(self.alpha);
+        w.usize(self.warmup_bins);
+        w.f64(self.forwarding_tau);
+        w.f64(self.min_pattern_packets);
+        w.usize(self.reference_expiry_bins);
+        w.usize(self.magnitude_window_bins);
+        w.u64(self.seed);
+        w.usize(0); // ingest_chunk_records: throughput knob, normalized
+        w.usize(0); // threads: throughput knob, normalized
+        w.usize(0); // pipeline_depth: throughput knob, normalized
+        w.usize(0); // radix_min_keys: throughput knob, normalized
+        w.bool(self.sanitize);
+        w.f64(self.sanitize_max_rtt_ms);
+        w.f64(self.sanitize_max_inversion_ms);
+        w.usize(self.sanitize_max_hops);
+        w.f64(self.event_threshold);
+        w.u64(self.event_gap_bins);
+        w.usize(self.empathy_min_shared);
+    }
+
+    /// Rebuild a config from [`DetectorConfig::snapshot_into`] bytes.
+    pub(crate) fn restore_from(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DetectorConfig {
+            bin_secs: r.u64()?,
+            wilson_z: r.f64()?,
+            min_as_diversity: r.usize()?,
+            entropy_threshold: r.f64()?,
+            min_median_gap_ms: r.f64()?,
+            alpha: r.f64()?,
+            warmup_bins: r.usize()?,
+            forwarding_tau: r.f64()?,
+            min_pattern_packets: r.f64()?,
+            reference_expiry_bins: r.usize()?,
+            magnitude_window_bins: r.usize()?,
+            seed: r.u64()?,
+            ingest_chunk_records: r.usize()?,
+            threads: r.usize()?,
+            pipeline_depth: r.usize()?,
+            radix_min_keys: r.usize()?,
+            sanitize: r.bool()?,
+            sanitize_max_rtt_ms: r.f64()?,
+            sanitize_max_inversion_ms: r.f64()?,
+            sanitize_max_hops: r.usize()?,
+            event_threshold: r.f64()?,
+            event_gap_bins: r.u64()?,
+            empathy_min_shared: r.usize()?,
+        })
     }
 
     /// Reject degenerate knob values with an actionable message.

@@ -25,6 +25,7 @@
 //!   byte-identical output for any chunking.
 
 use crate::ingest::{ChunkPool, Interner, PENDING};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
 use std::collections::HashMap;
@@ -662,6 +663,76 @@ impl SampleArena {
             evictions: self.probes.evictions()
                 + self.links.iter().map(Interner::evictions).sum::<u64>(),
         }
+    }
+
+    /// Serialize the epoch-persistent state: the per-shard link tables and
+    /// the probe table (keys in dense-id order — restore reproduces the
+    /// identical id assignment), the probe ASN pins, and the session
+    /// counters. Per-wave state (shard rows, chunk lanes) is scratch the
+    /// next bin rebuilds, so it is not written.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        for table in &self.links {
+            let (keys, seen, insertions, evictions) = table.snapshot_parts();
+            w.seq(keys.len());
+            for (link, bin) in keys.iter().zip(seen) {
+                w.ip(link.near);
+                w.ip(link.far);
+                w.u64(bin.0);
+            }
+            w.u64(insertions);
+            w.u64(evictions);
+        }
+        let (keys, seen, insertions, evictions) = self.probes.snapshot_parts();
+        w.seq(keys.len());
+        for (probe, bin) in keys.iter().zip(seen) {
+            w.u32(probe.0);
+            w.u64(bin.0);
+        }
+        w.u64(insertions);
+        w.u64(evictions);
+        debug_assert_eq!(self.probe_asns.len(), keys.len());
+        debug_assert_eq!(self.probe_pins.len(), keys.len());
+        for (asn, pin) in self.probe_asns.iter().zip(&self.probe_pins) {
+            w.u32(asn.0);
+            w.u64(*pin);
+        }
+        w.u64(self.session);
+        w.u64(self.insertions_at_bin_start);
+    }
+
+    /// Rebuild an arena from [`SampleArena::snapshot_into`] bytes, with
+    /// fresh (empty) per-wave scratch.
+    pub(crate) fn restore_from(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut arena = SampleArena::default();
+        for table in &mut arena.links {
+            let n = r.seq()?;
+            let mut keys = Vec::with_capacity(n);
+            let mut seen = Vec::with_capacity(n);
+            for _ in 0..n {
+                let near = r.ip()?;
+                let far = r.ip()?;
+                keys.push(IpLink::new(near, far));
+                seen.push(BinId(r.u64()?));
+            }
+            *table = Interner::from_parts(keys, seen, r.u64()?, r.u64()?);
+        }
+        let n = r.seq()?;
+        let mut keys = Vec::with_capacity(n);
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            keys.push(ProbeId(r.u32()?));
+            seen.push(BinId(r.u64()?));
+        }
+        arena.probes = Interner::from_parts(keys, seen, r.u64()?, r.u64()?);
+        arena.probe_asns = Vec::with_capacity(n);
+        arena.probe_pins = Vec::with_capacity(n);
+        for _ in 0..n {
+            arena.probe_asns.push(Asn(r.u32()?));
+            arena.probe_pins.push(r.u64()?);
+        }
+        arena.session = r.u64()?;
+        arena.insertions_at_bin_start = r.u64()?;
+        Ok(arena)
     }
 
     /// Start a new scatter session in the current lane: the next bin's

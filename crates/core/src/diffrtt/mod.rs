@@ -52,6 +52,7 @@ pub use reference::LinkReference;
 use crate::config::DetectorConfig;
 use crate::engine;
 use crate::ingest;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use compute::{shard_of, DelayChunk, ShardRows, NUM_SHARDS};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId, FxHashMap, IpLink, ProbeId};
@@ -318,6 +319,62 @@ impl DelayDetector {
         }
         sort_alarms(&mut alarms);
         (alarms, stats)
+    }
+
+    /// Serialize the resumable state: every shard's references (sorted by
+    /// link — shard maps iterate in hash order, which is not stable), the
+    /// intern-epoch arena, and the warm-up counter. The config is written
+    /// once at the analyzer level, not here.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        for shard in &self.shards {
+            let mut entries: Vec<(&IpLink, &ReferenceEntry)> = shard.references.iter().collect();
+            entries.sort_by_key(|(link, _)| **link);
+            w.seq(entries.len());
+            for (link, e) in entries {
+                w.ip(link.near);
+                w.ip(link.far);
+                w.u64(e.last_seen.0);
+                e.reference.snapshot_into(w);
+            }
+        }
+        self.arena.snapshot_into(w);
+        w.usize(self.links_seen);
+    }
+
+    /// Rebuild a detector from [`DelayDetector::snapshot_into`] bytes.
+    pub(crate) fn restore_from(
+        r: &mut Reader<'_>,
+        cfg: &DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        let mut shards: Vec<Shard> = (0..NUM_SHARDS).map(|_| Shard::default()).collect();
+        for (idx, shard) in shards.iter_mut().enumerate() {
+            let n = r.seq()?;
+            for _ in 0..n {
+                let near = r.ip()?;
+                let far = r.ip()?;
+                let link = IpLink::new(near, far);
+                if shard_of(&link) != idx {
+                    return Err(SnapshotError::Corrupt("link in wrong shard"));
+                }
+                let last_seen = BinId(r.u64()?);
+                let reference = LinkReference::restore_from(r, cfg)?;
+                shard.references.insert(
+                    link,
+                    ReferenceEntry {
+                        reference,
+                        last_seen,
+                    },
+                );
+            }
+        }
+        let arena = SampleArena::restore_from(r)?;
+        let links_seen = r.usize()?;
+        Ok(DelayDetector {
+            cfg: cfg.clone(),
+            shards,
+            arena,
+            links_seen,
+        })
     }
 
     /// Reference for a link, if it exists yet (and has not been evicted).

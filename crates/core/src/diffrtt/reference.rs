@@ -8,6 +8,7 @@
 
 use super::characterize::LinkStat;
 use crate::config::DetectorConfig;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_stats::quantile::median;
 use pinpoint_stats::smoothing::Ewma;
 use pinpoint_stats::wilson::ConfidenceInterval;
@@ -51,6 +52,63 @@ impl LinkReference {
         // Smoothing each bound independently can in principle cross them;
         // clamp into a valid interval around the median.
         Some(ConfidenceInterval::new(l.min(m), m, u.max(m), 0))
+    }
+
+    /// Serialize the resumable state: the warm-up buffer and the three
+    /// smoothed values. `warmup_bins` and α are derived from the config
+    /// (itself inside every snapshot), so they are not repeated per link.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        w.seq(self.warmup.len());
+        for s in &self.warmup {
+            w.f64(s.ci.lower);
+            w.f64(s.ci.median);
+            w.f64(s.ci.upper);
+            w.usize(s.ci.n);
+        }
+        for e in [&self.med, &self.lower, &self.upper] {
+            match e.value() {
+                Some(v) => {
+                    w.bool(true);
+                    w.f64(v);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Rebuild a reference from [`LinkReference::snapshot_into`] bytes.
+    pub(crate) fn restore_from(
+        r: &mut Reader<'_>,
+        cfg: &DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        let n = r.seq()?;
+        let mut warmup = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lower = r.f64()?;
+            let med = r.f64()?;
+            let upper = r.f64()?;
+            let count = r.usize()?;
+            warmup.push(LinkStat {
+                ci: ConfidenceInterval::new(lower, med, upper, count),
+            });
+        }
+        let read_ewma = |r: &mut Reader<'_>| -> Result<Ewma, SnapshotError> {
+            Ok(if r.bool()? {
+                Ewma::with_initial(cfg.alpha, r.f64()?)
+            } else {
+                Ewma::new(cfg.alpha)
+            })
+        };
+        let med = read_ewma(r)?;
+        let lower = read_ewma(r)?;
+        let upper = read_ewma(r)?;
+        Ok(LinkReference {
+            warmup,
+            warmup_bins: cfg.warmup_bins.max(1),
+            med,
+            lower,
+            upper,
+        })
     }
 
     /// Fold one bin's statistics into the reference.

@@ -44,6 +44,7 @@ pub use reference::PatternReference;
 use crate::config::DetectorConfig;
 use crate::engine;
 use crate::ingest;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pattern::{shard_of_pattern, PatternArena, PatternChunk, PatternShardRows};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{BinId, FxHashMap};
@@ -102,6 +103,62 @@ impl ForwardingDetector {
     /// cores when `cfg.threads == 0`, capped by the shard count.
     fn effective_threads(&self) -> usize {
         engine::resolve_threads(self.cfg.threads)
+    }
+
+    /// Serialize the resumable state: every shard's references (sorted by
+    /// pattern key — shard maps iterate in hash order, which is not
+    /// stable) and the intern-epoch arena. The config is written once at
+    /// the analyzer level, not here.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        for shard in &self.shards {
+            let mut entries: Vec<(&PatternKey, &ReferenceEntry)> =
+                shard.references.iter().collect();
+            entries.sort_by_key(|(key, _)| **key);
+            w.seq(entries.len());
+            for (key, e) in entries {
+                w.ip(key.router);
+                w.ip(key.dst);
+                w.u64(e.last_seen.0);
+                e.reference.snapshot_into(w);
+            }
+        }
+        self.arena.snapshot_into(w);
+    }
+
+    /// Rebuild a detector from [`ForwardingDetector::snapshot_into`] bytes.
+    pub(crate) fn restore_from(
+        r: &mut Reader<'_>,
+        cfg: &DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        let mut shards: Vec<FwdShard> = (0..engine::NUM_SHARDS)
+            .map(|_| FwdShard::default())
+            .collect();
+        for (idx, shard) in shards.iter_mut().enumerate() {
+            let n = r.seq()?;
+            for _ in 0..n {
+                let router = r.ip()?;
+                let dst = r.ip()?;
+                let key = PatternKey { router, dst };
+                if shard_of_pattern(&key) != idx {
+                    return Err(SnapshotError::Corrupt("pattern in wrong shard"));
+                }
+                let last_seen = BinId(r.u64()?);
+                let reference = PatternReference::restore_from(r, cfg)?;
+                shard.references.insert(
+                    key,
+                    ReferenceEntry {
+                        reference,
+                        last_seen,
+                    },
+                );
+            }
+        }
+        let arena = PatternArena::restore_from(r)?;
+        Ok(ForwardingDetector {
+            cfg: cfg.clone(),
+            shards,
+            arena,
+        })
     }
 
     /// Process one bin of traceroutes; returns forwarding alarms — the

@@ -10,6 +10,7 @@
 
 use crate::engine;
 use crate::ingest::{ChunkPool, Interner, PENDING, SENTINEL};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{BinId, FxHashMap};
 use std::net::Ipv4Addr;
@@ -486,6 +487,72 @@ impl PatternArena {
             evictions: self.hops.evictions()
                 + self.patterns.iter().map(Interner::evictions).sum::<u64>(),
         }
+    }
+
+    /// Serialize the epoch-persistent state: per-shard pattern tables and
+    /// the next-hop table (keys in dense-id order, so restore reproduces
+    /// the identical id assignment) plus the bin-insertion watermark.
+    /// Per-wave state (shard rows, chunk lanes) is scratch — not written.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        for table in &self.patterns {
+            let (keys, seen, insertions, evictions) = table.snapshot_parts();
+            w.seq(keys.len());
+            for (key, bin) in keys.iter().zip(seen) {
+                w.ip(key.router);
+                w.ip(key.dst);
+                w.u64(bin.0);
+            }
+            w.u64(insertions);
+            w.u64(evictions);
+        }
+        let (keys, seen, insertions, evictions) = self.hops.snapshot_parts();
+        w.seq(keys.len());
+        for (hop, bin) in keys.iter().zip(seen) {
+            match hop {
+                NextHop::Ip(ip) => {
+                    w.u8(0);
+                    w.ip(*ip);
+                }
+                NextHop::Unresponsive => w.u8(1),
+            }
+            w.u64(bin.0);
+        }
+        w.u64(insertions);
+        w.u64(evictions);
+        w.u64(self.insertions_at_bin_start);
+    }
+
+    /// Rebuild an arena from [`PatternArena::snapshot_into`] bytes, with
+    /// fresh (empty) per-wave scratch.
+    pub(crate) fn restore_from(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut arena = PatternArena::default();
+        for table in &mut arena.patterns {
+            let n = r.seq()?;
+            let mut keys = Vec::with_capacity(n);
+            let mut seen = Vec::with_capacity(n);
+            for _ in 0..n {
+                let router = r.ip()?;
+                let dst = r.ip()?;
+                keys.push(PatternKey { router, dst });
+                seen.push(BinId(r.u64()?));
+            }
+            *table = Interner::from_parts(keys, seen, r.u64()?, r.u64()?);
+        }
+        let n = r.seq()?;
+        let mut keys = Vec::with_capacity(n);
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            let hop = match r.u8()? {
+                0 => NextHop::Ip(r.ip()?),
+                1 => NextHop::Unresponsive,
+                _ => return Err(SnapshotError::Corrupt("next-hop tag")),
+            };
+            keys.push(hop);
+            seen.push(BinId(r.u64()?));
+        }
+        arena.hops = Interner::from_parts(keys, seen, r.u64()?, r.u64()?);
+        arena.insertions_at_bin_start = r.u64()?;
+        Ok(arena)
     }
 
     /// Start a new scatter session in the current lane (see

@@ -7,6 +7,7 @@
 
 use super::pattern::{NextHop, Pattern};
 use crate::config::DetectorConfig;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use pinpoint_stats::smoothing::VectorEwma;
 
 /// Count floor below which a next hop is dropped from the reference.
@@ -49,6 +50,43 @@ impl PatternReference {
     /// All `(hop, smoothed count)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (&NextHop, f64)> {
         self.ewma.iter()
+    }
+
+    /// Serialize the smoothed `(hop, count)` vector. The smoother's
+    /// `BTreeMap` already iterates in key order, so the bytes are stable.
+    /// α is derived from the config on restore, not repeated per pattern.
+    pub(crate) fn snapshot_into(&self, w: &mut Writer) {
+        w.seq(self.ewma.len());
+        for (hop, count) in self.ewma.iter() {
+            match hop {
+                NextHop::Ip(ip) => {
+                    w.u8(0);
+                    w.ip(*ip);
+                }
+                NextHop::Unresponsive => w.u8(1),
+            }
+            w.f64(count);
+        }
+    }
+
+    /// Rebuild a reference from [`PatternReference::snapshot_into`] bytes.
+    pub(crate) fn restore_from(
+        r: &mut Reader<'_>,
+        cfg: &DetectorConfig,
+    ) -> Result<Self, SnapshotError> {
+        let n = r.seq()?;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let hop = match r.u8()? {
+                0 => NextHop::Ip(r.ip()?),
+                1 => NextHop::Unresponsive,
+                _ => return Err(SnapshotError::Corrupt("next-hop tag")),
+            };
+            values.push((hop, r.f64()?));
+        }
+        Ok(PatternReference {
+            ewma: VectorEwma::from_parts(cfg.alpha, values),
+        })
     }
 
     /// Fold an observed bin pattern into the reference.

@@ -193,6 +193,37 @@ impl<K: Copy + Eq + Hash> Interner<K> {
         self.evictions
     }
 
+    /// The epoch state a snapshot must carry: keys in dense-id order,
+    /// their last-seen stamps, and the cumulative counters. Serializing
+    /// the keys in this order is what lets [`Interner::from_parts`]
+    /// reproduce identical dense-id assignment on restore.
+    pub(crate) fn snapshot_parts(&self) -> (&[K], &[BinId], u64, u64) {
+        (&self.keys, &self.last_seen, self.insertions, self.evictions)
+    }
+
+    /// Rebuild a table from [`Interner::snapshot_parts`] output: key `i`
+    /// gets dense id `i`, exactly as the original insertion order did.
+    pub(crate) fn from_parts(
+        keys: Vec<K>,
+        last_seen: Vec<BinId>,
+        insertions: u64,
+        evictions: u64,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), last_seen.len());
+        let index = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
+        Interner {
+            index,
+            keys,
+            last_seen,
+            insertions,
+            evictions,
+        }
+    }
+
     /// Whether any key has gone unseen for more than `expiry_bins` bins —
     /// the same predicate [`Interner::compact`] uses as its fast path.
     /// The pipelined executor asks this *before* overlapping a new bin:

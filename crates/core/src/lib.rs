@@ -186,6 +186,7 @@ pub mod pipeline;
 pub mod render;
 pub mod sanitize;
 pub mod session;
+pub mod snapshot;
 pub mod stream;
 
 pub use aggregate::{EmpathyExtractor, EventTable, FleetEvent};
@@ -196,4 +197,5 @@ pub use ingest::IngestStats;
 pub use pipeline::{Analyzer, BinReport, PipelinedDriver};
 pub use sanitize::SanitizeStats;
 pub use session::{AnalysisSession, AnalyzerSession, BinSource, FleetSession};
+pub use snapshot::SnapshotError;
 pub use stream::{FleetPipelinedDriver, FleetReport, StreamId, StreamRouter};

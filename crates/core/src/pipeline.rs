@@ -31,8 +31,9 @@ use crate::diffrtt::{DelayAlarm, DelayDetector, LinkStat};
 use crate::forwarding::{ForwardingAlarm, ForwardingDetector};
 use crate::graph::AlarmGraph;
 use crate::sanitize::{SanitizeStats, Sanitizer};
+use crate::snapshot::{self, Reader, SnapshotError, Writer};
 use pinpoint_model::records::TracerouteRecord;
-use pinpoint_model::{Asn, BinId, IpLink};
+use pinpoint_model::{Asn, BinId, IpLink, Prefix};
 use std::collections::{BTreeMap, HashMap};
 
 /// Everything the pipeline learned from one bin.
@@ -512,6 +513,137 @@ impl Analyzer {
     /// When an incremental [`Analyzer::begin_bin`] session is open.
     pub fn session(&mut self, depth: usize) -> crate::session::AnalyzerSession<'_> {
         crate::session::AnalyzerSession::new(self, depth)
+    }
+
+    /// Serialize the analyzer's complete resumable state into a
+    /// self-contained byte snapshot.
+    ///
+    /// The snapshot determinism rule (see [`crate::snapshot`]): the same
+    /// analytic state always yields the same bytes, regardless of how
+    /// many threads, what chunk size, which pipeline depth, or which
+    /// radix threshold produced it — the four throughput knobs are
+    /// normalized out, and every map is serialized in sorted or dense-id
+    /// order. Restoring and feeding the remaining bins yields reports
+    /// byte-identical to the uninterrupted run.
+    ///
+    /// # Panics
+    /// When an incremental [`Analyzer::begin_bin`] session is open — a
+    /// half-scattered bin is not resumable state; close it first.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(snapshot::KIND_ANALYZER);
+        self.snapshot_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Write the analyzer's state without the container header — the
+    /// stream router embeds many of these in one fleet snapshot.
+    pub(crate) fn snapshot_body(&self, w: &mut Writer) {
+        assert!(
+            self.session.is_none(),
+            "snapshot called while an incremental bin is open (finish_bin first)"
+        );
+        self.cfg.snapshot_into(w);
+        let prefixes = self.mapper.prefixes();
+        w.seq(prefixes.len());
+        for (prefix, asn) in prefixes {
+            w.ip(prefix.network());
+            w.u8(prefix.len());
+            w.u32(asn.0);
+        }
+        self.delay.snapshot_into(w);
+        self.forwarding.snapshot_into(w);
+        let s = self.sanitizer.stats();
+        for v in [
+            s.bin_records,
+            s.bin_quarantined,
+            s.bin_repaired,
+            s.records,
+            s.quarantined_loops,
+            s.quarantined_rtt,
+            s.quarantined_inversions,
+            s.quarantined_hops,
+            s.repaired,
+        ] {
+            w.u64(v);
+        }
+        self.magnitudes.snapshot_into(w);
+        self.events.snapshot_into(w);
+    }
+
+    /// Rebuild an analyzer from [`Analyzer::snapshot`] bytes. The
+    /// restored analyzer picks up exactly where the snapshot was taken:
+    /// feeding it the remaining bins produces reports byte-identical to
+    /// the uninterrupted run.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::restore_with(bytes, |_| {})
+    }
+
+    /// [`Analyzer::restore`] with a configuration hook, for re-pinning
+    /// the throughput knobs (`threads`, `ingest_chunk_records`,
+    /// `pipeline_depth`, `radix_min_keys`) that snapshots normalize to
+    /// "auto". Analytic knobs can also be inspected here, but changing
+    /// them mid-stream voids the byte-parity contract.
+    pub fn restore_with(
+        bytes: &[u8],
+        tune: impl FnOnce(&mut DetectorConfig),
+    ) -> Result<Self, SnapshotError> {
+        let (kind, mut r) = Reader::open(bytes)?;
+        if kind != snapshot::KIND_ANALYZER {
+            return Err(SnapshotError::Corrupt("not an analyzer snapshot"));
+        }
+        let analyzer = Self::restore_body(&mut r, tune)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(analyzer)
+    }
+
+    /// Read one analyzer body (the [`Analyzer::snapshot_body`] layout).
+    pub(crate) fn restore_body(
+        r: &mut Reader<'_>,
+        tune: impl FnOnce(&mut DetectorConfig),
+    ) -> Result<Self, SnapshotError> {
+        let mut cfg = DetectorConfig::restore_from(r)?;
+        tune(&mut cfg);
+        if cfg.validate().is_err() {
+            return Err(SnapshotError::Corrupt("invalid config"));
+        }
+        let n = r.seq()?;
+        let mut mapper = AsMapper::new();
+        for _ in 0..n {
+            let addr = r.ip()?;
+            let len = r.u8()?;
+            if len > 32 {
+                return Err(SnapshotError::Corrupt("prefix length"));
+            }
+            let asn = Asn(r.u32()?);
+            mapper.insert(Prefix::new(addr, len), asn);
+        }
+        let delay = DelayDetector::restore_from(r, &cfg)?;
+        let forwarding = ForwardingDetector::restore_from(r, &cfg)?;
+        let stats = SanitizeStats {
+            bin_records: r.u64()?,
+            bin_quarantined: r.u64()?,
+            bin_repaired: r.u64()?,
+            records: r.u64()?,
+            quarantined_loops: r.u64()?,
+            quarantined_rtt: r.u64()?,
+            quarantined_inversions: r.u64()?,
+            quarantined_hops: r.u64()?,
+            repaired: r.u64()?,
+        };
+        let magnitudes = MagnitudeTracker::restore_from(r)?;
+        let events = EmpathyExtractor::restore_from(r)?;
+        Ok(Analyzer {
+            cfg,
+            delay,
+            forwarding,
+            sanitizer: Sanitizer::from_stats(stats),
+            mapper,
+            magnitudes,
+            events,
+            session: None,
+        })
     }
 
     /// Number of links with a learned delay reference.

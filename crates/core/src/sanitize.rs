@@ -233,6 +233,15 @@ impl Sanitizer {
         self.stats
     }
 
+    /// Rebuild a sanitizer carrying restored cumulative counters (the
+    /// snapshot path; the record buffer is per-bin scratch).
+    pub(crate) fn from_stats(stats: SanitizeStats) -> Self {
+        Sanitizer {
+            stats,
+            buf: Vec::new(),
+        }
+    }
+
     /// Sanitize one record slice. The fast path — every record clean,
     /// the overwhelmingly common case on a healthy feed — returns the
     /// input slice itself: zero copies, one read-only pass. Otherwise

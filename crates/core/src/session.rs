@@ -135,6 +135,20 @@ pub trait AnalysisSession {
     /// listing. Reflects only *reported* bins — with pipelined lanes, a
     /// pushed-but-unreported bin is not yet visible.
     fn events(&self) -> Vec<crate::aggregate::FleetEvent>;
+
+    /// Drain the executor and serialize the run's complete resumable
+    /// state: returns the flushed in-flight report (if the pipeline held
+    /// one — hand it to the observer like any other) and the snapshot
+    /// bytes ([`Analyzer::snapshot`] / [`StreamRouter::snapshot`]
+    /// layout). Draining inserts one pipeline bubble at depth 2, exactly
+    /// like the epoch fence, and is invisible in report bytes — so a
+    /// checkpoint cadence never voids the determinism contract. The
+    /// session keeps running afterwards; the pipeline refills on the
+    /// next push.
+    ///
+    /// # Panics
+    /// When a bin is still open (`finish_bin` first).
+    fn checkpoint(&mut self) -> (Option<Self::Report>, Vec<u8>);
 }
 
 /// Exhaust a [`BinSource`] through an [`AnalysisSession`], handing every
@@ -292,6 +306,11 @@ impl AnalysisSession for AnalyzerSession<'_> {
     fn events(&self) -> Vec<crate::aggregate::FleetEvent> {
         self.analyzer().events()
     }
+
+    fn checkpoint(&mut self) -> (Option<BinReport>, Vec<u8>) {
+        let report = self.flush();
+        (report, self.analyzer().snapshot())
+    }
 }
 
 /// Which executor a fleet session runs on.
@@ -423,6 +442,11 @@ impl AnalysisSession for FleetSession<'_> {
 
     fn events(&self) -> Vec<crate::aggregate::FleetEvent> {
         self.router().events()
+    }
+
+    fn checkpoint(&mut self) -> (Option<FleetReport>, Vec<u8>) {
+        let report = self.flush();
+        (report, self.router().snapshot())
     }
 }
 

@@ -45,6 +45,7 @@ use crate::config::DetectorConfig;
 use crate::engine;
 use crate::graph::AlarmGraph;
 use crate::pipeline::{Analyzer, BinReport};
+use crate::snapshot::{self, Reader, SnapshotError, Writer};
 use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId};
 use std::collections::BTreeMap;
@@ -380,6 +381,77 @@ impl StreamRouter {
         self.streams
             .first()
             .map_or(0, |s| s.analyzer.config().pipeline_depth)
+    }
+
+    /// Serialize the whole fleet's resumable state — every stream's
+    /// label and analyzer body, the fleet magnitude baseline, and the
+    /// fleet event channel — under the same determinism rule as
+    /// [`Analyzer::snapshot`]: throughput knobs (including the router's
+    /// own [`StreamRouter::set_threads`]) are normalized out, so the
+    /// bytes are identical across the whole execution matrix.
+    ///
+    /// # Panics
+    /// When any stream has an open incremental bin.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(snapshot::KIND_FLEET);
+        w.seq(self.streams.len());
+        for stream in &self.streams {
+            w.str(&stream.label);
+            stream.analyzer.snapshot_body(&mut w);
+        }
+        self.fleet_magnitudes.snapshot_into(&mut w);
+        match &self.fleet_events {
+            Some(extractor) => {
+                w.bool(true);
+                extractor.snapshot_into(&mut w);
+            }
+            None => w.bool(false),
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild a fleet from [`StreamRouter::snapshot`] bytes. The
+    /// restored router's thread knob is "auto" — re-pin it with
+    /// [`StreamRouter::set_threads`] if desired; the per-stream
+    /// throughput knobs can be re-pinned via the `tune` hook of
+    /// [`StreamRouter::restore_with`].
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::restore_with(bytes, |_| {})
+    }
+
+    /// [`StreamRouter::restore`] with a per-stream configuration hook
+    /// (applied to every stream's restored config, like
+    /// [`Analyzer::restore_with`]).
+    pub fn restore_with(
+        bytes: &[u8],
+        mut tune: impl FnMut(&mut DetectorConfig),
+    ) -> Result<Self, SnapshotError> {
+        let (kind, mut r) = Reader::open(bytes)?;
+        if kind != snapshot::KIND_FLEET {
+            return Err(SnapshotError::Corrupt("not a fleet snapshot"));
+        }
+        let n = r.seq()?;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = r.str()?;
+            let analyzer = Analyzer::restore_body(&mut r, &mut tune)?;
+            streams.push(Stream { label, analyzer });
+        }
+        let fleet_magnitudes = MagnitudeTracker::restore_from(&mut r)?;
+        let fleet_events = if r.bool()? {
+            Some(EmpathyExtractor::restore_from(&mut r)?)
+        } else {
+            None
+        };
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(StreamRouter {
+            streams,
+            fleet_magnitudes,
+            fleet_events,
+            threads: 0,
+        })
     }
 }
 

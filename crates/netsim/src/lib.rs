@@ -35,6 +35,7 @@
 
 pub mod dynamics;
 pub mod events;
+pub mod fault;
 pub mod geo;
 pub mod ids;
 pub mod network;
@@ -43,6 +44,7 @@ pub mod topology;
 
 pub use dynamics::ArtifactModel;
 pub use events::{EventSchedule, NetworkEvent};
+pub use fault::{FaultModel, FaultyFeed, FeedEvent, RecoveredFeed};
 pub use ids::{AsId, LinkId, RouterId};
 pub use network::{Network, TraceHop, TraceOutcome};
 pub use topology::{builder::TopologyBuilder, builder::TopologyConfig, Topology};

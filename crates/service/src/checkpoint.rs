@@ -1,0 +1,175 @@
+//! Durable checkpoint files: crash-safe persistence of analyzer state.
+//!
+//! A checkpoint is one file holding `frame(last_bin ‖ snapshot)`, where
+//! `frame` is [`pinpoint_core::snapshot::frame`]'s length + CRC-32
+//! envelope, `last_bin` is the id (u64 LE) of the last bin folded into
+//! the snapshot, and `snapshot` is the byte-stable
+//! `Analyzer::snapshot()` / `StreamRouter::snapshot()` payload. Files
+//! are written to a temporary name and atomically renamed into place,
+//! so a `kill -9` mid-write leaves at worst a stray `.tmp` — never a
+//! half-valid checkpoint. On resume, [`CheckpointStore::load_latest`]
+//! walks the directory newest-first and returns the first file whose
+//! frame verifies; truncated or corrupt files are skipped, not fatal.
+
+use pinpoint_core::snapshot::{frame, unframe};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of a completed checkpoint.
+const EXT: &str = "pnck";
+/// Completed checkpoints kept on disk; older ones are pruned after each
+/// successful save so the directory stays bounded.
+const KEEP: usize = 4;
+
+/// A directory of framed, atomically-written checkpoint files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` (created on the first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointStore { dir: dir.into() }
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(last_bin: u64) -> String {
+        format!("ckpt-{last_bin:012}.{EXT}")
+    }
+
+    /// Durably save a checkpoint covering every bin through `last_bin`.
+    /// Write-to-temp + rename makes the appearance of the final name
+    /// atomic; the frame's length + checksum makes any torn write
+    /// detectable on load.
+    pub fn save(&self, last_bin: u64, snapshot: &[u8]) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let mut payload = Vec::with_capacity(8 + snapshot.len());
+        payload.extend_from_slice(&last_bin.to_le_bytes());
+        payload.extend_from_slice(snapshot);
+        let bytes = frame(&payload);
+        let path = self.dir.join(Self::file_name(last_bin));
+        let tmp = self.dir.join(format!("{}.tmp", Self::file_name(last_bin)));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        self.prune();
+        Ok(path)
+    }
+
+    /// Completed checkpoint files, oldest first (lexicographic order of
+    /// the zero-padded names IS bin order).
+    fn entries(&self) -> Vec<PathBuf> {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<PathBuf> = read
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == EXT)
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("ckpt-"))
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    /// Drop all but the newest [`KEEP`] checkpoints (best-effort).
+    fn prune(&self) {
+        let files = self.entries();
+        for stale in files.iter().rev().skip(KEEP) {
+            let _ = fs::remove_file(stale);
+        }
+    }
+
+    /// Load the newest checkpoint whose frame verifies, returning
+    /// `(last_bin, snapshot_bytes)`. Corrupt, truncated, or unreadable
+    /// files are skipped — a crash can only ever cost the tail of the
+    /// checkpoint history, never the ability to resume.
+    pub fn load_latest(&self) -> Option<(u64, Vec<u8>)> {
+        for path in self.entries().into_iter().rev() {
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Ok(payload) = unframe(&bytes) else {
+                continue;
+            };
+            if payload.len() < 8 {
+                continue;
+            }
+            let last_bin = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            return Some((last_bin, payload[8..].to_vec()));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pinpoint-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_returns_the_newest() {
+        let dir = scratch("roundtrip");
+        let store = CheckpointStore::new(&dir);
+        store.save(3, b"state-at-3").unwrap();
+        store.save(7, b"state-at-7").unwrap();
+        assert_eq!(store.load_latest(), Some((7, b"state-at-7".to_vec())));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_fall_back_to_older_valid() {
+        let dir = scratch("corrupt");
+        let store = CheckpointStore::new(&dir);
+        store.save(2, b"good").unwrap();
+        let newest = store.save(9, b"doomed").unwrap();
+        // Flip a payload byte: the CRC must reject the newest file.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(store.load_latest(), Some((2, b"good".to_vec())));
+        // Truncate it instead (a torn write): same fallback.
+        fs::write(&newest, &fs::read(&newest).unwrap()[..5]).unwrap();
+        assert_eq!(store.load_latest(), Some((2, b"good".to_vec())));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_none() {
+        let dir = scratch("empty");
+        let store = CheckpointStore::new(&dir);
+        assert_eq!(store.load_latest(), None);
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(store.load_latest(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_the_directory_bounded() {
+        let dir = scratch("prune");
+        let store = CheckpointStore::new(&dir);
+        for bin in 0..10 {
+            store.save(bin, b"s").unwrap();
+        }
+        assert!(store.entries().len() <= KEEP);
+        assert_eq!(store.load_latest().unwrap().0, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -3,10 +3,11 @@
 //! Three threads, two bounded queues:
 //!
 //! ```text
-//!   feed (BinSource)                         ┌───────────────┐
-//!        │ next_bin()                 ┌─────▶│ HTTP workers  │
-//!        ▼                            │      │ (cached JSON) │
-//!   ┌───────────┐  collect queue  ┌───┴─────┐└───────────────┘
+//!   feed (BinSource /                         ┌───────────────┐
+//!    RecoverableSource)               ┌─────▶│ HTTP workers  │
+//!        │ next_signal()              │      │ (cached JSON) │
+//!        ▼                            │      └───────────────┘
+//!   ┌───────────┐  collect queue  ┌───┴─────┐
 //!   │ collector │ ───(bounded)──▶ │executor │  report queue   ┌──────────┐
 //!   │  thread   │                 │ session │ ───(bounded)──▶ │ reporter │
 //!   └───────────┘                 └─────────┘                 │  thread  │
@@ -22,7 +23,30 @@
 //! everything already collected drains through the executor and
 //! reporter before the phase flips to `done`, so no collected bin goes
 //! unreported.
+//!
+//! **Supervision.** Every stage runs under `catch_unwind`. A panicking
+//! stage records its fault in the shared state, flips the phase to
+//! [`Phase::Failed`] (sticky), and *poisons* both queues — blocked
+//! peers fail fast instead of deadlocking, and the HTTP surface keeps
+//! serving the cached reports plus a degraded `/health`.
+//!
+//! **Fault-aware collection.** Through [`Daemon::spawn_recovering`] the
+//! collector consumes a [`RecoverableSource`]: feed disconnects are
+//! retried with capped exponential backoff, stalls are recorded, and
+//! duplicate or out-of-order bins are rejected by the monotonicity rule
+//! (`bin ≤ last accepted` drops) — the same rule
+//! `netsim::RecoveredFeed` applies, so a daemon over a faulty feed
+//! byte-matches an offline run over the recovered feed.
+//!
+//! **Checkpointing.** With `checkpoint_every > 0` and a
+//! `checkpoint_dir`, the executor drains its session every N bins and
+//! writes the byte-stable snapshot through [`CheckpointStore`] (framed,
+//! checksummed, atomically renamed). A later process restores the
+//! snapshot and resumes with [`ServiceConfig::resume_from`]; reports
+//! from then on are byte-identical to the uninterrupted run.
 
+use crate::checkpoint::CheckpointStore;
+use crate::feed::{FeedSignal, RecoverableSource, SteadyFeed};
 use crate::http::{HttpServer, Router};
 use crate::queue::BoundedQueue;
 use crate::state::{Phase, PublishedBin, QueueGauge, ServiceState, TimelinePoint};
@@ -37,10 +61,12 @@ use pinpoint_model::records::TracerouteRecord;
 use pinpoint_model::{Asn, BinId};
 use std::borrow::Borrow;
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon knobs. `Default` binds an ephemeral localhost port with small
 /// queues — the shape the tests and the example use.
@@ -58,6 +84,26 @@ pub struct ServiceConfig {
     /// configured `pipeline_depth`, `1` = serial, `2` = cross-bin
     /// overlapped).
     pub depth: usize,
+    /// First sleep after a feed disconnect, in milliseconds; each
+    /// further consecutive disconnect doubles it up to
+    /// [`ServiceConfig::retry_cap_ms`].
+    pub retry_base_ms: u64,
+    /// Ceiling of the feed-retry backoff, in milliseconds.
+    pub retry_cap_ms: u64,
+    /// Write a durable checkpoint every N accepted bins (`0` = off;
+    /// requires [`ServiceConfig::checkpoint_dir`]).
+    pub checkpoint_every: u64,
+    /// Directory for checkpoint files (created on first write).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// The bin id the restored snapshot already covers: the collector
+    /// rejects every feed bin `≤` this, exactly as it rejects
+    /// duplicates, so a replaying feed cannot double-count bins after a
+    /// `--resume`.
+    pub resume_from: Option<u64>,
+    /// Total wall-clock budget for reading one HTTP request head, in
+    /// milliseconds — a byte-at-a-time slow-loris client is cut off
+    /// with `408` when it runs out.
+    pub http_read_deadline_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +114,12 @@ impl Default for ServiceConfig {
             report_capacity: 4,
             http_workers: 8,
             depth: 0,
+            retry_base_ms: 50,
+            retry_cap_ms: 2_000,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume_from: None,
+            http_read_deadline_ms: 10_000,
         }
     }
 }
@@ -204,35 +256,55 @@ fn timeline_points(
         .collect()
 }
 
+/// The executor's periodic-checkpoint cadence: every `every` accepted
+/// bins, drain the session and persist the byte-stable snapshot.
+struct Checkpointing {
+    store: CheckpointStore,
+    every: u64,
+    seen: u64,
+    state: Arc<ServiceState>,
+}
+
 /// What the executor thread runs: it owns its analyzer (or fleet) and
 /// creates the session inside the thread, because a session borrows its
 /// analyzer and cannot cross the spawn boundary itself.
 trait Engine: Send + 'static {
     type Feed: Send + 'static;
 
+    /// The full current event list (open + closed) of the underlying
+    /// analyzer — non-empty after a snapshot restore, where the
+    /// reporter's event fold must be seeded with it or `/events` would
+    /// forget everything from before the checkpoint.
+    fn initial_events(&self) -> Vec<FleetEvent>;
+
     fn drive(
         self: Box<Self>,
         depth: usize,
+        ckpt: Option<Checkpointing>,
         bins: &BoundedQueue<Collected<Self::Feed>>,
-        emit: &mut dyn FnMut(Emitted),
+        emit: &mut dyn FnMut(Emitted) -> bool,
     );
 }
 
 /// Run one session over the collect queue until it closes, pairing each
-/// in-order report with the collect timestamp of its bin.
+/// in-order report with the collect timestamp of its bin. `emit`
+/// returning `false` means the downstream stage is gone — stop driving
+/// (dead-stage shutdown propagation). With `ckpt`, the session is
+/// drained every N bins and its snapshot durably saved.
 fn drive_session<S>(
     session: &mut S,
+    mut ckpt: Option<Checkpointing>,
     bins: &BoundedQueue<Collected<<S::Input as ToOwned>::Owned>>,
     stats: impl Fn(&S) -> (IngestStats, SanitizeStats),
     wrap: impl Fn(S::Report) -> ReportKind,
-    emit: &mut dyn FnMut(Emitted),
+    emit: &mut dyn FnMut(Emitted) -> bool,
 ) where
     S: AnalysisSession,
     S::Input: ToOwned,
     <S::Input as ToOwned>::Owned: Send + 'static,
 {
     let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
-    let mut forward = |report: ReportKind, at: Instant, s: (IngestStats, SanitizeStats)| {
+    let mut forward = |report: ReportKind, at: Instant, s: (IngestStats, SanitizeStats)| -> bool {
         emit(Emitted {
             report,
             ingest: s.0,
@@ -240,20 +312,48 @@ fn drive_session<S>(
             collected_at: at,
         })
     };
-    while let Some(c) = bins.pop() {
-        inflight.push_back((c.bin.0, c.at));
+    while let Ok(c) = bins.pop() {
+        let collected_bin = c.bin.0;
+        inflight.push_back((collected_bin, c.at));
         if let Some(report) = session.push_bin(c.bin, c.feed.borrow()) {
             let (bin, at) = inflight.pop_front().expect("report without in-flight bin");
             let report = wrap(report);
             debug_assert_eq!(bin, report.bin(), "reports must emerge in collect order");
-            forward(report, at, stats(session));
+            if !forward(report, at, stats(session)) {
+                return;
+            }
+        }
+        if let Some(ck) = ckpt.as_mut() {
+            ck.seen += 1;
+            if ck.seen % ck.every == 0 {
+                // Drain the pipeline so the snapshot covers every bin
+                // pushed so far; the flushed report (if any) is a real
+                // bin report and must still reach the reporter.
+                let (report, snapshot) = session.checkpoint();
+                if let Some(report) = report {
+                    let (bin, at) = inflight.pop_front().expect("report without in-flight bin");
+                    let report = wrap(report);
+                    debug_assert_eq!(bin, report.bin(), "checkpoint must flush the pending bin");
+                    if !forward(report, at, stats(session)) {
+                        return;
+                    }
+                }
+                match ck.store.save(collected_bin, &snapshot) {
+                    Ok(_) => ck.state.record_checkpoint(collected_bin),
+                    Err(e) => ck
+                        .state
+                        .record_fault(format!("checkpoint write failed: {e}")),
+                }
+            }
         }
     }
     if let Some(report) = session.flush() {
         let (bin, at) = inflight.pop_front().expect("report without in-flight bin");
         let report = wrap(report);
         debug_assert_eq!(bin, report.bin(), "flush must return the pending bin");
-        forward(report, at, stats(session));
+        if !forward(report, at, stats(session)) {
+            return;
+        }
     }
     debug_assert!(inflight.is_empty(), "drain left a collected bin unreported");
 }
@@ -265,15 +365,21 @@ struct SoloEngine {
 impl Engine for SoloEngine {
     type Feed = Vec<TracerouteRecord>;
 
+    fn initial_events(&self) -> Vec<FleetEvent> {
+        self.analyzer.events()
+    }
+
     fn drive(
         mut self: Box<Self>,
         depth: usize,
+        ckpt: Option<Checkpointing>,
         bins: &BoundedQueue<Collected<Vec<TracerouteRecord>>>,
-        emit: &mut dyn FnMut(Emitted),
+        emit: &mut dyn FnMut(Emitted) -> bool,
     ) {
         let mut session = self.analyzer.session(depth);
         drive_session(
             &mut session,
+            ckpt,
             bins,
             |s| (s.analyzer().ingest_stats(), s.analyzer().sanitize_stats()),
             ReportKind::Solo,
@@ -289,20 +395,59 @@ struct FleetEngine {
 impl Engine for FleetEngine {
     type Feed = Vec<Vec<TracerouteRecord>>;
 
+    fn initial_events(&self) -> Vec<FleetEvent> {
+        self.router.events()
+    }
+
     fn drive(
         mut self: Box<Self>,
         depth: usize,
+        ckpt: Option<Checkpointing>,
         bins: &BoundedQueue<Collected<Vec<Vec<TracerouteRecord>>>>,
-        emit: &mut dyn FnMut(Emitted),
+        emit: &mut dyn FnMut(Emitted) -> bool,
     ) {
         let mut session = self.router.session(depth);
         drive_session(
             &mut session,
+            ckpt,
             bins,
             |s| (s.router().ingest_stats(), s.router().sanitize_stats()),
             ReportKind::Fleet,
             emit,
         );
+    }
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run one stage body under `catch_unwind`. On panic: record the fault,
+/// flip the phase to [`Phase::Failed`] (before poisoning, so no racing
+/// stage can claim `Done` first), then poison both queues so blocked
+/// neighbours fail fast instead of deadlocking.
+fn supervise<A, B>(
+    stage: &'static str,
+    state: &Arc<ServiceState>,
+    collect_q: &Arc<BoundedQueue<A>>,
+    report_q: &Arc<BoundedQueue<B>>,
+    body: impl FnOnce(),
+) {
+    if let Err(panic) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
+        state.record_fault(format!(
+            "{stage} stage panicked: {}",
+            panic_message(panic.as_ref())
+        ));
+        state.set_phase(Phase::Failed);
+        collect_q.poison();
+        report_q.poison();
     }
 }
 
@@ -330,12 +475,27 @@ impl Daemon {
     where
         F: BinSource<Feed = Vec<TracerouteRecord>> + Send + 'static,
     {
+        Self::spawn_engine(cfg, SoloEngine { analyzer }, SteadyFeed(feed), None)
+    }
+
+    /// Spawn the daemon over a solo analyzer fed by a fault-signalling
+    /// source: disconnects are retried with capped exponential backoff,
+    /// stalls are recorded in `/health`, and duplicate or out-of-order
+    /// bins are rejected at the collector.
+    pub fn spawn_recovering<F>(
+        cfg: ServiceConfig,
+        analyzer: Analyzer,
+        feed: F,
+    ) -> std::io::Result<Daemon>
+    where
+        F: RecoverableSource<Feed = Vec<TracerouteRecord>>,
+    {
         Self::spawn_engine(cfg, SoloEngine { analyzer }, feed, None)
     }
 
     /// [`Daemon::spawn`] with a reporter-side hook, called with each bin
     /// id before its report is published (used by the backpressure
-    /// tests to deliberately stall the reporter).
+    /// tests to deliberately stall — or kill — the reporter).
     pub fn spawn_with_report_hook<F>(
         cfg: ServiceConfig,
         analyzer: Analyzer,
@@ -345,7 +505,7 @@ impl Daemon {
     where
         F: BinSource<Feed = Vec<TracerouteRecord>> + Send + 'static,
     {
-        Self::spawn_engine(cfg, SoloEngine { analyzer }, feed, Some(hook))
+        Self::spawn_engine(cfg, SoloEngine { analyzer }, SteadyFeed(feed), Some(hook))
     }
 
     /// Spawn the daemon over a stream fleet. `feed` yields one
@@ -358,7 +518,7 @@ impl Daemon {
     where
         F: BinSource<Feed = Vec<Vec<TracerouteRecord>>> + Send + 'static,
     {
-        Self::spawn_engine(cfg, FleetEngine { router }, feed, None)
+        Self::spawn_engine(cfg, FleetEngine { router }, SteadyFeed(feed), None)
     }
 
     fn spawn_engine<E, F>(
@@ -369,7 +529,7 @@ impl Daemon {
     ) -> std::io::Result<Daemon>
     where
         E: Engine,
-        F: BinSource<Feed = E::Feed> + Send + 'static,
+        F: RecoverableSource<Feed = E::Feed>,
     {
         let state = ServiceState::new();
         let collect_q = Arc::new(BoundedQueue::<Collected<E::Feed>>::new(
@@ -377,63 +537,114 @@ impl Daemon {
         ));
         let report_q = Arc::new(BoundedQueue::<Emitted>::new(cfg.report_capacity));
         let stop_collect = Arc::new(AtomicBool::new(false));
+        let initial_events = engine.initial_events();
+        let ckpt = match (&cfg.checkpoint_dir, cfg.checkpoint_every) {
+            (Some(dir), every) if every > 0 => Some(Checkpointing {
+                store: CheckpointStore::new(dir),
+                every,
+                seen: 0,
+                state: Arc::clone(&state),
+            }),
+            _ => None,
+        };
         let mut threads = Vec::with_capacity(3);
 
-        // Collector: pull bins from the feed until it runs dry or a
+        // Collector: pull signals from the feed until it runs dry or a
         // shutdown stops it, then close the queue so the executor
         // drains. A blocked push IS the backpressure edge: the feed is
         // simply not asked for bin n+2 until the executor frees a slot.
         {
             let collect_q = Arc::clone(&collect_q);
+            let report_q = Arc::clone(&report_q);
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop_collect);
             let mut feed = feed;
+            let resume_from = cfg.resume_from;
+            let retry_base = cfg.retry_base_ms.max(1);
+            let retry_cap = cfg.retry_cap_ms.max(retry_base);
             threads.push(
                 std::thread::Builder::new()
                     .name("pinpointd-collector".to_string())
                     .spawn(move || {
-                        while !stop.load(Ordering::SeqCst) {
-                            let Some((bin, records)) = feed.next_bin() else {
-                                break;
-                            };
-                            state.record_collected();
-                            if collect_q
-                                .push(Collected {
-                                    bin,
-                                    feed: records,
-                                    at: Instant::now(),
-                                })
-                                .is_err()
-                            {
-                                break;
+                        supervise("collector", &state, &collect_q, &report_q, || {
+                            let mut last_accepted = resume_from;
+                            let mut backoff = retry_base;
+                            while !stop.load(Ordering::SeqCst) {
+                                match feed.next_signal() {
+                                    None => break,
+                                    Some(FeedSignal::Bin(bin, records)) => {
+                                        // Monotonicity rule: a bin at or
+                                        // below the last accepted id is a
+                                        // duplicate or a late straggler —
+                                        // reject it (netsim's
+                                        // `RecoveredFeed` rule).
+                                        if last_accepted.is_some_and(|last| bin.0 <= last) {
+                                            state.record_feed_rejected();
+                                            continue;
+                                        }
+                                        last_accepted = Some(bin.0);
+                                        backoff = retry_base;
+                                        state.record_collected();
+                                        if collect_q
+                                            .push(Collected {
+                                                bin,
+                                                feed: records,
+                                                at: Instant::now(),
+                                            })
+                                            .is_err()
+                                        {
+                                            break;
+                                        }
+                                    }
+                                    Some(FeedSignal::Stall(bins)) => {
+                                        state.record_fault(format!(
+                                            "feed stalled for {bins} bin interval(s)"
+                                        ));
+                                    }
+                                    Some(FeedSignal::Disconnect) => {
+                                        state.record_feed_retry(format!(
+                                            "feed disconnected; retrying in {backoff} ms"
+                                        ));
+                                        std::thread::sleep(Duration::from_millis(backoff));
+                                        backoff = (backoff * 2).min(retry_cap);
+                                    }
+                                }
                             }
-                        }
-                        collect_q.close();
+                            collect_q.close();
+                        });
                     })?,
             );
         }
 
         // Executor: one session over the whole queue; closes the report
-        // queue when the collect queue is drained and flushed.
+        // queue when the collect queue is drained and flushed. A push
+        // into a dead report queue stops the drive early.
         {
             let collect_q = Arc::clone(&collect_q);
             let report_q = Arc::clone(&report_q);
+            let state = Arc::clone(&state);
             let depth = cfg.depth;
             threads.push(
                 std::thread::Builder::new()
                     .name("pinpointd-executor".to_string())
                     .spawn(move || {
-                        Box::new(engine).drive(depth, &collect_q, &mut |emitted| {
-                            let _ = report_q.push(emitted);
+                        supervise("executor", &state, &collect_q, &report_q, || {
+                            Box::new(engine).drive(depth, ckpt, &collect_q, &mut |emitted| {
+                                report_q.push(emitted).is_ok()
+                            });
+                            report_q.close();
                         });
-                        report_q.close();
                     })?,
             );
         }
 
         // Reporter: render once, publish to the immutable cache, flip
-        // the phase to Done when everything drained.
+        // the phase to Done when everything drained. After a snapshot
+        // restore its event fold starts from the analyzer's restored
+        // table, not empty — otherwise `/events` would forget every
+        // event extracted before the checkpoint.
         {
+            let collect_q = Arc::clone(&collect_q);
             let report_q = Arc::clone(&report_q);
             let state = Arc::clone(&state);
             let mut hook = hook;
@@ -441,22 +652,35 @@ impl Daemon {
                 std::thread::Builder::new()
                     .name("pinpointd-reporter".to_string())
                     .spawn(move || {
-                        // The reporter's fold of the incremental event
-                        // channel: absorbing every bin's deltas in
-                        // emission order reconstructs the extractor's
-                        // table byte-for-byte.
-                        let mut events = EventTable::new();
-                        while let Some(e) = report_q.pop() {
-                            if let Some(hook) = hook.as_mut() {
-                                hook(e.report.bin());
+                        supervise("reporter", &state, &collect_q, &report_q, || {
+                            // The reporter's fold of the incremental
+                            // event channel: absorbing every bin's deltas
+                            // in emission order reconstructs the
+                            // extractor's table byte-for-byte.
+                            let mut events = EventTable::new();
+                            if !initial_events.is_empty() {
+                                events.absorb(&initial_events);
+                                state.seed_events(
+                                    render::events(&events.ranked()).to_string(),
+                                    initial_events
+                                        .iter()
+                                        .map(|e| (e.id, render::event(e).to_string()))
+                                        .collect(),
+                                    events.open_count(),
+                                );
                             }
-                            events.absorb(e.report.events());
-                            let latency_ms = e.collected_at.elapsed().as_secs_f64() * 1e3;
-                            state.publish(
-                                e.report.render(&events, e.ingest, e.sanitize, latency_ms),
-                            );
-                        }
-                        state.set_phase(Phase::Done);
+                            while let Ok(e) = report_q.pop() {
+                                if let Some(hook) = hook.as_mut() {
+                                    hook(e.report.bin());
+                                }
+                                events.absorb(e.report.events());
+                                let latency_ms = e.collected_at.elapsed().as_secs_f64() * 1e3;
+                                state.publish(
+                                    e.report.render(&events, e.ingest, e.sanitize, latency_ms),
+                                );
+                            }
+                            state.set_phase(Phase::Done);
+                        });
                     })?,
             );
         }
@@ -480,6 +704,7 @@ impl Daemon {
                     shutdown_state.set_phase(Phase::Draining);
                     stop.store(true, Ordering::SeqCst);
                 }),
+                read_deadline: Duration::from_millis(cfg.http_read_deadline_ms.max(1)),
             }
         })?;
 
@@ -520,7 +745,9 @@ impl Daemon {
     }
 
     /// Graceful exit: [`Daemon::shutdown`], drain the pipeline, join
-    /// every thread, stop the HTTP server.
+    /// every thread, stop the HTTP server. Stage panics are caught by
+    /// the supervisor (the phase reads [`Phase::Failed`]), so the join
+    /// itself only errors if a thread died outside its supervised body.
     pub fn join(mut self) -> std::thread::Result<()> {
         self.shutdown();
         for thread in self.threads.drain(..) {

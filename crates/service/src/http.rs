@@ -41,7 +41,15 @@ pub(crate) struct Router {
     /// Invoked on `POST /shutdown` (stops the collector; the pipeline
     /// then drains on its own).
     pub on_shutdown: Box<dyn Fn() + Send + Sync>,
+    /// Total wall-clock budget for reading one request head. A client
+    /// trickling bytes (slow loris) is answered `408` when the budget
+    /// runs out, freeing the worker — per-read timeouts alone would let
+    /// one byte every few seconds hold a worker forever.
+    pub read_deadline: Duration,
 }
+
+/// Largest accepted request head; beyond this the reply is `431`.
+const MAX_HEAD_BYTES: usize = 8192;
 
 pub(crate) struct HttpServer {
     addr: SocketAddr,
@@ -65,7 +73,7 @@ impl HttpServer {
             let conns = Arc::clone(&conns);
             let router = Arc::clone(&router);
             pool.push(std::thread::spawn(move || {
-                while let Some(stream) = conns.pop() {
+                while let Ok(stream) = conns.pop() {
                     // A broken client connection only affects that client.
                     let _ = serve_one(stream, &router);
                 }
@@ -124,17 +132,40 @@ impl Drop for HttpServer {
 
 /// Read one request (first line + headers), route it, write the reply.
 fn serve_one(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let started = std::time::Instant::now();
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
-        if buf.len() > 8192 {
+        if buf.len() > MAX_HEAD_BYTES {
             return respond(&mut stream, 431, "{\"error\":\"headers too large\"}");
         }
+        // Per-read timeout = whatever is left of the TOTAL budget, so a
+        // byte-at-a-time client cannot reset the clock with each byte.
+        let remaining = router.read_deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return respond(
+                &mut stream,
+                408,
+                "{\"error\":\"request head read timed out\"}",
+            );
+        }
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return respond(
+                    &mut stream,
+                    408,
+                    "{\"error\":\"request head read timed out\"}",
+                );
+            }
             Err(e) => return Err(e),
         }
     }
@@ -226,6 +257,7 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         431 => "Request Header Fields Too Large",
         _ => "Error",
     };

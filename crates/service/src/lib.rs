@@ -21,15 +21,30 @@
 //! byte-identical to the offline `scenarios::run_pipelined` rendered
 //! through `pinpoint_core::render` — proven by `tests/service_parity.rs`
 //! across the thread/chunk/depth CI matrix.
+//!
+//! **Crash safety:** every stage runs supervised (`catch_unwind`); a
+//! panic poisons both queues, flips the phase to [`Phase::Failed`], and
+//! leaves the HTTP surface serving cached reports plus a degraded
+//! `/health`. The executor can periodically persist byte-stable
+//! snapshots through [`checkpoint::CheckpointStore`]; a restarted
+//! process restores the newest valid checkpoint and resumes with
+//! reports byte-identical to the uninterrupted run. Live feeds plug in
+//! through [`feed::RecoverableSource`], whose disconnect/stall signals
+//! the collector answers with capped-exponential-backoff retries and
+//! whose duplicated or reordered bins it rejects by monotonicity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod daemon;
+pub mod feed;
 pub mod http;
 pub mod queue;
 pub mod state;
 
+pub use checkpoint::CheckpointStore;
 pub use daemon::{Daemon, ReportHook, ServiceConfig};
-pub use queue::BoundedQueue;
+pub use feed::{FeedSignal, RecoverableSource, SignalFeed, SteadyFeed};
+pub use queue::{BoundedQueue, Closed};
 pub use state::{Phase, QueueGauge, ServiceState};

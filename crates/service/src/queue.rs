@@ -7,21 +7,40 @@
 //! backlog grow — at a full stop the whole pipeline holds at most
 //! `collect_capacity + report_capacity + depth` bins, ever
 //! (`tests/service_parity.rs` asserts the bound under a deliberately
-//! stalled reporter). Closing the queue wakes everyone: pushes fail fast
-//! and pops drain the residue before reporting end-of-stream.
+//! stalled reporter).
+//!
+//! Two ways a queue ends, both of which wake every blocked thread:
+//!
+//! * [`BoundedQueue::close`] — graceful end-of-stream: pushes fail fast
+//!   with [`Closed`], pops drain the residue before reporting
+//!   [`Closed`]. Shutdown is a *drain*, not a drop.
+//! * [`BoundedQueue::poison`] — a peer stage died (panicked): the
+//!   residue is discarded and *both* sides fail immediately, so a dead
+//!   stage propagates shutdown instead of leaving its peer blocked on a
+//!   full push or an empty pop forever (the supervisor in
+//!   [`crate::daemon`] poisons both queues from its `catch_unwind`
+//!   handler).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// The error of pushing to or popping from a queue that was closed or
+/// poisoned. For a rejected `push` the item rides along so the producer
+/// can keep or drop it; a failed `pop` carries `()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed<T = ()>(pub T);
+
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// A peer stage died: discard the residue, fail both sides now.
+    poisoned: bool,
     /// High-water mark of `items.len()` over the queue's lifetime.
     peak: usize,
 }
 
 /// A bounded multi-producer multi-consumer queue (see the [module
-/// docs](self) for the backpressure contract).
+/// docs](self) for the backpressure and close/poison contracts).
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
@@ -36,6 +55,7 @@ impl<T> BoundedQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
+                poisoned: false,
                 peak: 0,
             }),
             capacity: capacity.max(1),
@@ -45,15 +65,15 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Enqueue one item, **blocking while the queue is full** — this is
-    /// the backpressure edge. Returns the item back as `Err` if the
-    /// queue was closed (before or while waiting).
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// the backpressure edge. Returns the item back as `Err(Closed)` if
+    /// the queue was closed or poisoned (before or while waiting).
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
         let mut inner = self.inner.lock().unwrap();
         while inner.items.len() >= self.capacity && !inner.closed {
             inner = self.not_full.wait(inner).unwrap();
         }
         if inner.closed {
-            return Err(item);
+            return Err(Closed(item));
         }
         inner.items.push_back(item);
         inner.peak = inner.peak.max(inner.items.len());
@@ -62,30 +82,51 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Dequeue one item, blocking while the queue is empty and open.
-    /// `None` means closed **and** fully drained — residual items are
-    /// always delivered first, which is what makes shutdown a drain
-    /// rather than a drop.
-    pub fn pop(&self) -> Option<T> {
+    /// `Err(Closed)` means closed **and** fully drained — residual items
+    /// are always delivered first, which is what makes shutdown a drain
+    /// rather than a drop — or poisoned, in which case the residue was
+    /// already discarded.
+    pub fn pop(&self) -> Result<T, Closed> {
         let mut inner = self.inner.lock().unwrap();
         loop {
+            if inner.poisoned {
+                return Err(Closed(()));
+            }
             if let Some(item) = inner.items.pop_front() {
                 self.not_full.notify_one();
-                return Some(item);
+                return Ok(item);
             }
             if inner.closed {
-                return None;
+                return Err(Closed(()));
             }
             inner = self.not_empty.wait(inner).unwrap();
         }
     }
 
     /// Close the queue: subsequent (and blocked) pushes fail, pops drain
-    /// the residue then return `None`. Idempotent.
+    /// the residue then return `Err(Closed)`. Idempotent.
     pub fn close(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
+    }
+
+    /// Poison the queue: a stage died mid-stream, so the residue is
+    /// garbage — discard it and fail every blocked producer *and*
+    /// consumer immediately. Idempotent; implies [`BoundedQueue::close`].
+    pub fn poison(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        inner.poisoned = true;
+        inner.items.clear();
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().unwrap().poisoned
     }
 
     /// Items currently queued.
@@ -125,11 +166,11 @@ mod tests {
         }
         assert_eq!(q.len(), 3);
         assert_eq!(q.peak_depth(), 3);
-        assert_eq!(q.pop(), Some(0));
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Ok(0));
+        assert_eq!(q.pop(), Ok(1));
         q.close();
-        assert_eq!(q.pop(), Some(2), "residue drains after close");
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), Ok(2), "residue drains after close");
+        assert_eq!(q.pop(), Err(Closed(())));
         assert_eq!(q.peak_depth(), 3);
     }
 
@@ -145,10 +186,10 @@ mod tests {
         // The producer must be parked: the queue is at capacity.
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(q.len(), 2, "bounded: the blocked push must not land");
-        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Ok(0));
         producer.join().unwrap().unwrap();
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Ok(1));
+        assert_eq!(q.pop(), Ok(2));
         assert!(q.peak_depth() <= q.capacity());
     }
 
@@ -164,10 +205,69 @@ mod tests {
         q.close();
         assert_eq!(
             producer.join().unwrap(),
-            Err(8),
+            Err(Closed(8)),
             "closed push hands the item back"
         );
-        assert_eq!(q.pop(), Some(7));
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), Ok(7));
+        assert_eq!(q.pop(), Err(Closed(())));
+    }
+
+    /// The satellite regression: a consumer that dies while its producer
+    /// is blocked on a full queue used to leave the producer parked
+    /// forever. Poisoning from the dying thread's unwind path frees it.
+    #[test]
+    fn panicked_consumer_poison_unblocks_a_full_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // A panicking stage's supervisor poisons its queues —
+                // emulated here by a scope guard running on unwind.
+                struct Poison<T>(Arc<BoundedQueue<T>>);
+                impl<T> Drop for Poison<T> {
+                    fn drop(&mut self) {
+                        self.0.poison();
+                    }
+                }
+                let _guard = Poison(Arc::clone(&q));
+                panic!("consumer died");
+            })
+        };
+        assert!(consumer.join().is_err(), "the consumer must have panicked");
+        // Without the poison this join would deadlock (the harness would
+        // time the whole test binary out); with it the push fails fast.
+        assert_eq!(producer.join().unwrap(), Err(Closed(1)));
+        assert!(q.is_poisoned());
+    }
+
+    #[test]
+    fn poison_discards_residue_and_fails_pop() {
+        let q = BoundedQueue::new(4);
+        q.push(1u32).unwrap();
+        q.push(2).unwrap();
+        q.poison();
+        assert_eq!(
+            q.pop(),
+            Err(Closed(())),
+            "poison drops the residue — a dead stage's output is garbage"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn poison_unblocks_an_empty_pop() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.poison();
+        assert_eq!(consumer.join().unwrap(), Err(Closed(())));
     }
 }

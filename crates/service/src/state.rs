@@ -25,6 +25,11 @@ pub enum Phase {
     Draining,
     /// Every collected bin has been reported.
     Done,
+    /// A supervised stage died (panicked). Terminal and sticky: once
+    /// failed, the phase never changes again — the cached reports stay
+    /// servable, `/health` carries the fault, and the process should be
+    /// restarted (with `--resume` to pick up the latest checkpoint).
+    Failed,
 }
 
 impl Phase {
@@ -34,6 +39,7 @@ impl Phase {
             Phase::Running => "running",
             Phase::Draining => "draining",
             Phase::Done => "done",
+            Phase::Failed => "failed",
         }
     }
 }
@@ -71,6 +77,21 @@ struct Counters {
     latency_sum_ms: f64,
 }
 
+/// Degraded-mode bookkeeping surfaced in `/health`: the last fault the
+/// supervisor or collector saw, how often the feed was retried, and how
+/// far the latest checkpoint trails the latest report.
+#[derive(Default)]
+struct Degraded {
+    /// Human-readable description of the most recent fault.
+    last_fault: Option<String>,
+    /// Feed reconnect attempts (capped-exponential-backoff retries).
+    feed_retries: u64,
+    /// Duplicate / out-of-order bins the collector rejected.
+    feed_rejected: u64,
+    /// The bin id of the latest durable checkpoint, if any was written.
+    last_checkpoint_bin: Option<u64>,
+}
+
 struct Inner {
     phase: Phase,
     shutdown_requested: bool,
@@ -85,6 +106,7 @@ struct Inner {
     ingest: IngestStats,
     sanitize: SanitizeStats,
     counters: Counters,
+    degraded: Degraded,
 }
 
 /// Live queue-depth reading of one pipeline edge (for `/stats`).
@@ -151,6 +173,7 @@ impl Default for ServiceState {
                 ingest: IngestStats::default(),
                 sanitize: SanitizeStats::default(),
                 counters: Counters::default(),
+                degraded: Degraded::default(),
             }),
             changed: Condvar::new(),
         }
@@ -164,9 +187,16 @@ impl ServiceState {
 
     pub(crate) fn set_phase(&self, phase: Phase) {
         let mut inner = self.inner.lock().unwrap();
-        // Never regress out of Done: a shutdown() arriving after the
-        // feed already drained must not flip the phase back to Draining.
-        if inner.phase != Phase::Done || phase == Phase::Done {
+        // Failed is terminal, and Done never regresses (a shutdown()
+        // arriving after the feed already drained must not flip the
+        // phase back to Draining) — but a stage dying *while* the
+        // drain completes still wins: Done → Failed is allowed.
+        let allowed = match inner.phase {
+            Phase::Failed => false,
+            Phase::Done => matches!(phase, Phase::Done | Phase::Failed),
+            _ => true,
+        };
+        if allowed {
             inner.phase = phase;
         }
         self.changed.notify_all();
@@ -177,10 +207,12 @@ impl ServiceState {
         self.inner.lock().unwrap().phase
     }
 
-    /// Block until the pipeline reaches [`Phase::Done`].
+    /// Block until the pipeline reaches a terminal phase —
+    /// [`Phase::Done`] on a clean drain, [`Phase::Failed`] if a
+    /// supervised stage died (check [`ServiceState::phase`] after).
     pub fn wait_done(&self) {
         let mut inner = self.inner.lock().unwrap();
-        while inner.phase != Phase::Done {
+        while !matches!(inner.phase, Phase::Done | Phase::Failed) {
             inner = self.changed.wait(inner).unwrap();
         }
     }
@@ -207,6 +239,65 @@ impl ServiceState {
 
     pub(crate) fn record_collected(&self) {
         self.inner.lock().unwrap().counters.collected += 1;
+    }
+
+    /// Note a fault (stage panic, feed hiccup, checkpoint-write error)
+    /// for degraded-mode reporting. The message shows up verbatim as
+    /// `last_fault` in `/health`.
+    pub(crate) fn record_fault(&self, message: String) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.degraded.last_fault = Some(message);
+        self.changed.notify_all();
+    }
+
+    /// Note one feed reconnect attempt (with its fault description).
+    pub(crate) fn record_feed_retry(&self, message: String) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.degraded.feed_retries += 1;
+        inner.degraded.last_fault = Some(message);
+        self.changed.notify_all();
+    }
+
+    /// Note one duplicate / out-of-order bin the collector rejected.
+    pub(crate) fn record_feed_rejected(&self) {
+        self.inner.lock().unwrap().degraded.feed_rejected += 1;
+    }
+
+    /// Note a durable checkpoint through `bin`.
+    pub(crate) fn record_checkpoint(&self, bin: u64) {
+        self.inner.lock().unwrap().degraded.last_checkpoint_bin = Some(bin);
+    }
+
+    /// The most recent fault, if any (also in `/health` as `last_fault`).
+    pub fn last_fault(&self) -> Option<String> {
+        self.inner.lock().unwrap().degraded.last_fault.clone()
+    }
+
+    /// Feed reconnect attempts so far.
+    pub fn feed_retries(&self) -> u64 {
+        self.inner.lock().unwrap().degraded.feed_retries
+    }
+
+    /// Duplicate / out-of-order bins the collector rejected so far.
+    pub fn feed_rejected(&self) -> u64 {
+        self.inner.lock().unwrap().degraded.feed_rejected
+    }
+
+    /// The bin id of the latest durable checkpoint, if one was written.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        self.inner.lock().unwrap().degraded.last_checkpoint_bin
+    }
+
+    /// Seed the event cache from a restored analyzer's table so
+    /// `/events` and `/events/{id}` are correct immediately after a
+    /// `--resume`, before the first post-restart bin reports.
+    pub(crate) fn seed_events(&self, listing: String, bodies: Vec<(u64, String)>, open: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events_listing = Arc::new(listing);
+        for (id, body) in bodies {
+            inner.event_bodies.insert(id, Arc::new(body));
+        }
+        inner.events_open = open;
     }
 
     /// Bins the collector has pulled from the feed so far.
@@ -309,10 +400,24 @@ impl ServiceState {
         self.inner.lock().unwrap().events_open
     }
 
-    /// `/health` body.
+    /// `/health` body. Besides the lifecycle counters it carries the
+    /// degraded-mode triple: the last fault seen (stage panic, feed
+    /// hiccup, checkpoint-write error), the feed retry / rejection
+    /// counters, and the checkpoint position with its lag behind the
+    /// latest reported bin.
     pub fn health_json(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let latest = inner.entries.keys().next_back().copied();
+        let degraded = inner.phase == Phase::Failed || inner.degraded.last_fault.is_some();
+        let checkpoint = inner.degraded.last_checkpoint_bin.map_or(Value::Null, |b| {
+            Value::object(vec![
+                ("last_bin", Value::Number(b as f64)),
+                (
+                    "lag_bins",
+                    Value::Number(latest.map_or(0, |l| l.saturating_sub(b)) as f64),
+                ),
+            ])
+        });
         Value::object(vec![
             ("service", Value::String("pinpointd".to_string())),
             ("phase", Value::String(inner.phase.as_str().to_string())),
@@ -330,6 +435,24 @@ impl ServiceState {
                 latest.map_or(Value::Null, |b| Value::Number(b as f64)),
             ),
             ("events_open", Value::Number(inner.events_open as f64)),
+            ("degraded", Value::Bool(degraded)),
+            (
+                "last_fault",
+                inner
+                    .degraded
+                    .last_fault
+                    .as_ref()
+                    .map_or(Value::Null, |f| Value::String(f.clone())),
+            ),
+            (
+                "feed_retries",
+                Value::Number(inner.degraded.feed_retries as f64),
+            ),
+            (
+                "feed_rejected",
+                Value::Number(inner.degraded.feed_rejected as f64),
+            ),
+            ("checkpoint", checkpoint),
         ])
         .to_string()
     }

@@ -33,6 +33,28 @@ impl SlidingRobust {
         }
     }
 
+    /// Rebuild a window from its capacity and contents (oldest first) —
+    /// the snapshot/restore constructor. Values beyond `capacity` evict
+    /// from the front, exactly as live pushes would have.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn from_values<I>(capacity: usize, values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut s = SlidingRobust::new(capacity);
+        for x in values {
+            s.push(x);
+        }
+        s
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of values currently in the window.
     pub fn len(&self) -> usize {
         self.window.len()

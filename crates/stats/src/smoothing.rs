@@ -89,6 +89,23 @@ impl<K: Ord + Clone> VectorEwma<K> {
         }
     }
 
+    /// Rebuild a smoother from its α and `(key, smoothed value)` pairs —
+    /// the snapshot/restore constructor. Equivalent to replaying the
+    /// observation history that produced those values.
+    pub fn from_parts<I>(alpha: f64, values: I) -> Self
+    where
+        I: IntoIterator<Item = (K, f64)>,
+    {
+        let mut v = VectorEwma::new(alpha);
+        v.values = values.into_iter().collect();
+        v
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
     /// Whether no observation has been folded in yet.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()

@@ -14,14 +14,24 @@
 //! byte-for-byte against the daemon's `/bins/{id}/report` body.
 //! `--offline --events` prints the final ranked event listing instead —
 //! the exact bytes the daemon serves for `/events` once the feed drains.
+//!
+//! Crash safety: `--checkpoint-every=N --checkpoint-dir=PATH` persists a
+//! byte-stable snapshot every N bins; after a crash (`kill -9` included)
+//! the same command line plus `--resume` restores the newest valid
+//! checkpoint and replays only the remaining bins — every report
+//! byte-identical to an uninterrupted run, which the CI chaos job
+//! verifies. `--faults=mild|hostile` (with `--fault-seed=N`) runs the
+//! feed through the deterministic netsim fault injector: the collector
+//! rides out stalls, retries disconnects with capped backoff, and
+//! rejects duplicated/reordered bins.
 
 use pinpoint::core::render;
-use pinpoint::core::DetectorConfig;
+use pinpoint::core::{Analyzer, DetectorConfig};
 use pinpoint::model::records::TracerouteRecord;
 use pinpoint::model::BinId;
-use pinpoint::netsim::ArtifactModel;
+use pinpoint::netsim::{ArtifactModel, FaultModel, FaultyFeed, FeedEvent};
 use pinpoint::scenarios::{ixp, runner, steady, CaseStudy, Scale};
-use pinpoint::service::{Daemon, ServiceConfig};
+use pinpoint::service::{CheckpointStore, Daemon, FeedSignal, Phase, ServiceConfig, SignalFeed};
 
 /// An owning bin feed: `Platform::stream` borrows the platform, but the
 /// collector thread needs an iterator it can take with it.
@@ -55,13 +65,20 @@ struct Args {
     offline: bool,
     bin: Option<u64>,
     events: bool,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    faults: String,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pinpointd [--scenario=steady|ixp] [--seed=N] [--bins=N] \
          [--depth=N] [--addr=HOST:PORT] [--artifacts=none|mild|hostile] \
-         [--fast] [--offline [--bin=N] [--events]]"
+         [--fast] [--checkpoint-every=N] [--checkpoint-dir=PATH] [--resume] \
+         [--faults=none|mild|hostile] [--fault-seed=N] \
+         [--offline [--bin=N] [--events]]"
     );
     std::process::exit(2);
 }
@@ -78,6 +95,11 @@ fn parse_args() -> Args {
         offline: false,
         bin: None,
         events: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+        resume: false,
+        faults: "none".to_string(),
+        fault_seed: None,
     };
     for arg in std::env::args().skip(1) {
         let (key, value) = match arg.split_once('=') {
@@ -95,6 +117,15 @@ fn parse_args() -> Args {
             ("--offline", None) => args.offline = true,
             ("--bin", Some(v)) => args.bin = Some(v.parse().unwrap_or_else(|_| usage())),
             ("--events", None) => args.events = true,
+            ("--checkpoint-every", Some(v)) => {
+                args.checkpoint_every = v.parse().unwrap_or_else(|_| usage())
+            }
+            ("--checkpoint-dir", Some(v)) => args.checkpoint_dir = Some(v.to_string()),
+            ("--resume", None) => args.resume = true,
+            ("--faults", Some(v)) => args.faults = v.to_string(),
+            ("--fault-seed", Some(v)) => {
+                args.fault_seed = Some(v.parse().unwrap_or_else(|_| usage()))
+            }
             ("--help" | "-h", None) => usage(),
             _ => usage(),
         }
@@ -167,19 +198,76 @@ fn run_offline(args: &Args, case: CaseStudy) -> i32 {
 }
 
 fn run_live(args: &Args, case: CaseStudy) -> i32 {
-    let analyzer = case.analyzer();
-    let window = case.end_bin.0 - case.start_bin.0;
+    // Resume: restore the newest valid checkpoint and start the feed
+    // just past the last bin it covers. Snapshots normalize the
+    // throughput knobs, so re-pin them from the case config — they
+    // change wall-clock behaviour only, never report bytes.
+    let mut resume_from = None;
+    let analyzer: Analyzer = if args.resume {
+        let Some(dir) = args.checkpoint_dir.as_deref() else {
+            eprintln!("pinpointd: --resume requires --checkpoint-dir");
+            return 2;
+        };
+        match CheckpointStore::new(dir).load_latest() {
+            Some((last_bin, snapshot)) => {
+                let knobs = case.cfg.clone();
+                match Analyzer::restore_with(&snapshot, |c| {
+                    c.threads = knobs.threads;
+                    c.ingest_chunk_records = knobs.ingest_chunk_records;
+                    c.pipeline_depth = knobs.pipeline_depth;
+                    c.radix_min_keys = knobs.radix_min_keys;
+                }) {
+                    Ok(analyzer) => {
+                        eprintln!("pinpointd: resumed from checkpoint at bin {last_bin}");
+                        resume_from = Some(last_bin);
+                        analyzer
+                    }
+                    Err(e) => {
+                        eprintln!("pinpointd: checkpoint restore failed: {e:?}");
+                        return 1;
+                    }
+                }
+            }
+            None => {
+                eprintln!("pinpointd: no valid checkpoint in {dir}; starting fresh");
+                case.analyzer()
+            }
+        }
+    } else {
+        case.analyzer()
+    };
+    let start = resume_from.map_or(case.start_bin.0, |b| (b + 1).max(case.start_bin.0));
+    let window = case.end_bin.0.saturating_sub(start);
     let feed = PlatformFeed {
-        next: case.start_bin.0,
+        next: start,
         end: case.end_bin.0,
         platform: case.platform,
     };
     let cfg = ServiceConfig {
         addr: args.addr.clone(),
         depth: args.depth,
+        checkpoint_every: args.checkpoint_every,
+        checkpoint_dir: args.checkpoint_dir.clone().map(Into::into),
+        resume_from,
         ..ServiceConfig::default()
     };
-    let daemon = match Daemon::spawn(cfg, analyzer, feed) {
+    let spawned = match args.faults.as_str() {
+        "none" => Daemon::spawn(cfg, analyzer, feed),
+        grade => {
+            let model = match grade {
+                "mild" => FaultModel::mild(args.fault_seed.unwrap_or(args.seed)),
+                "hostile" => FaultModel::hostile(args.fault_seed.unwrap_or(args.seed)),
+                _ => usage(),
+            };
+            let signals = FaultyFeed::new(feed, model).map(|event| match event {
+                FeedEvent::Bin(bin, records) => FeedSignal::Bin(bin, records),
+                FeedEvent::Stall(n) => FeedSignal::Stall(n),
+                FeedEvent::Disconnect => FeedSignal::Disconnect,
+            });
+            Daemon::spawn_recovering(cfg, analyzer, SignalFeed(signals))
+        }
+    };
+    let daemon = match spawned {
         Ok(d) => d,
         Err(e) => {
             eprintln!("pinpointd: failed to start: {e}");
@@ -195,6 +283,16 @@ fn run_live(args: &Args, case: CaseStudy) -> i32 {
     // serving the cached reports until someone POSTs /shutdown.
     let state = std::sync::Arc::clone(daemon.state());
     state.wait_done();
+    if matches!(state.phase(), Phase::Failed) {
+        eprintln!(
+            "pinpointd: pipeline failed: {}",
+            state
+                .last_fault()
+                .unwrap_or_else(|| "unknown fault".to_string())
+        );
+        let _ = daemon.join();
+        return 1;
+    }
     eprintln!("pinpointd: feed drained; serving cached reports (POST /shutdown to exit)");
     state.wait_shutdown_requested();
     match daemon.join() {
